@@ -1,0 +1,115 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- indicator-zeros restriction (Section 5 hardening): live verification
+  that untrusted processes never receive low-zero-indicator frames, and
+  the analytic factor it buys (~1.4e6x fewer exploitable PTEs);
+- page-size-bit screening (Section 7): cost of the survey and the
+  fraction of ZONE_PTP it sacrifices at various Pf;
+- ECC (Section 2.3): SECDED is not a RowHammer defense — multi-flip
+  escape rates under heavy hammering;
+- refresh-rate countermeasure: flip-probability scaling vs energy cost.
+"""
+
+import pytest
+
+from repro.analysis import expected_exploitable_ptes
+from repro.dram.cells import CellTypeMap
+from repro.dram.ecc import DecodeStatus, EccWordStore
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.units import GIB, MIB, PAGE_SHIFT, PAGE_SIZE
+
+from repro import build_protected_system
+
+
+def test_indicator_restriction_live(benchmark):
+    """Untrusted allocations skip frames with < 2 indicator zeros."""
+
+    def run():
+        kernel = build_protected_system(restrict_indicator_zeros=True)
+        process = kernel.create_process()  # untrusted
+        addresses = []
+        for _ in range(64):
+            vma = kernel.mmap(process, PAGE_SIZE)
+            addresses.append(kernel.touch(process, vma.start, write=True))
+        return kernel, addresses
+
+    kernel, addresses = benchmark.pedantic(run, rounds=1, iterations=1)
+    policy = kernel.cta_policy
+    assert all(policy.address_allowed_for_untrusted(pa) for pa in addresses)
+    rejections = kernel.stats.indicator_rejections
+    print()
+    print(f"64 untrusted pages allocated; {rejections} low-zero frames skipped")
+
+
+def test_indicator_restriction_analytic_factor():
+    base = expected_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.002, restricted=False)
+    hardened = expected_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.002, restricted=True)
+    factor = base / hardened
+    print(f"\nhardening factor: {factor:.3g}x fewer exploitable PTEs")
+    assert factor > 1e6
+
+
+def test_ps_screening_cost(benchmark):
+    """Fraction of ZONE_PTP frames sacrificed to PS-bit screening."""
+    from repro.kernel.screening import screen_ps_vulnerable_frames
+    from repro.kernel.zones import ZoneId
+
+    kernel = build_protected_system()
+    hammer = RowHammerModel(
+        kernel.module, FlipStatistics(p_vulnerable=1e-3, p_with_leak=0.998), seed=11
+    )
+    screened = benchmark.pedantic(
+        lambda: screen_ps_vulnerable_frames(kernel, hammer), rounds=1, iterations=1
+    )
+    total = sum(z.num_pages for z in kernel.layout.zones_of(ZoneId.PTP))
+    fraction = len(screened) / total
+    print()
+    print(f"screened {len(screened)}/{total} ZONE_PTP frames "
+          f"({100 * fraction:.1f}%) at Pf=1e-3")
+    # Each frame has 512 PS-bit positions; P(any vulnerable 1->0 bit) ~
+    # 512 * Pf * 0.998 ~ 0.4 at this Pf.
+    assert 0.1 < fraction < 0.8
+
+
+def test_ecc_escape_rate(benchmark):
+    """SECDED under heavy hammering: detected + silent failures appear."""
+
+    def run():
+        geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+        module = DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=8))
+        store = EccWordStore(module, base_address=16 * 1024)
+        for value in range(512):
+            store.store((value % 256) * 0x0101_0101_0101_0101)
+        hammer = RowHammerModel(
+            module, FlipStatistics(p_vulnerable=8e-2, p_with_leak=0.6), seed=13
+        )
+        for aggressor in range(0, 5):
+            hammer.hammer(aggressor)
+        return store.scrub_all()
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_status = {}
+    for result in results:
+        by_status[result.status] = by_status.get(result.status, 0) + 1
+    print()
+    for status, count in sorted(by_status.items(), key=lambda kv: kv[0].value):
+        print(f"  {status.value:24s} {count}")
+    uncorrected = by_status.get(DecodeStatus.DETECTED, 0) + by_status.get(
+        DecodeStatus.MISCORRECTED, 0
+    )
+    assert uncorrected > 0, "ECC must fail to contain heavy hammering"
+
+
+def test_refresh_rate_cost_curve():
+    """The naive countermeasure's cost/benefit curve (Section 2.5)."""
+    from repro.defenses import IncreasedRefreshRate
+
+    print()
+    for multiplier in (1, 2, 4, 8):
+        defense = IncreasedRefreshRate(float(multiplier))
+        print(f"  refresh x{multiplier}: flip scale "
+              f"{defense.flip_probability_scale():.3f}, energy "
+              f"{defense.cost().energy_multiplier:.0f}x")
+    assert IncreasedRefreshRate(8.0).flip_probability_scale() > 0  # no guarantee

@@ -1,0 +1,54 @@
+"""Section 5 in-text ablation — anti-cell ZONE_PTP (low water mark alone).
+
+"Without our CTA approach, it is possible for the 32MB ZONE_PTP to
+consist of anti-cells only. In this case, the expected number of
+exploitable PTE locations is 3354.7, which translates to an expected
+attack time of 3.2 hours." Regenerated analytically and cross-checked by
+Monte Carlo.
+"""
+
+import pytest
+
+from repro.analysis import anticell_ablation, simulate_exploitable_ptes
+from repro.analysis.tables import PAPER_ANTICELL
+from repro.units import GIB, MIB
+
+
+def test_anticell_analytic(benchmark):
+    result = benchmark(anticell_ablation)
+    assert result.expected_exploitable == pytest.approx(
+        PAPER_ANTICELL.expected_exploitable, rel=0.01
+    )
+    assert result.attack_time_hours == pytest.approx(
+        PAPER_ANTICELL.attack_time_hours, rel=0.05
+    )
+    print()
+    print(f"expected exploitable PTEs: {result.expected_exploitable:.1f} "
+          f"(paper {PAPER_ANTICELL.expected_exploitable})")
+    print(f"expected attack time: {result.attack_time_hours:.2f} h "
+          f"(paper {PAPER_ANTICELL.attack_time_hours} h)")
+
+
+def test_anticell_montecarlo(benchmark):
+    result = benchmark.pedantic(
+        lambda: simulate_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable=1e-4, p_up=0.998, p_down=0.002,
+            trials=3, seed=7,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert result.agrees_with_analytic()
+    assert result.expected_per_system == pytest.approx(3350, rel=0.1)
+    print()
+    print(f"Monte Carlo: {result.expected_per_system:.0f} exploitable per "
+          f"system (analytic {result.analytic_probability * result.num_ptes:.0f})")
+
+
+def test_cta_vs_anticell_factor():
+    """CTA's true cells beat the anti-cell layout by ~500x in exploitable
+    locations and by days-vs-hours in attack time."""
+    from repro.analysis import expected_exploitable_ptes
+
+    true_cells = expected_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.002)
+    anti_cells = expected_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.998, p_down=0.002)
+    assert anti_cells / true_cells > 400

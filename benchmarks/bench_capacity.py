@@ -1,0 +1,49 @@
+"""Section 6.2 — effective memory capacity.
+
+Worst case: one full 64 MiB anti-cell region above the mark is invalid =
+0.78% of an 8 GiB system; best case zero; plus the majority-true-cell
+module case where the loss collapses.
+"""
+
+import pytest
+
+from repro.analysis.capacity import capacity_loss_report, capacity_sweep
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.kernel.cta import CtaConfig, CtaPolicy
+from repro.units import GIB, MIB
+
+
+def test_capacity_sweep_8gb(benchmark):
+    best, worst = benchmark(capacity_sweep, 8 * GIB, 32 * MIB)
+    assert best.loss_percent == 0.0
+    assert worst.loss_percent == pytest.approx(0.78, abs=0.01)
+    print()
+    print(f"8GB / 32MB ZONE_PTP: best {best.loss_percent:.2f}%, "
+          f"worst {worst.loss_percent:.2f}% (paper: 0.78%)")
+
+
+def test_capacity_grows_per_64mb_increment():
+    """'for every 64MB increment of ZONE_PTP, add another 0.78%'."""
+    losses = []
+    for ptp_mib in (32, 96, 160):
+        worst = capacity_sweep(8 * GIB, ptp_mib * MIB)[1]
+        losses.append(worst.loss_percent)
+    deltas = [b - a for a, b in zip(losses, losses[1:])]
+    for delta in deltas:
+        assert delta == pytest.approx(0.78, abs=0.02)
+
+
+def test_majority_true_module_loses_less(benchmark):
+    """Modules with 1000:1 true:anti ratios lose far less (Section 6.2)."""
+
+    def plan():
+        geometry = DramGeometry(total_bytes=8 * GIB, row_bytes=128 * 1024)
+        cell_map = CellTypeMap.majority_true(geometry, anti_every=1000)
+        return CtaPolicy(cell_map, CtaConfig(ptp_bytes=32 * MIB))
+
+    policy = benchmark.pedantic(plan, rounds=1, iterations=1)
+    assert policy.capacity_loss_fraction < 0.001
+    print()
+    print(f"1000:1 true-cell module: loss "
+          f"{100 * policy.capacity_loss_fraction:.4f}%")

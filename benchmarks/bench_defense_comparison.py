@@ -1,0 +1,60 @@
+"""Section 2.5 comparison — CTA against the published countermeasures.
+
+The paper's qualitative argument quantified: each defense's cost profile
+(energy, hardware changes, legacy deployability, code size) and residual
+attack surface side by side. Only CTA blocks both PTE attack families
+with no residual weakness at zero energy/performance cost.
+"""
+
+from repro.defenses import all_defenses
+
+
+def build_matrix():
+    rows = []
+    for defense in all_defenses():
+        cost = defense.cost()
+        evaluation = defense.evaluate()
+        rows.append(
+            {
+                "name": defense.name,
+                "energy": cost.energy_multiplier,
+                "perf%": cost.performance_overhead_percent,
+                "hw": cost.requires_hardware_change,
+                "legacy": cost.deployable_on_legacy,
+                "loc": cost.software_complexity_loc,
+                "blocks_prob": evaluation.blocks_probabilistic_pte,
+                "blocks_det": evaluation.blocks_deterministic_pte,
+                "weaknesses": len(evaluation.residual_weaknesses),
+                "full": evaluation.fully_blocks_pte_attacks,
+            }
+        )
+    return rows
+
+
+def test_defense_matrix(benchmark):
+    rows = benchmark(build_matrix)
+    print()
+    header = (f"{'defense':14s} {'energy':>6s} {'perf%':>6s} {'hw':>3s} "
+              f"{'legacy':>6s} {'LoC':>5s} {'prob':>5s} {'det':>4s} {'weak':>5s}")
+    print(header)
+    for row in rows:
+        print(
+            f"{row['name']:14s} {row['energy']:6.2f} {row['perf%']:6.1f} "
+            f"{str(row['hw'])[0]:>3s} {str(row['legacy'])[0]:>6s} {row['loc']:5d} "
+            f"{str(row['blocks_prob'])[0]:>5s} {str(row['blocks_det'])[0]:>4s} "
+            f"{row['weaknesses']:5d}"
+        )
+    full_blockers = [row["name"] for row in rows if row["full"]]
+    assert full_blockers == ["cta"]
+    cta = next(row for row in rows if row["name"] == "cta")
+    assert cta["loc"] == 18
+    assert cta["energy"] == 1.0
+    assert not cta["hw"]
+
+
+def test_refresh_defense_only_scales_flips():
+    """Doubled refresh halves flip probability — structure unchanged."""
+    from repro.defenses import IncreasedRefreshRate
+
+    scales = [IncreasedRefreshRate(m).flip_probability_scale() for m in (1, 2, 4, 8)]
+    assert scales == [1.0, 0.5, 0.25, 0.125]

@@ -1,0 +1,46 @@
+"""Figure 3 — the probabilistic PTE privilege-escalation attack, live.
+
+The paper's Figure 3 illustrates the Project Zero attack flow: spray page
+tables, hammer, corrupt a PTE into self-reference, escalate. This bench
+runs that flow on the simulated stock kernel (it must succeed) and on the
+CTA kernel (it must be structurally blocked) — the paper's Section 5
+result that "the attack will always fail" under CTA.
+"""
+
+from repro import build_protected_system, build_stock_system
+from repro.attacks import AttackOutcome, ProbabilisticPteAttack
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+
+STATS = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5)
+
+
+def attack_stock(seed: int = 0):
+    kernel = build_stock_system()
+    hammer = RowHammerModel(kernel.module, STATS, seed=seed)
+    return ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
+        kernel.create_process(), spray_mappings=96, max_rounds=3
+    )
+
+
+def attack_protected(seed: int = 0):
+    kernel = build_protected_system()
+    hammer = RowHammerModel(kernel.module, STATS, seed=seed)
+    return ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
+        kernel.create_process(), spray_mappings=96, max_rounds=3
+    )
+
+
+def test_fig3_attack_succeeds_on_stock(benchmark):
+    result = benchmark.pedantic(attack_stock, rounds=1, iterations=1)
+    assert result.outcome is AttackOutcome.SUCCESS
+    print()
+    print(f"stock kernel: {result.outcome.value} after {result.hammer_rounds} "
+          f"hammer rounds, {result.flips_induced} flips")
+    print(f"modeled real-hardware time: {result.modeled_time_s:.1f}s")
+
+
+def test_fig3_attack_blocked_on_cta(benchmark):
+    result = benchmark.pedantic(attack_protected, rounds=1, iterations=1)
+    assert result.outcome is AttackOutcome.BLOCKED
+    print()
+    print(f"CTA kernel: {result.outcome.value} — {result.detail}")

@@ -1,0 +1,62 @@
+"""Figure 4 — effect of the low water mark on PTE placement.
+
+Boots a kernel with and without ZONE_PTP, runs the same workload, and
+reports where page tables physically land: scattered through user memory
+without the mark (Figure 4b), all above the mark with it (Figure 4a).
+"""
+
+from repro import build_protected_system as make_cta_kernel
+from repro import build_stock_system as make_stock_kernel
+from repro.units import PAGE_SHIFT
+
+
+def place_page_tables(kernel):
+    process = kernel.create_process()
+    base = 0x0000_5000_0000
+    for index in range(24):
+        # 2 MiB-spaced mappings: each needs its own last-level page table,
+        # so page tables and data pages allocate alternately.
+        vma = kernel.mmap(process, 8192, address=base + index * (2 << 20))
+        kernel.write_virtual(process, vma.start, b"data")
+    return kernel.page_table_pfns(process.pid)
+
+
+def test_fig4_without_mark_tables_scatter(benchmark):
+    kernel = make_stock_kernel()
+    pt_pfns = benchmark.pedantic(lambda: place_page_tables(kernel), rounds=1, iterations=1)
+    total_pages = kernel.module.geometry.total_bytes >> PAGE_SHIFT
+    # Without a mark, page tables live in the ordinary zones next to user
+    # data (nothing confines them to the top of memory) — and user data
+    # frames interleave with them in the same region.
+    would_be_mark = total_pages - (2 * 1024 * 1024 >> PAGE_SHIFT)
+    assert min(pt_pfns) < would_be_mark
+    from repro.kernel.page import PageUse
+
+    user_pfns = [f.pfn for f in kernel.page_db.frames_with_use(PageUse.USER_DATA)]
+    assert min(pt_pfns) < max(user_pfns) and min(user_pfns) < max(pt_pfns)
+    print()
+    print(f"no mark: page tables at pfns {min(pt_pfns)}..{max(pt_pfns)} "
+          f"(of {total_pages}) — interleaved with user data "
+          f"{min(user_pfns)}..{max(user_pfns)}")
+
+
+def test_fig4_with_mark_tables_confined(benchmark):
+    kernel = make_cta_kernel()
+    pt_pfns = benchmark.pedantic(lambda: place_page_tables(kernel), rounds=1, iterations=1)
+    mark = kernel.cta_policy.low_water_mark_pfn
+    assert all(pfn >= mark for pfn in pt_pfns)
+    kernel.verify_cta_rules()
+    print()
+    print(f"with mark at pfn {mark}: page tables at pfns "
+          f"{min(pt_pfns)}..{max(pt_pfns)} — all above the mark")
+
+
+def test_fig4_property1_user_cannot_map_above_mark():
+    """Property (1): no user mapping ever receives a frame above the mark."""
+    kernel = make_cta_kernel()
+    process = kernel.create_process()
+    mark = kernel.cta_policy.low_water_mark_pfn
+    for _ in range(64):
+        vma = kernel.mmap(kernel.processes[process.pid], 4096)
+        pa = kernel.touch(process, vma.start, write=True)
+        assert (pa >> PAGE_SHIFT) < mark

@@ -1,0 +1,67 @@
+"""Figure 5 — victim PTEs under attack, with and without monotonic pointers.
+
+Figure 5a: PTEs in true-cells only ever point *lower* after corruption.
+Figure 5b: PTEs in unconstrained cells point anywhere. We regenerate both
+panels from live hammering data: the distribution of (original pfn ->
+corrupted pfn) movements, on a CTA kernel (true-cell PTPs) versus a
+low-water-mark-only kernel whose ZONE_PTP includes anti-cell rows.
+"""
+
+from repro import build_protected_system
+from repro.attacks import CtaBruteForceAttack
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.kernel.cta import CtaConfig
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.units import MIB
+
+FAITHFUL = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.998)
+
+
+def observe_cta(seed: int = 1):
+    kernel = build_protected_system()
+    hammer = RowHammerModel(kernel.module, FAITHFUL, seed=seed)
+    attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+    attack.run(kernel.create_process(), max_target_pages=2)
+    return attack.observations
+
+
+def observe_lwm_only(seed: int = 1):
+    """Low-water-mark-only layout: ZONE_PTP spans anti-cell rows too."""
+    kernel = Kernel(
+        KernelConfig(
+            total_bytes=32 * MIB,
+            row_bytes=16 * 1024,
+            num_banks=2,
+            cell_interleave_rows=32,
+            cta=CtaConfig(ptp_bytes=2 * MIB, cell_aware=False),
+        )
+    )
+    hammer = RowHammerModel(kernel.module, FAITHFUL, seed=seed)
+    attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+    # Spray enough page tables to fill past the first true-cell region of
+    # the unplanned ZONE_PTP span and into its anti-cell rows.
+    attack.run(kernel.create_process(), max_target_pages=1, spray_mappings=240)
+    return attack.observations
+
+
+def test_fig5a_monotonic_pointers(benchmark):
+    observations = benchmark.pedantic(observe_cta, rounds=1, iterations=1)
+    assert observations
+    monotonic = sum(1 for o in observations if o.monotonic)
+    fraction = monotonic / len(observations)
+    print()
+    print(f"CTA (true-cells): {monotonic}/{len(observations)} corrupted "
+          f"pointers moved downward ({100 * fraction:.1f}%)")
+    # P(0->1) = 0.2%: essentially all corruption is downward.
+    assert fraction >= 0.95
+
+
+def test_fig5b_unconstrained_pointers(benchmark):
+    observations = benchmark.pedantic(observe_lwm_only, rounds=1, iterations=1)
+    assert observations
+    upward = sum(1 for o in observations if not o.monotonic)
+    print()
+    print(f"LWM-only (mixed cells): {upward}/{len(observations)} corrupted "
+          f"pointers moved UPWARD — self-reference is reachable")
+    # Anti-cell rows in the PTP span flip 0->1: upward movement appears.
+    assert upward > 0

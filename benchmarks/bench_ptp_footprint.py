@@ -1,0 +1,48 @@
+"""Section 6.3 in-text — page-table footprint fits ZONE_PTP.
+
+The paper measures 26 MB of page tables on a loaded x86-64 desktop and
+8 MB on Android, concluding a 32 MB ZONE_PTP suffices. At simulator scale
+we run every Table 4 workload concurrently on one CTA kernel and verify
+the total page-table footprint stays inside the (scaled) ZONE_PTP.
+"""
+
+from repro.perf.runner import make_perf_kernel, run_workload
+from repro.perf.workloads import PHORONIX_WORKLOADS, SPEC_WORKLOADS
+from repro.units import MIB
+
+
+def fill_system():
+    kernel = make_perf_kernel(cta=True, total_bytes=64 * MIB)
+    for profile in (SPEC_WORKLOADS + PHORONIX_WORKLOADS)[:12]:
+        process = kernel.create_process()
+        run_workload(kernel, profile, process=process)
+    return kernel
+
+
+def test_ptp_footprint_fits(benchmark):
+    kernel = benchmark.pedantic(fill_system, rounds=1, iterations=1)
+    footprint = kernel.page_table_bytes()
+    ptp_capacity = kernel.cta_policy.config.ptp_bytes
+    print()
+    print(f"page-table footprint under 12 concurrent workloads: "
+          f"{footprint / 1024:.0f} KiB of {ptp_capacity / 1024:.0f} KiB ZONE_PTP "
+          f"({100 * footprint / ptp_capacity:.1f}%)")
+    assert footprint < ptp_capacity
+    kernel.verify_cta_rules()
+
+
+def test_footprint_scales_with_address_space_spread():
+    """Sparse address-space use is what costs page tables (the paper's
+    TLB-thrashing remark): wide VA spread -> more PTs for the same data."""
+    from repro.perf.workloads import WorkloadProfile
+    from repro.perf.runner import make_perf_kernel, run_workload
+
+    dense = WorkloadProfile("dense", "spec2006", mapped_regions=2,
+                            pages_per_region=64, map_unmap_cycles=1, access_passes=1)
+    sparse = WorkloadProfile("sparse", "spec2006", mapped_regions=32,
+                             pages_per_region=4, map_unmap_cycles=1, access_passes=1)
+    kernel_a = make_perf_kernel(cta=True)
+    dense_result = run_workload(kernel_a, dense)
+    kernel_b = make_perf_kernel(cta=True)
+    sparse_result = run_workload(kernel_b, sparse)
+    assert sparse_result.pte_allocs > dense_result.pte_allocs

@@ -1,0 +1,28 @@
+"""Table 1 — catalogue of existing RowHammer attacks.
+
+Regenerates the table and verifies its structure (10 attacks, 5 of them
+PTE-based privilege escalations — the class CTA targets).
+"""
+
+from repro.attacks.registry import KNOWN_ATTACKS, modeled_attacks, pte_attacks
+
+
+def render_table1() -> str:
+    lines = [f"{'Technique':38s} {'Victim Data':12s} {'Attack':42s} {'Platform':8s}"]
+    for record in KNOWN_ATTACKS:
+        lines.append(
+            f"{record.reference:38s} {record.victim_data:12s} "
+            f"{record.attack_class:42s} {record.platform:8s}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_regeneration(benchmark):
+    table = benchmark(render_table1)
+    assert len(KNOWN_ATTACKS) == 10
+    assert len(pte_attacks()) == 5
+    assert len(modeled_attacks()) >= 4
+    assert "Drammer" in table
+    assert "Privilege Escalation" in table
+    print()
+    print(table)

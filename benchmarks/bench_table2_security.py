@@ -1,0 +1,38 @@
+"""Table 2 — expected exploitable PTEs and attack time (Pf=1e-4, P01=0.2%).
+
+Regenerates all 12 cells and checks each against the published value.
+"""
+
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2, paper_table2
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(paper_table2)
+    assert len(rows) == 12
+    print()
+    print(f"{'Configuration':30s} {'E[exploit]':>12s} {'paper':>12s} "
+          f"{'days':>9s} {'paper':>9s}")
+    for row in rows:
+        expected_paper, days_paper = PAPER_TABLE2[row.label]
+        assert row.expected_exploitable == pytest.approx(expected_paper, rel=0.02)
+        assert row.attack_time_days == pytest.approx(days_paper, rel=0.01)
+        print(
+            f"{row.label:30s} {row.expected_exploitable:12.4g} {expected_paper:12.4g} "
+            f"{row.attack_time_days:9.1f} {days_paper:9.1f}"
+        )
+
+
+def test_headline_numbers(benchmark):
+    from repro.analysis.tables import headline_numbers
+
+    numbers = benchmark(headline_numbers)
+    # "only one out of 2.04e5 systems is vulnerable ... expected attack
+    # time on the vulnerable system is 231 days" (abstract).
+    assert numbers["systems_per_vulnerable"] == pytest.approx(2.04e5, rel=0.06)
+    assert numbers["attack_time_days"] == pytest.approx(231, rel=0.01)
+    assert numbers["slowdown_vs_20s"] == pytest.approx(1e6, rel=0.05)
+    print()
+    for key, value in numbers.items():
+        print(f"  {key}: {value:.4g}")

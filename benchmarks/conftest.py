@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Every file regenerates one of the paper's tables or figures; the
+pytest-benchmark timings additionally track how costly each experiment is
+to reproduce. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations

@@ -1,0 +1,57 @@
+"""Survey of RowHammer countermeasures (Section 2.5) plus the paper's
+security tables, printed as one report.
+
+Usage::
+
+    python examples/defense_survey.py
+"""
+
+from repro.analysis.tables import PAPER_TABLE2, headline_numbers, paper_table2
+from repro.defenses import all_defenses
+
+
+def print_defense_matrix() -> None:
+    print("== countermeasure comparison ==")
+    print(f"{'defense':14s} {'energy':>7s} {'hw?':>4s} {'legacy':>7s} "
+          f"{'LoC':>6s} {'blocks PTE attacks':>20s}")
+    for defense in all_defenses():
+        cost = defense.cost()
+        evaluation = defense.evaluate()
+        blocks = (
+            "fully"
+            if evaluation.fully_blocks_pte_attacks
+            else ("partially" if evaluation.blocks_probabilistic_pte else "no")
+        )
+        print(
+            f"{defense.name:14s} {cost.energy_multiplier:7.2f} "
+            f"{'yes' if cost.requires_hardware_change else 'no':>4s} "
+            f"{'yes' if cost.deployable_on_legacy else 'no':>7s} "
+            f"{cost.software_complexity_loc:6d} {blocks:>20s}"
+        )
+        for weakness in evaluation.residual_weaknesses:
+            print(f"{'':14s}   - {weakness}")
+    print()
+
+
+def print_security_table() -> None:
+    print("== CTA security analysis (Table 2) ==")
+    for row in paper_table2():
+        paper_expected, paper_days = PAPER_TABLE2[row.label]
+        print(f"{row.label:30s} E[exploitable]={row.expected_exploitable:10.4g} "
+              f"attack={row.attack_time_days:7.1f} days "
+              f"(paper: {paper_expected:g} / {paper_days:g})")
+    print()
+    numbers = headline_numbers()
+    print(f"one vulnerable system in {numbers['systems_per_vulnerable']:.3g}; "
+          f"expected attack time {numbers['attack_time_days']:.0f} days; "
+          f"{numbers['slowdown_vs_20s']:.2g}x slower than the fastest "
+          f"published attack")
+
+
+def main() -> None:
+    print_defense_matrix()
+    print_security_table()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so `pip install -e .` works without network access.
+
+All real metadata lives in pyproject.toml; this file exists because the
+offline environment has no `wheel` package and therefore needs the legacy
+setuptools editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,99 @@
+"""repro — reproduction of "Protecting Page Tables from RowHammer Attacks
+using Monotonic Pointers in DRAM True-Cells" (Wu et al., ASPLOS 2019).
+
+The package is layered bottom-up:
+
+- :mod:`repro.dram` — DRAM substrate: geometry, true/anti cells, the
+  statistical RowHammer fault model, profiling, remapping.
+- :mod:`repro.kernel` — OS model: zoned buddy allocator, 4-level paging,
+  processes, and the paper's Cell-Type-Aware (CTA) allocation policy.
+- :mod:`repro.attacks` — the PTE privilege-escalation attack families and
+  the paper's Algorithm 1, runnable against simulated systems.
+- :mod:`repro.analysis` — the Section 5 closed forms (Tables 2/3) and a
+  Monte-Carlo cross-check.
+- :mod:`repro.defenses` — comparators (refresh, PARA, ANVIL, CATT) and
+  CTA itself through a common interface.
+- :mod:`repro.extensions` — Section 8: permission vectors, coldboot
+  canaries, directional hamming codes.
+- :mod:`repro.perf` — the Table 4 performance harness.
+
+Quickstart::
+
+    from repro import build_protected_system, build_stock_system
+    from repro.attacks import ProbabilisticPteAttack
+    from repro.dram.rowhammer import RowHammerModel, FlipStatistics
+
+    kernel = build_stock_system()
+    hammer = RowHammerModel(kernel.module, FlipStatistics(3e-2, 0.5), seed=1)
+    attacker = kernel.create_process()
+    result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(attacker)
+    assert result.succeeded  # stock kernels fall
+
+    protected = build_protected_system()
+    ...  # the same attack reports AttackOutcome.BLOCKED
+"""
+
+from repro.kernel.cta import CtaConfig
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.units import MIB
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CtaConfig",
+    "Kernel",
+    "KernelConfig",
+    "build_protected_system",
+    "build_stock_system",
+]
+
+
+def build_stock_system(
+    total_bytes: int = 32 * MIB,
+    row_bytes: int = 16 * 1024,
+    num_banks: int = 2,
+    cell_interleave_rows: int = 32,
+) -> Kernel:
+    """Boot a scaled-down stock (undefended) system.
+
+    The defaults give a fast live-simulation target on which the
+    probabilistic PTE attack demonstrably succeeds.
+    """
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=row_bytes,
+            num_banks=num_banks,
+            cell_interleave_rows=cell_interleave_rows,
+        )
+    )
+
+
+def build_protected_system(
+    total_bytes: int = 32 * MIB,
+    row_bytes: int = 16 * 1024,
+    num_banks: int = 2,
+    cell_interleave_rows: int = 32,
+    ptp_bytes: int = 2 * MIB,
+    multilevel: bool = False,
+    restrict_indicator_zeros: bool = False,
+) -> Kernel:
+    """Boot the same system with CTA memory allocation enabled.
+
+    Runs the system-level cell-type profiler at boot (Section 2.2), plans
+    ``ZONE_PTP`` from true-cell rows above the low water mark, and pins
+    ``pte_alloc_one`` to it.
+    """
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=row_bytes,
+            num_banks=num_banks,
+            cell_interleave_rows=cell_interleave_rows,
+            cta=CtaConfig(
+                ptp_bytes=ptp_bytes,
+                multilevel=multilevel,
+                restrict_indicator_zeros=restrict_indicator_zeros,
+            ),
+        )
+    )

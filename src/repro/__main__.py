@@ -1,0 +1,7 @@
+"""``python -m repro`` support."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

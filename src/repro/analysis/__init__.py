@@ -1,0 +1,47 @@
+"""Analytical security model (paper Section 5).
+
+Closed forms for the probability that a PTE location is exploitable, the
+expected number of exploitable PTE locations, the per-system vulnerability
+rate, and the expected attack time — plus a Monte-Carlo cross-check and
+the effective-memory-capacity accounting of Section 6.2.
+"""
+
+from repro.analysis.exploitability import (
+    expected_exploitable_ptes,
+    p_exploitable,
+    systems_per_vulnerable,
+)
+from repro.analysis.montecarlo import MonteCarloResult, simulate_exploitable_ptes
+from repro.analysis.capacity import capacity_loss_report, CapacityReport
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    breakeven_p_vulnerable,
+    degradation_table,
+    sweep,
+)
+from repro.analysis.tables import (
+    SecurityRow,
+    anticell_ablation,
+    paper_table2,
+    paper_table3,
+    security_table,
+)
+
+__all__ = [
+    "CapacityReport",
+    "MonteCarloResult",
+    "SecurityRow",
+    "SensitivityPoint",
+    "breakeven_p_vulnerable",
+    "degradation_table",
+    "sweep",
+    "anticell_ablation",
+    "capacity_loss_report",
+    "expected_exploitable_ptes",
+    "p_exploitable",
+    "paper_table2",
+    "paper_table3",
+    "security_table",
+    "simulate_exploitable_ptes",
+    "systems_per_vulnerable",
+]

@@ -1,0 +1,99 @@
+"""Monte-Carlo cross-check of the exploitability closed form.
+
+The paper's formula models each PTP-indicator bit of each PTE location as
+independently either flipping upward (probability ``Pf * P01``) or — when
+already '1' — surviving (probability ``1 - Pf * P10``), and counts a
+location exploitable when every bit ends at '1' via at least
+``min_upward_flips`` upward flips. This module samples exactly that model
+with vectorised numpy draws over millions of PTE slots, so the closed
+form and the simulation must agree to sampling error — a strong check on
+both implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.exploitability import p_exploitable
+from repro.errors import AnalysisError
+from repro.kernel.cta import ptp_indicator_bits
+from repro.rng import SeedLike, make_rng
+from repro.units import PTE_SIZE
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of one sampling run."""
+
+    num_ptes: int
+    exploitable_count: int
+    analytic_probability: float
+    trials: int
+
+    @property
+    def empirical_probability(self) -> float:
+        """Fraction of sampled PTE-location trials that were exploitable."""
+        return self.exploitable_count / (self.num_ptes * self.trials)
+
+    @property
+    def expected_per_system(self) -> float:
+        """Empirical expected exploitable PTEs per system."""
+        return self.exploitable_count / self.trials
+
+    def agrees_with_analytic(self, tolerance_sigma: float = 5.0) -> bool:
+        """Whether the empirical count lies within ``tolerance_sigma``
+        standard deviations of the analytic expectation (Poisson stderr)."""
+        expected = self.analytic_probability * self.num_ptes * self.trials
+        stderr = max(np.sqrt(expected), 1.0)
+        return abs(self.exploitable_count - expected) <= tolerance_sigma * stderr
+
+
+def simulate_exploitable_ptes(
+    total_bytes: int,
+    ptp_bytes: int,
+    p_vulnerable: float,
+    p_up: float,
+    p_down: Optional[float] = None,
+    min_upward_flips: int = 1,
+    trials: int = 1,
+    seed: SeedLike = None,
+) -> MonteCarloResult:
+    """Sample the paper's per-bit model over every PTE slot of ZONE_PTP.
+
+    ``trials`` repeats the experiment (independent systems); counts are
+    aggregated so rare-event probabilities can be resolved by raising the
+    trial count.
+    """
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if p_down is None:
+        p_down = 1.0 - p_up
+    n = ptp_indicator_bits(total_bytes, ptp_bytes)
+    num_ptes = ptp_bytes // PTE_SIZE
+    rng = make_rng(seed)
+    up_probability = p_vulnerable * p_up
+    down_probability = p_vulnerable * p_down
+
+    exploitable_total = 0
+    for _ in range(trials):
+        # For each PTE slot: number of bits that flip upward, and whether
+        # the remaining bits all survive.
+        up_flips = rng.binomial(n, up_probability, size=num_ptes)
+        qualified = up_flips >= min_upward_flips
+        if not qualified.any():
+            continue
+        survivors_needed = n - up_flips[qualified]
+        survival_p = (1.0 - down_probability) ** survivors_needed
+        survives = rng.random(survival_p.size) < survival_p
+        exploitable_total += int(survives.sum())
+
+    analytic = p_exploitable(n, p_vulnerable, p_up, p_down, min_upward_flips)
+    return MonteCarloResult(
+        num_ptes=num_ptes,
+        exploitable_count=exploitable_total,
+        analytic_probability=analytic,
+        trials=trials,
+    )

@@ -1,0 +1,146 @@
+"""Parameter-sensitivity analysis of the CTA security guarantee.
+
+The paper evaluates two parameter points (Table 2's measured rates and
+Table 3's pessimistic scaling). This module generalises the analysis into
+full sweeps over ``Pf`` and ``P(0->1)`` so a deployment can ask: *at what
+DRAM quality does the guarantee stop holding?* Two thresholds matter:
+
+- the **unrestricted** design stays impractical while the expected attack
+  time is far above interactive timescales;
+- the **restricted** (>= 2 indicator zeros) design stays in the
+  one-vulnerable-system-in-many regime while the expected exploitable
+  count stays well below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.exploitability import expected_exploitable_ptes
+from repro.attacks.timing import AttackTimingModel
+from repro.errors import AnalysisError
+from repro.units import GIB, MIB, SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One sweep sample."""
+
+    p_vulnerable: float
+    p_up: float
+    expected_exploitable: float
+    attack_time_days: float
+    restricted: bool
+
+
+def sweep(
+    p_vulnerable_values: Sequence[float],
+    p_up_values: Sequence[float],
+    total_bytes: int = 8 * GIB,
+    ptp_bytes: int = 32 * MIB,
+    restricted: bool = False,
+    timing: AttackTimingModel = AttackTimingModel(),
+) -> List[SensitivityPoint]:
+    """Grid sweep over flip-rate parameters."""
+    if not p_vulnerable_values or not p_up_values:
+        raise AnalysisError("sweep needs at least one value per axis")
+    points: List[SensitivityPoint] = []
+    for p_vulnerable in p_vulnerable_values:
+        for p_up in p_up_values:
+            expected = expected_exploitable_ptes(
+                total_bytes, ptp_bytes, p_vulnerable, p_up, restricted=restricted
+            )
+            if restricted:
+                seconds = timing.expected_s_restricted(total_bytes, ptp_bytes)
+            else:
+                seconds = timing.expected_s_unrestricted(
+                    total_bytes, ptp_bytes, expected
+                )
+            points.append(
+                SensitivityPoint(
+                    p_vulnerable=p_vulnerable,
+                    p_up=p_up,
+                    expected_exploitable=expected,
+                    attack_time_days=seconds / SECONDS_PER_DAY,
+                    restricted=restricted,
+                )
+            )
+    return points
+
+
+def breakeven_p_vulnerable(
+    target_exploitable: float = 1.0,
+    p_up: float = 0.002,
+    total_bytes: int = 8 * GIB,
+    ptp_bytes: int = 32 * MIB,
+    restricted: bool = True,
+) -> float:
+    """The Pf at which the expected exploitable count reaches a target.
+
+    Bisection over a wide Pf range; answers "how bad would DRAM have to
+    get before the restricted design expects one exploitable PTE?".
+    """
+    if target_exploitable <= 0:
+        raise AnalysisError("target_exploitable must be positive")
+    low, high = 1e-9, 0.5
+
+    def expected(p_vulnerable: float) -> float:
+        return expected_exploitable_ptes(
+            total_bytes, ptp_bytes, p_vulnerable, p_up, restricted=restricted
+        )
+
+    if expected(high) < target_exploitable:
+        return high
+    for _ in range(200):
+        mid = (low * high) ** 0.5  # geometric bisection over decades
+        if expected(mid) < target_exploitable:
+            low = mid
+        else:
+            high = mid
+        if high / low < 1.0001:
+            break
+    return (low * high) ** 0.5
+
+
+def degradation_table(
+    multipliers: Sequence[float] = (1, 2, 5, 10, 50, 100),
+) -> List[Tuple[float, float, float]]:
+    """Guarantee degradation as DRAM scales beyond today's quality.
+
+    Rows of ``(Pf multiplier, unrestricted days, restricted exploitable)``
+    anchored at the paper's base parameters (Pf=1e-4, P01=0.2%), with
+    ``P(0->1)`` worsened alongside Pf the way Table 3 does (2.5x at 5x).
+    """
+    rows: List[Tuple[float, float, float]] = []
+    timing = AttackTimingModel()
+    for multiplier in multipliers:
+        p_vulnerable = 1e-4 * multiplier
+        p_up = min(0.002 * (multiplier ** 0.5), 1.0)
+        unrestricted = expected_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable, p_up, restricted=False
+        )
+        days = timing.expected_s_unrestricted(
+            8 * GIB, 32 * MIB, unrestricted
+        ) / SECONDS_PER_DAY
+        restricted = expected_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable, p_up, restricted=True
+        )
+        rows.append((multiplier, days, restricted))
+    return rows
+
+
+def format_heatmap(
+    points: List[SensitivityPoint], value: str = "expected_exploitable"
+) -> str:
+    """ASCII heat-table of a sweep, rows = Pf, columns = P(0->1)."""
+    pf_values = sorted({p.p_vulnerable for p in points})
+    up_values = sorted({p.p_up for p in points})
+    grid = {(p.p_vulnerable, p.p_up): getattr(p, value) for p in points}
+    lines = ["Pf \\ P01 " + " ".join(f"{up:>10.3g}" for up in up_values)]
+    for pf in pf_values:
+        cells = " ".join(f"{grid[(pf, up)]:>10.3g}" for up in up_values)
+        lines.append(f"{pf:>8.1e} {cells}")
+    return "\n".join(lines)

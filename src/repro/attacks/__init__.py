@@ -1,0 +1,39 @@
+"""RowHammer attack implementations against the simulated kernel.
+
+Implements the attack families the paper evaluates:
+
+- :mod:`~repro.attacks.probabilistic` — the Project-Zero-style PTE attack
+  (Figure 3) against a stock kernel,
+- :mod:`~repro.attacks.templating` — Drammer-style deterministic attack,
+- :mod:`~repro.attacks.algorithm1` — the paper's Algorithm 1, tailored to
+  attack a CTA-protected system,
+- :mod:`~repro.attacks.escalation` — PTE self-reference detection and the
+  privilege-escalation completion step,
+- :mod:`~repro.attacks.timing` — the Section 5 attack-time accounting,
+- :mod:`~repro.attacks.registry` — the Table 1 catalogue.
+"""
+
+from repro.attacks.base import AttackOutcome, AttackResult
+from repro.attacks.escalation import EscalationReport, attempt_escalation, find_self_references
+from repro.attacks.spray import SprayResult, spray_page_tables
+from repro.attacks.timing import AttackTimingModel
+from repro.attacks.probabilistic import ProbabilisticPteAttack
+from repro.attacks.templating import TemplatingAttack
+from repro.attacks.algorithm1 import CtaBruteForceAttack
+from repro.attacks.registry import KNOWN_ATTACKS, AttackRecord
+
+__all__ = [
+    "AttackOutcome",
+    "AttackRecord",
+    "AttackResult",
+    "AttackTimingModel",
+    "CtaBruteForceAttack",
+    "EscalationReport",
+    "KNOWN_ATTACKS",
+    "ProbabilisticPteAttack",
+    "SprayResult",
+    "TemplatingAttack",
+    "attempt_escalation",
+    "find_self_references",
+    "spray_page_tables",
+]

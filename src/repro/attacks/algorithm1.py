@@ -1,0 +1,179 @@
+"""The paper's Algorithm 1: brute-force RowHammer attack against CTA.
+
+Tailored to a system already running CTA (Section 5)::
+
+    for each physical page below the low water mark:
+        fill ZONE_PTP with PTEs pointing to that page          (1)
+        for each row r in ZONE_PTP:
+            hammer r                                            (2)
+            check PTEs in r's victim rows for self-reference    (3)
+
+Step (2) is possible even though the attacker cannot map ZONE_PTP: by
+repeatedly accessing a virtual address whose translation's PTE lives in
+row ``r`` (flushing the TLB each time), the MMU's walk activates row
+``r`` — the PTE rows hammer themselves.
+
+The attack succeeds only if a flip makes some PTE's PTP-indicator bits all
+'1'. In true-cells nearly every flip is ``1 -> 0``, so the pointer moves
+*down*, away from ZONE_PTP — the No Self-Reference Theorem in action. The
+run therefore also records the monotonicity evidence used by the Figure 5
+benchmark: every corrupted pointer value vs its original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.attacks.base import AttackOutcome, AttackResult
+from repro.attacks.escalation import attempt_escalation, find_self_references
+from repro.attacks.spray import spray_page_tables
+from repro.attacks.timing import AttackTimingModel
+from repro.dram.rowhammer import RowHammerModel
+from repro.errors import AttackError
+from repro.kernel.kernel import Kernel
+from repro.kernel.page import PageUse
+from repro.kernel.pagetable import PageTableEntry
+from repro.kernel.process import Process
+from repro.units import PAGE_SHIFT, PTE_SIZE
+
+
+@dataclass
+class PointerObservation:
+    """A PTE frame pointer before and after hammering (Figure 5 data)."""
+
+    pte_physical_address: int
+    original_pfn: int
+    corrupted_pfn: int
+
+    @property
+    def monotonic(self) -> bool:
+        """True when the corruption did not increase the pointer."""
+        return self.corrupted_pfn <= self.original_pfn
+
+
+@dataclass
+class CtaBruteForceAttack:
+    """Algorithm 1 runner.
+
+    ``kernel`` must have CTA enabled (the algorithm is defined in terms of
+    ZONE_PTP). The full sweep over every page below the mark is priced by
+    the timing model; the live simulation runs ``max_target_pages``
+    iterations of the outer loop.
+    """
+
+    kernel: Kernel
+    hammer: RowHammerModel
+    timing: AttackTimingModel = AttackTimingModel()
+    observations: List[PointerObservation] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.kernel.cta_enabled:
+            raise AttackError("Algorithm 1 targets a CTA kernel; none configured")
+
+    def run(
+        self,
+        attacker: Process,
+        max_target_pages: int = 4,
+        spray_mappings: int = 48,
+    ) -> AttackResult:
+        """Run the (truncated) brute force; returns outcome and accounting."""
+        kernel = self.kernel
+        result = AttackResult(outcome=AttackOutcome.BUDGET_EXHAUSTED)
+        ptp_rows = self._zone_ptp_rows()
+        if not ptp_rows:
+            result.outcome = AttackOutcome.BLOCKED
+            result.detail = "ZONE_PTP is empty"
+            return result
+
+        for target_page in range(max_target_pages):
+            # Step (1): fill ZONE_PTP with PTEs pointing at one physical page.
+            spray = spray_page_tables(
+                kernel, attacker, spray_mappings, target_pfn_value=target_page
+            )
+            result.modeled_time_s += self.timing.fill_s
+            before = self._snapshot_ptes(attacker)
+
+            # Steps (2)+(3): hammer each ZONE_PTP row, then check PTEs.
+            for row in ptp_rows:
+                outcome = self.hammer.hammer(row)
+                result.hammer_rounds += 1
+                result.flips_induced += outcome.flip_count
+                result.modeled_time_s += self.timing.hammer_row_s
+                kernel.tlb.flush()
+            self._record_observations(before)
+
+            references = find_self_references(kernel, attacker, spray.mapped_vas)
+            result.ptes_checked += len(spray.mapped_vas)
+            result.modeled_time_s += len(spray.mapped_vas) * self.timing.check_pte_s
+            if references:
+                report = attempt_escalation(kernel, attacker, references[0])
+                if report.achieved:
+                    result.outcome = AttackOutcome.SUCCESS
+                    result.corrupted_vas = [r.virtual_address for r in references]
+                    result.escalated_pid = attacker.pid
+                    result.detail = report.detail
+                    return result
+
+            # Tear the spray down before the next target page.
+            for vma in list(attacker.vmas):
+                if vma.start in set(spray.mapped_vas):
+                    kernel.munmap(attacker, vma)
+
+        result.detail = (
+            f"no exploitable PTE after {max_target_pages} target pages; "
+            f"{self._monotonic_summary()}"
+        )
+        return result
+
+    def full_sweep_modeled_time_s(self) -> float:
+        """What the complete Algorithm 1 sweep would cost on real hardware."""
+        policy = self.kernel.cta_policy
+        assert policy is not None
+        total = self.kernel.module.geometry.total_bytes
+        ptp = policy.config.ptp_bytes
+        return self.timing.worst_case_s(total, ptp)
+
+    # -- internals ------------------------------------------------------------
+    def _zone_ptp_rows(self) -> List[int]:
+        """Global DRAM rows covered by the PTP sub-zones."""
+        geometry = self.kernel.module.geometry
+        rows: List[int] = []
+        policy = self.kernel.cta_policy
+        assert policy is not None
+        for start, end in policy.true_cell_ranges:
+            first = start // geometry.row_bytes
+            last = (end + geometry.row_bytes - 1) // geometry.row_bytes
+            rows.extend(range(first, last))
+        return sorted(set(rows))
+
+    def _snapshot_ptes(self, attacker: Process) -> List[Tuple[int, int]]:
+        """(pte_physical_address, raw_value) of every live attacker PTE."""
+        snapshot: List[Tuple[int, int]] = []
+        module = self.kernel.module
+        for pt_pfn in self.kernel.page_table_pfns(attacker.pid):
+            base = pt_pfn << PAGE_SHIFT
+            for slot in range(0, 4096, PTE_SIZE):
+                raw = module.read_u64(base + slot)
+                if raw & 1:  # present entries only
+                    snapshot.append((base + slot, raw))
+        return snapshot
+
+    def _record_observations(self, before: List[Tuple[int, int]]) -> None:
+        module = self.kernel.module
+        for address, original_raw in before:
+            current_raw = module.read_u64(address)
+            if current_raw == original_raw:
+                continue
+            self.observations.append(
+                PointerObservation(
+                    pte_physical_address=address,
+                    original_pfn=PageTableEntry.decode(original_raw).pfn,
+                    corrupted_pfn=PageTableEntry.decode(current_raw).pfn,
+                )
+            )
+
+    def _monotonic_summary(self) -> str:
+        total = len(self.observations)
+        monotonic = sum(1 for o in self.observations if o.monotonic)
+        return f"{monotonic}/{total} corrupted pointers moved monotonically down"

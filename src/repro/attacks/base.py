@@ -1,0 +1,41 @@
+"""Common attack result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class AttackOutcome(enum.Enum):
+    """Terminal state of an attack run."""
+
+    SUCCESS = "success"
+    FAILED = "failed"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    BLOCKED = "blocked"  # the defense made the attack structurally impossible
+
+
+@dataclass
+class AttackResult:
+    """What an attack run produced.
+
+    ``modeled_time_s`` is the Section 5 accounting of how long the same
+    steps would take on real hardware (the simulator itself runs much
+    faster); ``hammer_rounds`` and ``flips_induced`` describe the simulated
+    physical activity.
+    """
+
+    outcome: AttackOutcome
+    hammer_rounds: int = 0
+    flips_induced: int = 0
+    ptes_checked: int = 0
+    modeled_time_s: float = 0.0
+    detail: str = ""
+    corrupted_vas: List[int] = field(default_factory=list)
+    escalated_pid: Optional[int] = None
+
+    @property
+    def succeeded(self) -> bool:
+        """True only for full privilege escalation."""
+        return self.outcome is AttackOutcome.SUCCESS

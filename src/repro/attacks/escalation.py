@@ -1,0 +1,197 @@
+"""PTE self-reference detection and privilege-escalation completion.
+
+The paper defines *PTE self-reference* as "a PTE pointing to another PTE of
+the same process" — precisely, a last-level PTE whose frame pointer lands
+on a page-table page (PTP). Once an attacker owns a VA whose PTE
+self-references, reading/writing that VA reads/writes a page table, so the
+attacker can forge PTEs mapping arbitrary physical memory: root.
+
+:func:`find_self_references` performs the attacker-visible scan (step (3)
+of Algorithm 1 — read each sprayed VA and recognise page-table-like
+content), then confirms against kernel ground truth.
+:func:`attempt_escalation` carries a confirmed self-reference through to a
+demonstrated arbitrary physical read/write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import PageFaultError
+from repro.kernel.kernel import Kernel
+from repro.kernel.pagetable import PageTableEntry
+from repro.kernel.page import PageUse
+from repro.kernel.process import Process
+from repro.units import PAGE_SHIFT, PAGE_SIZE, PTE_SIZE
+
+
+@dataclass
+class SelfReference:
+    """A corrupted mapping giving user-space a window onto a page table."""
+
+    virtual_address: int
+    pte_physical_address: int
+    target_pfn: int
+
+
+@dataclass
+class EscalationReport:
+    """Outcome of the post-corruption escalation attempt."""
+
+    achieved: bool
+    self_reference: Optional[SelfReference] = None
+    forged_pte_value: int = 0
+    proof_read: bytes = b""
+    detail: str = ""
+
+
+def _looks_like_page_table(content: bytes) -> bool:
+    """The attacker's heuristic from [32]: does a page read like PTEs?
+
+    Sprayed file pages contain the attacker's marker data; a page table
+    instead contains many 8-byte words with low control bits set (present,
+    writable, user) and plausible frame numbers. We use the same simple
+    pattern test the Project Zero exploit describes.
+    """
+    words = [
+        int.from_bytes(content[i : i + PTE_SIZE], "little")
+        for i in range(0, len(content), PTE_SIZE)
+    ]
+    present = [w for w in words if w & 0x1]
+    if not present:
+        return False
+    # PTEs have their low permission bits set and frame bits within the
+    # physical address width; attacker data rarely does consistently.
+    plausible = sum(1 for w in present if (w & 0x7) == 0x7 and w < (1 << 52))
+    return plausible >= max(1, len(present) // 2)
+
+
+def find_self_references(
+    kernel: Kernel, attacker: Process, sprayed_vas: List[int]
+) -> List[SelfReference]:
+    """Scan sprayed mappings for PTEs corrupted into self-reference.
+
+    For each VA the attacker walks its own mapping by reading the page
+    content (user-level view) and flags page-table-looking pages; each
+    flag is then confirmed against the kernel's frame database, mirroring
+    how a real attack confirms by attempting the escalation.
+    """
+    found: List[SelfReference] = []
+    for va in sprayed_vas:
+        leaf = kernel.leaf_pte_address(attacker, va)
+        if leaf is None:
+            continue
+        entry = PageTableEntry.decode(kernel.module.read_u64(leaf))
+        if not (entry.present and entry.user):
+            continue
+        try:
+            content = kernel.mmu.load(attacker.cr3, va, PAGE_SIZE, pid=attacker.pid)
+        except PageFaultError:
+            continue
+        if not _looks_like_page_table(content):
+            continue
+        frame = kernel.page_db.frame(entry.pfn)
+        # Confirm against ground truth. The demo escalation path forges
+        # entries in last-level tables (pt_level 1); windows onto higher
+        # levels are exploitable too but need a different forging recipe,
+        # so they are not reported here.
+        if (
+            frame.use is PageUse.PAGE_TABLE
+            and frame.owner_pid == attacker.pid
+            and frame.pt_level in (0, 1)
+        ):
+            found.append(
+                SelfReference(
+                    virtual_address=va,
+                    pte_physical_address=leaf,
+                    target_pfn=entry.pfn,
+                )
+            )
+    return found
+
+
+def attempt_escalation(
+    kernel: Kernel, attacker: Process, self_reference: SelfReference
+) -> EscalationReport:
+    """Turn a self-referencing PTE into arbitrary physical memory access.
+
+    The attacker writes, through its corrupted mapping, a forged PTE into
+    the exposed page table; the forged entry maps a kernel-owned physical
+    frame with user/write permissions. Success is proven by reading that
+    frame's content through the re-mapped virtual address.
+    """
+    victim_frame = _pick_kernel_frame(kernel)
+    if victim_frame is None:
+        return EscalationReport(achieved=False, detail="no kernel frame to target")
+    secret = b"KERNEL-SECRET-" + bytes([victim_frame & 0xFF]) * 8
+    kernel.module.write(victim_frame << PAGE_SHIFT, secret)
+
+    # Pick a slot of the exposed table that some attacker VA still routes
+    # through (the surrounding paging tree may have taken collateral flips;
+    # a live route is guaranteed to walk). The attacker can compute slots
+    # from VA arithmetic, so this needs no privileged knowledge.
+    route = _live_route_through(kernel, attacker, self_reference.target_pfn)
+    if route is None:
+        return EscalationReport(
+            achieved=False, detail="no attacker VA routes through the exposed table"
+        )
+    probe_va, slot = route
+
+    # The exposed PTP, as seen through the attacker's corrupted mapping.
+    window_va = self_reference.virtual_address
+    forged = PageTableEntry.make(victim_frame, writable=True, user=True)
+    try:
+        kernel.mmu.store(
+            attacker.cr3,
+            window_va + slot * PTE_SIZE,
+            forged.encode().to_bytes(8, "little"),
+            pid=attacker.pid,
+        )
+    except PageFaultError as exc:
+        return EscalationReport(achieved=False, detail=f"window not writable: {exc}")
+    kernel.tlb.flush()
+    try:
+        leaked = kernel.mmu.load(attacker.cr3, probe_va, len(secret), pid=attacker.pid)
+    except PageFaultError as exc:
+        return EscalationReport(achieved=False, detail=f"forged mapping faulted: {exc}")
+    achieved = leaked == secret
+    return EscalationReport(
+        achieved=achieved,
+        self_reference=self_reference,
+        forged_pte_value=forged.encode(),
+        proof_read=leaked,
+        detail="arbitrary physical read demonstrated" if achieved else "proof mismatch",
+    )
+
+
+def _pick_kernel_frame(kernel: Kernel) -> Optional[int]:
+    """A kernel-owned frame whose content the attacker must not see."""
+    for frame in kernel.page_db.frames_with_use(PageUse.KERNEL_DATA):
+        return frame.pfn
+    # Fall back to any page-table page of another process, or allocate one.
+    from repro.kernel.gfp import GFP_KERNEL  # local import avoids cycle at module load
+
+    try:
+        return kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA, owner_pid=None)
+    except Exception:
+        return None
+
+
+def _live_route_through(
+    kernel: Kernel, attacker: Process, pt_pfn: int
+) -> Optional[Tuple[int, int]]:
+    """An attacker ``(virtual_address, slot)`` whose last-level PTE lies in
+    the table at ``pt_pfn`` and whose walk currently succeeds.
+
+    Returns None when no mapped VA routes through that table (e.g. the
+    subtree above it took collateral flips).
+    """
+    pt_base = pt_pfn << PAGE_SHIFT
+    for vma in attacker.vmas:
+        for page_index in range(vma.num_pages):
+            va = vma.start + page_index * PAGE_SIZE
+            leaf = kernel.leaf_pte_address(attacker, va)
+            if leaf is not None and (leaf >> PAGE_SHIFT) == pt_pfn:
+                return va, (leaf - pt_base) // PTE_SIZE
+    return None

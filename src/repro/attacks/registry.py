@@ -1,0 +1,109 @@
+"""Catalogue of published RowHammer attacks (paper Table 1).
+
+Each record cites the technique, the victim data structure, the attack
+class, and the platform — plus which of this package's implementations
+models the same structure, so the Table 1 benchmark can both print the
+catalogue and point at runnable code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AttackRecord:
+    """One row of Table 1."""
+
+    reference: str
+    victim_data: str
+    attack_class: str
+    platform: str
+    #: Dotted path of the repro implementation modelling this structure
+    #: (None when the attack is out of the paper's PTE scope).
+    modeled_by: Optional[str] = None
+
+
+KNOWN_ATTACKS: Tuple[AttackRecord, ...] = (
+    AttackRecord(
+        reference="Seaborn & Dullien [32]",
+        victim_data="PTEs",
+        attack_class="Privilege Escalation",
+        platform="x86",
+        modeled_by="repro.attacks.probabilistic.ProbabilisticPteAttack",
+    ),
+    AttackRecord(
+        reference="Seaborn & Dullien [32]",
+        victim_data="Opcodes",
+        attack_class="Sandbox Escapes",
+        platform="x86",
+        modeled_by=None,
+    ),
+    AttackRecord(
+        reference="Cheng et al. [10]",
+        victim_data="PTEs",
+        attack_class="Privilege Escalation",
+        platform="x86",
+        modeled_by="repro.attacks.templating.TemplatingAttack",
+    ),
+    AttackRecord(
+        reference="Xiao et al. [38]",
+        victim_data="PTEs",
+        attack_class="Privilege Escalation",
+        platform="VM",
+        modeled_by="repro.attacks.probabilistic.ProbabilisticPteAttack",
+    ),
+    AttackRecord(
+        reference="Gruss et al. (Rowhammer.js) [13]",
+        victim_data="PTEs",
+        attack_class="Privilege Escalation",
+        platform="x86",
+        modeled_by="repro.attacks.probabilistic.ProbabilisticPteAttack",
+    ),
+    AttackRecord(
+        reference="Razavi et al. (Flip Feng Shui) [31]",
+        victim_data="RSA Keys",
+        attack_class="Compromised Authentication",
+        platform="VM",
+        modeled_by=None,
+    ),
+    AttackRecord(
+        reference="van der Veen et al. (Drammer) [37]",
+        victim_data="PTEs",
+        attack_class="Privilege Escalation",
+        platform="ARM",
+        modeled_by="repro.attacks.templating.TemplatingAttack",
+    ),
+    AttackRecord(
+        reference="Gruss et al. [12]",
+        victim_data="Opcodes",
+        attack_class="Denial-of-Service and Privilege Escalation",
+        platform="x86",
+        modeled_by=None,
+    ),
+    AttackRecord(
+        reference="Bhattacharya & Mukhopadhyay [5]",
+        victim_data="RSA Keys",
+        attack_class="Fault Analysis",
+        platform="x86",
+        modeled_by=None,
+    ),
+    AttackRecord(
+        reference="Jang et al. (SGX-Bomb) [17]",
+        victim_data="Intel SGX",
+        attack_class="Denial-of-Service",
+        platform="x86",
+        modeled_by=None,
+    ),
+)
+
+
+def pte_attacks() -> Tuple[AttackRecord, ...]:
+    """The subset targeting PTEs — the class CTA defends against."""
+    return tuple(record for record in KNOWN_ATTACKS if record.victim_data == "PTEs")
+
+
+def modeled_attacks() -> Tuple[AttackRecord, ...]:
+    """Records with a runnable implementation in this package."""
+    return tuple(record for record in KNOWN_ATTACKS if record.modeled_by)

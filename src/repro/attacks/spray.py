@@ -1,0 +1,91 @@
+"""Page-table spraying.
+
+Step one of every probabilistic PTE attack (Figure 3 / [32]): mmap a small
+file with read-write permission many times at 2 MiB-aligned virtual
+addresses. Each mapping occupies its own last-level page table, so every
+mapping the attacker touches forces the kernel to allocate one page-table
+page while the data cost stays a single shared file frame. The physical
+memory fills up with the attacker's own page tables — the targets the
+hammer step tries to corrupt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import OutOfMemoryError, PageFaultError, ProcessError
+from repro.kernel.kernel import Kernel
+from repro.kernel.process import MappedFile, Process
+from repro.units import MIB, PAGE_SIZE
+
+
+#: Virtual span covered by one last-level page table (512 * 4 KiB).
+PT_COVERAGE = 2 * MIB
+
+#: Base virtual address for sprayed mappings, clear of the default mmap area.
+SPRAY_BASE = 0x0000_4000_0000
+
+
+@dataclass
+class SprayResult:
+    """What the spray created."""
+
+    file: MappedFile
+    mapped_vas: List[int] = field(default_factory=list)
+    page_tables_created: int = 0
+    stopped_by_oom: bool = False
+
+    @property
+    def num_mappings(self) -> int:
+        """Mappings successfully created and touched."""
+        return len(self.mapped_vas)
+
+
+def spray_page_tables(
+    kernel: Kernel,
+    attacker: Process,
+    num_mappings: int,
+    file_bytes: int = PAGE_SIZE,
+    target_pfn_value: int = 0,
+) -> SprayResult:
+    """Fill memory with the attacker's page tables.
+
+    Creates one shared file and maps it ``num_mappings`` times, each at its
+    own 2 MiB-aligned address, touching the first page of each mapping so
+    the last-level PTE (and hence its page table) materialises. All sprayed
+    PTEs point at the same physical file frame, which is what Algorithm 1's
+    step (1) needs ("fill ZONE_PTP with PTEs that point to the same
+    physical page").
+
+    ``target_pfn_value`` is informational: Algorithm 1 re-sprays per target
+    page; the caller records which page this spray aimed at.
+
+    Stops early (setting ``stopped_by_oom``) when the kernel runs out of
+    page-table capacity — on a CTA kernel this bounds the spray at the
+    ZONE_PTP size.
+    """
+    pt_before = len(kernel.page_table_pfns(attacker.pid))
+    result = SprayResult(file=kernel.create_file(file_bytes))
+    for index in range(num_mappings):
+        va = SPRAY_BASE + index * PT_COVERAGE
+        try:
+            vma = kernel.mmap(
+                kernel.processes[attacker.pid],
+                length=file_bytes,
+                writable=True,
+                backing=result.file,
+                address=va,
+            )
+            kernel.touch(attacker, vma.start, write=False)
+        except OutOfMemoryError:
+            result.stopped_by_oom = True
+            break
+        except (PageFaultError, ProcessError):
+            # Earlier hammering corrupted the paging subtree (or a prior
+            # run left a stale VMA) for this region; a real attacker's
+            # access would just crash here — skip the mapping.
+            continue
+        result.mapped_vas.append(va)
+    result.page_tables_created = len(kernel.page_table_pfns(attacker.pid)) - pt_before
+    return result

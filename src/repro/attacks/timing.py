@@ -1,0 +1,90 @@
+"""Attack-time accounting from the paper's Section 5 measurements.
+
+Measured on the i7-6700/8 GiB prototype:
+
+- step (1), filling ZONE_PTP with PTEs pointing at one physical page:
+  **184 ms** (excluding establishing the virtual->physical mapping);
+- step (2), hammering one row: at least one refresh interval, **64 ms**;
+- step (3), checking one PTE for self-reference via ``memcmp``: **600 ns**.
+
+The paper's expected-time formulas:
+
+- worst case = pages_below_mark x (fill + rows x (hammer + ptes_per_row x check))
+- unrestricted average = worst / (ceil(expected_exploitable) + 1)
+- restricted (>= two indicator zeros) average = worst / 2, taking exactly
+  one exploitable location in the rare vulnerable system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.units import PAGE_SIZE, PTE_SIZE, REFRESH_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class AttackTimingModel:
+    """Per-step costs and geometry needed to price Algorithm 1."""
+
+    fill_s: float = 0.184
+    hammer_row_s: float = REFRESH_INTERVAL_S
+    check_pte_s: float = 600e-9
+    row_bytes: int = 128 * 1024
+
+    def __post_init__(self) -> None:
+        for name in ("fill_s", "hammer_row_s", "check_pte_s"):
+            if getattr(self, name) <= 0:
+                raise AnalysisError(f"{name} must be positive")
+
+    @property
+    def ptes_per_row(self) -> int:
+        """Last-level PTEs that fit in one DRAM row (16,384 at 128 KiB)."""
+        return self.row_bytes // PTE_SIZE
+
+    def rows_in_ptp(self, ptp_bytes: int) -> int:
+        """DRAM rows covered by a ZONE_PTP of ``ptp_bytes``."""
+        if ptp_bytes <= 0 or ptp_bytes % self.row_bytes:
+            raise AnalysisError("ptp_bytes must be a positive multiple of the row size")
+        return ptp_bytes // self.row_bytes
+
+    def time_per_target_page_s(self, ptp_bytes: int) -> float:
+        """Cost of testing one candidate physical page (steps 1-3)."""
+        rows = self.rows_in_ptp(ptp_bytes)
+        per_row = self.hammer_row_s + self.ptes_per_row * self.check_pte_s
+        return self.fill_s + rows * per_row
+
+    def pages_below_mark(self, total_bytes: int, ptp_bytes: int) -> int:
+        """Physical pages the brute force must enumerate (below the mark)."""
+        if total_bytes <= ptp_bytes:
+            raise AnalysisError("memory must exceed ZONE_PTP")
+        return (total_bytes - ptp_bytes) // PAGE_SIZE
+
+    def worst_case_s(self, total_bytes: int, ptp_bytes: int) -> float:
+        """Full brute-force sweep over every page below the low water mark."""
+        return self.pages_below_mark(total_bytes, ptp_bytes) * self.time_per_target_page_s(
+            ptp_bytes
+        )
+
+    def expected_s_unrestricted(
+        self, total_bytes: int, ptp_bytes: int, expected_exploitable: float
+    ) -> float:
+        """Average time with ``expected_exploitable`` random exploitable PTEs.
+
+        The paper divides the worst case by ``ceil(E) + 1`` — the expected
+        fraction of the sweep before hitting the first of ``ceil(E)``
+        uniformly placed targets.
+        """
+        if expected_exploitable < 0:
+            raise AnalysisError("expected_exploitable must be non-negative")
+        divisor = math.ceil(expected_exploitable) + 1
+        return self.worst_case_s(total_bytes, ptp_bytes) / divisor
+
+    def expected_s_restricted(self, total_bytes: int, ptp_bytes: int) -> float:
+        """Average time in the restricted design, given a vulnerable system.
+
+        Expected exploitable locations are << 1, so the vulnerable system
+        has exactly one; expected sweep time is half the worst case.
+        """
+        return self.worst_case_s(total_bytes, ptp_bytes) / 2

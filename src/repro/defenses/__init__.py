@@ -1,0 +1,40 @@
+"""RowHammer countermeasure comparators (paper Section 2.5).
+
+Each defense models the mechanism and the costs/weaknesses the paper
+attributes to it, so the comparison benchmarks can rank CTA against the
+published alternatives on the axes the paper argues about: energy cost,
+hardware changes, legacy deployability, performance overhead, and
+residual attack surface.
+"""
+
+from repro.defenses.base import Defense, DefenseCost, DefenseEvaluation
+from repro.defenses.baseline import NoDefense
+from repro.defenses.refresh import IncreasedRefreshRate
+from repro.defenses.para import Para
+from repro.defenses.anvil import Anvil
+from repro.defenses.catt import Catt
+from repro.defenses.cta import CtaDefense
+
+__all__ = [
+    "Anvil",
+    "Catt",
+    "CtaDefense",
+    "Defense",
+    "DefenseCost",
+    "DefenseEvaluation",
+    "IncreasedRefreshRate",
+    "NoDefense",
+    "Para",
+]
+
+
+def all_defenses():
+    """One instance of every comparator with default parameters."""
+    return [
+        NoDefense(),
+        IncreasedRefreshRate(),
+        Para(),
+        Anvil(),
+        Catt(),
+        CtaDefense(),
+    ]

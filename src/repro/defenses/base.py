@@ -1,0 +1,64 @@
+"""Common defense interface."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class DefenseCost:
+    """Deployment costs along the axes the paper compares (Section 2.5)."""
+
+    energy_multiplier: float = 1.0
+    performance_overhead_percent: float = 0.0
+    memory_overhead_percent: float = 0.0
+    requires_hardware_change: bool = False
+    deployable_on_legacy: bool = True
+    software_complexity_loc: int = 0
+
+
+@dataclass
+class DefenseEvaluation:
+    """How a defense fares against the PTE privilege-escalation threat."""
+
+    defense_name: str
+    blocks_probabilistic_pte: bool
+    blocks_deterministic_pte: bool
+    residual_weaknesses: List[str] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def fully_blocks_pte_attacks(self) -> bool:
+        """Both attack families blocked with no residual weakness."""
+        return (
+            self.blocks_probabilistic_pte
+            and self.blocks_deterministic_pte
+            and not self.residual_weaknesses
+        )
+
+
+class Defense(abc.ABC):
+    """A RowHammer countermeasure."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Display name."""
+
+    @abc.abstractmethod
+    def cost(self) -> DefenseCost:
+        """Deployment cost profile."""
+
+    @abc.abstractmethod
+    def evaluate(self) -> DefenseEvaluation:
+        """Effectiveness against PTE-based privilege escalation."""
+
+    def flip_probability_scale(self) -> float:
+        """Multiplier the defense applies to RowHammer flip probability.
+
+        1.0 means the physical effect is untouched (software defenses);
+        hardware mitigations return < 1.0.
+        """
+        return 1.0

@@ -1,0 +1,27 @@
+"""The undefended baseline."""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense, DefenseCost, DefenseEvaluation
+
+
+class NoDefense(Defense):
+    """A stock system: every PTE attack in Table 1 applies."""
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "none"
+
+    def cost(self) -> DefenseCost:
+        """Free, by definition."""
+        return DefenseCost()
+
+    def evaluate(self) -> DefenseEvaluation:
+        """Blocks nothing."""
+        return DefenseEvaluation(
+            defense_name=self.name,
+            blocks_probabilistic_pte=False,
+            blocks_deterministic_pte=False,
+            residual_weaknesses=["all published PTE attacks succeed"],
+        )

@@ -1,0 +1,57 @@
+"""PARA: probabilistic adjacent-row activation (paper Section 2.5, [19]).
+
+On every row close, the memory controller refreshes the neighbors with
+probability ``p``. A hammer burst of ``k`` activations survives without a
+neighbor refresh with probability ``(1 - p)^k``, which is astronomically
+small for realistic bursts — but the mechanism requires memory-controller
+(or DRAM-chip) changes and cannot be retrofitted to deployed systems,
+which is the paper's objection.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense, DefenseCost, DefenseEvaluation
+from repro.errors import DefenseError
+
+
+class Para(Defense):
+    """Memory-controller-level probabilistic neighbor refresh."""
+
+    def __init__(self, refresh_probability: float = 0.001, hammer_burst: int = 100_000):
+        if not 0 < refresh_probability < 1:
+            raise DefenseError("refresh_probability must be in (0, 1)")
+        if hammer_burst <= 0:
+            raise DefenseError("hammer_burst must be positive")
+        self.refresh_probability = refresh_probability
+        self.hammer_burst = hammer_burst
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return f"para-p{self.refresh_probability:g}"
+
+    def cost(self) -> DefenseCost:
+        """Tiny runtime cost, but new silicon."""
+        return DefenseCost(
+            energy_multiplier=1.0 + self.refresh_probability,
+            performance_overhead_percent=0.2,
+            requires_hardware_change=True,
+            deployable_on_legacy=False,
+        )
+
+    def flip_probability_scale(self) -> float:
+        """Probability a full burst escapes every probabilistic refresh."""
+        return (1.0 - self.refresh_probability) ** self.hammer_burst
+
+    def evaluate(self) -> DefenseEvaluation:
+        """Effective where deployable — which excludes legacy systems."""
+        return DefenseEvaluation(
+            defense_name=self.name,
+            blocks_probabilistic_pte=True,
+            blocks_deterministic_pte=True,
+            residual_weaknesses=[
+                "requires memory-controller or DRAM-chip modification",
+                "cannot be applied to legacy systems",
+            ],
+            notes="statistically eliminates sustained hammering on new hardware",
+        )

@@ -1,0 +1,51 @@
+"""Increased DRAM refresh rate (paper Section 2.5, first countermeasure).
+
+Refreshing rows more often shrinks the window in which an aggressor can
+accumulate activations, reducing — but never eliminating — flip
+probability, at a directly proportional energy cost. The paper cites [19]:
+even high refresh rates give no guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Defense, DefenseCost, DefenseEvaluation
+from repro.errors import DefenseError
+
+
+class IncreasedRefreshRate(Defense):
+    """Refresh every ``64 / multiplier`` ms instead of every 64 ms."""
+
+    def __init__(self, multiplier: float = 2.0):
+        if multiplier < 1.0:
+            raise DefenseError("refresh multiplier must be >= 1")
+        self.multiplier = multiplier
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return f"refresh-x{self.multiplier:g}"
+
+    def cost(self) -> DefenseCost:
+        """Energy scales with the refresh rate; no software change."""
+        return DefenseCost(
+            energy_multiplier=self.multiplier,
+            performance_overhead_percent=0.5 * (self.multiplier - 1.0),
+            deployable_on_legacy=True,
+        )
+
+    def flip_probability_scale(self) -> float:
+        """Fewer activations fit per window: probability scales as 1/m."""
+        return 1.0 / self.multiplier
+
+    def evaluate(self) -> DefenseEvaluation:
+        """Attacks slow down but remain possible."""
+        return DefenseEvaluation(
+            defense_name=self.name,
+            blocks_probabilistic_pte=False,
+            blocks_deterministic_pte=False,
+            residual_weaknesses=[
+                "no guarantee even at high refresh rates [19]",
+                f"{self.multiplier:g}x refresh energy",
+            ],
+            notes="reduces flip probability linearly; does not change attack structure",
+        )

@@ -1,0 +1,197 @@
+"""True-cell / anti-cell typing of DRAM rows.
+
+Section 2.1 of the paper: because sense amplifiers are shared between two
+bitlines, half the cells store '1' as the charged state (*true-cells*) and
+half store '0' as charged (*anti-cells*). Charge leak therefore flips
+true-cells ``1 -> 0`` and anti-cells ``0 -> 1``. Each row is uniformly one
+type, and types alternate every N physical rows (N = 512 commonly); some
+modules instead have enormous true-cell majorities (1000:1).
+
+:class:`CellTypeMap` is the ground-truth oracle used by the DRAM simulator;
+the OS is *not* allowed to read it directly — it must run the
+:mod:`~repro.dram.profiler` test, mirroring how a real deployment discovers
+cell types (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.dram.geometry import DramGeometry
+from repro.units import DEFAULT_CELL_INTERLEAVE_ROWS
+
+
+class CellType(enum.Enum):
+    """Which logic value a charged capacitor represents in a row."""
+
+    TRUE = "true"
+    ANTI = "anti"
+
+    @property
+    def leak_direction(self) -> Tuple[int, int]:
+        """(from_bit, to_bit) of the dominant charge-leak error."""
+        return (1, 0) if self is CellType.TRUE else (0, 1)
+
+    @property
+    def charged_value(self) -> int:
+        """Logic value stored by a fully charged capacitor."""
+        return 1 if self is CellType.TRUE else 0
+
+    @property
+    def discharged_value(self) -> int:
+        """Logic value a cell decays toward as charge leaks."""
+        return 1 - self.charged_value
+
+    def opposite(self) -> "CellType":
+        """The other cell type."""
+        return CellType.ANTI if self is CellType.TRUE else CellType.TRUE
+
+
+class CellTypeMap:
+    """Per-row cell types for a DRAM module.
+
+    The canonical construction is :meth:`interleaved` (alternate every N
+    rows). :meth:`from_rows` accepts an arbitrary layout, used for the
+    1000:1 true-cell-majority modules and for adversarial test cases.
+    """
+
+    def __init__(self, geometry: DramGeometry, row_types: Sequence[CellType]):
+        if len(row_types) != geometry.total_rows:
+            raise ConfigurationError(
+                f"row_types has {len(row_types)} entries, geometry has "
+                f"{geometry.total_rows} rows"
+            )
+        self._geometry = geometry
+        # Stored as a compact bool array: True => true-cell row.
+        self._is_true = np.array([t is CellType.TRUE for t in row_types], dtype=bool)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def interleaved(
+        cls,
+        geometry: DramGeometry,
+        period_rows: int = DEFAULT_CELL_INTERLEAVE_ROWS,
+        first_type: CellType = CellType.TRUE,
+    ) -> "CellTypeMap":
+        """Alternate true/anti regions every ``period_rows`` rows.
+
+        This is the paper's default model (N = 512, Section 6.1) and makes
+        each contiguous same-type region ``period_rows * row_bytes`` large
+        (64 MiB with 512 x 128 KiB).
+        """
+        if period_rows <= 0:
+            raise ConfigurationError("period_rows must be positive")
+        rows = np.arange(geometry.total_rows)
+        blocks = rows // period_rows
+        is_true = (blocks % 2 == 0) if first_type is CellType.TRUE else (blocks % 2 == 1)
+        mapping = cls.__new__(cls)
+        mapping._geometry = geometry
+        mapping._is_true = is_true
+        return mapping
+
+    @classmethod
+    def uniform(cls, geometry: DramGeometry, cell_type: CellType) -> "CellTypeMap":
+        """Every row the same type (e.g. an all-anti ZONE_PTP ablation)."""
+        mapping = cls.__new__(cls)
+        mapping._geometry = geometry
+        mapping._is_true = np.full(geometry.total_rows, cell_type is CellType.TRUE, dtype=bool)
+        return mapping
+
+    @classmethod
+    def majority_true(
+        cls, geometry: DramGeometry, anti_every: int = 1000
+    ) -> "CellTypeMap":
+        """Mostly true-cells with one anti-cell row per ``anti_every`` rows.
+
+        Models the modules with very large true:anti ratios reported in
+        Section 2.2.
+        """
+        if anti_every <= 1:
+            raise ConfigurationError("anti_every must be > 1")
+        rows = np.arange(geometry.total_rows)
+        mapping = cls.__new__(cls)
+        mapping._geometry = geometry
+        mapping._is_true = (rows % anti_every) != (anti_every - 1)
+        return mapping
+
+    @classmethod
+    def from_rows(cls, geometry: DramGeometry, row_types: Sequence[CellType]) -> "CellTypeMap":
+        """Explicit per-row layout."""
+        return cls(geometry, row_types)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def geometry(self) -> DramGeometry:
+        """Geometry this map types."""
+        return self._geometry
+
+    def type_of_row(self, row: int) -> CellType:
+        """Cell type of global row ``row``."""
+        if not 0 <= row < self._geometry.total_rows:
+            raise ConfigurationError(f"row {row} outside geometry")
+        return CellType.TRUE if self._is_true[row] else CellType.ANTI
+
+    def type_of_address(self, address: int) -> CellType:
+        """Cell type of the row containing physical ``address``."""
+        return self.type_of_row(self._geometry.row_of_address(address))
+
+    def is_true_row(self, row: int) -> bool:
+        """Shorthand for ``type_of_row(row) is CellType.TRUE``."""
+        return bool(self._is_true[row])
+
+    def count(self, cell_type: CellType) -> int:
+        """Number of rows of ``cell_type``."""
+        true_count = int(self._is_true.sum())
+        return true_count if cell_type is CellType.TRUE else self._geometry.total_rows - true_count
+
+    def true_anti_ratio(self) -> float:
+        """Ratio of true-cell rows to anti-cell rows (inf if no anti rows)."""
+        anti = self.count(CellType.ANTI)
+        if anti == 0:
+            return float("inf")
+        return self.count(CellType.TRUE) / anti
+
+    def regions(self) -> List[Tuple[int, int, CellType]]:
+        """Maximal runs of same-type rows as ``(start_row, end_row_exclusive, type)``."""
+        result: List[Tuple[int, int, CellType]] = []
+        total = self._geometry.total_rows
+        start = 0
+        for row in range(1, total + 1):
+            if row == total or self._is_true[row] != self._is_true[start]:
+                kind = CellType.TRUE if self._is_true[start] else CellType.ANTI
+                result.append((start, row, kind))
+                start = row
+        return result
+
+    def regions_of_type(self, cell_type: CellType) -> List[Tuple[int, int]]:
+        """Row ranges of ``cell_type`` only, as ``(start, end_exclusive)``."""
+        return [(s, e) for (s, e, t) in self.regions() if t is cell_type]
+
+    def address_regions_of_type(self, cell_type: CellType) -> List[Tuple[int, int]]:
+        """Byte-address ranges covered by rows of ``cell_type``."""
+        row_bytes = self._geometry.row_bytes
+        return [
+            (start * row_bytes, end * row_bytes)
+            for start, end in self.regions_of_type(cell_type)
+        ]
+
+    def rows_of_type(self, cell_type: CellType) -> Iterator[int]:
+        """Iterate global row indices of ``cell_type`` in ascending order."""
+        wanted = cell_type is CellType.TRUE
+        for row in np.flatnonzero(self._is_true == wanted):
+            yield int(row)
+
+    def swap_rows(self, row_a: int, row_b: int) -> None:
+        """Exchange the types of two rows (used by remapping tests only)."""
+        self._is_true[row_a], self._is_true[row_b] = (
+            bool(self._is_true[row_b]),
+            bool(self._is_true[row_a]),
+        )
+
+    def as_array(self) -> np.ndarray:
+        """Copy of the underlying boolean array (True => true-cell)."""
+        return self._is_true.copy()

@@ -1,0 +1,168 @@
+"""SECDED ECC model — why ECC is not a RowHammer defense (Section 2.3).
+
+Server memory uses single-error-correct / double-error-detect codes
+(Hamming + overall parity over each 64-bit word). The paper cites the
+observation [1] that RowHammer affects ECC systems too: a hammer burst
+can flip *three or more* bits in one word, which SECDED either
+miscorrects (aliasing to a single-bit syndrome) or fails to flag.
+
+:class:`SecdedCodec` implements the classic (72,64) construction;
+:class:`EccWordStore` keeps code words in a simulated module so the
+RowHammer model can attack them for real; the accompanying tests and
+benchmark quantify the multi-flip escape behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dram.module import DramModule
+from repro.errors import ConfigurationError, DramError
+
+#: Total bits in a code word: 64 data + 7 Hamming parity + 1 overall.
+CODE_BITS = 72
+
+#: Positions 1..71 that are powers of two hold Hamming parity bits.
+_PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Non-parity positions (1..71, not a power of two) hold the 64 data bits.
+_DATA_POSITIONS = tuple(
+    position for position in range(1, CODE_BITS) if position not in _PARITY_POSITIONS
+)
+assert len(_DATA_POSITIONS) == 64
+
+
+class DecodeStatus(enum.Enum):
+    """What the decoder concluded about a word."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected-single"
+    DETECTED = "detected-uncorrectable"
+    #: A silent failure: >= 3 flips aliased to a clean or single-error
+    #: syndrome and the decoder returned wrong data without noticing.
+    MISCORRECTED = "miscorrected"
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Decoder output."""
+
+    data: int
+    status: DecodeStatus
+    corrected_position: Optional[int] = None
+
+
+class SecdedCodec:
+    """(72,64) Hamming SECDED codec over integers."""
+
+    def encode(self, data: int) -> int:
+        """Encode 64 data bits into a 72-bit code word."""
+        if not 0 <= data < 2**64:
+            raise ConfigurationError("data must fit in 64 bits")
+        word = 0
+        for index, position in enumerate(_DATA_POSITIONS):
+            if (data >> index) & 1:
+                word |= 1 << position
+        for parity_position in _PARITY_POSITIONS:
+            parity = 0
+            for position in range(1, CODE_BITS):
+                if position & parity_position and (word >> position) & 1:
+                    parity ^= 1
+            if parity:
+                word |= 1 << parity_position
+        # Overall parity at bit 0 makes total weight even.
+        if bin(word).count("1") % 2:
+            word |= 1
+        return word
+
+    def _syndrome(self, word: int) -> Tuple[int, int]:
+        syndrome = 0
+        for position in range(1, CODE_BITS):
+            if (word >> position) & 1:
+                syndrome ^= position
+        overall = bin(word).count("1") % 2
+        return syndrome, overall
+
+    def extract_data(self, word: int) -> int:
+        """Data bits of a (possibly corrected) code word."""
+        data = 0
+        for index, position in enumerate(_DATA_POSITIONS):
+            if (word >> position) & 1:
+                data |= 1 << index
+        return data
+
+    def decode(self, word: int, true_data: Optional[int] = None) -> DecodeResult:
+        """Decode a 72-bit word, correcting at most one error.
+
+        ``true_data``, when supplied (simulation ground truth), lets the
+        decoder report silent *miscorrections* — the decoder itself cannot
+        see them, which is exactly the hazard.
+        """
+        if not 0 <= word < 2**CODE_BITS:
+            raise ConfigurationError("word must fit in 72 bits")
+        syndrome, overall = self._syndrome(word)
+        if syndrome == 0 and overall == 0:
+            data = self.extract_data(word)
+            status = DecodeStatus.CLEAN
+            if true_data is not None and data != true_data:
+                status = DecodeStatus.MISCORRECTED
+            return DecodeResult(data=data, status=status)
+        if overall == 1:
+            # Odd number of flips: assume one, correct it.
+            corrected = word
+            if 0 < syndrome < CODE_BITS:
+                corrected = word ^ (1 << syndrome)
+            else:
+                corrected = word ^ 1  # the overall-parity bit itself
+            data = self.extract_data(corrected)
+            status = DecodeStatus.CORRECTED
+            if true_data is not None and data != true_data:
+                status = DecodeStatus.MISCORRECTED
+            return DecodeResult(
+                data=data, status=status, corrected_position=syndrome or 0
+            )
+        # Even flip count with nonzero syndrome: uncorrectable, flagged.
+        return DecodeResult(data=self.extract_data(word), status=DecodeStatus.DETECTED)
+
+
+class EccWordStore:
+    """Code words stored in simulated DRAM, 9 bytes per word."""
+
+    def __init__(self, module: DramModule, base_address: int):
+        self._module = module
+        self._base = base_address
+        self._codec = SecdedCodec()
+        self._count = 0
+        self._truth: List[int] = []
+
+    @property
+    def codec(self) -> SecdedCodec:
+        """Underlying codec."""
+        return self._codec
+
+    def word_address(self, index: int) -> int:
+        """Physical address of stored word ``index``."""
+        if not 0 <= index < self._count:
+            raise DramError(f"word index {index} out of range")
+        return self._base + index * 9
+
+    def store(self, data: int) -> int:
+        """Encode and store a word; returns its index."""
+        word = self._codec.encode(data)
+        address = self._base + self._count * 9
+        self._module.write(address, word.to_bytes(9, "little"))
+        self._truth.append(data)
+        self._count += 1
+        return self._count - 1
+
+    def scrub(self, index: int) -> DecodeResult:
+        """Read and decode word ``index`` against ground truth."""
+        raw = int.from_bytes(self._module.read(self.word_address(index), 9), "little")
+        raw &= (1 << CODE_BITS) - 1
+        return self._codec.decode(raw, true_data=self._truth[index])
+
+    def scrub_all(self) -> List[DecodeResult]:
+        """Decode every stored word."""
+        return [self.scrub(index) for index in range(self._count)]

@@ -1,0 +1,150 @@
+"""DRAM module geometry and physical-address decomposition.
+
+A module is modelled at the level the paper cares about: a linear physical
+address space divided into banks, each bank a 2-D array of rows x columns
+(Figure 1). Rows are the unit of RowHammer interaction and of cell typing;
+we therefore keep the address math exact and well tested.
+
+The default geometry follows the paper's working numbers: 128 KiB rows,
+true/anti-cell regions alternating every 512 rows (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AddressError, ConfigurationError
+from repro.units import DEFAULT_ROW_SIZE, GIB, is_power_of_two
+
+
+@dataclass(frozen=True)
+class RowAddress:
+    """A decoded physical location: which bank, which row, byte offset."""
+
+    bank: int
+    row: int
+    column: int
+
+    def __post_init__(self) -> None:
+        if self.bank < 0 or self.row < 0 or self.column < 0:
+            raise AddressError(f"negative component in {self!r}")
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Shape of one simulated DRAM module.
+
+    Parameters
+    ----------
+    total_bytes:
+        Capacity of the module. Must be a power-of-two multiple of the row
+        size times the bank count.
+    row_bytes:
+        Bytes per DRAM row (the paper uses 128 KiB [37]).
+    num_banks:
+        Logical banks. Consecutive physical rows are laid out within a bank
+        (row-major per bank) — this matches the contiguous-row model that
+        both the cell-type interleave and RowHammer adjacency assume.
+    """
+
+    total_bytes: int
+    row_bytes: int = DEFAULT_ROW_SIZE
+    num_banks: int = 8
+
+    # Derived fields, filled in __post_init__.
+    rows_per_bank: int = field(init=False)
+    total_rows: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0:
+            raise ConfigurationError("total_bytes must be positive")
+        if not is_power_of_two(self.row_bytes):
+            raise ConfigurationError(f"row_bytes {self.row_bytes} must be a power of two")
+        if self.num_banks <= 0:
+            raise ConfigurationError("num_banks must be positive")
+        if self.total_bytes % (self.row_bytes * self.num_banks) != 0:
+            raise ConfigurationError(
+                f"total_bytes {self.total_bytes} not divisible by "
+                f"row_bytes*num_banks = {self.row_bytes * self.num_banks}"
+            )
+        object.__setattr__(self, "rows_per_bank", self.total_bytes // self.row_bytes // self.num_banks)
+        object.__setattr__(self, "total_rows", self.total_bytes // self.row_bytes)
+
+    # ------------------------------------------------------------------
+    # Address math. The linear layout is: global row index = addr // row_bytes,
+    # bank = global_row // rows_per_bank. Rows within a bank are physically
+    # adjacent in index order, which is what RowHammer adjacency uses.
+    # ------------------------------------------------------------------
+    def check_address(self, address: int, length: int = 1) -> None:
+        """Raise :class:`AddressError` unless [address, address+length) fits."""
+        if address < 0 or length < 0 or address + length > self.total_bytes:
+            raise AddressError(
+                f"range [{address:#x}, {address + length:#x}) outside module "
+                f"of {self.total_bytes:#x} bytes"
+            )
+
+    def row_of_address(self, address: int) -> int:
+        """Global row index containing ``address``."""
+        self.check_address(address)
+        return address // self.row_bytes
+
+    def row_base_address(self, row: int) -> int:
+        """First physical address of global row ``row``."""
+        if not 0 <= row < self.total_rows:
+            raise AddressError(f"row {row} outside [0, {self.total_rows})")
+        return row * self.row_bytes
+
+    def decompose(self, address: int) -> RowAddress:
+        """Decode ``address`` into (bank, in-bank row, column)."""
+        self.check_address(address)
+        global_row = address // self.row_bytes
+        return RowAddress(
+            bank=global_row // self.rows_per_bank,
+            row=global_row % self.rows_per_bank,
+            column=address % self.row_bytes,
+        )
+
+    def compose(self, location: RowAddress) -> int:
+        """Inverse of :meth:`decompose`."""
+        if location.bank >= self.num_banks:
+            raise AddressError(f"bank {location.bank} outside [0, {self.num_banks})")
+        if location.row >= self.rows_per_bank:
+            raise AddressError(f"row {location.row} outside [0, {self.rows_per_bank})")
+        if location.column >= self.row_bytes:
+            raise AddressError(f"column {location.column} outside [0, {self.row_bytes})")
+        global_row = location.bank * self.rows_per_bank + location.row
+        return global_row * self.row_bytes + location.column
+
+    def bank_of_row(self, row: int) -> int:
+        """Bank that global row ``row`` belongs to."""
+        if not 0 <= row < self.total_rows:
+            raise AddressError(f"row {row} outside [0, {self.total_rows})")
+        return row // self.rows_per_bank
+
+    def neighbors(self, row: int) -> tuple:
+        """Physically adjacent rows in the same bank (RowHammer victims).
+
+        A double-sided hammer on ``row`` disturbs these rows. Rows at bank
+        edges have a single neighbor.
+        """
+        bank = self.bank_of_row(row)
+        candidates = []
+        for adjacent in (row - 1, row + 1):
+            if 0 <= adjacent < self.total_rows and self.bank_of_row(adjacent) == bank:
+                candidates.append(adjacent)
+        return tuple(candidates)
+
+    @classmethod
+    def small(cls, total_bytes: int = 64 * 1024 * 1024, row_bytes: int = 64 * 1024, num_banks: int = 4) -> "DramGeometry":
+        """A scaled-down geometry for live attack simulation and tests."""
+        return cls(total_bytes=total_bytes, row_bytes=row_bytes, num_banks=num_banks)
+
+    @classmethod
+    def desktop_8gb(cls) -> "DramGeometry":
+        """The paper's i7-6700 prototype: 8 GiB, 128 KiB rows."""
+        return cls(total_bytes=8 * GIB)
+
+    @classmethod
+    def server_128gb(cls) -> "DramGeometry":
+        """The paper's Xeon Silver 4110 prototype: 128 GiB."""
+        return cls(total_bytes=128 * GIB)

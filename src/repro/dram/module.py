@@ -1,0 +1,207 @@
+"""Sparse simulated DRAM module.
+
+Stores row contents lazily: a row materialises (as a numpy uint8 array)
+only when first written, so multi-GiB geometries cost memory proportional
+to the data actually touched. Besides plain byte/word access the module
+understands *charge semantics*: given a cell-type map it can decay rows
+toward their discharged logic value (used by the cell-type profiler and the
+coldboot extension) and apply individual bit flips (used by the RowHammer
+model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.errors import AddressError
+
+
+class DramModule:
+    """Byte-addressable sparse DRAM storage with cell-aware decay.
+
+    Parameters
+    ----------
+    geometry:
+        Module shape.
+    cell_map:
+        Ground-truth row typing. Optional for pure-storage uses, but
+        required by :meth:`decay_row` and :meth:`flip_bit` direction checks.
+    fill_byte:
+        Logical content of never-written rows (defaults to zeros, matching
+        an OS that zeroes pages on first allocation).
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        cell_map: Optional[CellTypeMap] = None,
+        fill_byte: int = 0x00,
+    ):
+        if not 0 <= fill_byte <= 0xFF:
+            raise ValueError(f"fill_byte {fill_byte:#x} out of range")
+        self._geometry = geometry
+        self._cell_map = cell_map
+        self._fill_byte = fill_byte
+        self._rows: Dict[int, np.ndarray] = {}
+        #: Count of writes/reads, useful for benchmarks.
+        self.write_count = 0
+        self.read_count = 0
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def geometry(self) -> DramGeometry:
+        """Module geometry."""
+        return self._geometry
+
+    @property
+    def cell_map(self) -> Optional[CellTypeMap]:
+        """Ground-truth cell typing (None when constructed without one)."""
+        return self._cell_map
+
+    @property
+    def materialized_rows(self) -> int:
+        """Number of rows currently backed by real arrays."""
+        return len(self._rows)
+
+    # -- row materialisation ----------------------------------------------
+    def _row_array(self, row: int, materialize: bool = True) -> Optional[np.ndarray]:
+        existing = self._rows.get(row)
+        if existing is not None or not materialize:
+            return existing
+        fresh = np.full(self._geometry.row_bytes, self._fill_byte, dtype=np.uint8)
+        self._rows[row] = fresh
+        return fresh
+
+    def forget_row(self, row: int) -> None:
+        """Drop a row's backing array (its content reverts to fill_byte)."""
+        self._rows.pop(row, None)
+
+    # -- byte access --------------------------------------------------------
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at physical ``address``."""
+        self._geometry.check_address(address, length)
+        self.read_count += 1
+        out = bytearray(length)
+        cursor = 0
+        while cursor < length:
+            addr = address + cursor
+            row = addr // self._geometry.row_bytes
+            offset = addr % self._geometry.row_bytes
+            chunk = min(length - cursor, self._geometry.row_bytes - offset)
+            backing = self._rows.get(row)
+            if backing is None:
+                out[cursor : cursor + chunk] = bytes([self._fill_byte]) * chunk
+            else:
+                out[cursor : cursor + chunk] = backing[offset : offset + chunk].tobytes()
+            cursor += chunk
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write ``data`` at physical ``address``."""
+        self._geometry.check_address(address, len(data))
+        self.write_count += 1
+        view = np.frombuffer(bytes(data), dtype=np.uint8)
+        cursor = 0
+        while cursor < len(data):
+            addr = address + cursor
+            row = addr // self._geometry.row_bytes
+            offset = addr % self._geometry.row_bytes
+            chunk = min(len(data) - cursor, self._geometry.row_bytes - offset)
+            backing = self._row_array(row)
+            backing[offset : offset + chunk] = view[cursor : cursor + chunk]
+            cursor += chunk
+
+    # -- word access ----------------------------------------------------------
+    def read_u64(self, address: int) -> int:
+        """Read a little-endian 64-bit word (one PTE) at ``address``."""
+        return int.from_bytes(self.read(address, 8), "little")
+
+    def write_u64(self, address: int, value: int) -> None:
+        """Write a little-endian 64-bit word at ``address``."""
+        if not 0 <= value < 2**64:
+            raise ValueError(f"value {value:#x} does not fit in 64 bits")
+        self.write(address, value.to_bytes(8, "little"))
+
+    def fill_row(self, row: int, byte: int) -> None:
+        """Set every byte of global row ``row`` to ``byte``."""
+        if not 0 <= byte <= 0xFF:
+            raise ValueError(f"byte {byte:#x} out of range")
+        backing = self._row_array(row)
+        backing[:] = byte
+
+    def read_row(self, row: int) -> bytes:
+        """Read the full contents of global row ``row``."""
+        return self.read(self._geometry.row_base_address(row), self._geometry.row_bytes)
+
+    # -- bit-level operations -----------------------------------------------
+    def read_bit(self, address: int, bit: int) -> int:
+        """Read one bit (0..7) of the byte at ``address``."""
+        if not 0 <= bit < 8:
+            raise AddressError(f"bit index {bit} outside [0, 8)")
+        return (self.read(address, 1)[0] >> bit) & 1
+
+    def write_bit(self, address: int, bit: int, value: int) -> None:
+        """Set one bit of the byte at ``address``."""
+        if not 0 <= bit < 8:
+            raise AddressError(f"bit index {bit} outside [0, 8)")
+        current = self.read(address, 1)[0]
+        if value:
+            updated = current | (1 << bit)
+        else:
+            updated = current & ~(1 << bit)
+        self.write(address, bytes([updated]))
+
+    def flip_bit(self, address: int, bit: int) -> Tuple[int, int]:
+        """Invert one bit; returns ``(old, new)`` values."""
+        old = self.read_bit(address, bit)
+        new = old ^ 1
+        self.write_bit(address, bit, new)
+        return old, new
+
+    # -- charge semantics ------------------------------------------------------
+    def decay_bits(self, row: int, bit_positions: Iterable[int]) -> int:
+        """Decay specific bits of ``row`` toward their discharged value.
+
+        ``bit_positions`` are row-relative bit indices (byte*8 + bit).
+        Returns the number of bits whose logic value actually changed.
+        A cell-type map is required to know the discharged value.
+        """
+        if self._cell_map is None:
+            raise AddressError("decay requires a cell-type map")
+        target = self._cell_map.type_of_row(row).discharged_value
+        backing = self._row_array(row)
+        changed = 0
+        for position in bit_positions:
+            byte_index, bit = divmod(int(position), 8)
+            if byte_index >= self._geometry.row_bytes:
+                raise AddressError(f"bit position {position} outside row")
+            current = (int(backing[byte_index]) >> bit) & 1
+            if current != target:
+                if target:
+                    backing[byte_index] = int(backing[byte_index]) | (1 << bit)
+                else:
+                    backing[byte_index] = int(backing[byte_index]) & ~(1 << bit)
+                changed += 1
+        return changed
+
+    def decay_row_fully(self, row: int) -> None:
+        """Decay every cell of ``row`` to its discharged value.
+
+        Models an arbitrarily long refresh-free interval: the whole row
+        reads back as all-discharged (used by the profiler and coldboot).
+        """
+        if self._cell_map is None:
+            raise AddressError("decay requires a cell-type map")
+        discharged = self._cell_map.type_of_row(row).discharged_value
+        self.fill_row(row, 0xFF if discharged else 0x00)
+
+    def snapshot_row(self, row: int) -> np.ndarray:
+        """Copy of the row's current content."""
+        backing = self._rows.get(row)
+        if backing is None:
+            return np.full(self._geometry.row_bytes, self._fill_byte, dtype=np.uint8)
+        return backing.copy()

@@ -1,0 +1,101 @@
+"""System-level identification of true-cell and anti-cell regions.
+
+Section 2.2: write all-'1's, disable refresh, wait longer than the
+retention time of most cells, read back. A row that reads '0's is made of
+true-cells (charged state meant '1'), a row that reads '1's is anti-cells.
+This is the one-time test a CTA deployment runs to find the true-cell
+regions used for ``ZONE_PTP``.
+
+The profiler only uses module read/write/decay operations — it never peeks
+at the ground-truth :class:`~repro.dram.cells.CellTypeMap`, mirroring the
+real procedure's constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.module import DramModule
+from repro.dram.refresh import RefreshScheduler
+from repro.errors import DramError
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Outcome of a profiling pass."""
+
+    inferred_map: CellTypeMap
+    ambiguous_rows: Tuple[int, ...]
+    rows_tested: int
+
+    @property
+    def clean(self) -> bool:
+        """True when every row classified unambiguously."""
+        return not self.ambiguous_rows
+
+
+class CellTypeProfiler:
+    """Runs the write-1s / decay / read-back test over a module."""
+
+    def __init__(self, module: DramModule, refresh: Optional[RefreshScheduler] = None):
+        self._module = module
+        self._refresh = refresh or RefreshScheduler(module.geometry.total_rows)
+
+    def profile(self, majority_threshold: float = 0.99) -> ProfileReport:
+        """Classify every row of the module.
+
+        A row is a true-cell row when at least ``majority_threshold`` of its
+        bits read back '0' after decay (and anti when they read '1'); rows
+        between the thresholds are reported ambiguous and classified by
+        simple majority.
+        """
+        if not 0.5 < majority_threshold <= 1.0:
+            raise DramError("majority_threshold must be in (0.5, 1.0]")
+        geometry = self._module.geometry
+        self._refresh.disable()
+        try:
+            row_types: List[CellType] = []
+            ambiguous: List[int] = []
+            for row in range(geometry.total_rows):
+                row_types.append(self._classify_row(row, majority_threshold, ambiguous))
+        finally:
+            self._refresh.enable()
+        inferred = CellTypeMap.from_rows(geometry, row_types)
+        return ProfileReport(
+            inferred_map=inferred,
+            ambiguous_rows=tuple(ambiguous),
+            rows_tested=geometry.total_rows,
+        )
+
+    def _classify_row(
+        self, row: int, majority_threshold: float, ambiguous: List[int]
+    ) -> CellType:
+        # Step 1: write all '1's.
+        self._module.fill_row(row, 0xFF)
+        # Step 2: refresh disabled, wait past most retention times -> full decay.
+        self._module.decay_row_fully(row)
+        # Step 3: read back and count ones.
+        data = np.frombuffer(self._module.read_row(row), dtype=np.uint8)
+        ones = int(np.unpackbits(data).sum())
+        total = data.size * 8
+        zero_fraction = 1.0 - ones / total
+        if zero_fraction >= majority_threshold:
+            return CellType.TRUE
+        if zero_fraction <= 1.0 - majority_threshold:
+            return CellType.ANTI
+        ambiguous.append(row)
+        return CellType.TRUE if zero_fraction >= 0.5 else CellType.ANTI
+
+    def verify_against(self, truth: CellTypeMap) -> float:
+        """Fraction of rows the profiler classifies identically to ``truth``.
+
+        Convenience for experiments; returns accuracy in [0, 1].
+        """
+        report = self.profile()
+        inferred = report.inferred_map.as_array()
+        actual = truth.as_array()
+        return float((inferred == actual).mean())

@@ -1,0 +1,103 @@
+"""DRAM refresh scheduling.
+
+JEDEC mandates that every row be refreshed within a 64 ms window
+(Section 2.1). The scheduler tracks simulated time and per-row refresh
+stamps; it also supports a *rate multiplier*, which is the knob the
+"increase the refresh rate" countermeasure turns (Section 2.5) — at
+multiplier 2 rows refresh every 32 ms, halving the hammer window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.units import REFRESH_INTERVAL_S
+
+
+class RefreshScheduler:
+    """Tracks per-row refresh deadlines over simulated time."""
+
+    def __init__(self, total_rows: int, rate_multiplier: float = 1.0):
+        if total_rows <= 0:
+            raise ConfigurationError("total_rows must be positive")
+        if rate_multiplier <= 0:
+            raise ConfigurationError("rate_multiplier must be positive")
+        self._total_rows = total_rows
+        self._rate_multiplier = rate_multiplier
+        self._now = 0.0
+        self._last_refresh: Dict[int, float] = {}
+        self._enabled = True
+        #: Total refresh operations performed (energy-cost proxy).
+        self.refresh_ops = 0
+
+    @property
+    def interval_s(self) -> float:
+        """Effective refresh interval after the rate multiplier."""
+        return REFRESH_INTERVAL_S / self._rate_multiplier
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def enabled(self) -> bool:
+        """Whether refresh is active (the profiler disables it)."""
+        return self._enabled
+
+    def disable(self) -> None:
+        """Turn refresh off (system-level cell-typing test, Section 2.2)."""
+        self._enabled = False
+
+    def enable(self) -> None:
+        """Re-enable refresh; all rows count as refreshed now."""
+        self._enabled = True
+        self._last_refresh.clear()
+        self._now = self._now  # rows default to refreshed-at-now semantics
+
+    def advance(self, seconds: float) -> None:
+        """Advance simulated time."""
+        if seconds < 0:
+            raise ConfigurationError("cannot advance time backwards")
+        self._now += seconds
+
+    def refresh_row(self, row: int) -> None:
+        """Record a refresh of ``row`` at the current time."""
+        self._check_row(row)
+        self._last_refresh[row] = self._now
+        self.refresh_ops += 1
+
+    def refresh_all(self) -> None:
+        """Refresh every row (one full refresh cycle)."""
+        for row in range(self._total_rows):
+            self._last_refresh[row] = self._now
+        self.refresh_ops += self._total_rows
+
+    def time_since_refresh(self, row: int) -> float:
+        """Seconds since ``row`` was last refreshed (or since t=0)."""
+        self._check_row(row)
+        return self._now - self._last_refresh.get(row, 0.0)
+
+    def overdue_rows(self) -> List[int]:
+        """Rows whose refresh deadline has passed while refresh is enabled."""
+        if not self._enabled:
+            return list(range(self._total_rows))
+        deadline = self.interval_s
+        return [
+            row
+            for row in range(self._total_rows)
+            if self._now - self._last_refresh.get(row, 0.0) > deadline
+        ]
+
+    def energy_cost_per_second(self) -> float:
+        """Relative refresh energy (1.0 at the nominal rate).
+
+        Doubling the refresh rate doubles refresh energy — the cost the
+        paper's Section 2.5 calls out for the naive countermeasure.
+        """
+        return self._rate_multiplier
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._total_rows:
+            raise ConfigurationError(f"row {row} outside [0, {self._total_rows})")

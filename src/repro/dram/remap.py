@@ -1,0 +1,122 @@
+"""Manufacturer row remapping (faulty row -> spare row).
+
+DRAM vendors map faulty rows to spares to improve yield [36]. Section 7 of
+the paper argues this is why CATT/ZebRAM-style *spatial isolation* defenses
+break (a remapped row may sit physically inside the "isolated" region) while
+CTA is unaffected: a spare must have the same cell type as the original for
+the sense amplifiers to work, so the monotonicity property survives
+remapping.
+
+:class:`RowRemapper` models the vendor table: logical row -> physical row.
+It enforces the same-cell-type rule and exposes the physical adjacency that
+spatial defenses get wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.errors import RowRemapError
+
+
+class RowRemapper:
+    """Logical-to-physical row indirection with cell-type preservation.
+
+    Parameters
+    ----------
+    cell_map:
+        Ground-truth typing of *physical* rows.
+    spare_rows:
+        Pool of physical rows reserved as spares (not normally addressable).
+    enforce_cell_type:
+        When True (real hardware), remapping to a different cell type raises
+        :class:`RowRemapError`. Tests can disable it to demonstrate why the
+        rule exists.
+    """
+
+    def __init__(
+        self,
+        cell_map: CellTypeMap,
+        spare_rows: Iterable[int] = (),
+        enforce_cell_type: bool = True,
+    ):
+        self._cell_map = cell_map
+        self._spares: List[int] = sorted(set(spare_rows))
+        self._enforce = enforce_cell_type
+        self._table: Dict[int, int] = {}
+        for spare in self._spares:
+            if not 0 <= spare < cell_map.geometry.total_rows:
+                raise RowRemapError(f"spare row {spare} outside geometry")
+
+    @property
+    def remapped_rows(self) -> Dict[int, int]:
+        """Copy of the logical->physical remap table."""
+        return dict(self._table)
+
+    @property
+    def available_spares(self) -> List[int]:
+        """Spare rows not yet consumed."""
+        return list(self._spares)
+
+    def physical_row(self, logical_row: int) -> int:
+        """Resolve a logical row to its physical row (identity if unmapped)."""
+        return self._table.get(logical_row, logical_row)
+
+    def is_remapped(self, logical_row: int) -> bool:
+        """Whether ``logical_row`` has been redirected to a spare."""
+        return logical_row in self._table
+
+    def remap(self, faulty_row: int, spare_row: Optional[int] = None) -> int:
+        """Redirect ``faulty_row`` to a spare; returns the spare chosen.
+
+        Picks the first same-type spare when ``spare_row`` is None. Raises
+        :class:`RowRemapError` if the pool is exhausted or (when enforcement
+        is on) the requested spare has the wrong cell type.
+        """
+        if faulty_row in self._table:
+            raise RowRemapError(f"row {faulty_row} already remapped")
+        faulty_type = self._cell_map.type_of_row(faulty_row)
+        if spare_row is None:
+            spare_row = self._find_spare(faulty_type)
+        if spare_row not in self._spares:
+            raise RowRemapError(f"row {spare_row} is not an available spare")
+        spare_type = self._cell_map.type_of_row(spare_row)
+        if self._enforce and spare_type is not faulty_type:
+            raise RowRemapError(
+                f"cell-type mismatch: faulty row {faulty_row} is {faulty_type.value}, "
+                f"spare {spare_row} is {spare_type.value}"
+            )
+        self._spares.remove(spare_row)
+        self._table[faulty_row] = spare_row
+        return spare_row
+
+    def effective_cell_type(self, logical_row: int) -> CellType:
+        """Cell type seen through the remap table.
+
+        With enforcement on this always equals the original row's type —
+        the invariant that makes CTA remap-proof (Section 7).
+        """
+        return self._cell_map.type_of_row(self.physical_row(logical_row))
+
+    def breaks_isolation(self, isolated_physical_range: range) -> List[int]:
+        """Logical rows whose physical location escaped an isolation range.
+
+        Models the CATT/ZebRAM failure: a defense that reasons about
+        *logical* row ranges does not see that a remapped row's true
+        physical neighbors lie elsewhere. Returns logical rows mapped
+        either into or out of ``isolated_physical_range``.
+        """
+        violations = []
+        for logical, physical in self._table.items():
+            inside_logical = logical in isolated_physical_range
+            inside_physical = physical in isolated_physical_range
+            if inside_logical != inside_physical:
+                violations.append(logical)
+        return sorted(violations)
+
+    def _find_spare(self, cell_type: CellType) -> int:
+        for spare in self._spares:
+            if not self._enforce or self._cell_map.type_of_row(spare) is cell_type:
+                return spare
+        raise RowRemapError(f"no available spare of type {cell_type.value}")

@@ -1,0 +1,102 @@
+"""Per-cell retention-time model.
+
+DRAM cells keep data for milliseconds to seconds before leakage corrupts
+them (Section 2.1, [18]). Retention varies wildly cell-to-cell; a small
+*weak-cell* population decays faster than the 64 ms refresh interval and a
+long tail retains data for many seconds (which is what coldboot attacks and
+the paper's coldboot countermeasure exploit).
+
+We model per-cell retention as a lognormal distribution — a standard
+empirical fit — parameterised by its median and spread, plus an explicit
+weak-cell fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.units import REFRESH_INTERVAL_S
+
+
+@dataclass(frozen=True)
+class RetentionParameters:
+    """Lognormal retention distribution parameters.
+
+    ``median_s`` is the median cell retention; ``sigma`` the lognormal
+    shape; ``weak_fraction`` the share of cells whose retention is forced
+    below the refresh interval (modelling the weak tail directly rather
+    than through the lognormal body).
+    """
+
+    median_s: float = 2.0
+    sigma: float = 0.6
+    weak_fraction: float = 1e-7
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0:
+            raise ConfigurationError("median_s must be positive")
+        if self.sigma <= 0:
+            raise ConfigurationError("sigma must be positive")
+        if not 0 <= self.weak_fraction < 1:
+            raise ConfigurationError("weak_fraction must be in [0, 1)")
+
+
+class RetentionModel:
+    """Samples retention times and decay outcomes for rows of cells.
+
+    The model is stateless per-call: callers pass the elapsed refresh-free
+    time and receive which cells decayed. Sampling is vectorised so a
+    128 KiB row (1M cells) is a single numpy draw.
+    """
+
+    def __init__(self, params: RetentionParameters = RetentionParameters(), seed: SeedLike = None):
+        self._params = params
+        self._rng = make_rng(seed)
+
+    @property
+    def params(self) -> RetentionParameters:
+        """Model parameters."""
+        return self._params
+
+    def sample_retention(self, num_cells: int) -> np.ndarray:
+        """Draw retention times (seconds) for ``num_cells`` cells."""
+        if num_cells < 0:
+            raise ConfigurationError("num_cells must be non-negative")
+        mu = np.log(self._params.median_s)
+        times = self._rng.lognormal(mean=mu, sigma=self._params.sigma, size=num_cells)
+        if self._params.weak_fraction > 0 and num_cells > 0:
+            weak = self._rng.random(num_cells) < self._params.weak_fraction
+            times[weak] = self._rng.uniform(
+                REFRESH_INTERVAL_S * 0.1, REFRESH_INTERVAL_S * 0.9, size=int(weak.sum())
+            )
+        return times
+
+    def decayed_mask(self, num_cells: int, elapsed_s: float) -> np.ndarray:
+        """Boolean mask of cells that lose charge after ``elapsed_s`` seconds."""
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed_s must be non-negative")
+        return self.sample_retention(num_cells) < elapsed_s
+
+    def decayed_fraction(self, elapsed_s: float, sample_size: int = 100_000) -> float:
+        """Monte-Carlo estimate of the fraction of cells decayed by ``elapsed_s``."""
+        if sample_size <= 0:
+            raise ConfigurationError("sample_size must be positive")
+        return float(self.decayed_mask(sample_size, elapsed_s).mean())
+
+    def time_for_decay_fraction(self, fraction: float) -> float:
+        """Approximate refresh-free time after which ``fraction`` of cells decay.
+
+        Inverts the lognormal CDF (ignoring the tiny weak tail). Used to
+        choose the profiler's wait time "longer than the retention time of
+        most cells" (Section 2.2).
+        """
+        if not 0 < fraction < 1:
+            raise ConfigurationError("fraction must be in (0, 1)")
+        from scipy.stats import norm  # local import keeps scipy optional at import time
+
+        mu = np.log(self._params.median_s)
+        return float(np.exp(mu + self._params.sigma * norm.ppf(fraction)))

@@ -1,0 +1,263 @@
+"""Statistical RowHammer fault model.
+
+The paper's security analysis (Section 5) rests on three published
+parameters measured in large-scale DRAM studies [19, 37]:
+
+- ``Pf`` — probability that a given bit is *vulnerable* (flippable) at all,
+  observed around ``1e-4`` across a wide range of modules;
+- ``P(1->0)`` / ``P(0->1)`` — conditional direction of a vulnerable bit's
+  flip. In true-cells 99.8% of flips are ``1->0`` and only 0.2% go the other
+  way (residual circuit effects such as voltage coupling); anti-cells mirror
+  this.
+
+We reproduce that structure exactly: each DRAM row owns a lazily-sampled,
+frozen set of vulnerable bits, each with a fixed flip direction drawn from
+the cell-type-conditioned statistics. Hammering an aggressor row disturbs
+its physically adjacent victim rows; every vulnerable victim bit whose
+current value matches its flip source changes to its flip target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.cells import CellType
+from repro.dram.module import DramModule
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class FlipStatistics:
+    """RowHammer bit-flip statistics (paper Section 5 parameters).
+
+    ``p_vulnerable`` is ``Pf``. ``p_with_leak`` is the probability that a
+    vulnerable bit flips in the cell's natural leak direction (``1->0`` for
+    true-cells); ``1 - p_with_leak`` flips against it.
+    """
+
+    p_vulnerable: float = 1e-4
+    p_with_leak: float = 0.998
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.p_vulnerable <= 1:
+            raise ConfigurationError("p_vulnerable must be in [0, 1]")
+        if not 0 <= self.p_with_leak <= 1:
+            raise ConfigurationError("p_with_leak must be in [0, 1]")
+
+    @property
+    def p_against_leak(self) -> float:
+        """Probability a vulnerable bit flips against the leak direction."""
+        return 1.0 - self.p_with_leak
+
+    @classmethod
+    def paper_default(cls) -> "FlipStatistics":
+        """Table 2 parameters: Pf = 1e-4, P(0->1) = 0.2% in true-cells."""
+        return cls(p_vulnerable=1e-4, p_with_leak=0.998)
+
+    @classmethod
+    def paper_pessimistic(cls) -> "FlipStatistics":
+        """Table 3 parameters: Pf = 5e-4, P(0->1) = 0.5% in true-cells."""
+        return cls(p_vulnerable=5e-4, p_with_leak=0.995)
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One observed flip: absolute address/bit plus old and new values."""
+
+    address: int
+    bit: int
+    old: int
+    new: int
+
+    @property
+    def direction(self) -> Tuple[int, int]:
+        """``(old, new)`` pair."""
+        return (self.old, self.new)
+
+
+@dataclass
+class HammerOutcome:
+    """Result of hammering one aggressor row."""
+
+    aggressor_row: int
+    victim_rows: Tuple[int, ...]
+    flips: List[BitFlip] = field(default_factory=list)
+    activations: int = 0
+
+    @property
+    def flip_count(self) -> int:
+        """Total flips induced."""
+        return len(self.flips)
+
+    def flips_in_row(self, row: int, row_bytes: int) -> List[BitFlip]:
+        """Flips landing in global row ``row``."""
+        base = row * row_bytes
+        return [f for f in self.flips if base <= f.address < base + row_bytes]
+
+
+@dataclass(frozen=True)
+class _VulnerableBit:
+    """A frozen manufacturing defect: row-relative bit that can flip one way."""
+
+    bit_position: int  # row-relative: byte_index * 8 + bit
+    from_value: int
+    to_value: int
+
+
+class RowHammerModel:
+    """Applies statistical RowHammer disturbances to a :class:`DramModule`.
+
+    Parameters
+    ----------
+    module:
+        Target module (must carry a cell-type map).
+    stats:
+        Flip statistics (Pf and direction split).
+    seed:
+        RNG seed; the vulnerable-bit map is deterministic given the seed.
+    activation_probability:
+        Probability that a sufficient hammer burst actually triggers each
+        vulnerable bit. 1.0 models the paper's worst case (an attacker who
+        hammers until flips saturate).
+    refresh_rate_multiplier:
+        Effect of the increased-refresh countermeasure: at multiplier ``m``
+        each vulnerable bit's trigger probability is divided by ``m``
+        (fewer activations fit in a refresh window). The paper notes even
+        high rates give no guarantee — the model keeps probability > 0.
+    """
+
+    def __init__(
+        self,
+        module: DramModule,
+        stats: FlipStatistics = FlipStatistics.paper_default(),
+        seed: SeedLike = None,
+        activation_probability: float = 1.0,
+        refresh_rate_multiplier: float = 1.0,
+    ):
+        if module.cell_map is None:
+            raise ConfigurationError("RowHammerModel requires a module with a cell map")
+        if not 0 < activation_probability <= 1:
+            raise ConfigurationError("activation_probability must be in (0, 1]")
+        if refresh_rate_multiplier < 1:
+            raise ConfigurationError("refresh_rate_multiplier must be >= 1")
+        self._module = module
+        self._stats = stats
+        self._rng = make_rng(seed)
+        self._activation_probability = activation_probability / refresh_rate_multiplier
+        self._vulnerable: Dict[int, Tuple[_VulnerableBit, ...]] = {}
+        #: Total hammer invocations (for attack-time accounting).
+        self.hammer_count = 0
+
+    @property
+    def stats(self) -> FlipStatistics:
+        """Flip statistics in force."""
+        return self._stats
+
+    @property
+    def module(self) -> DramModule:
+        """The module being disturbed."""
+        return self._module
+
+    # -- vulnerable-bit map -------------------------------------------------
+    def vulnerable_bits(self, row: int) -> Tuple[_VulnerableBit, ...]:
+        """The frozen vulnerable-bit set of ``row`` (sampled on first use)."""
+        cached = self._vulnerable.get(row)
+        if cached is not None:
+            return cached
+        row_bits = self._module.geometry.row_bytes * 8
+        count = int(self._rng.binomial(row_bits, self._stats.p_vulnerable))
+        positions = self._rng.choice(row_bits, size=count, replace=False) if count else []
+        cell_type = self._module.cell_map.type_of_row(row)
+        leak_from, leak_to = cell_type.leak_direction
+        bits = []
+        for position in positions:
+            with_leak = self._rng.random() < self._stats.p_with_leak
+            if with_leak:
+                bits.append(_VulnerableBit(int(position), leak_from, leak_to))
+            else:
+                bits.append(_VulnerableBit(int(position), leak_to, leak_from))
+        frozen = tuple(sorted(bits, key=lambda b: b.bit_position))
+        self._vulnerable[row] = frozen
+        return frozen
+
+    def seed_vulnerable_bits(self, row: int, bits: Sequence[Tuple[int, int, int]]) -> None:
+        """Override the vulnerable-bit map of ``row`` (testing hook).
+
+        ``bits`` is a sequence of ``(bit_position, from_value, to_value)``.
+        """
+        self._vulnerable[row] = tuple(
+            sorted(
+                (_VulnerableBit(int(p), int(f), int(t)) for p, f, t in bits),
+                key=lambda b: b.bit_position,
+            )
+        )
+
+    # -- hammering ----------------------------------------------------------
+    def hammer(self, aggressor_row: int, activations: int = 2_000_000) -> HammerOutcome:
+        """Hammer one aggressor row; disturb its physical neighbors.
+
+        ``activations`` is bookkeeping only (attack-time accounting); flip
+        occurrence is governed by the statistical model.
+        """
+        victims = self._module.geometry.neighbors(aggressor_row)
+        return self._disturb(aggressor_row, victims, activations)
+
+    def hammer_double_sided(
+        self, victim_row: int, activations: int = 2_000_000
+    ) -> HammerOutcome:
+        """Classic double-sided hammer: activate both neighbors of ``victim_row``.
+
+        Only ``victim_row`` itself is disturbed (both aggressors bracket it),
+        which is the Project Zero tool's configuration [32].
+        """
+        neighbors = self._module.geometry.neighbors(victim_row)
+        if len(neighbors) < 2:
+            raise ConfigurationError(
+                f"row {victim_row} lacks two same-bank neighbors for double-sided hammer"
+            )
+        outcome = self._disturb(neighbors[0], (victim_row,), activations)
+        outcome.aggressor_row = victim_row  # report the targeted victim's hammer site
+        return outcome
+
+    def _disturb(
+        self, aggressor_row: int, victims: Tuple[int, ...], activations: int
+    ) -> HammerOutcome:
+        self.hammer_count += 1
+        outcome = HammerOutcome(
+            aggressor_row=aggressor_row, victim_rows=victims, activations=activations
+        )
+        row_bytes = self._module.geometry.row_bytes
+        for victim in victims:
+            base = victim * row_bytes
+            for vuln in self.vulnerable_bits(victim):
+                if self._activation_probability < 1.0:
+                    if self._rng.random() >= self._activation_probability:
+                        continue
+                byte_index, bit = divmod(vuln.bit_position, 8)
+                address = base + byte_index
+                current = self._module.read_bit(address, bit)
+                if current == vuln.from_value:
+                    self._module.write_bit(address, bit, vuln.to_value)
+                    outcome.flips.append(
+                        BitFlip(address=address, bit=bit, old=current, new=vuln.to_value)
+                    )
+        return outcome
+
+    # -- statistics helpers ---------------------------------------------------
+    def expected_flips_per_row(self, cell_type: CellType, stored_value: int) -> float:
+        """Expected flips in a victim row holding all-``stored_value`` data.
+
+        Used by tests to check the model against the closed-form rates:
+        a row of 1s in true-cells flips at ``Pf * p_with_leak`` per bit.
+        """
+        row_bits = self._module.geometry.row_bytes * 8
+        leak_from, _ = cell_type.leak_direction
+        if stored_value == leak_from:
+            per_bit = self._stats.p_vulnerable * self._stats.p_with_leak
+        else:
+            per_bit = self._stats.p_vulnerable * self._stats.p_against_leak
+        return row_bits * per_bit * self._activation_probability

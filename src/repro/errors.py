@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator derives from :class:`ReproError` so
+callers can catch the whole family with one clause while tests can assert
+on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent parameters."""
+
+
+class DramError(ReproError):
+    """Base class for DRAM-substrate errors."""
+
+
+class AddressError(DramError):
+    """A physical address is out of range or misaligned."""
+
+
+class RowRemapError(DramError):
+    """An invalid row-remapping was requested (e.g. cell-type mismatch)."""
+
+
+class KernelError(ReproError):
+    """Base class for OS-model errors."""
+
+
+class OutOfMemoryError(KernelError):
+    """The buddy allocator could not satisfy an allocation request."""
+
+
+class ZoneViolationError(KernelError):
+    """An allocation would violate a zone policy (e.g. CTA rules 1/2)."""
+
+
+class PageTableError(KernelError):
+    """Malformed page-table structure or walk failure."""
+
+
+class PageFaultError(KernelError):
+    """A virtual access could not be translated or lacked permission."""
+
+    def __init__(self, message: str, virtual_address: int = 0):
+        super().__init__(message)
+        self.virtual_address = virtual_address
+
+
+class ProcessError(KernelError):
+    """Invalid process-level operation (bad mmap, double free, ...)."""
+
+
+class AttackError(ReproError):
+    """An attack harness was misused or hit an unexpected state."""
+
+
+class DefenseError(ReproError):
+    """A defense was configured or engaged incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """Invalid parameters for the analytical security model."""

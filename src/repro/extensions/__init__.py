@@ -1,0 +1,22 @@
+"""Broader applications of the monotonicity property (paper Section 8).
+
+- :mod:`~repro.extensions.permissions` — permission vectors in true-cells
+  can only lose permissions under charge-leak faults, never gain them.
+- :mod:`~repro.extensions.coldboot` — reserved canary cells detect DRAM
+  remanence at boot and refuse to proceed after a suspicious power cycle.
+- :mod:`~repro.extensions.hamming` — a directional error-detection code:
+  data in true-cells, its hamming weight in anti-cells.
+"""
+
+from repro.extensions.permissions import Permission, PermissionVectorStore
+from repro.extensions.coldboot import BootDecision, ColdbootGuard
+from repro.extensions.hamming import DirectionalCodec, EncodedBlock
+
+__all__ = [
+    "BootDecision",
+    "ColdbootGuard",
+    "DirectionalCodec",
+    "EncodedBlock",
+    "Permission",
+    "PermissionVectorStore",
+]

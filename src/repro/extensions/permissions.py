@@ -1,0 +1,112 @@
+"""Permission-vector protection with true-cell monotonicity (Section 8).
+
+A permission bit vector (e.g. Unix rwx, SELinux access vectors) stored in
+true-cells can only decay ``1 -> 0`` — "allowed" can degrade to "denied",
+but "denied" can essentially never become "allowed". Fault attacks on
+permission bits therefore cannot violate confidentiality: the error
+direction is pinned by the physics.
+
+:class:`PermissionVectorStore` allocates vectors in true-cell rows of a
+simulated module, lets tests inject RowHammer faults, and audits whether
+any denial ever became a grant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dram.cells import CellType
+from repro.dram.module import DramModule
+from repro.errors import ConfigurationError, DramError
+
+
+class Permission(enum.IntFlag):
+    """Classic rwx bits; '1' grants, '0' denies."""
+
+    NONE = 0
+    EXECUTE = 1
+    WRITE = 2
+    READ = 4
+
+    @classmethod
+    def full(cls) -> "Permission":
+        """rwx."""
+        return cls.READ | cls.WRITE | cls.EXECUTE
+
+
+@dataclass(frozen=True)
+class PermissionRecord:
+    """Where one subject's permissions live."""
+
+    subject: str
+    address: int
+    original: Permission
+
+
+class PermissionVectorStore:
+    """Permission vectors pinned to true-cell rows of a module."""
+
+    def __init__(self, module: DramModule):
+        if module.cell_map is None:
+            raise ConfigurationError("store requires a module with a cell map")
+        self._module = module
+        self._records: Dict[str, PermissionRecord] = {}
+        self._cursor = self._first_true_cell_address()
+
+    def _first_true_cell_address(self) -> int:
+        for start, _end in self._module.cell_map.address_regions_of_type(CellType.TRUE):
+            return start
+        raise DramError("module has no true-cell rows")
+
+    def grant(self, subject: str, permissions: Permission) -> PermissionRecord:
+        """Store a subject's permission vector in true-cells."""
+        if subject in self._records:
+            raise ConfigurationError(f"subject {subject!r} already stored")
+        address = self._cursor
+        if self._module.cell_map.type_of_address(address) is not CellType.TRUE:
+            raise DramError("allocation cursor left the true-cell region")
+        self._cursor += 1
+        self._module.write(address, bytes([int(permissions)]))
+        record = PermissionRecord(subject=subject, address=address, original=permissions)
+        self._records[subject] = record
+        return record
+
+    def read(self, subject: str) -> Permission:
+        """Current (possibly decayed) permissions of a subject."""
+        record = self._records[subject]
+        return Permission(self._module.read(record.address, 1)[0] & int(Permission.full()))
+
+    def records(self) -> Iterator[PermissionRecord]:
+        """All stored records."""
+        return iter(self._records.values())
+
+    # -- audit ------------------------------------------------------------
+    def escalations(self) -> List[Tuple[str, Permission, Permission]]:
+        """Subjects whose *current* permissions exceed their original grant.
+
+        With true-cell storage this list stays empty under charge-leak
+        faults: bits only fall. Returns (subject, original, current).
+        """
+        found = []
+        for record in self._records.values():
+            current = self.read(record.subject)
+            gained = current & ~record.original
+            if gained:
+                found.append((record.subject, record.original, current))
+        return found
+
+    def degradations(self) -> List[Tuple[str, Permission, Permission]]:
+        """Subjects who lost permissions (availability, not confidentiality)."""
+        found = []
+        for record in self._records.values():
+            current = self.read(record.subject)
+            lost = record.original & ~current
+            if lost:
+                found.append((record.subject, record.original, current))
+        return found
+
+    def confidentiality_preserved(self) -> bool:
+        """The Section 8 guarantee: no denial ever became a grant."""
+        return not self.escalations()

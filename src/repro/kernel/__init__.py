@@ -1,0 +1,52 @@
+"""OS kernel model: zoned buddy allocator, paging, processes, CTA policy.
+
+This subpackage is a functional model of the Linux memory-management
+pieces the paper's 18-line patch touches:
+
+- :mod:`~repro.kernel.gfp` — allocation flags including the new ``GFP_PTP``
+- :mod:`~repro.kernel.zones` — physical memory zones + ``ZONE_PTP``
+- :mod:`~repro.kernel.buddy` — per-zone binary buddy allocator
+- :mod:`~repro.kernel.pagetable` — x86-64 4-level page-table encoding
+- :mod:`~repro.kernel.mmu` — table walks against simulated DRAM
+- :mod:`~repro.kernel.process` — processes and ``mmap``
+- :mod:`~repro.kernel.cta` — the paper's Cell-Type-Aware allocation policy
+- :mod:`~repro.kernel.kernel` — the :class:`Kernel` facade tying it together
+"""
+
+from repro.kernel.gfp import GfpFlags
+from repro.kernel.zones import MemoryZone, ZoneId, ZoneLayout
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.page import PageFrame, PageUse
+from repro.kernel.pagetable import PageTableEntry, PteFlags
+from repro.kernel.tlb import Tlb
+from repro.kernel.mmu import Mmu
+from repro.kernel.cta import CtaConfig, CtaPolicy
+from repro.kernel.process import Process, VmArea
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.hypervisor import GuestPhysicalWindow, GuestVm, Hypervisor
+from repro.kernel.screening import install_ps_screening, screen_ps_vulnerable_frames
+
+__all__ = [
+    "BuddyAllocator",
+    "CtaConfig",
+    "CtaPolicy",
+    "GfpFlags",
+    "GuestPhysicalWindow",
+    "GuestVm",
+    "Hypervisor",
+    "Kernel",
+    "KernelConfig",
+    "install_ps_screening",
+    "screen_ps_vulnerable_frames",
+    "MemoryZone",
+    "Mmu",
+    "PageFrame",
+    "PageTableEntry",
+    "PageUse",
+    "Process",
+    "PteFlags",
+    "Tlb",
+    "VmArea",
+    "ZoneId",
+    "ZoneLayout",
+]

@@ -1,0 +1,185 @@
+"""Binary buddy allocator over a contiguous page-frame range.
+
+A faithful model of the Linux zoned buddy system (Section 6.1, [4, 8, 24]):
+free blocks are kept in per-order free lists; allocation splits larger
+blocks downward; freeing coalesces with the buddy block recursively. Each
+:class:`~repro.kernel.zones.MemoryZone` gets its own allocator instance.
+
+Buddy arithmetic is done on pfns relative to the zone base so that zones
+need not start at power-of-two-aligned pfns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError, OutOfMemoryError, KernelError
+
+#: Largest allocation order supported (matches Linux's historical MAX_ORDER-1).
+MAX_ORDER = 10
+
+
+class BuddyAllocator:
+    """Per-zone buddy allocator.
+
+    Parameters
+    ----------
+    start_pfn, end_pfn:
+        Page-frame range managed (end exclusive).
+    """
+
+    def __init__(self, start_pfn: int, end_pfn: int):
+        if end_pfn <= start_pfn:
+            raise ConfigurationError(f"empty pfn range [{start_pfn}, {end_pfn})")
+        self._start_pfn = start_pfn
+        self._end_pfn = end_pfn
+        # free_lists[order] = set of relative block starts.
+        self._free_lists: Dict[int, Set[int]] = {order: set() for order in range(MAX_ORDER + 1)}
+        self._allocated: Dict[int, int] = {}  # relative start -> order
+        self._seed_free_blocks()
+        #: Allocation-path statistics for the perf harness.
+        self.alloc_calls = 0
+        self.split_count = 0
+        self.coalesce_count = 0
+        self.failed_allocs = 0
+
+    def _seed_free_blocks(self) -> None:
+        """Carve the range into maximal aligned power-of-two free blocks."""
+        size = self._end_pfn - self._start_pfn
+        cursor = 0
+        while cursor < size:
+            order = MAX_ORDER
+            while order > 0 and (
+                cursor % (1 << order) != 0 or cursor + (1 << order) > size
+            ):
+                order -= 1
+            self._free_lists[order].add(cursor)
+            cursor += 1 << order
+
+    # -- properties ----------------------------------------------------------
+    @property
+    def start_pfn(self) -> int:
+        """First pfn managed."""
+        return self._start_pfn
+
+    @property
+    def end_pfn(self) -> int:
+        """One past the last pfn managed."""
+        return self._end_pfn
+
+    @property
+    def total_pages(self) -> int:
+        """Page frames managed."""
+        return self._end_pfn - self._start_pfn
+
+    @property
+    def free_pages(self) -> int:
+        """Currently free page frames."""
+        return sum(len(blocks) << order for order, blocks in self._free_lists.items())
+
+    @property
+    def allocated_pages(self) -> int:
+        """Currently allocated page frames."""
+        return sum(1 << order for order in self._allocated.values())
+
+    def free_blocks_by_order(self) -> Dict[int, int]:
+        """Free-list occupancy, order -> block count (``/proc/buddyinfo``)."""
+        return {order: len(blocks) for order, blocks in self._free_lists.items()}
+
+    # -- allocation -------------------------------------------------------------
+    def alloc_pages(self, order: int = 0) -> int:
+        """Allocate a 2**order-page block; returns its first (absolute) pfn.
+
+        Raises :class:`OutOfMemoryError` when no block of sufficient order
+        is free.
+        """
+        self._check_order(order)
+        self.alloc_calls += 1
+        found_order = None
+        for candidate in range(order, MAX_ORDER + 1):
+            if self._free_lists[candidate]:
+                found_order = candidate
+                break
+        if found_order is None:
+            self.failed_allocs += 1
+            raise OutOfMemoryError(
+                f"no free block of order >= {order} in pfn range "
+                f"[{self._start_pfn}, {self._end_pfn})"
+            )
+        block = min(self._free_lists[found_order])
+        self._free_lists[found_order].discard(block)
+        # Split down to the requested order, freeing the upper halves.
+        while found_order > order:
+            found_order -= 1
+            self.split_count += 1
+            buddy = block + (1 << found_order)
+            self._free_lists[found_order].add(buddy)
+        self._allocated[block] = order
+        return self._start_pfn + block
+
+    def free_pages_block(self, pfn: int, order: Optional[int] = None) -> None:
+        """Free the block starting at absolute ``pfn``.
+
+        ``order`` may be omitted (looked up from the allocation record) or
+        provided and validated. Coalesces with free buddies upward.
+        """
+        relative = pfn - self._start_pfn
+        recorded = self._allocated.get(relative)
+        if recorded is None:
+            raise KernelError(f"pfn {pfn} is not the head of an allocated block")
+        if order is not None and order != recorded:
+            raise KernelError(
+                f"pfn {pfn} was allocated at order {recorded}, freed at {order}"
+            )
+        del self._allocated[relative]
+        block, current = relative, recorded
+        while current < MAX_ORDER:
+            buddy = block ^ (1 << current)
+            if buddy not in self._free_lists[current]:
+                break
+            if buddy + (1 << current) > self.total_pages:
+                break
+            self._free_lists[current].discard(buddy)
+            self.coalesce_count += 1
+            block = min(block, buddy)
+            current += 1
+        self._free_lists[current].add(block)
+
+    def contains(self, pfn: int) -> bool:
+        """Whether ``pfn`` is managed by this allocator."""
+        return self._start_pfn <= pfn < self._end_pfn
+
+    def is_allocated(self, pfn: int) -> bool:
+        """Whether ``pfn`` lies inside any currently allocated block."""
+        relative = pfn - self._start_pfn
+        for block, order in self._allocated.items():
+            if block <= relative < block + (1 << order):
+                return True
+        return False
+
+    def check_invariants(self) -> None:
+        """Assert conservation and non-overlap; used by property tests.
+
+        Raises :class:`KernelError` on any violation.
+        """
+        covered: Set[int] = set()
+        for order, blocks in self._free_lists.items():
+            for block in blocks:
+                pages = set(range(block, block + (1 << order)))
+                if covered & pages:
+                    raise KernelError("free blocks overlap")
+                covered |= pages
+        for block, order in self._allocated.items():
+            pages = set(range(block, block + (1 << order)))
+            if covered & pages:
+                raise KernelError("allocated block overlaps a free block")
+            covered |= pages
+        if len(covered) != self.total_pages:
+            raise KernelError(
+                f"page conservation violated: covered {len(covered)} of "
+                f"{self.total_pages} pages"
+            )
+
+    def _check_order(self, order: int) -> None:
+        if not 0 <= order <= MAX_ORDER:
+            raise ConfigurationError(f"order {order} outside [0, {MAX_ORDER}]")

@@ -1,0 +1,318 @@
+"""Cell-Type-Aware (CTA) memory allocation policy.
+
+The paper's contribution (Section 4/6): place every page-table page (PTP)
+in DRAM **true-cells** above a physical-address **low water mark**, so the
+frame pointers inside PTEs are *monotonic* under RowHammer — bit flips can
+only decrease them — and therefore can never point back up into the PTP
+region. Two rules:
+
+- **Rule 1** — PTP allocation requests are served from ``ZONE_PTP`` only,
+  never falling back to lower zones.
+- **Rule 2** — only page-table pages may reside in ``ZONE_PTP``.
+
+:class:`CtaPolicy` turns a profiled cell-type map into the concrete
+``ZONE_PTP`` sub-zone list (true-cell sub-zones ``ZONE_TC*``; anti-cell
+gaps invalid — Figure 8), computes the low water mark, and exposes the
+PTP-indicator arithmetic the security analysis uses. It also implements
+the Section 7 extension: one PTP sub-zone group per page-table level,
+higher levels at higher addresses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.errors import ConfigurationError, ZoneViolationError
+from repro.kernel.page import PageFrameDatabase, PageUse
+from repro.kernel.zones import MemoryZone, ZoneId
+from repro.units import PAGE_SIZE, PAGE_SHIFT, is_power_of_two
+
+
+@dataclass(frozen=True)
+class CtaConfig:
+    """Tunables of the CTA deployment.
+
+    Parameters
+    ----------
+    ptp_bytes:
+        True-cell capacity of ``ZONE_PTP`` (the paper uses 32 MiB as the
+        common-case size, 64 MiB as the larger variant). Only true-cell
+        bytes count toward this target; interleaved anti-cell rows above
+        the low water mark are invalid capacity on top of it.
+    multilevel:
+        Enable the Section 7 scheme: four per-level PTP zone groups, the
+        zone for level L+1 strictly above the zone for level L.
+    restrict_indicator_zeros:
+        The Section 5 hardening: physical pages whose PTP indicator
+        contains fewer than two '0' bits are reserved for the kernel and
+        trusted processes, so an attacker PTE needs >= 2 upward flips.
+    cell_aware:
+        When False, the policy degrades to a *low-water-mark-only* defense:
+        ZONE_PTP is simply the top ``ptp_bytes`` of memory with no regard
+        for cell types. This is the paper's Section 5 ablation showing the
+        mark alone is ineffective (an all-anti-cell ZONE_PTP yields 3354.7
+        exploitable PTEs and a 3.2 hour attack).
+    """
+
+    ptp_bytes: int = 32 * 1024 * 1024
+    multilevel: bool = False
+    restrict_indicator_zeros: bool = False
+    cell_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ptp_bytes <= 0 or self.ptp_bytes % PAGE_SIZE:
+            raise ConfigurationError("ptp_bytes must be a positive multiple of PAGE_SIZE")
+
+
+class CtaPolicy:
+    """Concrete CTA layout for one machine.
+
+    Built from the module's total size and a (profiled) cell-type map;
+    see :class:`~repro.dram.profiler.CellTypeProfiler` for how deployments
+    obtain that map without hardware support.
+    """
+
+    def __init__(self, cell_map: CellTypeMap, config: CtaConfig):
+        self._cell_map = cell_map
+        self._config = config
+        self._total_bytes = cell_map.geometry.total_bytes
+        (
+            self._low_water_mark,
+            self._true_cell_ranges,
+            self._anti_cell_ranges,
+        ) = self._plan_region()
+
+    # -- region planning -----------------------------------------------------
+    def _plan_region(self) -> Tuple[int, List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """Walk down from the top of memory collecting true-cell capacity.
+
+        Returns (low_water_mark_address, true_ranges, anti_ranges) where the
+        ranges partition [low_water_mark, total_bytes) by cell type.
+        """
+        needed = self._config.ptp_bytes
+        if not self._config.cell_aware:
+            # Low-water-mark-only ablation: take the literal top of memory,
+            # whatever cells it is made of; nothing is invalidated.
+            mark = self._total_bytes - needed
+            if mark < 0:
+                raise ConfigurationError("ZONE_PTP larger than memory")
+            return mark, [(mark, self._total_bytes)], []
+        regions = self._cell_map.regions()  # ascending (start_row, end_row, type)
+        row_bytes = self._cell_map.geometry.row_bytes
+        collected = 0
+        true_ranges: List[Tuple[int, int]] = []
+        anti_ranges: List[Tuple[int, int]] = []
+        mark = self._total_bytes
+        for start_row, end_row, cell_type in reversed(regions):
+            if collected >= needed:
+                break
+            start, end = start_row * row_bytes, end_row * row_bytes
+            if cell_type is CellType.TRUE:
+                take = min(end - start, needed - collected)
+                start = end - take  # take the top part of the region
+                true_ranges.append((start, end))
+                collected += take
+            else:
+                anti_ranges.append((start, end))
+            mark = start
+        if collected < needed:
+            raise ConfigurationError(
+                f"module has only {collected} true-cell bytes above any mark, "
+                f"needed {needed} for ZONE_PTP"
+            )
+        true_ranges.reverse()
+        anti_ranges.reverse()
+        return mark, true_ranges, anti_ranges
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def config(self) -> CtaConfig:
+        """The deployment configuration."""
+        return self._config
+
+    @property
+    def cell_map(self) -> CellTypeMap:
+        """Cell-type map the layout was planned from."""
+        return self._cell_map
+
+    @property
+    def low_water_mark(self) -> int:
+        """Physical address below which all regular data must live."""
+        return self._low_water_mark
+
+    @property
+    def low_water_mark_pfn(self) -> int:
+        """Low water mark as a page-frame number."""
+        return self._low_water_mark >> PAGE_SHIFT
+
+    @property
+    def true_cell_ranges(self) -> List[Tuple[int, int]]:
+        """True-cell byte ranges forming ZONE_PTP capacity (ascending)."""
+        return list(self._true_cell_ranges)
+
+    @property
+    def anti_cell_ranges(self) -> List[Tuple[int, int]]:
+        """Anti-cell byte ranges above the mark, marked invalid (ascending)."""
+        return list(self._anti_cell_ranges)
+
+    @property
+    def capacity_loss_bytes(self) -> int:
+        """Bytes of anti-cell memory sacrificed above the low water mark.
+
+        Section 6.2: worst case one full 64 MiB anti-cell region = 0.78%
+        of an 8 GiB system; best case zero.
+        """
+        return sum(end - start for start, end in self._anti_cell_ranges)
+
+    @property
+    def capacity_loss_fraction(self) -> float:
+        """Capacity loss as a fraction of total memory."""
+        return self.capacity_loss_bytes / self._total_bytes
+
+    # -- zone construction ------------------------------------------------------
+    def build_subzones(self) -> List[MemoryZone]:
+        """The ``ZONE_TC*`` sub-zones for the zone layout (Figure 8).
+
+        With ``multilevel`` enabled the true-cell ranges are split into four
+        groups serving PT levels 1..4, level 4 (PML4) at the highest
+        addresses — the ordering the Section 7 proof needs.
+        """
+        if not self._config.multilevel:
+            return [
+                MemoryZone(
+                    ZoneId.PTP,
+                    start >> PAGE_SHIFT,
+                    end >> PAGE_SHIFT,
+                    sub_label=f"ZONE_TC{i}",
+                )
+                for i, (start, end) in enumerate(self._true_cell_ranges)
+            ]
+        return self._build_multilevel_subzones()
+
+    def _build_multilevel_subzones(self) -> List[MemoryZone]:
+        """Partition true-cell capacity into 4 level groups by address.
+
+        Level 1 (last-level PTs) dominates real page-table footprint
+        (~512x the next level), so the split is proportional: levels
+        2..4 each get 1/64 of the capacity (minimum one page), level 1
+        the rest. Higher levels take higher addresses.
+        """
+        total_pages = sum((end - start) >> PAGE_SHIFT for start, end in self._true_cell_ranges)
+        share = max(1, total_pages // 64)
+        wanted = {4: share, 3: share, 2: share, 1: total_pages - 3 * share}
+        if wanted[1] <= 0:
+            raise ConfigurationError("ZONE_PTP too small for multi-level sub-zones")
+        zones: List[MemoryZone] = []
+        level = 4
+        remaining = wanted[level]
+        counter = 0
+        # Walk ranges from the top down so level 4 lands highest.
+        for start, end in reversed(self._true_cell_ranges):
+            cursor_end = end >> PAGE_SHIFT
+            range_start = start >> PAGE_SHIFT
+            while cursor_end > range_start:
+                take = min(remaining, cursor_end - range_start)
+                zones.append(
+                    MemoryZone(
+                        ZoneId.PTP,
+                        cursor_end - take,
+                        cursor_end,
+                        sub_label=f"ZONE_TC_L{level}_{counter}",
+                        pt_level=level,
+                    )
+                )
+                counter += 1
+                cursor_end -= take
+                remaining -= take
+                if remaining == 0 and level > 1:
+                    level -= 1
+                    remaining = wanted[level]
+        return sorted(zones, key=lambda z: z.start_pfn)
+
+    # -- PTP indicator arithmetic (Section 5) ------------------------------------
+    def indicator_bits(self) -> int:
+        """Number of PTP-indicator bits ``n``.
+
+        The indicator is the set of high physical-address bits that must be
+        all '1' for an address to lie in ZONE_PTP; with a power-of-two
+        memory size and PTP span, ``n = log2(total / ptp)``.
+        """
+        return ptp_indicator_bits(self._total_bytes, self._config.ptp_bytes)
+
+    def indicator_zero_count(self, physical_address: int) -> int:
+        """Number of '0' bits in the PTP indicator field of an address."""
+        n = self.indicator_bits()
+        shift = int(math.log2(self._total_bytes)) - n
+        field = (physical_address >> shift) & ((1 << n) - 1)
+        return n - bin(field).count("1")
+
+    def address_allowed_for_untrusted(self, physical_address: int) -> bool:
+        """Whether an untrusted process may receive this physical page.
+
+        Always true without the restriction; with it, pages whose indicator
+        has fewer than two '0's are reserved (Section 5's hardening, which
+        makes an exploitable PTE require >= 2 upward flips).
+        """
+        if not self._config.restrict_indicator_zeros:
+            return True
+        return self.indicator_zero_count(physical_address) >= 2
+
+    # -- rule validation ----------------------------------------------------------
+    def check_rules(self, page_db: PageFrameDatabase) -> None:
+        """Validate Rules 1 and 2 over the live page-frame database.
+
+        Raises :class:`ZoneViolationError` on the first violation:
+        - a PAGE_TABLE frame below the low water mark (Rule 1 broken), or
+        - a non-PAGE_TABLE allocated frame at or above it (Rule 2 broken),
+        - any allocated frame inside an invalid anti-cell range.
+        """
+        mark_pfn = self.low_water_mark_pfn
+        anti_pfn_ranges = [
+            (start >> PAGE_SHIFT, end >> PAGE_SHIFT) for start, end in self._anti_cell_ranges
+        ]
+        for frame in page_db.allocated_frames():
+            if frame.use is PageUse.PAGE_TABLE and frame.pfn < mark_pfn:
+                raise ZoneViolationError(
+                    f"Rule 1 violated: page-table pfn {frame.pfn} below low water "
+                    f"mark pfn {mark_pfn}"
+                )
+            if frame.use not in (PageUse.PAGE_TABLE, PageUse.RESERVED) and frame.pfn >= mark_pfn:
+                raise ZoneViolationError(
+                    f"Rule 2 violated: {frame.use.value} pfn {frame.pfn} above low "
+                    f"water mark pfn {mark_pfn}"
+                )
+            for start, end in anti_pfn_ranges:
+                if start <= frame.pfn < end and frame.use is not PageUse.RESERVED:
+                    raise ZoneViolationError(
+                        f"pfn {frame.pfn} allocated inside invalid anti-cell range "
+                        f"[{start}, {end})"
+                    )
+
+    def ptes_are_monotonic(self) -> bool:
+        """Whether every PTP row sits in true-cells (monotonicity holds).
+
+        True for any cell-aware layout by construction; the low-water-mark
+        ablation returns False whenever its span touches anti-cell rows.
+        """
+        row_bytes = self._cell_map.geometry.row_bytes
+        for start, end in self._true_cell_ranges:
+            for row in range(start // row_bytes, (end + row_bytes - 1) // row_bytes):
+                if self._cell_map.type_of_row(row) is not CellType.TRUE:
+                    return False
+        return True
+
+
+def ptp_indicator_bits(total_bytes: int, ptp_bytes: int) -> int:
+    """``n = log2(total / ptp)`` — the paper's PTP-indicator width.
+
+    For the paper's running example (8 GiB memory, 32 MiB ZONE_PTP) this is
+    8 bits.
+    """
+    if not is_power_of_two(total_bytes) or not is_power_of_two(ptp_bytes):
+        raise ConfigurationError("indicator math requires power-of-two sizes")
+    if ptp_bytes >= total_bytes:
+        raise ConfigurationError("ZONE_PTP must be smaller than memory")
+    return int(math.log2(total_bytes // ptp_bytes))

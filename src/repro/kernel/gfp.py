@@ -1,0 +1,57 @@
+"""Get-Free-Pages (GFP) allocation flags.
+
+Mirrors the Linux flag mechanism described in Section 6.1: every page
+allocation carries a GFP mask whose zone bits select which zone the buddy
+allocator tries first, with fallback governed by the zonelist. The paper's
+patch adds one new modifier, ``__GFP_PTP``, which (a) directs the request
+to ``ZONE_PTP`` and (b) forbids fallback to any other zone (Rule 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class GfpFlags(enum.Flag):
+    """Allocation-request flags.
+
+    The zone-selection subset (``DMA``, ``DMA32``, ``HIGHMEM``, ``PTP``)
+    mirrors Linux's ``__GFP_*`` zone modifiers; ``KERNEL`` and ``USER`` are
+    the common composite request types.
+    """
+
+    NONE = 0
+    #: Must be served from ZONE_DMA.
+    DMA = enum.auto()
+    #: Must be served at or below 4 GiB (ZONE_DMA32).
+    DMA32 = enum.auto()
+    #: May be served from high memory (32-bit layouts).
+    HIGHMEM = enum.auto()
+    #: The paper's new flag: serve from ZONE_PTP only, no fallback (Rule 1).
+    PTP = enum.auto()
+    #: Kernel-internal allocation.
+    KERNEL = enum.auto()
+    #: User-process page allocation.
+    USER = enum.auto()
+    #: Allow blocking reclaim when zones are tight.
+    RECLAIM = enum.auto()
+
+    @property
+    def is_ptp_request(self) -> bool:
+        """True when the request carries the paper's ``__GFP_PTP`` modifier."""
+        return bool(self & GfpFlags.PTP)
+
+    @property
+    def forbids_fallback(self) -> bool:
+        """PTP requests must never fall back to lower zones (Rule 1)."""
+        return self.is_ptp_request
+
+
+#: The composite flag used by ``pte_alloc_one`` after the paper's patch.
+GFP_PTP = GfpFlags.PTP | GfpFlags.KERNEL
+
+#: Ordinary kernel allocation.
+GFP_KERNEL = GfpFlags.KERNEL | GfpFlags.RECLAIM
+
+#: Ordinary user allocation.
+GFP_USER = GfpFlags.USER | GfpFlags.RECLAIM

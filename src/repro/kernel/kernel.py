@@ -1,0 +1,665 @@
+"""The kernel facade: boots zones over simulated DRAM and runs processes.
+
+This is the integration point the paper's 18-line patch targets. The
+kernel owns:
+
+- the physical substrate (a :class:`~repro.dram.module.DramModule`),
+- the zone layout and one buddy allocator per (sub-)zone,
+- the page-frame database,
+- an MMU + TLB,
+- processes, their page tables (stored *in* simulated DRAM), and demand
+  paging.
+
+With a :class:`~repro.kernel.cta.CtaConfig` supplied, booting runs the
+cell-type profiler, plans ``ZONE_PTP`` out of true-cell rows above the low
+water mark, and routes every ``pte_alloc_one`` through ``GFP_PTP`` — the
+complete CTA deployment. Without it, the kernel behaves like the stock
+allocator the attacks exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.profiler import CellTypeProfiler
+from repro.errors import (
+    AddressError,
+    ConfigurationError,
+    OutOfMemoryError,
+    PageFaultError,
+    ProcessError,
+    ZoneViolationError,
+)
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.cta import CtaConfig, CtaPolicy
+from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
+from repro.kernel.mmu import Mmu
+from repro.kernel.page import PageFrameDatabase, PageUse
+from repro.kernel.pagetable import (
+    NUM_LEVELS,
+    PageTableEntry,
+    entry_address,
+    split_virtual_address,
+)
+from repro.kernel.process import MappedFile, Process, VmArea
+from repro.kernel.tlb import Tlb
+from repro.kernel.zones import MemoryZone, ZoneId, ZoneLayout
+from repro.units import DEFAULT_CELL_INTERLEAVE_ROWS, PAGE_SHIFT, PAGE_SIZE
+
+
+@dataclass
+class KernelConfig:
+    """Boot-time configuration.
+
+    ``cell_interleave_rows`` controls the simulated module's true/anti
+    alternation period; ``cta`` enables the paper's defense. When ``cta``
+    is set, ``profile_cells`` chooses between running the system-level
+    profiler (realistic; default) and trusting the ground-truth map
+    directly (faster for big sweeps).
+    """
+
+    total_bytes: int = 64 * 1024 * 1024
+    row_bytes: int = 64 * 1024
+    num_banks: int = 4
+    cell_interleave_rows: int = 16
+    cta: Optional[CtaConfig] = None
+    profile_cells: bool = True
+    tlb_capacity: int = 1536
+    arch: str = "x86_64"
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("x86_64", "x86_32"):
+            raise ConfigurationError(f"unknown arch {self.arch!r}")
+
+
+@dataclass
+class KernelStats:
+    """Aggregate counters for the perf harness."""
+
+    page_allocs: int = 0
+    page_frees: int = 0
+    pte_allocs: int = 0
+    demand_faults: int = 0
+    ptp_fallback_denied: int = 0
+    indicator_rejections: int = 0
+    screening_rejections: int = 0
+    huge_mappings: int = 0
+    ptp_reclaims: int = 0
+
+
+class Kernel:
+    """A booted system instance."""
+
+    def __init__(
+        self,
+        config: KernelConfig = KernelConfig(),
+        module: Optional[DramModule] = None,
+        cell_map: Optional[CellTypeMap] = None,
+    ):
+        self.config = config
+        if module is not None:
+            self._module = module
+            self._cell_map = module.cell_map
+            geometry = module.geometry
+        else:
+            geometry = DramGeometry(
+                total_bytes=config.total_bytes,
+                row_bytes=config.row_bytes,
+                num_banks=config.num_banks,
+            )
+            self._cell_map = cell_map or CellTypeMap.interleaved(
+                geometry, period_rows=config.cell_interleave_rows
+            )
+            self._module = DramModule(geometry, self._cell_map)
+        if self._cell_map is None:
+            raise ConfigurationError("kernel requires a module with a cell map")
+
+        self.stats = KernelStats()
+        self._cta_policy: Optional[CtaPolicy] = None
+        self._layout = self._build_layout(geometry)
+        self._allocators: List[Tuple[MemoryZone, BuddyAllocator]] = [
+            (zone, BuddyAllocator(zone.start_pfn, zone.end_pfn))
+            for zone in self._layout.zones
+        ]
+        self._page_db = PageFrameDatabase(self._layout.total_pages)
+        self._tlb = Tlb(capacity=config.tlb_capacity)
+        self._mmu = Mmu(self._module, self._tlb)
+        self._processes: Dict[int, Process] = {}
+        self._files: Dict[int, MappedFile] = {}
+        self._next_pid = 1
+        self._next_file_id = 1
+        #: Frames the Section 7 page-size-bit screening forbids for
+        #: high-level page tables (see :mod:`repro.kernel.screening`).
+        self._screened_ptp_frames: set = set()
+
+    # -- boot helpers ------------------------------------------------------
+    def _build_layout(self, geometry: DramGeometry) -> ZoneLayout:
+        if self.config.cta is None:
+            if self.config.arch == "x86_32":
+                return ZoneLayout.x86_32(geometry.total_bytes)
+            return ZoneLayout.x86_64(geometry.total_bytes)
+        observed_map = self._cell_map
+        if self.config.profile_cells:
+            observed_map = CellTypeProfiler(self._module).profile().inferred_map
+        self._cta_policy = CtaPolicy(observed_map, self.config.cta)
+        subzones = self._cta_policy.build_subzones()
+        ptp_span = geometry.total_bytes - self._cta_policy.low_water_mark
+        if self.config.arch == "x86_32":
+            # 32-bit layouts share the x86_64 builder's PTP carving logic via
+            # explicit subzones being above the computed mark.
+            layout = ZoneLayout.x86_32(geometry.total_bytes, ptp_bytes=ptp_span)
+            zones = [z for z in layout.zones if z.zone_id is not ZoneId.PTP]
+            return ZoneLayout(list(zones) + subzones, layout.total_pages)
+        return ZoneLayout.x86_64(
+            geometry.total_bytes, ptp_bytes=ptp_span, ptp_subzones=subzones
+        )
+
+    # -- basic accessors -----------------------------------------------------
+    @property
+    def module(self) -> DramModule:
+        """Simulated physical memory."""
+        return self._module
+
+    @property
+    def layout(self) -> ZoneLayout:
+        """Zone layout in force."""
+        return self._layout
+
+    @property
+    def page_db(self) -> PageFrameDatabase:
+        """Page-frame database."""
+        return self._page_db
+
+    @property
+    def mmu(self) -> Mmu:
+        """The MMU (and its TLB)."""
+        return self._mmu
+
+    @property
+    def tlb(self) -> Tlb:
+        """The TLB."""
+        return self._tlb
+
+    @property
+    def cta_policy(self) -> Optional[CtaPolicy]:
+        """The CTA layout, when the defense is enabled."""
+        return self._cta_policy
+
+    @property
+    def cta_enabled(self) -> bool:
+        """Whether CTA allocation is active."""
+        return self._cta_policy is not None
+
+    @property
+    def processes(self) -> Dict[int, Process]:
+        """Live processes by pid."""
+        return dict(self._processes)
+
+    def allocator_for_zone(self, zone: MemoryZone) -> BuddyAllocator:
+        """The buddy allocator managing ``zone``."""
+        for candidate, allocator in self._allocators:
+            if candidate is zone:
+                return allocator
+        raise ConfigurationError(f"zone {zone.name} not managed by this kernel")
+
+    def allocator_of_pfn(self, pfn: int) -> Optional[BuddyAllocator]:
+        """The allocator whose range contains ``pfn`` (None in zone holes)."""
+        for _, allocator in self._allocators:
+            if allocator.contains(pfn):
+                return allocator
+        return None
+
+    # -- page allocation -----------------------------------------------------
+    def alloc_page(
+        self,
+        flags: GfpFlags,
+        use: PageUse,
+        owner_pid: Optional[int] = None,
+        pt_level: int = 0,
+        untrusted: bool = False,
+        order: int = 0,
+    ) -> int:
+        """Allocate and zero a 2**order-page block according to ``flags``.
+
+        Enforces CTA Rules 1/2: PTP requests only touch PTP sub-zones (no
+        fallback), and non-PTP requests never see ZONE_PTP because it is
+        absent from their zonelists. With the indicator-zeros hardening,
+        untrusted allocations skip pages whose PTP indicator has fewer
+        than two '0' bits. Frames on the Section 7 page-size-bit screening
+        list are never used for high-level page tables.
+        """
+        if flags.is_ptp_request and use is not PageUse.PAGE_TABLE:
+            raise ZoneViolationError(
+                f"GFP_PTP used for {use.value}; only page tables allowed (Rule 2)"
+            )
+        zonelist = self._layout.zonelist_for(flags, pt_level)
+        rejected: List[Tuple[BuddyAllocator, int]] = []
+        try:
+            for zone in zonelist:
+                allocator = self.allocator_for_zone(zone)
+                while True:
+                    try:
+                        pfn = allocator.alloc_pages(order=order)
+                    except OutOfMemoryError:
+                        break
+                    if untrusted and self._cta_policy is not None:
+                        address = pfn << PAGE_SHIFT
+                        if not self._cta_policy.address_allowed_for_untrusted(address):
+                            rejected.append((allocator, pfn))
+                            self.stats.indicator_rejections += 1
+                            continue
+                    if (
+                        use is PageUse.PAGE_TABLE
+                        and pt_level >= 2
+                        and pfn in self._screened_ptp_frames
+                    ):
+                        rejected.append((allocator, pfn))
+                        self.stats.screening_rejections += 1
+                        continue
+                    for offset in range(1 << order):
+                        self._page_db.mark_allocated(
+                            pfn + offset, use, owner_pid=owner_pid,
+                            pt_level=pt_level, order=order if offset == 0 else 0,
+                        )
+                    self._module.write(
+                        pfn << PAGE_SHIFT, b"\x00" * (PAGE_SIZE << order)
+                    )
+                    self.stats.page_allocs += 1
+                    return pfn
+            if flags.forbids_fallback:
+                self.stats.ptp_fallback_denied += 1
+            raise OutOfMemoryError(
+                f"no free page for {use.value} in zonelist "
+                f"{[z.name for z in zonelist]}"
+            )
+        finally:
+            for allocator, pfn in rejected:
+                allocator.free_pages_block(pfn)
+
+    def free_page(self, pfn: int) -> None:
+        """Free the block whose head frame is ``pfn``."""
+        allocator = self.allocator_of_pfn(pfn)
+        if allocator is None:
+            raise ConfigurationError(f"pfn {pfn} lies in a zone hole")
+        order = self._page_db.frame(pfn).order
+        for offset in range(1 << order):
+            self._page_db.mark_free(pfn + offset)
+        allocator.free_pages_block(pfn)
+        self.stats.page_frees += 1
+
+    def set_screened_ptp_frames(self, frames) -> None:
+        """Install the page-size-bit screening list (Section 7).
+
+        Frames listed here are never used for level >= 2 page tables; see
+        :func:`repro.kernel.screening.screen_ps_vulnerable_frames`.
+        """
+        self._screened_ptp_frames = set(frames)
+
+    @property
+    def screened_ptp_frames(self) -> set:
+        """Currently screened-out frames."""
+        return set(self._screened_ptp_frames)
+
+    def pte_alloc_one(self, owner_pid: int, table_level: int) -> int:
+        """Allocate one page-table page — the function the patch rewires.
+
+        With CTA enabled the request carries ``__GFP_PTP`` (Rule 1: PTP
+        zones only, no fallback); otherwise it is a normal kernel
+        allocation served from any ordinary zone. When ZONE_PTP is full,
+        the kswapd-style reclaimer frees empty last-level tables and the
+        allocation retries once — the "swap daemon is awakened" behaviour
+        of Section 6.1.
+        """
+        flags = GFP_PTP if self.cta_enabled else GFP_KERNEL
+        level = table_level if (self._cta_policy and self._cta_policy.config.multilevel) else 0
+        effective_level = table_level if level == 0 else level
+        try:
+            pfn = self.alloc_page(
+                flags, PageUse.PAGE_TABLE, owner_pid=owner_pid, pt_level=effective_level
+            )
+        except OutOfMemoryError:
+            if not self.cta_enabled or self.reclaim_empty_page_tables() == 0:
+                raise
+            pfn = self.alloc_page(
+                flags, PageUse.PAGE_TABLE, owner_pid=owner_pid, pt_level=effective_level
+            )
+        self.stats.pte_allocs += 1
+        return pfn
+
+    def reclaim_empty_page_tables(self) -> int:
+        """Free last-level page tables that map nothing (kswapd-lite).
+
+        ``munmap`` clears PTEs but leaves the tables themselves in place;
+        under PTP pressure this reclaimer walks every level-1 table, frees
+        those with no present entries, and clears their parent pointers.
+        Returns the number of tables reclaimed.
+        """
+        leaf_tables = [
+            frame.pfn
+            for frame in self._page_db.frames_with_use(PageUse.PAGE_TABLE)
+            if frame.pt_level == 1
+        ]
+        parents = [
+            frame.pfn
+            for frame in self._page_db.frames_with_use(PageUse.PAGE_TABLE)
+            if frame.pt_level >= 2
+        ]
+        reclaimed = 0
+        for pt_pfn in leaf_tables:
+            base = pt_pfn << PAGE_SHIFT
+            if any(
+                self._module.read_u64(base + slot * 8) & 1 for slot in range(512)
+            ):
+                continue
+            # Only tables attached to a paging tree are reclaimable; a
+            # table with no parent reference may be mid-construction.
+            parent_refs = []
+            for parent_pfn in parents:
+                parent_base = parent_pfn << PAGE_SHIFT
+                for slot in range(512):
+                    address = parent_base + slot * 8
+                    raw = self._module.read_u64(address)
+                    if raw & 1 and PageTableEntry.decode(raw).pfn == pt_pfn:
+                        parent_refs.append(address)
+            if not parent_refs:
+                continue
+            for address in parent_refs:
+                self._module.write_u64(address, 0)
+            self.free_page(pt_pfn)
+            reclaimed += 1
+        if reclaimed:
+            self._tlb.flush()
+            self.stats.ptp_reclaims += reclaimed
+        return reclaimed
+
+    # -- processes ------------------------------------------------------------
+    def create_process(self, trusted: bool = False) -> Process:
+        """Spawn a process with an empty PML4."""
+        pid = self._next_pid
+        self._next_pid += 1
+        pml4_pfn = self.pte_alloc_one(pid, table_level=NUM_LEVELS)
+        process = Process(pid=pid, cr3=pml4_pfn << PAGE_SHIFT, trusted=trusted)
+        self._processes[pid] = process
+        return process
+
+    def create_file(self, size_bytes: int) -> MappedFile:
+        """Create a shareable file object (for mmap-based spraying)."""
+        file = MappedFile(file_id=self._next_file_id, size_bytes=size_bytes)
+        self._next_file_id += 1
+        self._files[file.file_id] = file
+        return file
+
+    def mmap(
+        self,
+        process: Process,
+        length: int,
+        writable: bool = True,
+        backing: Optional[MappedFile] = None,
+        file_page_offset: int = 0,
+        address: Optional[int] = None,
+    ) -> VmArea:
+        """Map ``length`` bytes into ``process``; returns the new VMA."""
+        start = address if address is not None else process.reserve_va_range(length)
+        vma = VmArea(
+            start=start,
+            end=start + length,
+            writable=writable,
+            user=True,
+            backing=backing,
+            file_page_offset=file_page_offset,
+        )
+        return process.add_vma(vma)
+
+    def munmap(self, process: Process, vma: VmArea) -> None:
+        """Unmap a VMA, clearing PTEs and freeing anonymous frames."""
+        for page_index in range(vma.num_pages):
+            va = vma.start + page_index * PAGE_SIZE
+            leaf = self._leaf_entry_address(process, va)
+            if leaf is None:
+                continue
+            entry = PageTableEntry.decode(self._module.read_u64(leaf))
+            if entry.present:
+                self._module.write_u64(leaf, PageTableEntry.empty().encode())
+                self._tlb.invalidate(process.pid, va >> PAGE_SHIFT)
+                if vma.backing is None:
+                    self.free_page(entry.pfn)
+        process.remove_vma(vma)
+
+    # -- paging --------------------------------------------------------------
+    def touch(self, process: Process, virtual_address: int, write: bool = False) -> int:
+        """Ensure ``virtual_address`` is mapped; returns the physical address.
+
+        Implements demand paging: a fault on a mapped VMA allocates the
+        frame (or reuses the shared file frame) and builds any missing
+        page-table levels via :meth:`pte_alloc_one`.
+        """
+        try:
+            return self._mmu.translate(
+                process.cr3, virtual_address, pid=process.pid, write=write, user=True
+            )
+        except PageFaultError:
+            pass
+        vma = process.find_vma(virtual_address)
+        if vma is None:
+            raise PageFaultError(
+                f"segfault: VA {virtual_address:#x} not mapped", virtual_address
+            )
+        if write and not vma.writable:
+            raise PageFaultError(
+                f"write to read-only mapping at {virtual_address:#x}", virtual_address
+            )
+        self.stats.demand_faults += 1
+        # Mirror Linux's fault path: page tables are allocated (pte_alloc)
+        # before the data frame itself — the ordering Drammer's memory
+        # massaging depends on.
+        pt_base = self._walk_alloc_tables(process, virtual_address)
+        pfn = self._frame_for(process, vma, virtual_address)
+        self._set_leaf(process, pt_base, virtual_address, pfn, vma.writable)
+        return self._mmu.translate(
+            process.cr3, virtual_address, pid=process.pid, write=write, user=True
+        )
+
+    def _frame_for(self, process: Process, vma: VmArea, virtual_address: int) -> int:
+        untrusted = not process.trusted
+        if vma.backing is None:
+            return self.alloc_page(
+                GFP_USER, PageUse.USER_DATA, owner_pid=process.pid, untrusted=untrusted
+            )
+        file_page = vma.file_page_for(virtual_address)
+        if file_page >= vma.backing.num_pages:
+            raise PageFaultError(
+                f"file mapping past EOF at {virtual_address:#x}", virtual_address
+            )
+        existing = vma.backing.frames.get(file_page)
+        if existing is not None:
+            return existing
+        pfn = self.alloc_page(
+            GFP_USER, PageUse.FILE_CACHE, owner_pid=process.pid, untrusted=untrusted
+        )
+        vma.backing.frames[file_page] = pfn
+        return pfn
+
+    def _set_leaf(
+        self, process: Process, pt_base: int, virtual_address: int, pfn: int,
+        writable: bool,
+    ) -> None:
+        indices = split_virtual_address(virtual_address)
+        leaf_address = entry_address(pt_base, indices[3])
+        entry = PageTableEntry.make(pfn, writable=writable, user=True)
+        try:
+            self._module.write_u64(leaf_address, entry.encode())
+        except AddressError:
+            raise PageFaultError(
+                f"bus error: page table for VA {virtual_address:#x} lies "
+                f"outside physical memory",
+                virtual_address,
+            ) from None
+        self._tlb.invalidate(process.pid, virtual_address >> PAGE_SHIFT)
+
+    def _walk_alloc_tables(self, process: Process, virtual_address: int) -> int:
+        """Descend PML4 -> PT, allocating missing tables; returns PT base PA.
+
+        A corrupted intermediate entry pointing outside physical memory
+        raises :class:`PageFaultError` (machine-check semantics), exactly
+        like the hardware walk in :class:`~repro.kernel.mmu.Mmu`.
+        """
+        indices = split_virtual_address(virtual_address)
+        table_pa = process.cr3
+        for position, table_level in zip(range(3), (3, 2, 1)):
+            # The entry at this position points to a table of `table_level`.
+            address = entry_address(table_pa, indices[position])
+            try:
+                entry = PageTableEntry.decode(self._module.read_u64(address))
+            except AddressError:
+                raise PageFaultError(
+                    f"bus error: corrupted level-{table_level + 1} table for "
+                    f"VA {virtual_address:#x}",
+                    virtual_address,
+                ) from None
+            if not entry.present:
+                new_pfn = self.pte_alloc_one(process.pid, table_level=table_level)
+                entry = PageTableEntry.make(new_pfn, writable=True, user=True)
+                self._module.write_u64(address, entry.encode())
+            table_pa = entry.pfn << PAGE_SHIFT
+        return table_pa
+
+    def _leaf_entry_address(self, process: Process, virtual_address: int) -> Optional[int]:
+        """PA of the last-level PTE for ``virtual_address`` (None if absent).
+
+        Returns None when an intermediate entry is corrupted to point
+        outside physical memory (the hardware walk would bus-error).
+        """
+        indices = split_virtual_address(virtual_address)
+        table_pa = process.cr3
+        for position in range(3):
+            address = entry_address(table_pa, indices[position])
+            try:
+                entry = PageTableEntry.decode(self._module.read_u64(address))
+            except AddressError:
+                return None
+            if not entry.present:
+                return None
+            table_pa = entry.pfn << PAGE_SHIFT
+        leaf = entry_address(table_pa, indices[3])
+        try:
+            self._module.geometry.check_address(leaf, 8)
+        except AddressError:
+            return None
+        return leaf
+
+    def leaf_pte_address(self, process: Process, virtual_address: int) -> Optional[int]:
+        """Public wrapper: physical address of the last-level PTE, if built."""
+        return self._leaf_entry_address(process, virtual_address)
+
+    # -- huge pages (Section 7: multiple page sizes) ---------------------------
+    def map_huge_page(
+        self, process: Process, virtual_address: int, writable: bool = True
+    ) -> int:
+        """Map a 2 MiB huge page at a 2 MiB-aligned VA; returns its head pfn.
+
+        Allocates an order-9 data block and installs a PS-bit leaf in the
+        PD entry — the Section 7 scenario where a high-level PTE points
+        directly at (attacker-writable) user data, so a ``1 -> 0`` flip of
+        the PS bit would reinterpret that data as a page table.
+        """
+        huge_span = PAGE_SIZE << 9
+        if virtual_address % huge_span:
+            raise ProcessError("huge mappings must be 2 MiB aligned")
+        indices = split_virtual_address(virtual_address)
+        # Build PML4 -> PDPT only; the PD entry becomes the leaf.
+        table_pa = process.cr3
+        for position, table_level in zip(range(2), (3, 2)):
+            address = entry_address(table_pa, indices[position])
+            entry = PageTableEntry.decode(self._module.read_u64(address))
+            if not entry.present:
+                new_pfn = self.pte_alloc_one(process.pid, table_level=table_level)
+                entry = PageTableEntry.make(new_pfn, writable=True, user=True)
+                self._module.write_u64(address, entry.encode())
+            table_pa = entry.pfn << PAGE_SHIFT
+        data_pfn = self.alloc_page(
+            GFP_USER, PageUse.USER_DATA, owner_pid=process.pid,
+            untrusted=not process.trusted, order=9,
+        )
+        pd_entry_address = entry_address(table_pa, indices[2])
+        leaf = PageTableEntry.make(data_pfn, writable=writable, user=True, huge=True)
+        self._module.write_u64(pd_entry_address, leaf.encode())
+        process.add_vma(
+            VmArea(start=virtual_address, end=virtual_address + huge_span,
+                   writable=writable)
+        )
+        self.stats.huge_mappings += 1
+        return data_pfn
+
+    def pd_entry_address(self, process: Process, virtual_address: int) -> Optional[int]:
+        """Physical address of the PD (level-2) entry covering a VA."""
+        indices = split_virtual_address(virtual_address)
+        table_pa = process.cr3
+        for position in range(2):
+            address = entry_address(table_pa, indices[position])
+            try:
+                entry = PageTableEntry.decode(self._module.read_u64(address))
+            except AddressError:
+                return None
+            if not entry.present:
+                return None
+            table_pa = entry.pfn << PAGE_SHIFT
+        return entry_address(table_pa, indices[2])
+
+    # -- user-visible memory access ----------------------------------------------
+    def read_virtual(self, process: Process, virtual_address: int, length: int) -> bytes:
+        """Read process memory, demand-paging as needed (may span pages)."""
+        out = bytearray()
+        cursor = 0
+        while cursor < length:
+            va = virtual_address + cursor
+            chunk = min(length - cursor, PAGE_SIZE - (va % PAGE_SIZE))
+            pa = self.touch(process, va, write=False)
+            out += self._module.read(pa, chunk)
+            cursor += chunk
+        return bytes(out)
+
+    def write_virtual(self, process: Process, virtual_address: int, data: bytes) -> None:
+        """Write process memory, demand-paging as needed (may span pages)."""
+        cursor = 0
+        while cursor < len(data):
+            va = virtual_address + cursor
+            chunk = min(len(data) - cursor, PAGE_SIZE - (va % PAGE_SIZE))
+            pa = self.touch(process, va, write=True)
+            self._module.write(pa, data[cursor : cursor + chunk])
+            cursor += chunk
+
+    # -- introspection --------------------------------------------------------
+    def page_table_pfns(self, pid: Optional[int] = None) -> List[int]:
+        """All page-table frames (optionally of one process)."""
+        return [
+            frame.pfn
+            for frame in self._page_db.frames_with_use(PageUse.PAGE_TABLE)
+            if pid is None or frame.owner_pid == pid
+        ]
+
+    def is_page_table_pfn(self, pfn: int) -> bool:
+        """Whether ``pfn`` currently holds a page table."""
+        try:
+            return self._page_db.frame(pfn).use is PageUse.PAGE_TABLE
+        except Exception:
+            return False
+
+    def page_table_bytes(self, pid: Optional[int] = None) -> int:
+        """Bytes of physical memory holding page tables."""
+        return len(self.page_table_pfns(pid)) * PAGE_SIZE
+
+    def verify_cta_rules(self) -> None:
+        """Assert CTA Rules 1/2 over the live system (no-op without CTA)."""
+        if self._cta_policy is not None:
+            self._cta_policy.check_rules(self._page_db)
+
+    def zone_usage(self) -> Dict[str, Tuple[int, int]]:
+        """Per-zone (free_pages, total_pages) snapshot."""
+        return {
+            zone.name: (allocator.free_pages, allocator.total_pages)
+            for zone, allocator in self._allocators
+        }

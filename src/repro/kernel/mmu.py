@@ -1,0 +1,199 @@
+"""Hardware page-table walker.
+
+Walks the 4-level hierarchy *by reading simulated DRAM*, exactly as an
+x86-64 MMU would: starting from CR3, each level's entry is an 8-byte load
+from physical memory. Consequently a RowHammer flip in a page-table row
+changes what this walker returns — the attack's entire mechanism.
+
+The walker deliberately performs **no sanity checks** beyond what hardware
+does (present bit, permission bits): a corrupted PFN that happens to point
+at another page table is followed without complaint. That is the PTE
+self-reference behaviour the paper's defense must make unreachable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.dram.module import DramModule
+from repro.errors import AddressError, PageFaultError
+from repro.kernel.pagetable import (
+    BITS_PER_LEVEL,
+    NUM_LEVELS,
+    PageTableEntry,
+    entry_address,
+    split_virtual_address,
+)
+from repro.kernel.tlb import Tlb
+from repro.units import PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One level of a completed walk: where the entry was and what it said."""
+
+    level: int  # 4 = PML4 ... 1 = PT
+    entry_physical_address: int
+    entry: PageTableEntry
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of a successful translation."""
+
+    physical_address: int
+    pfn: int
+    steps: Tuple[WalkStep, ...]
+    huge_level: int = 0  # 0 = 4 KiB page, 2 = 2 MiB, 3 = 1 GiB
+
+    @property
+    def leaf(self) -> WalkStep:
+        """The final (leaf) step."""
+        return self.steps[-1]
+
+
+class Mmu:
+    """Page-table walker + TLB front-end over one DRAM module."""
+
+    def __init__(self, dram: DramModule, tlb: Optional[Tlb] = None):
+        self._dram = dram
+        self._tlb = tlb or Tlb()
+        #: Count of full walks performed (perf harness signal).
+        self.walk_count = 0
+
+    @property
+    def tlb(self) -> Tlb:
+        """The TLB consulted before walking."""
+        return self._tlb
+
+    @property
+    def dram(self) -> DramModule:
+        """Physical memory the walker reads."""
+        return self._dram
+
+    # -- translation ------------------------------------------------------
+    def translate(
+        self,
+        cr3: int,
+        virtual_address: int,
+        pid: int = 0,
+        write: bool = False,
+        user: bool = True,
+        use_tlb: bool = True,
+    ) -> int:
+        """Translate ``virtual_address``; returns the physical address.
+
+        Raises :class:`PageFaultError` on a non-present entry or a
+        permission violation (write to read-only, user access to
+        supervisor page).
+        """
+        vpn = virtual_address >> PAGE_SHIFT
+        offset = virtual_address & ((1 << PAGE_SHIFT) - 1)
+        if use_tlb:
+            cached = self._tlb.lookup(pid, vpn)
+            if cached is not None:
+                pfn, writable, user_ok = cached
+                self._check_permissions(virtual_address, writable, user_ok, write, user)
+                return (pfn << PAGE_SHIFT) | offset
+        result = self.walk(cr3, virtual_address)
+        writable = all(step.entry.writable for step in result.steps)
+        user_ok = all(step.entry.user for step in result.steps)
+        self._check_permissions(virtual_address, writable, user_ok, write, user)
+        if use_tlb:
+            # Cache the 4 KiB frame actually backing this vpn — for huge
+            # pages that is an interior frame of the block, not the leaf's
+            # head pfn.
+            self._tlb.insert(
+                pid, vpn, result.physical_address >> PAGE_SHIFT, writable, user_ok
+            )
+        return result.physical_address
+
+    def walk(self, cr3: int, virtual_address: int) -> WalkResult:
+        """Perform the 4-level walk, returning every step.
+
+        Honors the PS (huge page) bit at levels 3 and 2, terminating the
+        walk early with a 1 GiB / 2 MiB leaf (Section 7's multi-page-size
+        discussion).
+        """
+        self.walk_count += 1
+        indices = split_virtual_address(virtual_address)[:NUM_LEVELS]
+        offset_bits = PAGE_SHIFT
+        table_base = cr3
+        steps: List[WalkStep] = []
+        for position, level in enumerate(range(NUM_LEVELS, 0, -1)):
+            index = indices[position]
+            address = entry_address(table_base, index)
+            try:
+                entry = PageTableEntry.decode(self._dram.read_u64(address))
+            except AddressError:
+                # A corrupted upper-level entry pointed outside physical
+                # memory; hardware raises a machine check / bus error.
+                raise PageFaultError(
+                    f"bus error: level-{level} table at {table_base:#x} outside "
+                    f"physical memory (VA {virtual_address:#x})",
+                    virtual_address,
+                ) from None
+            steps.append(WalkStep(level=level, entry_physical_address=address, entry=entry))
+            if not entry.present:
+                raise PageFaultError(
+                    f"non-present level-{level} entry for VA {virtual_address:#x}",
+                    virtual_address,
+                )
+            if level in (3, 2) and entry.huge:
+                huge_shift = PAGE_SHIFT + BITS_PER_LEVEL * (level - 1)
+                huge_offset = virtual_address & ((1 << huge_shift) - 1)
+                base = (entry.pfn << PAGE_SHIFT) & ~((1 << huge_shift) - 1)
+                return WalkResult(
+                    physical_address=base | huge_offset,
+                    pfn=entry.pfn,
+                    steps=tuple(steps),
+                    huge_level=level,
+                )
+            if level == 1:
+                physical = (entry.pfn << PAGE_SHIFT) | (
+                    virtual_address & ((1 << offset_bits) - 1)
+                )
+                return WalkResult(
+                    physical_address=physical, pfn=entry.pfn, steps=tuple(steps)
+                )
+            table_base = entry.pfn << PAGE_SHIFT
+        raise AssertionError("unreachable")
+
+    # -- memory access through translation ----------------------------------
+    def load(
+        self, cr3: int, virtual_address: int, length: int, pid: int = 0, user: bool = True
+    ) -> bytes:
+        """Read virtual memory (single-page spans only)."""
+        physical = self.translate(cr3, virtual_address, pid=pid, write=False, user=user)
+        try:
+            return self._dram.read(physical, length)
+        except AddressError:
+            raise PageFaultError(
+                f"bus error reading PA {physical:#x}", virtual_address
+            ) from None
+
+    def store(
+        self, cr3: int, virtual_address: int, data: bytes, pid: int = 0, user: bool = True
+    ) -> None:
+        """Write virtual memory (single-page spans only)."""
+        physical = self.translate(cr3, virtual_address, pid=pid, write=True, user=user)
+        try:
+            self._dram.write(physical, data)
+        except AddressError:
+            raise PageFaultError(
+                f"bus error writing PA {physical:#x}", virtual_address
+            ) from None
+
+    @staticmethod
+    def _check_permissions(
+        virtual_address: int, writable: bool, user_ok: bool, write: bool, user: bool
+    ) -> None:
+        if write and not writable:
+            raise PageFaultError(
+                f"write to read-only VA {virtual_address:#x}", virtual_address
+            )
+        if user and not user_ok:
+            raise PageFaultError(
+                f"user access to supervisor VA {virtual_address:#x}", virtual_address
+            )

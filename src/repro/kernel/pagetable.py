@@ -1,0 +1,164 @@
+"""x86-64 4-level page-table entry encoding.
+
+PTEs live *in simulated DRAM* (written through the
+:class:`~repro.dram.module.DramModule`), so RowHammer flips applied to
+page-table rows corrupt real translations — the property the whole paper
+is about. This module defines the bit layout; the walk logic lives in
+:mod:`repro.kernel.mmu`.
+
+Layout (Intel SDM [14]):
+
+====  ==========================================
+bit   meaning
+====  ==========================================
+0     P — present
+1     RW — writable
+2     US — user accessible
+7     PS — page size (huge page) at levels 2/3
+12..  physical frame number (PFN)
+63    NX — no-execute
+====  ==========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import PageTableError
+from repro.units import PAGE_SHIFT
+
+#: Number of paging levels (PML4 = level 4 ... PT = level 1).
+NUM_LEVELS = 4
+
+#: Entries per 4 KiB table.
+ENTRIES_PER_TABLE = 512
+
+#: Bits of virtual address consumed per level.
+BITS_PER_LEVEL = 9
+
+#: Highest bit of the PFN field (bit 51 is the architectural limit).
+PFN_HIGH_BIT = 51
+
+_PFN_MASK = ((1 << (PFN_HIGH_BIT + 1)) - 1) & ~((1 << PAGE_SHIFT) - 1)
+
+
+class PteFlags(enum.IntFlag):
+    """PTE control bits (subset the model uses)."""
+
+    NONE = 0
+    PRESENT = 1 << 0
+    WRITABLE = 1 << 1
+    USER = 1 << 2
+    PAGE_SIZE = 1 << 7
+    NX = 1 << 63
+
+
+@dataclass(frozen=True)
+class PageTableEntry:
+    """Decoded PTE: a frame pointer plus control flags."""
+
+    pfn: int
+    flags: PteFlags
+
+    def __post_init__(self) -> None:
+        if self.pfn < 0 or (self.pfn << PAGE_SHIFT) & ~_PFN_MASK & ((1 << 52) - 1):
+            raise PageTableError(f"pfn {self.pfn:#x} does not fit the PTE frame field")
+
+    # -- raw conversion ----------------------------------------------------
+    def encode(self) -> int:
+        """Pack into the raw 64-bit on-DRAM representation."""
+        return ((self.pfn << PAGE_SHIFT) & _PFN_MASK) | int(self.flags)
+
+    @classmethod
+    def decode(cls, raw: int) -> "PageTableEntry":
+        """Unpack a raw 64-bit word read from DRAM.
+
+        Decoding never fails: a corrupted word still decodes to *some*
+        (pfn, flags) pair, exactly as hardware would interpret it.
+        """
+        if not 0 <= raw < 2**64:
+            raise PageTableError(f"raw PTE {raw:#x} outside 64 bits")
+        pfn = (raw & _PFN_MASK) >> PAGE_SHIFT
+        flags = PteFlags(raw & ~_PFN_MASK)
+        return cls(pfn=pfn, flags=flags)
+
+    # -- convenience --------------------------------------------------------
+    @property
+    def present(self) -> bool:
+        """P bit."""
+        return bool(self.flags & PteFlags.PRESENT)
+
+    @property
+    def writable(self) -> bool:
+        """RW bit."""
+        return bool(self.flags & PteFlags.WRITABLE)
+
+    @property
+    def user(self) -> bool:
+        """US bit."""
+        return bool(self.flags & PteFlags.USER)
+
+    @property
+    def huge(self) -> bool:
+        """PS bit (meaningful at levels 2 and 3 only)."""
+        return bool(self.flags & PteFlags.PAGE_SIZE)
+
+    @classmethod
+    def make(
+        cls, pfn: int, present: bool = True, writable: bool = True,
+        user: bool = False, huge: bool = False,
+    ) -> "PageTableEntry":
+        """Build an entry from keyword flags."""
+        flags = PteFlags.NONE
+        if present:
+            flags |= PteFlags.PRESENT
+        if writable:
+            flags |= PteFlags.WRITABLE
+        if user:
+            flags |= PteFlags.USER
+        if huge:
+            flags |= PteFlags.PAGE_SIZE
+        return cls(pfn=pfn, flags=flags)
+
+    @classmethod
+    def empty(cls) -> "PageTableEntry":
+        """A non-present zero entry."""
+        return cls(pfn=0, flags=PteFlags.NONE)
+
+
+def split_virtual_address(virtual_address: int) -> Tuple[int, int, int, int, int]:
+    """Split a canonical VA into (pml4, pdpt, pd, pt, offset) indices."""
+    if not 0 <= virtual_address < 2**48:
+        raise PageTableError(
+            f"virtual address {virtual_address:#x} outside the 48-bit model range"
+        )
+    offset = virtual_address & ((1 << PAGE_SHIFT) - 1)
+    indices = []
+    for level in range(NUM_LEVELS, 0, -1):
+        shift = PAGE_SHIFT + BITS_PER_LEVEL * (level - 1)
+        indices.append((virtual_address >> shift) & (ENTRIES_PER_TABLE - 1))
+    pml4, pdpt, pd, pt = indices
+    return pml4, pdpt, pd, pt, offset
+
+
+def join_virtual_address(pml4: int, pdpt: int, pd: int, pt: int, offset: int = 0) -> int:
+    """Inverse of :func:`split_virtual_address`."""
+    for index in (pml4, pdpt, pd, pt):
+        if not 0 <= index < ENTRIES_PER_TABLE:
+            raise PageTableError(f"table index {index} outside [0, {ENTRIES_PER_TABLE})")
+    if not 0 <= offset < (1 << PAGE_SHIFT):
+        raise PageTableError(f"offset {offset:#x} outside a page")
+    value = offset
+    for level, index in zip(range(NUM_LEVELS, 0, -1), (pml4, pdpt, pd, pt)):
+        shift = PAGE_SHIFT + BITS_PER_LEVEL * (level - 1)
+        value |= index << shift
+    return value
+
+
+def entry_address(table_base_pa: int, index: int) -> int:
+    """Physical address of entry ``index`` within the table at ``table_base_pa``."""
+    if not 0 <= index < ENTRIES_PER_TABLE:
+        raise PageTableError(f"table index {index} outside [0, {ENTRIES_PER_TABLE})")
+    return table_base_pa + index * 8

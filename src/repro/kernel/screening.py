@@ -1,0 +1,82 @@
+"""Page-size-bit screening for huge-page deployments (paper Section 7).
+
+With multiple page sizes, high-level PTEs can point at user data (PS=1
+huge leaves). A RowHammer ``1 -> 0`` flip of the **page-size bit** —
+which *is* in the valid true-cell direction — turns a huge-page leaf
+into a table pointer, reinterpreting attacker-controlled data as a page
+table: instant compromise.
+
+The paper's mitigation: "perform system-level tests to screen out any
+'exploitable' physical addresses and prevent the system from using them
+to map high-level PTs. This is possible because, for each PTP zone, we
+know the exact bit locations that will correspond to the page size bit
+in all PTEs."
+
+:func:`screen_ps_vulnerable_frames` runs that test against the module's
+vulnerable-bit map (obtained by the same hammering survey a deployment
+would run) and returns the frames a CTA kernel must not use for level>=2
+page tables; :meth:`Kernel.set_screened_ptp_frames` installs the list.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.dram.rowhammer import RowHammerModel
+from repro.kernel.kernel import Kernel
+from repro.kernel.pagetable import PteFlags
+from repro.units import PAGE_SIZE, PAGE_SHIFT, PTE_SIZE
+
+#: Bit index of the PS flag within a 64-bit PTE.
+PS_BIT_IN_PTE = 7
+
+
+def ps_bit_positions_in_page() -> List[int]:
+    """Page-relative bit positions that hold a PS bit in some PTE slot."""
+    return [slot * PTE_SIZE * 8 + PS_BIT_IN_PTE for slot in range(PAGE_SIZE // PTE_SIZE)]
+
+
+def frame_has_vulnerable_ps_bit(hammer: RowHammerModel, pfn: int) -> bool:
+    """Whether any PTE slot of frame ``pfn`` has a flippable PS bit.
+
+    Only ``1 -> 0`` vulnerability matters: that is the direction that
+    converts a huge-page leaf into a table pointer (the ``0 -> 1``
+    direction would merely truncate a walk, a crash not an escalation).
+    """
+    geometry = hammer.module.geometry
+    frame_base = pfn << PAGE_SHIFT
+    row = geometry.row_of_address(frame_base)
+    row_base = geometry.row_base_address(row)
+    frame_bit_offset = (frame_base - row_base) * 8
+    wanted = {frame_bit_offset + position for position in ps_bit_positions_in_page()}
+    for vulnerable in hammer.vulnerable_bits(row):
+        if (
+            vulnerable.bit_position in wanted
+            and (vulnerable.from_value, vulnerable.to_value) == (1, 0)
+        ):
+            return True
+    return False
+
+
+def screen_ps_vulnerable_frames(kernel: Kernel, hammer: RowHammerModel) -> Set[int]:
+    """Survey every PTP-zone frame; return those unusable for high-level PTs.
+
+    The survey covers the frames of every PTP (sub-)zone — the only
+    places level >= 2 tables can live under CTA — and flags frames where
+    a hammering campaign could clear some PTE slot's PS bit.
+    """
+    from repro.kernel.zones import ZoneId
+
+    screened: Set[int] = set()
+    for zone in kernel.layout.zones_of(ZoneId.PTP):
+        for pfn in range(zone.start_pfn, zone.end_pfn):
+            if frame_has_vulnerable_ps_bit(hammer, pfn):
+                screened.add(pfn)
+    return screened
+
+
+def install_ps_screening(kernel: Kernel, hammer: RowHammerModel) -> Set[int]:
+    """Run the survey and install the result on the kernel."""
+    screened = screen_ps_vulnerable_frames(kernel, hammer)
+    kernel.set_screened_ptp_frames(screened)
+    return screened

@@ -1,0 +1,78 @@
+"""Translation lookaside buffer.
+
+A small model of the TLB with explicit flushing. The hammer loop in
+RowHammer attacks must flush translations so every access re-reads the
+PTE from DRAM (Section 5, step (2)); the perf harness counts hits and
+misses to model translation overhead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Tlb:
+    """LRU TLB mapping (pid, virtual page number) -> cached translation."""
+
+    def __init__(self, capacity: int = 1536):
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], Tuple[int, bool, bool]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum cached translations."""
+        return self._capacity
+
+    def lookup(self, pid: int, vpn: int) -> Optional[Tuple[int, bool, bool]]:
+        """Cached (pfn, writable, user) for a virtual page, if any."""
+        key = (pid, vpn)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, pid: int, vpn: int, pfn: int, writable: bool, user: bool) -> None:
+        """Cache a translation, evicting LRU when full."""
+        key = (pid, vpn)
+        self._entries[key] = (pfn, writable, user)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def flush(self) -> None:
+        """Drop every cached translation (the attacker's clflush/remap)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_pid(self, pid: int) -> None:
+        """Drop one address space's translations (context switch)."""
+        stale = [key for key in self._entries if key[0] == pid]
+        for key in stale:
+            del self._entries[key]
+        self.flushes += 1
+
+    def invalidate(self, pid: int, vpn: int) -> None:
+        """Drop a single translation (invlpg)."""
+        self._entries.pop((pid, vpn), None)
+
+    @property
+    def size(self) -> int:
+        """Currently cached translations."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups since construction (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,267 @@
+"""Physical memory zones and zonelists.
+
+Models the zoned physical address space of Section 6.1 (Figure 6): x86-64
+splits memory into ``ZONE_DMA`` (first 16 MiB), ``ZONE_DMA32`` (to 4 GiB)
+and ``ZONE_NORMAL`` (the rest); 32-bit x86 uses DMA / NORMAL / HIGHMEM.
+The paper's patch carves a new ``ZONE_PTP`` out of the top of the highest
+zone — the region above the *low water mark* — and gives it its own buddy
+allocator and a no-fallback policy.
+
+``ZONE_PTP`` may be subdivided into true-cell sub-zones (``ZONE_TC``) with
+anti-cell gaps marked invalid (Figure 8); that subdivision lives in
+:mod:`repro.kernel.cta`, which produces the sub-zone ranges this module
+represents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.kernel.gfp import GfpFlags
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+class ZoneId(enum.Enum):
+    """Zone identities; PTP is the paper's addition."""
+
+    DMA = "ZONE_DMA"
+    DMA32 = "ZONE_DMA32"
+    NORMAL = "ZONE_NORMAL"
+    HIGHMEM = "ZONE_HIGHMEM"
+    PTP = "ZONE_PTP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MemoryZone:
+    """A contiguous physical page-frame range managed as one zone.
+
+    ``sub_label`` distinguishes multiple ranges of the same zone id, e.g.
+    the true-cell sub-zones ``ZONE_TC0``, ``ZONE_TC1`` inside ``ZONE_PTP``,
+    or per-page-table-level PTP zones (Section 7).
+    """
+
+    zone_id: ZoneId
+    start_pfn: int
+    end_pfn: int  # exclusive
+    sub_label: str = ""
+    #: Page-table level this (sub-)zone serves, 0 = any level (single-zone
+    #: CTA), 1..4 = dedicated level in the multi-level scheme of Section 7.
+    pt_level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start_pfn < 0 or self.end_pfn <= self.start_pfn:
+            raise ConfigurationError(
+                f"invalid pfn range [{self.start_pfn}, {self.end_pfn})"
+            )
+
+    @property
+    def num_pages(self) -> int:
+        """Page frames in the zone."""
+        return self.end_pfn - self.start_pfn
+
+    @property
+    def num_bytes(self) -> int:
+        """Zone size in bytes."""
+        return self.num_pages * PAGE_SIZE
+
+    @property
+    def name(self) -> str:
+        """Display name, e.g. ``ZONE_PTP/ZONE_TC1``."""
+        if self.sub_label:
+            return f"{self.zone_id.value}/{self.sub_label}"
+        return self.zone_id.value
+
+    def contains_pfn(self, pfn: int) -> bool:
+        """Whether ``pfn`` lies in this zone."""
+        return self.start_pfn <= pfn < self.end_pfn
+
+    def overlaps(self, other: "MemoryZone") -> bool:
+        """Whether two zones share any page frame."""
+        return self.start_pfn < other.end_pfn and other.start_pfn < self.end_pfn
+
+
+class ZoneLayout:
+    """An ordered set of non-overlapping zones plus fallback zonelists.
+
+    The *zonelist* is the fallback search order the buddy allocator walks
+    when the preferred zone is exhausted (Section 6.1): on x86-64,
+    NORMAL -> DMA32 -> DMA. ``ZONE_PTP`` never appears in any ordinary
+    zonelist, and PTP requests use a zonelist containing only the PTP
+    (sub-)zones — the two halves of Rule 1 / Rule 2 enforcement.
+    """
+
+    def __init__(self, zones: Sequence[MemoryZone], total_pages: int):
+        if not zones:
+            raise ConfigurationError("a layout needs at least one zone")
+        ordered = sorted(zones, key=lambda z: z.start_pfn)
+        for first, second in zip(ordered, ordered[1:]):
+            if first.overlaps(second):
+                raise ConfigurationError(f"zones {first.name} and {second.name} overlap")
+        for zone in ordered:
+            if zone.end_pfn > total_pages:
+                raise ConfigurationError(
+                    f"zone {zone.name} extends past physical memory ({total_pages} pages)"
+                )
+        self._zones: Tuple[MemoryZone, ...] = tuple(ordered)
+        self._total_pages = total_pages
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def x86_64(
+        cls,
+        total_bytes: int,
+        ptp_bytes: int = 0,
+        ptp_subzones: Optional[Sequence[MemoryZone]] = None,
+    ) -> "ZoneLayout":
+        """The 64-bit layout of Figure 6b, optionally with ``ZONE_PTP``.
+
+        ``ZONE_PTP`` (when ``ptp_bytes`` > 0) occupies the highest physical
+        addresses; the zone below it shrinks accordingly. For scaled-down
+        simulations smaller than the architectural 16 MiB / 4 GiB cut
+        points, the cut points scale proportionally (1/512 and 1/2 of the
+        module) so every zone still exists and the fallback logic is
+        exercised.
+
+        ``ptp_subzones`` replaces the single PTP range with explicit
+        sub-zones (the CTA true-cell sub-zones); they must all lie above
+        the low water mark.
+        """
+        total_pages = total_bytes // PAGE_SIZE
+        if total_pages <= 0 or total_bytes % PAGE_SIZE:
+            raise ConfigurationError("total_bytes must be a positive multiple of PAGE_SIZE")
+        if ptp_bytes % PAGE_SIZE:
+            raise ConfigurationError("ptp_bytes must be page aligned")
+        ptp_pages = ptp_bytes // PAGE_SIZE
+        if ptp_pages >= total_pages:
+            raise ConfigurationError("ZONE_PTP cannot cover all of memory")
+
+        dma_limit = min(16 * MIB, total_bytes // 512 or PAGE_SIZE) // PAGE_SIZE
+        dma32_limit = min(4 * GIB, total_bytes // 2) // PAGE_SIZE
+        dma_limit = max(dma_limit, 1)
+        dma32_limit = max(dma32_limit, dma_limit + 1)
+        low_water_pfn = total_pages - ptp_pages
+        if dma32_limit >= low_water_pfn:
+            dma32_limit = max(dma_limit + 1, low_water_pfn - 1)
+
+        zones = [MemoryZone(ZoneId.DMA, 0, dma_limit)]
+        if dma32_limit > dma_limit:
+            zones.append(MemoryZone(ZoneId.DMA32, dma_limit, dma32_limit))
+        if low_water_pfn > dma32_limit:
+            zones.append(MemoryZone(ZoneId.NORMAL, dma32_limit, low_water_pfn))
+        if ptp_pages:
+            if ptp_subzones is not None:
+                for sub in ptp_subzones:
+                    if sub.zone_id is not ZoneId.PTP:
+                        raise ConfigurationError(f"sub-zone {sub.name} is not a PTP zone")
+                    if sub.start_pfn < low_water_pfn:
+                        raise ConfigurationError(
+                            f"sub-zone {sub.name} dips below the low water mark "
+                            f"(pfn {low_water_pfn})"
+                        )
+                zones.extend(ptp_subzones)
+            else:
+                zones.append(MemoryZone(ZoneId.PTP, low_water_pfn, total_pages))
+        return cls(zones, total_pages)
+
+    @classmethod
+    def x86_32(cls, total_bytes: int, ptp_bytes: int = 0) -> "ZoneLayout":
+        """The 32-bit layout of Figure 6a: DMA / NORMAL / HIGHMEM (+PTP)."""
+        total_pages = total_bytes // PAGE_SIZE
+        if total_pages <= 0 or total_bytes % PAGE_SIZE:
+            raise ConfigurationError("total_bytes must be a positive multiple of PAGE_SIZE")
+        ptp_pages = ptp_bytes // PAGE_SIZE
+        dma_limit = min(16 * MIB, total_bytes // 512 or PAGE_SIZE) // PAGE_SIZE
+        normal_limit = min(896 * MIB, total_bytes * 7 // 8) // PAGE_SIZE
+        dma_limit = max(dma_limit, 1)
+        normal_limit = max(normal_limit, dma_limit + 1)
+        low_water_pfn = total_pages - ptp_pages
+        if normal_limit >= low_water_pfn:
+            normal_limit = max(dma_limit + 1, low_water_pfn - 1)
+        zones = [MemoryZone(ZoneId.DMA, 0, dma_limit)]
+        if normal_limit > dma_limit:
+            zones.append(MemoryZone(ZoneId.NORMAL, dma_limit, normal_limit))
+        if low_water_pfn > normal_limit:
+            zones.append(MemoryZone(ZoneId.HIGHMEM, normal_limit, low_water_pfn))
+        if ptp_pages:
+            zones.append(MemoryZone(ZoneId.PTP, low_water_pfn, total_pages))
+        return cls(zones, total_pages)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def zones(self) -> Tuple[MemoryZone, ...]:
+        """All zones, ascending by start pfn."""
+        return self._zones
+
+    @property
+    def total_pages(self) -> int:
+        """Page frames covered by physical memory."""
+        return self._total_pages
+
+    @property
+    def has_ptp(self) -> bool:
+        """Whether the layout includes a ZONE_PTP."""
+        return any(z.zone_id is ZoneId.PTP for z in self._zones)
+
+    @property
+    def low_water_mark_pfn(self) -> Optional[int]:
+        """First pfn of the PTP region — the paper's low water mark."""
+        ptp = [z for z in self._zones if z.zone_id is ZoneId.PTP]
+        if not ptp:
+            return None
+        return min(z.start_pfn for z in ptp)
+
+    def zones_of(self, zone_id: ZoneId) -> List[MemoryZone]:
+        """All (sub-)zones with the given id, ascending."""
+        return [z for z in self._zones if z.zone_id is zone_id]
+
+    def ptp_zones(self, pt_level: int = 0) -> List[MemoryZone]:
+        """PTP sub-zones serving page-table level ``pt_level``.
+
+        Level 0 returns every PTP zone usable for any level; a specific
+        level returns zones dedicated to it plus any-level zones.
+        """
+        zones = self.zones_of(ZoneId.PTP)
+        if pt_level == 0:
+            return zones
+        return [z for z in zones if z.pt_level in (0, pt_level)]
+
+    def zone_of_pfn(self, pfn: int) -> Optional[MemoryZone]:
+        """The zone containing ``pfn`` (None for holes, e.g. anti-cell gaps)."""
+        for zone in self._zones:
+            if zone.contains_pfn(pfn):
+                return zone
+        return None
+
+    def is_above_low_water_mark(self, pfn: int) -> bool:
+        """Whether ``pfn`` lies at or above the low water mark."""
+        mark = self.low_water_mark_pfn
+        return mark is not None and pfn >= mark
+
+    def zonelist_for(self, flags: GfpFlags, pt_level: int = 0) -> List[MemoryZone]:
+        """Fallback-ordered zones for an allocation request.
+
+        - ``__GFP_PTP`` requests get the PTP sub-zones only, highest
+          addresses first (and, with multi-level zones, only the requested
+          level) — fallback to ordinary zones is forbidden (Rule 1).
+        - Ordinary requests walk NORMAL/HIGHMEM -> DMA32 -> DMA and never
+          see ZONE_PTP (Rule 2).
+        """
+        if flags.is_ptp_request:
+            return sorted(self.ptp_zones(pt_level), key=lambda z: -z.start_pfn)
+        preferred: List[ZoneId]
+        if flags & GfpFlags.DMA:
+            preferred = [ZoneId.DMA]
+        elif flags & GfpFlags.DMA32:
+            preferred = [ZoneId.DMA32, ZoneId.DMA]
+        else:
+            preferred = [ZoneId.HIGHMEM, ZoneId.NORMAL, ZoneId.DMA32, ZoneId.DMA]
+        result: List[MemoryZone] = []
+        for zone_id in preferred:
+            result.extend(sorted(self.zones_of(zone_id), key=lambda z: -z.start_pfn))
+        return result

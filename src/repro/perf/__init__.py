@@ -1,0 +1,24 @@
+"""Performance-evaluation harness (paper Section 6.3 / Table 4).
+
+The paper runs SPEC CPU2006 and Phoronix on two Linux prototypes and
+finds no measurable overhead from CTA. Our substitute: synthetic
+workload profiles with each benchmark's memory-behaviour character
+(footprint, mapping churn, locality), executed against the simulated
+kernel with and without CTA, timing the allocator/paging path that the
+18-line patch touches.
+"""
+
+from repro.perf.workloads import PHORONIX_WORKLOADS, SPEC_WORKLOADS, WorkloadProfile
+from repro.perf.runner import PerfResult, run_workload, compare_cta_overhead
+from repro.perf.report import OverheadRow, table4_report
+
+__all__ = [
+    "OverheadRow",
+    "PHORONIX_WORKLOADS",
+    "PerfResult",
+    "SPEC_WORKLOADS",
+    "WorkloadProfile",
+    "compare_cta_overhead",
+    "run_workload",
+    "table4_report",
+]

@@ -1,0 +1,66 @@
+"""Table 4-style overhead reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.perf.runner import compare_cta_overhead
+from repro.perf.workloads import PHORONIX_WORKLOADS, SPEC_WORKLOADS, WorkloadProfile
+from repro.units import MIB
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One benchmark's measured CTA overhead."""
+
+    workload: str
+    suite: str
+    overhead_percent: float
+
+
+#: Published Table 4 means (percent): CTA overhead is noise around zero.
+PAPER_TABLE4_MEANS: Dict[str, Tuple[float, float]] = {
+    # suite -> (8GB system mean %, 128GB system mean %)
+    "spec2006": (-0.07, 0.04),
+    "phoronix": (-0.08, 0.25),
+}
+
+
+def table4_report(
+    workloads: Sequence[WorkloadProfile] = SPEC_WORKLOADS + PHORONIX_WORKLOADS,
+    repeats: int = 3,
+    total_bytes: int = 64 * MIB,
+) -> List[OverheadRow]:
+    """Measure CTA overhead for every Table 4 workload."""
+    rows = []
+    for profile in workloads:
+        overhead = compare_cta_overhead(profile, repeats=repeats, total_bytes=total_bytes)
+        rows.append(
+            OverheadRow(
+                workload=profile.name,
+                suite=profile.suite,
+                overhead_percent=100.0 * overhead,
+            )
+        )
+    return rows
+
+
+def suite_mean(rows: Sequence[OverheadRow], suite: str) -> float:
+    """Mean overhead percent across one suite's rows."""
+    values = [row.overhead_percent for row in rows if row.suite == suite]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_report(rows: Sequence[OverheadRow]) -> str:
+    """Printable Table 4 analogue."""
+    lines = [f"{'Benchmark':24s} {'Suite':10s} {'CTA overhead':>14s}"]
+    for row in rows:
+        lines.append(
+            f"{row.workload:24s} {row.suite:10s} {row.overhead_percent:13.2f}%"
+        )
+    for suite in ("spec2006", "phoronix"):
+        lines.append(f"{'Mean (' + suite + ')':35s} {suite_mean(rows, suite):13.2f}%")
+    return "\n".join(lines)

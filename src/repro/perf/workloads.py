@@ -1,0 +1,109 @@
+"""Synthetic workload profiles for the Table 4 benchmarks.
+
+Each profile captures the memory behaviour that could plausibly interact
+with CTA: how much address space the program maps, how often it maps and
+unmaps (page-table churn), and how widely scattered its accesses are
+(page-table page count). The figures are drawn from the published
+characterisations of SPEC CPU2006 memory footprints [16] and the general
+character of each Phoronix test, scaled down to simulator size.
+
+CTA only changes *page-table page* placement, so workloads differ mainly
+in how many page tables they force the kernel to build and tear down —
+exactly the dimension along which Table 4 finds no overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """One benchmark's memory-behaviour model.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name as it appears in Table 4.
+    suite:
+        "spec2006" or "phoronix".
+    mapped_regions:
+        Distinct 2 MiB-aligned regions the program touches (each costs a
+        last-level page table).
+    pages_per_region:
+        Pages faulted in per region (density of each page table).
+    map_unmap_cycles:
+        mmap/munmap churn iterations (allocator stress).
+    access_passes:
+        Read/write sweeps over the mapped pages (TLB/walk stress).
+    """
+
+    name: str
+    suite: str
+    mapped_regions: int
+    pages_per_region: int
+    map_unmap_cycles: int
+    access_passes: int
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("spec2006", "phoronix"):
+            raise ConfigurationError(f"unknown suite {self.suite!r}")
+        for field_name in (
+            "mapped_regions", "pages_per_region", "map_unmap_cycles", "access_passes",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    @property
+    def total_pages(self) -> int:
+        """Pages the workload touches."""
+        return self.mapped_regions * self.pages_per_region
+
+
+#: SPEC CPU2006 rows of Table 4. Footprints follow Henning [16]:
+#: mcf/gcc are the memory monsters, sjeng/libquantum run tight loops.
+SPEC_WORKLOADS: Tuple[WorkloadProfile, ...] = (
+    WorkloadProfile("perlbench", "spec2006", mapped_regions=24, pages_per_region=24, map_unmap_cycles=12, access_passes=2),
+    WorkloadProfile("bzip2", "spec2006", mapped_regions=16, pages_per_region=48, map_unmap_cycles=4, access_passes=3),
+    WorkloadProfile("gcc", "spec2006", mapped_regions=40, pages_per_region=32, map_unmap_cycles=16, access_passes=2),
+    WorkloadProfile("mcf", "spec2006", mapped_regions=48, pages_per_region=56, map_unmap_cycles=2, access_passes=4),
+    WorkloadProfile("gobmk", "spec2006", mapped_regions=12, pages_per_region=16, map_unmap_cycles=6, access_passes=2),
+    WorkloadProfile("hmmer", "spec2006", mapped_regions=10, pages_per_region=24, map_unmap_cycles=3, access_passes=3),
+    WorkloadProfile("sjeng", "spec2006", mapped_regions=8, pages_per_region=20, map_unmap_cycles=2, access_passes=2),
+    WorkloadProfile("libquantum", "spec2006", mapped_regions=6, pages_per_region=32, map_unmap_cycles=2, access_passes=4),
+    WorkloadProfile("h264ref", "spec2006", mapped_regions=14, pages_per_region=28, map_unmap_cycles=4, access_passes=3),
+    WorkloadProfile("omnetpp", "spec2006", mapped_regions=28, pages_per_region=20, map_unmap_cycles=10, access_passes=2),
+    WorkloadProfile("astar", "spec2006", mapped_regions=18, pages_per_region=24, map_unmap_cycles=5, access_passes=2),
+    WorkloadProfile("xalancbmk", "spec2006", mapped_regions=32, pages_per_region=16, map_unmap_cycles=14, access_passes=2),
+)
+
+#: Phoronix rows of Table 4: more mapping churn (I/O and scripting tests),
+#: plus the pure-bandwidth kernels (stream/ramspeed/cachebench).
+PHORONIX_WORKLOADS: Tuple[WorkloadProfile, ...] = (
+    WorkloadProfile("unpack-linux", "phoronix", mapped_regions=36, pages_per_region=8, map_unmap_cycles=24, access_passes=1),
+    WorkloadProfile("postmark", "phoronix", mapped_regions=24, pages_per_region=8, map_unmap_cycles=20, access_passes=1),
+    WorkloadProfile("ramspeed:INT", "phoronix", mapped_regions=20, pages_per_region=48, map_unmap_cycles=2, access_passes=5),
+    WorkloadProfile("ramspeed:FP", "phoronix", mapped_regions=20, pages_per_region=48, map_unmap_cycles=2, access_passes=5),
+    WorkloadProfile("stream:Copy", "phoronix", mapped_regions=16, pages_per_region=56, map_unmap_cycles=1, access_passes=6),
+    WorkloadProfile("stream:Scale", "phoronix", mapped_regions=16, pages_per_region=56, map_unmap_cycles=1, access_passes=6),
+    WorkloadProfile("stream:Triad", "phoronix", mapped_regions=16, pages_per_region=56, map_unmap_cycles=1, access_passes=6),
+    WorkloadProfile("stream:Add", "phoronix", mapped_regions=16, pages_per_region=56, map_unmap_cycles=1, access_passes=6),
+    WorkloadProfile("cachebench:Read", "phoronix", mapped_regions=8, pages_per_region=32, map_unmap_cycles=1, access_passes=8),
+    WorkloadProfile("cachebench:Write", "phoronix", mapped_regions=8, pages_per_region=32, map_unmap_cycles=1, access_passes=8),
+    WorkloadProfile("cachebench:Modify", "phoronix", mapped_regions=8, pages_per_region=32, map_unmap_cycles=1, access_passes=8),
+    WorkloadProfile("compress-7zip", "phoronix", mapped_regions=22, pages_per_region=36, map_unmap_cycles=6, access_passes=3),
+    WorkloadProfile("openssl", "phoronix", mapped_regions=6, pages_per_region=12, map_unmap_cycles=2, access_passes=4),
+    WorkloadProfile("pybench", "phoronix", mapped_regions=14, pages_per_region=16, map_unmap_cycles=10, access_passes=2),
+    WorkloadProfile("phpbench", "phoronix", mapped_regions=14, pages_per_region=16, map_unmap_cycles=10, access_passes=2),
+)
+
+
+def find_workload(name: str) -> WorkloadProfile:
+    """Look a profile up by name across both suites."""
+    for profile in SPEC_WORKLOADS + PHORONIX_WORKLOADS:
+        if profile.name == name:
+            return profile
+    raise ConfigurationError(f"unknown workload {name!r}")

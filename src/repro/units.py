@@ -1,0 +1,133 @@
+"""Size and time units used throughout the simulator.
+
+All sizes are in bytes, all times in seconds unless a name says otherwise.
+The DRAM/OS literature mixes binary prefixes freely; this module pins down
+one canonical set of constants so the rest of the codebase never hand-rolls
+``1024 * 1024`` arithmetic.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Size of a regular (4 KiB) page on x86/x86-64.
+PAGE_SIZE = 4 * KIB
+
+#: Bits in a page offset (log2 of PAGE_SIZE).
+PAGE_SHIFT = 12
+
+#: Size of one page-table entry on x86-64.
+PTE_SIZE = 8
+
+#: Number of PTEs per 4 KiB page-table page.
+PTES_PER_PAGE = PAGE_SIZE // PTE_SIZE
+
+#: JEDEC-specified DRAM refresh interval (Section 2.1 of the paper).
+REFRESH_INTERVAL_S = 64e-3
+
+#: Typical DRAM row size used by the paper's timing analysis [37].
+DEFAULT_ROW_SIZE = 128 * KIB
+
+#: The paper's reported true/anti-cell alternation period, in DRAM rows.
+DEFAULT_CELL_INTERLEAVE_ROWS = 512
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_HOUR = 3600.0
+
+_SUFFIXES = {
+    "b": 1,
+    "kib": KIB,
+    "kb": KIB,
+    "k": KIB,
+    "mib": MIB,
+    "mb": MIB,
+    "m": MIB,
+    "gib": GIB,
+    "gb": GIB,
+    "g": GIB,
+    "tib": TIB,
+    "tb": TIB,
+    "t": TIB,
+}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size like ``"32MB"`` or ``"8 GiB"`` into bytes.
+
+    Accepts an optional binary/decimal suffix (treated identically, binary);
+    a bare number is taken as bytes.
+
+    >>> parse_size("32MB")
+    33554432
+    >>> parse_size("8GiB") == 8 * GIB
+    True
+    """
+    cleaned = text.strip().lower().replace(" ", "")
+    if not cleaned:
+        raise ValueError("empty size string")
+    idx = len(cleaned)
+    while idx > 0 and not cleaned[idx - 1].isdigit():
+        idx -= 1
+    number, suffix = cleaned[:idx], cleaned[idx:]
+    if not number:
+        raise ValueError(f"no numeric part in size {text!r}")
+    multiplier = _SUFFIXES.get(suffix or "b")
+    if multiplier is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(number) * multiplier
+
+
+def format_size(num_bytes: int) -> str:
+    """Format a byte count with the largest exact-or-rounded binary prefix.
+
+    >>> format_size(32 * MIB)
+    '32.0MiB'
+    """
+    value = float(num_bytes)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or suffix == "TiB":
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration using the unit the paper's tables use.
+
+    Durations of at least a day render in days (Tables 2/3 use days);
+    shorter spans fall back to hours, minutes, or seconds.
+
+    >>> format_duration(2 * SECONDS_PER_DAY)
+    '2.0 days'
+    """
+    if seconds >= SECONDS_PER_DAY:
+        return f"{seconds / SECONDS_PER_DAY:.1f} days"
+    if seconds >= SECONDS_PER_HOUR:
+        return f"{seconds / SECONDS_PER_HOUR:.1f} hours"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} minutes"
+    return f"{seconds:.3f} seconds"
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment {alignment} is not a power of two")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return align_down(value + alignment - 1, alignment)

@@ -1,0 +1,82 @@
+"""Shared fixtures: scaled-down DRAM modules and kernels.
+
+Live attack simulations use small geometries (tens of MiB, 16 KiB rows)
+so the full code path executes in milliseconds; the analytical tests use
+the paper's full-scale parameters directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.kernel.cta import CtaConfig
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.units import MIB
+
+
+SMALL_TOTAL = 8 * MIB
+SMALL_ROW = 16 * 1024
+SMALL_BANKS = 2
+SMALL_PERIOD = 8
+
+
+@pytest.fixture
+def geometry() -> DramGeometry:
+    """A small module: 8 MiB, 16 KiB rows, 2 banks (512 rows)."""
+    return DramGeometry(total_bytes=SMALL_TOTAL, row_bytes=SMALL_ROW, num_banks=SMALL_BANKS)
+
+
+@pytest.fixture
+def cell_map(geometry) -> CellTypeMap:
+    """Interleaved true/anti map with an 8-row period."""
+    return CellTypeMap.interleaved(geometry, period_rows=SMALL_PERIOD)
+
+
+@pytest.fixture
+def module(geometry, cell_map) -> DramModule:
+    """Sparse module over the small geometry."""
+    return DramModule(geometry, cell_map)
+
+
+def make_stock_kernel(total_bytes: int = 32 * MIB) -> Kernel:
+    """A stock kernel for attack tests."""
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=SMALL_ROW,
+            num_banks=SMALL_BANKS,
+            cell_interleave_rows=32,
+        )
+    )
+
+
+def make_cta_kernel(
+    total_bytes: int = 32 * MIB,
+    ptp_bytes: int = 2 * MIB,
+    **cta_kwargs,
+) -> Kernel:
+    """A CTA-protected kernel for attack/policy tests."""
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=SMALL_ROW,
+            num_banks=SMALL_BANKS,
+            cell_interleave_rows=32,
+            cta=CtaConfig(ptp_bytes=ptp_bytes, **cta_kwargs),
+        )
+    )
+
+
+@pytest.fixture
+def stock_kernel() -> Kernel:
+    """Stock kernel fixture."""
+    return make_stock_kernel()
+
+
+@pytest.fixture
+def cta_kernel() -> Kernel:
+    """CTA kernel fixture."""
+    return make_cta_kernel()

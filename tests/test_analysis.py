@@ -1,0 +1,156 @@
+"""Analytical security model: Tables 2/3, Monte Carlo, capacity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    anticell_ablation,
+    capacity_loss_report,
+    expected_exploitable_ptes,
+    p_exploitable,
+    paper_table2,
+    paper_table3,
+    simulate_exploitable_ptes,
+    systems_per_vulnerable,
+)
+from repro.analysis.capacity import capacity_sweep
+from repro.analysis.tables import (
+    PAPER_ANTICELL,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    headline_numbers,
+)
+from repro.errors import AnalysisError
+from repro.units import GIB, MIB
+
+
+class TestPExploitable:
+    def test_paper_running_example(self):
+        """n=8, Pf=1e-4, P01=0.2% -> 1.6e-6 (Section 5)."""
+        assert p_exploitable(8, 1e-4, 0.002) == pytest.approx(1.6e-6, rel=0.01)
+
+    def test_ideal_true_cells_are_safe(self):
+        """P01=0 means no upward flips: exploitability is exactly zero."""
+        assert p_exploitable(8, 1e-4, 0.0) == 0.0
+
+    def test_restricted_much_smaller(self):
+        base = p_exploitable(8, 1e-4, 0.002, min_upward_flips=1)
+        restricted = p_exploitable(8, 1e-4, 0.002, min_upward_flips=2)
+        assert restricted < base * 1e-4
+
+    def test_anti_cells_catastrophic(self):
+        anti = p_exploitable(8, 1e-4, 0.998, p_down=0.002)
+        true = p_exploitable(8, 1e-4, 0.002)
+        assert anti / true > 100
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            p_exploitable(0, 1e-4, 0.002)
+        with pytest.raises(AnalysisError):
+            p_exploitable(8, 2.0, 0.002)
+        with pytest.raises(AnalysisError):
+            p_exploitable(8, 1e-4, 0.002, min_upward_flips=0)
+
+    @given(
+        n=st.integers(1, 12),
+        pf=st.floats(1e-6, 1e-2),
+        p_up=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_probability_bounds(self, n, pf, p_up):
+        value = p_exploitable(n, pf, p_up)
+        assert 0.0 <= value <= 1.0
+
+    @given(n=st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_property_monotone_in_min_flips(self, n):
+        values = [
+            p_exploitable(n, 1e-3, 0.01, min_upward_flips=k) for k in range(1, n + 1)
+        ]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestExpectedExploitable:
+    def test_paper_abstract_number(self):
+        expected = expected_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.002, restricted=True)
+        assert systems_per_vulnerable(expected) == pytest.approx(2.04e5, rel=0.06)
+
+    def test_table2_all_cells(self):
+        for row in paper_table2():
+            expected_paper, days_paper = PAPER_TABLE2[row.label]
+            assert row.expected_exploitable == pytest.approx(expected_paper, rel=0.02), row.label
+            assert row.attack_time_days == pytest.approx(days_paper, rel=0.01), row.label
+
+    def test_table3_all_cells(self):
+        for row in paper_table3():
+            expected_paper, days_paper = PAPER_TABLE3[row.label]
+            assert row.expected_exploitable == pytest.approx(expected_paper, rel=0.02), row.label
+            assert row.attack_time_days == pytest.approx(days_paper, rel=0.01), row.label
+
+    def test_anticell_ablation(self):
+        result = anticell_ablation()
+        assert result.expected_exploitable == pytest.approx(
+            PAPER_ANTICELL.expected_exploitable, rel=0.01
+        )
+        assert result.attack_time_hours == pytest.approx(
+            PAPER_ANTICELL.attack_time_hours, rel=0.05
+        )
+
+    def test_headline_numbers(self):
+        numbers = headline_numbers()
+        assert numbers["attack_time_days"] == pytest.approx(230.7, abs=0.5)
+        assert numbers["slowdown_vs_20s"] > 9e5
+
+    def test_systems_per_vulnerable_saturates(self):
+        assert systems_per_vulnerable(5.0) == 1.0
+        with pytest.raises(AnalysisError):
+            systems_per_vulnerable(0.0)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_closed_form_common_case(self):
+        result = simulate_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable=1e-4, p_up=0.002, trials=20, seed=1
+        )
+        assert result.agrees_with_analytic()
+        # The unrestricted expectation is ~6.7 per system.
+        assert 4.0 < result.expected_per_system < 10.0
+
+    def test_agrees_for_anti_cells(self):
+        result = simulate_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable=1e-4, p_up=0.998, p_down=0.002,
+            trials=3, seed=2,
+        )
+        assert result.agrees_with_analytic()
+        assert result.expected_per_system == pytest.approx(3350, rel=0.1)
+
+    def test_restricted_rare_events(self):
+        result = simulate_exploitable_ptes(
+            8 * GIB, 32 * MIB, p_vulnerable=1e-4, p_up=0.002,
+            min_upward_flips=2, trials=50, seed=3,
+        )
+        # Expected count is 4.69e-6 * 50 trials ~ 0: almost surely zero.
+        assert result.exploitable_count <= 2
+        assert result.agrees_with_analytic()
+
+    def test_trials_validation(self):
+        with pytest.raises(AnalysisError):
+            simulate_exploitable_ptes(8 * GIB, 32 * MIB, 1e-4, 0.002, trials=0)
+
+
+class TestCapacity:
+    def test_paper_worst_case(self):
+        best, worst = capacity_sweep(8 * GIB, 32 * MIB)
+        assert best.loss_percent == 0.0
+        assert worst.loss_percent == pytest.approx(0.78, abs=0.01)
+
+    def test_loss_grows_with_ptp_span(self):
+        small = capacity_sweep(8 * GIB, 32 * MIB)[1]
+        large = capacity_sweep(8 * GIB, 128 * MIB)[1]
+        assert large.loss_bytes >= small.loss_bytes
+
+    def test_report_fields(self):
+        report = capacity_loss_report(8 * GIB, 32 * MIB)
+        assert report.total_bytes == 8 * GIB
+        assert 0 <= report.loss_fraction < 0.02

@@ -1,0 +1,82 @@
+"""Parameter-sensitivity sweeps."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    breakeven_p_vulnerable,
+    degradation_table,
+    format_heatmap,
+    sweep,
+)
+from repro.errors import AnalysisError
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        points = sweep([1e-4, 5e-4], [0.002, 0.005])
+        assert len(points) == 4
+
+    def test_recovers_table2_and_table3_corners(self):
+        points = {
+            (p.p_vulnerable, p.p_up): p for p in sweep([1e-4, 5e-4], [0.002, 0.005])
+        }
+        assert points[(1e-4, 0.002)].expected_exploitable == pytest.approx(6.7, rel=0.01)
+        assert points[(1e-4, 0.002)].attack_time_days == pytest.approx(57.6, rel=0.01)
+        assert points[(5e-4, 0.005)].expected_exploitable == pytest.approx(83.6, rel=0.01)
+        assert points[(5e-4, 0.005)].attack_time_days == pytest.approx(5.42, rel=0.01)
+
+    def test_monotone_in_both_axes(self):
+        points = sweep([1e-5, 1e-4, 1e-3], [0.001, 0.01, 0.1])
+        by_key = {(p.p_vulnerable, p.p_up): p.expected_exploitable for p in points}
+        assert by_key[(1e-5, 0.001)] < by_key[(1e-4, 0.001)] < by_key[(1e-3, 0.001)]
+        assert by_key[(1e-4, 0.001)] < by_key[(1e-4, 0.01)] < by_key[(1e-4, 0.1)]
+
+    def test_restricted_sweep_stays_tiny_at_paper_rates(self):
+        points = sweep([1e-4], [0.002], restricted=True)
+        assert points[0].expected_exploitable < 1e-5
+        assert points[0].attack_time_days == pytest.approx(230.7, rel=0.01)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(AnalysisError):
+            sweep([], [0.002])
+
+
+class TestBreakeven:
+    def test_paper_rates_are_far_from_breakeven(self):
+        breakeven = breakeven_p_vulnerable(target_exploitable=1.0)
+        assert breakeven > 1e-4 * 50  # >= 50x worse DRAM needed
+
+    def test_breakeven_is_calibrated(self):
+        from repro.analysis import expected_exploitable_ptes
+        from repro.units import GIB, MIB
+
+        breakeven = breakeven_p_vulnerable(target_exploitable=1.0)
+        at_breakeven = expected_exploitable_ptes(
+            8 * GIB, 32 * MIB, breakeven, 0.002, restricted=True
+        )
+        assert at_breakeven == pytest.approx(1.0, rel=0.05)
+
+    def test_target_validation(self):
+        with pytest.raises(AnalysisError):
+            breakeven_p_vulnerable(target_exploitable=0)
+
+
+class TestDegradation:
+    def test_rows_monotone(self):
+        rows = degradation_table()
+        days = [row[1] for row in rows]
+        restricted = [row[2] for row in rows]
+        assert all(a >= b for a, b in zip(days, days[1:]))
+        assert all(a <= b for a, b in zip(restricted, restricted[1:]))
+
+    def test_anchor_matches_table2(self):
+        rows = degradation_table(multipliers=(1,))
+        assert rows[0][1] == pytest.approx(57.6, rel=0.01)
+
+
+class TestHeatmap:
+    def test_format_contains_all_cells(self):
+        points = sweep([1e-4, 1e-3], [0.002, 0.02])
+        text = format_heatmap(points)
+        assert text.count("\n") == 2  # header + 2 Pf rows
+        assert "1.0e-04" in text or "1.0e-4" in text

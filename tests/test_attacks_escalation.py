@@ -1,0 +1,100 @@
+"""Self-reference detection and escalation completion."""
+
+import pytest
+
+from repro.attacks.escalation import (
+    SelfReference,
+    _looks_like_page_table,
+    attempt_escalation,
+    find_self_references,
+)
+from repro.attacks.spray import spray_page_tables
+from repro.kernel.pagetable import PageTableEntry
+from repro.units import PAGE_SHIFT, PAGE_SIZE
+
+from tests.conftest import make_stock_kernel
+
+
+def corrupt_pte_to_self_reference(kernel, attacker, victim_va, target_pt_pfn):
+    """Manually point victim_va's PTE at a page table (simulated flip)."""
+    leaf = kernel.leaf_pte_address(attacker, victim_va)
+    raw = kernel.module.read_u64(leaf)
+    entry = PageTableEntry.decode(raw)
+    forged = PageTableEntry.make(target_pt_pfn, writable=entry.writable, user=True)
+    kernel.module.write_u64(leaf, forged.encode())
+    kernel.tlb.flush()
+    return leaf
+
+
+class TestHeuristic:
+    def test_page_of_ptes_recognised(self):
+        words = b"".join(
+            PageTableEntry.make(100 + i, writable=True, user=True).encode().to_bytes(8, "little")
+            for i in range(4)
+        )
+        content = words + b"\x00" * (PAGE_SIZE - len(words))
+        assert _looks_like_page_table(content)
+
+    def test_zero_page_rejected(self):
+        assert not _looks_like_page_table(b"\x00" * PAGE_SIZE)
+
+    def test_attacker_marker_data_rejected(self):
+        assert not _looks_like_page_table(b"\xff" * PAGE_SIZE)
+
+
+class TestFindSelfReferences:
+    def test_clean_spray_has_none(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        spray = spray_page_tables(kernel, attacker, num_mappings=8)
+        assert find_self_references(kernel, attacker, spray.mapped_vas) == []
+
+    def test_corrupted_pte_found(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        spray = spray_page_tables(kernel, attacker, num_mappings=8)
+        victim_va = spray.mapped_vas[3]
+        # Point it at the page table of another sprayed mapping.
+        other_leaf = kernel.leaf_pte_address(attacker, spray.mapped_vas[5])
+        target_pt = other_leaf >> PAGE_SHIFT
+        corrupt_pte_to_self_reference(kernel, attacker, victim_va, target_pt)
+        references = find_self_references(kernel, attacker, spray.mapped_vas)
+        assert len(references) == 1
+        assert references[0].virtual_address == victim_va
+        assert references[0].target_pfn == target_pt
+
+    def test_pointer_to_other_process_table_not_reported(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        other = kernel.create_process()
+        spray = spray_page_tables(kernel, attacker, num_mappings=4)
+        corrupt_pte_to_self_reference(
+            kernel, attacker, spray.mapped_vas[0], other.cr3 >> PAGE_SHIFT
+        )
+        # PML4s are level 4; detection restricts to last-level tables of
+        # the same process, so nothing is reported.
+        assert find_self_references(kernel, attacker, spray.mapped_vas) == []
+
+
+class TestAttemptEscalation:
+    def test_escalation_demonstrates_arbitrary_read(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        spray = spray_page_tables(kernel, attacker, num_mappings=8)
+        victim_va = spray.mapped_vas[3]
+        other_leaf = kernel.leaf_pte_address(attacker, spray.mapped_vas[5])
+        target_pt = other_leaf >> PAGE_SHIFT
+        corrupt_pte_to_self_reference(kernel, attacker, victim_va, target_pt)
+        references = find_self_references(kernel, attacker, spray.mapped_vas)
+        report = attempt_escalation(kernel, attacker, references[0])
+        assert report.achieved
+        assert b"KERNEL-SECRET" in report.proof_read
+
+    def test_escalation_fails_without_live_route(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        reference = SelfReference(
+            virtual_address=0x123000, pte_physical_address=0, target_pfn=50
+        )
+        report = attempt_escalation(kernel, attacker, reference)
+        assert not report.achieved

@@ -1,0 +1,93 @@
+"""Attack timing model and page-table spraying."""
+
+import pytest
+
+from repro.attacks.spray import PT_COVERAGE, spray_page_tables
+from repro.attacks.timing import AttackTimingModel
+from repro.errors import AnalysisError
+from repro.units import GIB, MIB, SECONDS_PER_DAY
+
+from tests.conftest import make_cta_kernel, make_stock_kernel
+
+
+class TestTimingModel:
+    def test_paper_constants(self):
+        timing = AttackTimingModel()
+        assert timing.fill_s == pytest.approx(0.184)
+        assert timing.hammer_row_s == pytest.approx(0.064)
+        assert timing.check_pte_s == pytest.approx(600e-9)
+        assert timing.ptes_per_row == 16_384
+
+    def test_rows_in_ptp(self):
+        timing = AttackTimingModel()
+        assert timing.rows_in_ptp(32 * MIB) == 256
+        assert timing.rows_in_ptp(64 * MIB) == 512
+
+    def test_rows_in_ptp_validation(self):
+        with pytest.raises(AnalysisError):
+            AttackTimingModel().rows_in_ptp(1000)
+
+    def test_paper_worst_case_8gb_32mb(self):
+        """(2^21 - 8192) pages x 19.08 s / 8 = 57.6 days (Section 5)."""
+        timing = AttackTimingModel()
+        worst = timing.worst_case_s(8 * GIB, 32 * MIB)
+        expected = timing.expected_s_unrestricted(8 * GIB, 32 * MIB, 6.7)
+        assert worst / SECONDS_PER_DAY == pytest.approx(461.4, abs=1.0)
+        assert expected / SECONDS_PER_DAY == pytest.approx(57.7, abs=0.2)
+
+    def test_restricted_is_half_worst_case(self):
+        timing = AttackTimingModel()
+        total, ptp = 8 * GIB, 32 * MIB
+        assert timing.expected_s_restricted(total, ptp) == pytest.approx(
+            timing.worst_case_s(total, ptp) / 2
+        )
+
+    def test_expected_divisor_uses_ceil_plus_one(self):
+        timing = AttackTimingModel()
+        total, ptp = 8 * GIB, 32 * MIB
+        worst = timing.worst_case_s(total, ptp)
+        assert timing.expected_s_unrestricted(total, ptp, 6.7) == pytest.approx(worst / 8)
+        assert timing.expected_s_unrestricted(total, ptp, 0.0) == pytest.approx(worst / 1)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            AttackTimingModel(fill_s=0)
+        with pytest.raises(AnalysisError):
+            AttackTimingModel().pages_below_mark(32 * MIB, 32 * MIB)
+        with pytest.raises(AnalysisError):
+            AttackTimingModel().expected_s_unrestricted(8 * GIB, 32 * MIB, -1)
+
+
+class TestSpray:
+    def test_spray_creates_one_pt_per_mapping(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        result = spray_page_tables(kernel, attacker, num_mappings=16)
+        assert result.num_mappings == 16
+        # 16 last-level PTs plus upper-level tables.
+        assert result.page_tables_created >= 16
+        assert not result.stopped_by_oom
+
+    def test_sprayed_mappings_share_one_frame(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        result = spray_page_tables(kernel, attacker, num_mappings=8)
+        addresses = {kernel.touch(attacker, va) for va in result.mapped_vas}
+        assert len(addresses) == 1
+
+    def test_mappings_at_2mib_stride(self):
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        result = spray_page_tables(kernel, attacker, num_mappings=4)
+        deltas = {
+            b - a for a, b in zip(result.mapped_vas, result.mapped_vas[1:])
+        }
+        assert deltas == {PT_COVERAGE}
+
+    def test_spray_bounded_by_cta_zone(self):
+        kernel = make_cta_kernel(ptp_bytes=256 * 1024)  # 64 PTP frames
+        attacker = kernel.create_process()
+        result = spray_page_tables(kernel, attacker, num_mappings=500)
+        assert result.stopped_by_oom
+        assert result.page_tables_created <= 64
+        kernel.verify_cta_rules()

@@ -1,0 +1,57 @@
+"""CLI smoke tests (analytical subcommands only; live demos are slow)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyticalCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Privilege Escalation" in output
+        assert "Drammer" in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "8GB/32MB/unrestricted" in output
+        assert "230.7" in output
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        assert "8GB/32MB/restricted" in capsys.readouterr().out
+
+    def test_anticell(self, capsys):
+        assert main(["anticell"]) == 0
+        assert "3354.7" in capsys.readouterr().out
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        assert "0.78" in capsys.readouterr().out
+
+    def test_headline(self, capsys):
+        assert main(["headline"]) == 0
+        assert "2.04e5" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+@pytest.mark.slow
+class TestLiveCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "stock kernel" in output
+        assert "blocked" in output
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "monotonically" in output

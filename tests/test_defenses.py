@@ -1,0 +1,152 @@
+"""Defense comparators."""
+
+import pytest
+
+from repro.defenses import (
+    Anvil,
+    Catt,
+    CtaDefense,
+    IncreasedRefreshRate,
+    NoDefense,
+    Para,
+    all_defenses,
+)
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.remap import RowRemapper
+from repro.errors import DefenseError
+from repro.units import MIB
+
+
+class TestInterface:
+    def test_all_defenses_instantiable(self):
+        defenses = all_defenses()
+        assert len(defenses) == 6
+        for defense in defenses:
+            assert defense.name
+            assert defense.cost() is not None
+            assert defense.evaluate().defense_name == defense.name
+
+    def test_only_cta_fully_blocks(self):
+        full_blockers = [
+            d.name for d in all_defenses() if d.evaluate().fully_blocks_pte_attacks
+        ]
+        assert full_blockers == ["cta"]
+
+
+class TestNoDefense:
+    def test_blocks_nothing(self):
+        evaluation = NoDefense().evaluate()
+        assert not evaluation.blocks_probabilistic_pte
+        assert not evaluation.blocks_deterministic_pte
+
+
+class TestRefreshRate:
+    def test_flip_scale_inverse(self):
+        assert IncreasedRefreshRate(4.0).flip_probability_scale() == pytest.approx(0.25)
+
+    def test_energy_tracks_multiplier(self):
+        assert IncreasedRefreshRate(2.0).cost().energy_multiplier == 2.0
+
+    def test_never_fully_blocks(self):
+        assert not IncreasedRefreshRate(8.0).evaluate().fully_blocks_pte_attacks
+
+    def test_validation(self):
+        with pytest.raises(DefenseError):
+            IncreasedRefreshRate(0.5)
+
+
+class TestPara:
+    def test_flip_scale_astronomically_small(self):
+        assert Para().flip_probability_scale() < 1e-20
+
+    def test_requires_hardware(self):
+        cost = Para().cost()
+        assert cost.requires_hardware_change
+        assert not cost.deployable_on_legacy
+
+    def test_validation(self):
+        with pytest.raises(DefenseError):
+            Para(refresh_probability=0.0)
+        with pytest.raises(DefenseError):
+            Para(hammer_burst=0)
+
+
+class TestAnvil:
+    def test_detects_hammering_interval(self):
+        anvil = Anvil(activation_threshold=1000, false_positive_rate=0.0, seed=1)
+        outcome = anvil.scan_interval({5: 50_000, 6: 10})
+        assert outcome.detected
+        assert outcome.is_attack_interval
+        assert outcome.flagged_rows == (5,)
+
+    def test_benign_interval_clean_without_fp(self):
+        anvil = Anvil(activation_threshold=1000, false_positive_rate=0.0, seed=1)
+        outcome = anvil.scan_interval({5: 10, 6: 20})
+        assert not outcome.detected
+
+    def test_false_positive_rate_respected(self):
+        anvil = Anvil(activation_threshold=10**9, false_positive_rate=0.2, seed=2)
+        fps = sum(
+            anvil.scan_interval({1: 100}).detected for _ in range(2000)
+        )
+        assert 300 < fps < 500  # ~0.2 * 2000
+        assert anvil.false_positives == fps
+
+    def test_no_counters_no_detection(self):
+        anvil = Anvil(counters_available=False)
+        assert not anvil.scan_interval({5: 10**6}).detected
+        assert not anvil.evaluate().blocks_probabilistic_pte
+
+    def test_validation(self):
+        with pytest.raises(DefenseError):
+            Anvil(activation_threshold=0)
+        with pytest.raises(DefenseError):
+            Anvil(false_positive_rate=1.0)
+
+
+class TestCatt:
+    @pytest.fixture
+    def cell_map(self):
+        geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+        return CellTypeMap.interleaved(geometry, period_rows=4)
+
+    def test_intact_isolation_blocks(self, cell_map):
+        catt = Catt(boundary_row=64, total_rows=128)
+        remapper = RowRemapper(cell_map)
+        assert not catt.attacker_reaches_kernel(remapper)
+
+    def test_row_remap_breaks_isolation(self, cell_map):
+        catt = Catt(boundary_row=64, total_rows=128)
+        remapper = RowRemapper(cell_map, spare_rows=[10], enforce_cell_type=False)
+        remapper.remap(70, spare_row=10)  # kernel row lands among user rows
+        assert catt.isolation_violations(remapper) == [70]
+        assert catt.attacker_reaches_kernel(remapper)
+
+    def test_double_owned_page_breaks_isolation(self):
+        catt = Catt(boundary_row=64, total_rows=128, double_owned_rows=[80])
+        assert catt.attacker_reaches_kernel()
+
+    def test_published_weaknesses_reported(self):
+        weaknesses = Catt().evaluate().residual_weaknesses
+        assert any("re-mapping" in w for w in weaknesses)
+        assert any("double-owned" in w for w in weaknesses)
+
+    def test_boundary_validation(self):
+        with pytest.raises(DefenseError):
+            Catt(boundary_row=128, total_rows=128)
+
+
+class TestCtaDefense:
+    def test_cost_matches_paper(self):
+        cost = CtaDefense().cost()
+        assert cost.software_complexity_loc == 18
+        assert cost.performance_overhead_percent == 0.0
+        assert not cost.requires_hardware_change
+        assert cost.deployable_on_legacy
+
+    def test_expected_exploitable_matches_analysis(self):
+        assert CtaDefense().expected_exploitable() == pytest.approx(4.69e-6, rel=0.02)
+
+    def test_fully_blocks(self):
+        assert CtaDefense().evaluate().fully_blocks_pte_attacks

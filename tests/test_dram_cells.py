@@ -1,0 +1,143 @@
+"""True/anti cell typing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigurationError
+from repro.units import MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2)
+
+
+class TestCellType:
+    def test_leak_directions(self):
+        assert CellType.TRUE.leak_direction == (1, 0)
+        assert CellType.ANTI.leak_direction == (0, 1)
+
+    def test_charged_values(self):
+        assert CellType.TRUE.charged_value == 1
+        assert CellType.TRUE.discharged_value == 0
+        assert CellType.ANTI.charged_value == 0
+        assert CellType.ANTI.discharged_value == 1
+
+    def test_opposite(self):
+        assert CellType.TRUE.opposite() is CellType.ANTI
+        assert CellType.ANTI.opposite() is CellType.TRUE
+
+
+class TestInterleaved:
+    def test_alternation_period(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        assert mapping.type_of_row(0) is CellType.TRUE
+        assert mapping.type_of_row(7) is CellType.TRUE
+        assert mapping.type_of_row(8) is CellType.ANTI
+        assert mapping.type_of_row(16) is CellType.TRUE
+
+    def test_first_type_anti(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8, first_type=CellType.ANTI)
+        assert mapping.type_of_row(0) is CellType.ANTI
+        assert mapping.type_of_row(8) is CellType.TRUE
+
+    def test_balanced_counts(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        assert mapping.count(CellType.TRUE) == mapping.count(CellType.ANTI) == 256
+
+    def test_bad_period(self, geometry):
+        with pytest.raises(ConfigurationError):
+            CellTypeMap.interleaved(geometry, period_rows=0)
+
+    def test_type_of_address(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        assert mapping.type_of_address(0) is CellType.TRUE
+        assert mapping.type_of_address(8 * 16 * 1024) is CellType.ANTI
+
+
+class TestOtherLayouts:
+    def test_uniform(self, geometry):
+        mapping = CellTypeMap.uniform(geometry, CellType.ANTI)
+        assert mapping.count(CellType.TRUE) == 0
+        assert mapping.true_anti_ratio() == 0.0
+
+    def test_uniform_true_infinite_ratio(self, geometry):
+        mapping = CellTypeMap.uniform(geometry, CellType.TRUE)
+        assert mapping.true_anti_ratio() == float("inf")
+
+    def test_majority_true(self, geometry):
+        mapping = CellTypeMap.majority_true(geometry, anti_every=64)
+        assert mapping.count(CellType.ANTI) == geometry.total_rows // 64
+        assert mapping.true_anti_ratio() == 63.0
+
+    def test_majority_requires_gt_one(self, geometry):
+        with pytest.raises(ConfigurationError):
+            CellTypeMap.majority_true(geometry, anti_every=1)
+
+    def test_from_rows_length_mismatch(self, geometry):
+        with pytest.raises(ConfigurationError):
+            CellTypeMap.from_rows(geometry, [CellType.TRUE] * 3)
+
+    def test_from_rows_explicit(self, geometry):
+        rows = [CellType.TRUE if i % 2 == 0 else CellType.ANTI for i in range(512)]
+        mapping = CellTypeMap.from_rows(geometry, rows)
+        assert mapping.type_of_row(0) is CellType.TRUE
+        assert mapping.type_of_row(1) is CellType.ANTI
+
+
+class TestRegions:
+    def test_regions_partition_all_rows(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        regions = mapping.regions()
+        assert regions[0] == (0, 8, CellType.TRUE)
+        assert regions[1] == (8, 16, CellType.ANTI)
+        covered = sum(end - start for start, end, _ in regions)
+        assert covered == geometry.total_rows
+        # adjacent regions alternate type
+        for (_, _, a), (_, _, b) in zip(regions, regions[1:]):
+            assert a is not b
+
+    def test_regions_of_type(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        true_regions = mapping.regions_of_type(CellType.TRUE)
+        assert all((start // 8) % 2 == 0 for start, _ in true_regions)
+
+    def test_address_regions(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        first = mapping.address_regions_of_type(CellType.TRUE)[0]
+        assert first == (0, 8 * 16 * 1024)
+
+    def test_rows_of_type_iterates_sorted(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        rows = list(mapping.rows_of_type(CellType.ANTI))
+        assert rows == sorted(rows)
+        assert all(mapping.type_of_row(row) is CellType.ANTI for row in rows)
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_region_lengths_match_period(self, period):
+        geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+        mapping = CellTypeMap.interleaved(geometry, period_rows=period)
+        for start, end, _ in mapping.regions()[:-1]:
+            assert end - start == period
+
+
+class TestMutation:
+    def test_swap_rows(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        mapping.swap_rows(0, 8)
+        assert mapping.type_of_row(0) is CellType.ANTI
+        assert mapping.type_of_row(8) is CellType.TRUE
+
+    def test_as_array_is_copy(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        array = mapping.as_array()
+        array[0] = not array[0]
+        assert mapping.type_of_row(0) is CellType.TRUE
+
+    def test_out_of_range_row(self, geometry):
+        mapping = CellTypeMap.interleaved(geometry, period_rows=8)
+        with pytest.raises(ConfigurationError):
+            mapping.type_of_row(512)

@@ -1,0 +1,129 @@
+"""SECDED ECC model and its RowHammer escape behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.cells import CellTypeMap
+from repro.dram.ecc import (
+    CODE_BITS,
+    DecodeStatus,
+    EccWordStore,
+    SecdedCodec,
+)
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ConfigurationError
+from repro.units import MIB
+
+
+@pytest.fixture
+def codec():
+    return SecdedCodec()
+
+
+class TestCodec:
+    def test_clean_roundtrip(self, codec):
+        for data in (0, 1, 0xDEADBEEF_CAFEF00D, 2**64 - 1):
+            result = codec.decode(codec.encode(data), true_data=data)
+            assert result.status is DecodeStatus.CLEAN
+            assert result.data == data
+
+    @given(st.integers(0, 2**64 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip(self, data):
+        codec = SecdedCodec()
+        assert codec.extract_data(codec.encode(data)) == data
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, CODE_BITS - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_single_error_corrected(self, data, position):
+        codec = SecdedCodec()
+        corrupted = codec.encode(data) ^ (1 << position)
+        result = codec.decode(corrupted, true_data=data)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        st.integers(0, 2**64 - 1),
+        st.sets(st.integers(0, CODE_BITS - 1), min_size=2, max_size=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_double_error_detected(self, data, positions):
+        codec = SecdedCodec()
+        corrupted = codec.encode(data)
+        for position in positions:
+            corrupted ^= 1 << position
+        result = codec.decode(corrupted, true_data=data)
+        assert result.status is DecodeStatus.DETECTED
+
+    def test_triple_errors_can_escape(self, codec):
+        """The RowHammer-vs-ECC hazard: some 3-flip patterns miscorrect."""
+        data = 0
+        word = codec.encode(data)
+        escapes = 0
+        trials = 0
+        # Try triples of the form (a, b, a^b): their syndromes cancel,
+        # aliasing to a single-bit or clean pattern.
+        for a in range(1, 40):
+            for b in range(a + 1, 40):
+                c = a ^ b
+                if c <= b or c >= CODE_BITS:
+                    continue
+                corrupted = word ^ (1 << a) ^ (1 << b) ^ (1 << c)
+                result = codec.decode(corrupted, true_data=data)
+                trials += 1
+                if result.status is DecodeStatus.MISCORRECTED:
+                    escapes += 1
+        assert trials > 50
+        assert escapes > 0, "aliasing triples must defeat SECDED"
+
+    def test_validation(self, codec):
+        with pytest.raises(ConfigurationError):
+            codec.encode(2**64)
+        with pytest.raises(ConfigurationError):
+            codec.decode(2**CODE_BITS)
+
+
+class TestEccWordStore:
+    @pytest.fixture
+    def store(self):
+        geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+        module = DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=8))
+        return EccWordStore(module, base_address=16 * 1024), module
+
+    def test_store_and_scrub_clean(self, store):
+        ecc, _module = store
+        index = ecc.store(0x1234_5678_9ABC_DEF0)
+        result = ecc.scrub(index)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.data == 0x1234_5678_9ABC_DEF0
+
+    def test_scrub_corrects_single_hardware_flip(self, store):
+        ecc, module = store
+        index = ecc.store(0xFFFF_FFFF_FFFF_FFFF)
+        module.flip_bit(ecc.word_address(index), 3)
+        result = ecc.scrub(index)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == 0xFFFF_FFFF_FFFF_FFFF
+
+    def test_heavy_hammering_defeats_ecc(self, store):
+        """At high flip densities some words take >= 3 flips and either
+        get flagged uncorrectable or silently miscorrect — either way the
+        'ECC protects us' assumption fails (Section 2.3 / [1])."""
+        ecc, module = store
+        for value in range(256):
+            ecc.store(value * 0x0101_0101_0101_0101)
+        hammer = RowHammerModel(
+            module, FlipStatistics(p_vulnerable=8e-2, p_with_leak=0.6), seed=4
+        )
+        # Store covers rows 1-2; hammer their neighbors hard.
+        for aggressor in (0, 1, 2, 3):
+            hammer.hammer(aggressor)
+        results = ecc.scrub_all()
+        bad = [
+            r for r in results
+            if r.status in (DecodeStatus.DETECTED, DecodeStatus.MISCORRECTED)
+        ]
+        assert bad, "multi-flip words must appear at this flip density"

@@ -1,0 +1,103 @@
+"""DRAM geometry and address decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DramGeometry, RowAddress
+from repro.errors import AddressError, ConfigurationError
+from repro.units import GIB, MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2)
+
+
+class TestConstruction:
+    def test_derived_fields(self, geometry):
+        assert geometry.total_rows == 512
+        assert geometry.rows_per_bank == 256
+
+    def test_rejects_non_power_of_two_row(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(total_bytes=8 * MIB, row_bytes=3000)
+
+    def test_rejects_indivisible_total(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(total_bytes=8 * MIB + 1, row_bytes=16 * 1024)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(total_bytes=0)
+
+    def test_presets(self):
+        assert DramGeometry.desktop_8gb().total_bytes == 8 * GIB
+        assert DramGeometry.server_128gb().total_bytes == 128 * GIB
+        assert DramGeometry.small().total_rows > 0
+
+
+class TestAddressMath:
+    def test_row_of_address(self, geometry):
+        assert geometry.row_of_address(0) == 0
+        assert geometry.row_of_address(16 * 1024) == 1
+        assert geometry.row_of_address(16 * 1024 - 1) == 0
+
+    def test_row_base_address(self, geometry):
+        assert geometry.row_base_address(3) == 3 * 16 * 1024
+
+    def test_row_base_out_of_range(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.row_base_address(512)
+
+    def test_check_address_bounds(self, geometry):
+        geometry.check_address(0, 8 * MIB)
+        with pytest.raises(AddressError):
+            geometry.check_address(8 * MIB, 1)
+        with pytest.raises(AddressError):
+            geometry.check_address(-1)
+
+    def test_decompose_compose_example(self, geometry):
+        location = geometry.decompose(5 * 16 * 1024 + 77)
+        assert location == RowAddress(bank=0, row=5, column=77)
+        assert geometry.compose(location) == 5 * 16 * 1024 + 77
+
+    def test_bank_boundary(self, geometry):
+        # Row 256 is the first row of bank 1.
+        address = 256 * 16 * 1024
+        assert geometry.decompose(address).bank == 1
+        assert geometry.bank_of_row(255) == 0
+        assert geometry.bank_of_row(256) == 1
+
+    def test_compose_rejects_bad_fields(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.compose(RowAddress(bank=2, row=0, column=0))
+        with pytest.raises(AddressError):
+            geometry.compose(RowAddress(bank=0, row=256, column=0))
+        with pytest.raises(AddressError):
+            geometry.compose(RowAddress(bank=0, row=0, column=16 * 1024))
+
+    @given(st.integers(min_value=0, max_value=8 * MIB - 1))
+    def test_decompose_compose_roundtrip(self, address):
+        geometry = DramGeometry(total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2)
+        assert geometry.compose(geometry.decompose(address)) == address
+
+
+class TestNeighbors:
+    def test_interior_row_has_two_neighbors(self, geometry):
+        assert geometry.neighbors(10) == (9, 11)
+
+    def test_bank_edges_have_one_neighbor(self, geometry):
+        assert geometry.neighbors(0) == (1,)
+        assert geometry.neighbors(255) == (254,)  # last row of bank 0
+        assert geometry.neighbors(256) == (257,)  # first row of bank 1
+        assert geometry.neighbors(511) == (510,)
+
+    def test_neighbors_stay_in_bank(self, geometry):
+        for row in (255, 256):
+            for neighbor in geometry.neighbors(row):
+                assert geometry.bank_of_row(neighbor) == geometry.bank_of_row(row)
+
+    def test_negative_row_component_rejected(self):
+        with pytest.raises(AddressError):
+            RowAddress(bank=-1, row=0, column=0)

@@ -1,0 +1,139 @@
+"""Sparse DRAM module storage and charge semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.errors import AddressError
+from repro.units import MIB
+
+
+class TestByteAccess:
+    def test_unwritten_reads_fill(self, module):
+        assert module.read(0, 16) == b"\x00" * 16
+
+    def test_custom_fill_byte(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map, fill_byte=0xAB)
+        assert module.read(100, 4) == b"\xab" * 4
+
+    def test_write_read_roundtrip(self, module):
+        module.write(1234, b"hello")
+        assert module.read(1234, 5) == b"hello"
+
+    def test_write_across_row_boundary(self, module):
+        row_bytes = module.geometry.row_bytes
+        data = bytes(range(64))
+        module.write(row_bytes - 32, data)
+        assert module.read(row_bytes - 32, 64) == data
+
+    def test_out_of_range_rejected(self, module):
+        with pytest.raises(AddressError):
+            module.read(module.geometry.total_bytes, 1)
+        with pytest.raises(AddressError):
+            module.write(module.geometry.total_bytes - 2, b"abcd")
+
+    def test_sparse_materialisation(self, module):
+        assert module.materialized_rows == 0
+        module.write(0, b"x")
+        assert module.materialized_rows == 1
+        module.forget_row(0)
+        assert module.materialized_rows == 0
+        assert module.read(0, 1) == b"\x00"
+
+    def test_invalid_fill_byte(self, geometry, cell_map):
+        with pytest.raises(ValueError):
+            DramModule(geometry, cell_map, fill_byte=256)
+
+    @given(st.binary(min_size=1, max_size=200), st.integers(min_value=0, max_value=10_000))
+    def test_roundtrip_property(self, data, address):
+        geometry = DramGeometry(total_bytes=1 * MIB, row_bytes=16 * 1024, num_banks=1)
+        module = DramModule(geometry)
+        module.write(address, data)
+        assert module.read(address, len(data)) == data
+
+
+class TestWordAccess:
+    def test_u64_roundtrip(self, module):
+        module.write_u64(64, 0xDEADBEEF_CAFEF00D)
+        assert module.read_u64(64) == 0xDEADBEEF_CAFEF00D
+
+    def test_u64_little_endian(self, module):
+        module.write_u64(0, 0x01)
+        assert module.read(0, 8) == b"\x01" + b"\x00" * 7
+
+    def test_u64_rejects_oversized(self, module):
+        with pytest.raises(ValueError):
+            module.write_u64(0, 2**64)
+
+
+class TestRowOps:
+    def test_fill_and_read_row(self, module):
+        module.fill_row(2, 0xFF)
+        assert module.read_row(2) == b"\xff" * module.geometry.row_bytes
+
+    def test_fill_row_invalid_byte(self, module):
+        with pytest.raises(ValueError):
+            module.fill_row(0, 300)
+
+    def test_snapshot_row_copies(self, module):
+        module.fill_row(1, 0x55)
+        snapshot = module.snapshot_row(1)
+        module.fill_row(1, 0x00)
+        assert int(snapshot[0]) == 0x55
+
+    def test_snapshot_unmaterialized(self, module):
+        snapshot = module.snapshot_row(9)
+        assert np.all(snapshot == 0)
+
+
+class TestBitOps:
+    def test_read_write_bit(self, module):
+        module.write_bit(10, 3, 1)
+        assert module.read_bit(10, 3) == 1
+        module.write_bit(10, 3, 0)
+        assert module.read_bit(10, 3) == 0
+
+    def test_flip_bit_returns_old_new(self, module):
+        assert module.flip_bit(5, 0) == (0, 1)
+        assert module.flip_bit(5, 0) == (1, 0)
+
+    def test_bad_bit_index(self, module):
+        with pytest.raises(AddressError):
+            module.read_bit(0, 8)
+
+
+class TestChargeSemantics:
+    def test_decay_true_row_goes_to_zero(self, module):
+        # Row 0 is a true-cell row in the interleaved fixture.
+        module.fill_row(0, 0xFF)
+        module.decay_row_fully(0)
+        assert module.read_row(0) == b"\x00" * module.geometry.row_bytes
+
+    def test_decay_anti_row_goes_to_one(self, module):
+        # Row 8 is anti-cell with period 8.
+        module.fill_row(8, 0x00)
+        module.decay_row_fully(8)
+        assert module.read_row(8) == b"\xff" * module.geometry.row_bytes
+
+    def test_decay_bits_partial(self, module):
+        module.fill_row(0, 0xFF)
+        changed = module.decay_bits(0, [0, 1, 2])
+        assert changed == 3
+        assert module.read(0, 1)[0] == 0xF8
+
+    def test_decay_bits_idempotent_on_discharged(self, module):
+        module.fill_row(0, 0x00)
+        assert module.decay_bits(0, [0, 1]) == 0
+
+    def test_decay_requires_cell_map(self, geometry):
+        bare = DramModule(geometry)
+        with pytest.raises(AddressError):
+            bare.decay_row_fully(0)
+
+    def test_decay_bits_out_of_row(self, module):
+        with pytest.raises(AddressError):
+            module.decay_bits(0, [module.geometry.row_bytes * 8])

@@ -1,0 +1,118 @@
+"""Row remapping and the cell-type profiler."""
+
+import pytest
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.profiler import CellTypeProfiler
+from repro.dram.remap import RowRemapper
+from repro.errors import DramError, RowRemapError
+from repro.units import MIB
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+
+
+@pytest.fixture
+def cell_map(geometry):
+    return CellTypeMap.interleaved(geometry, period_rows=4)
+
+
+class TestRowRemapper:
+    def test_identity_without_remaps(self, cell_map):
+        remapper = RowRemapper(cell_map)
+        assert remapper.physical_row(7) == 7
+        assert not remapper.is_remapped(7)
+
+    def test_remap_picks_same_type_spare(self, cell_map):
+        # Rows 0-3 true, 4-7 anti with period 4. Spares: one of each type.
+        remapper = RowRemapper(cell_map, spare_rows=[100, 104])
+        # Row 100 is in block 25 (odd) -> anti; 104 block 26 -> true.
+        spare = remapper.remap(1)  # row 1 is true
+        assert cell_map.type_of_row(spare) is CellType.TRUE
+        assert remapper.physical_row(1) == spare
+
+    def test_explicit_wrong_type_rejected(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100])  # anti spare
+        with pytest.raises(RowRemapError):
+            remapper.remap(1, spare_row=100)  # row 1 is true
+
+    def test_enforcement_can_be_disabled(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100], enforce_cell_type=False)
+        spare = remapper.remap(1, spare_row=100)
+        assert spare == 100
+        # The effective type changed — the broken-hardware case.
+        assert remapper.effective_cell_type(1) is CellType.ANTI
+
+    def test_effective_type_preserved_with_enforcement(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100, 104])
+        remapper.remap(1)
+        assert remapper.effective_cell_type(1) is cell_map.type_of_row(1)
+
+    def test_no_spare_of_type_raises(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100])  # anti only
+        with pytest.raises(RowRemapError):
+            remapper.remap(1)  # true row, no true spare
+
+    def test_double_remap_rejected(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100, 104])
+        remapper.remap(1)
+        with pytest.raises(RowRemapError):
+            remapper.remap(1)
+
+    def test_spare_outside_geometry(self, cell_map):
+        with pytest.raises(RowRemapError):
+            RowRemapper(cell_map, spare_rows=[10_000])
+
+    def test_breaks_isolation_detects_boundary_crossing(self, cell_map):
+        # Isolation claims rows >= 64 are kernel-only; remap a kernel row
+        # to a spare below the boundary.
+        remapper = RowRemapper(cell_map, spare_rows=[10], enforce_cell_type=False)
+        remapper.remap(70, spare_row=10)
+        violations = remapper.breaks_isolation(range(64, 128))
+        assert violations == [70]
+
+    def test_breaks_isolation_empty_when_consistent(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100, 104])
+        remapper.remap(1)  # row 1 -> spare 104, both outside the range below
+        assert remapper.breaks_isolation(range(110, 128)) == []
+
+    def test_spares_consumed(self, cell_map):
+        remapper = RowRemapper(cell_map, spare_rows=[100, 104])
+        remapper.remap(1)
+        assert len(remapper.available_spares) == 1
+
+
+class TestCellTypeProfiler:
+    def test_recovers_interleaved_map_exactly(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map)
+        profiler = CellTypeProfiler(module)
+        assert profiler.verify_against(cell_map) == 1.0
+
+    def test_recovers_majority_true_map(self, geometry):
+        cell_map = CellTypeMap.majority_true(geometry, anti_every=16)
+        module = DramModule(geometry, cell_map)
+        report = CellTypeProfiler(module).profile()
+        assert report.clean
+        inferred = report.inferred_map
+        assert inferred.count(CellType.ANTI) == cell_map.count(CellType.ANTI)
+
+    def test_report_counts_rows(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map)
+        report = CellTypeProfiler(module).profile()
+        assert report.rows_tested == geometry.total_rows
+        assert report.ambiguous_rows == ()
+
+    def test_profile_does_not_depend_on_prior_contents(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map)
+        module.fill_row(0, 0x37)  # garbage left by previous use
+        report = CellTypeProfiler(module).profile()
+        assert report.inferred_map.type_of_row(0) is CellType.TRUE
+
+    def test_threshold_validation(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map)
+        with pytest.raises(DramError):
+            CellTypeProfiler(module).profile(majority_threshold=0.4)

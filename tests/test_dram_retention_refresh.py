@@ -1,0 +1,114 @@
+"""Retention model and refresh scheduler."""
+
+import pytest
+
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.retention import RetentionModel, RetentionParameters
+from repro.errors import ConfigurationError
+from repro.units import REFRESH_INTERVAL_S
+
+
+class TestRetentionParameters:
+    def test_defaults_valid(self):
+        params = RetentionParameters()
+        assert params.median_s > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetentionParameters(median_s=0)
+        with pytest.raises(ConfigurationError):
+            RetentionParameters(sigma=0)
+        with pytest.raises(ConfigurationError):
+            RetentionParameters(weak_fraction=1.0)
+
+
+class TestRetentionModel:
+    def test_sample_shape(self):
+        model = RetentionModel(seed=1)
+        assert model.sample_retention(100).shape == (100,)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(seed=1).sample_retention(-1)
+
+    def test_median_roughly_right(self):
+        model = RetentionModel(RetentionParameters(median_s=2.0, weak_fraction=0.0), seed=2)
+        import numpy as np
+
+        times = model.sample_retention(50_000)
+        assert 1.8 < float(np.median(times)) < 2.2
+
+    def test_weak_cells_below_refresh_interval(self):
+        params = RetentionParameters(weak_fraction=0.5)
+        model = RetentionModel(params, seed=3)
+        times = model.sample_retention(10_000)
+        weak = (times < REFRESH_INTERVAL_S).mean()
+        assert 0.4 < weak < 0.6
+
+    def test_decayed_fraction_monotone_in_time(self):
+        model = RetentionModel(seed=4)
+        early = model.decayed_fraction(0.5)
+        late = model.decayed_fraction(60.0)
+        assert early < late
+        assert late > 0.95
+
+    def test_decayed_mask_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(seed=1).decayed_mask(10, -1.0)
+
+    def test_time_for_decay_fraction_inverts(self):
+        model = RetentionModel(RetentionParameters(weak_fraction=0.0), seed=5)
+        t90 = model.time_for_decay_fraction(0.9)
+        measured = model.decayed_fraction(t90)
+        assert 0.85 < measured < 0.95
+
+    def test_time_for_decay_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RetentionModel(seed=1).time_for_decay_fraction(1.0)
+
+
+class TestRefreshScheduler:
+    def test_interval_with_multiplier(self):
+        scheduler = RefreshScheduler(total_rows=16, rate_multiplier=2.0)
+        assert scheduler.interval_s == pytest.approx(REFRESH_INTERVAL_S / 2)
+
+    def test_energy_cost_tracks_multiplier(self):
+        assert RefreshScheduler(16, rate_multiplier=4.0).energy_cost_per_second() == 4.0
+
+    def test_overdue_detection(self):
+        scheduler = RefreshScheduler(total_rows=4)
+        scheduler.refresh_all()
+        scheduler.advance(REFRESH_INTERVAL_S * 2)
+        assert scheduler.overdue_rows() == [0, 1, 2, 3]
+        scheduler.refresh_row(2)
+        assert 2 not in scheduler.overdue_rows()
+
+    def test_disable_marks_everything_overdue(self):
+        scheduler = RefreshScheduler(total_rows=3)
+        scheduler.refresh_all()
+        scheduler.disable()
+        assert scheduler.overdue_rows() == [0, 1, 2]
+        scheduler.enable()
+        assert scheduler.enabled
+
+    def test_time_since_refresh(self):
+        scheduler = RefreshScheduler(total_rows=2)
+        scheduler.refresh_row(0)
+        scheduler.advance(0.1)
+        assert scheduler.time_since_refresh(0) == pytest.approx(0.1)
+
+    def test_refresh_ops_counted(self):
+        scheduler = RefreshScheduler(total_rows=8)
+        scheduler.refresh_all()
+        assert scheduler.refresh_ops == 8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefreshScheduler(total_rows=0)
+        with pytest.raises(ConfigurationError):
+            RefreshScheduler(total_rows=4, rate_multiplier=0)
+        scheduler = RefreshScheduler(total_rows=4)
+        with pytest.raises(ConfigurationError):
+            scheduler.advance(-1)
+        with pytest.raises(ConfigurationError):
+            scheduler.refresh_row(4)

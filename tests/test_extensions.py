@@ -1,0 +1,188 @@
+"""Section 8 extensions: permissions, coldboot, hamming codes."""
+
+import pytest
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ConfigurationError, DramError
+from repro.extensions import (
+    BootDecision,
+    ColdbootGuard,
+    DirectionalCodec,
+    Permission,
+    PermissionVectorStore,
+)
+from repro.extensions.coldboot import reserve_canaries
+from repro.extensions.hamming import popcount
+from repro.units import MIB
+
+
+@pytest.fixture
+def module():
+    geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+    cell_map = CellTypeMap.interleaved(geometry, period_rows=4)
+    return DramModule(geometry, cell_map)
+
+
+class TestPermissionVectors:
+    def test_grant_and_read(self, module):
+        store = PermissionVectorStore(module)
+        store.grant("alice", Permission.READ | Permission.WRITE)
+        assert store.read("alice") == Permission.READ | Permission.WRITE
+
+    def test_duplicate_subject_rejected(self, module):
+        store = PermissionVectorStore(module)
+        store.grant("alice", Permission.READ)
+        with pytest.raises(ConfigurationError):
+            store.grant("alice", Permission.WRITE)
+
+    def test_true_cell_decay_cannot_escalate(self, module):
+        """Charge leak in true-cells: grants decay, denials never flip on."""
+        store = PermissionVectorStore(module)
+        record = store.grant("alice", Permission.READ)  # write denied
+        row = record.address // module.geometry.row_bytes
+        module.decay_row_fully(row)  # worst-case leak: everything to 0
+        assert store.confidentiality_preserved()
+        degraded = store.degradations()
+        assert degraded and degraded[0][0] == "alice"
+
+    def test_rowhammer_on_true_cells_preserves_confidentiality(self, module):
+        store = PermissionVectorStore(module)
+        for index in range(32):
+            store.grant(f"user{index}", Permission.READ)
+        hammer = RowHammerModel(
+            module, FlipStatistics(p_vulnerable=5e-2, p_with_leak=1.0), seed=3
+        )
+        record_rows = {r.address // module.geometry.row_bytes for r in store.records()}
+        for row in record_rows:
+            for neighbor in module.geometry.neighbors(row):
+                hammer.hammer(neighbor)
+        assert store.confidentiality_preserved()
+
+    def test_anti_cell_storage_would_escalate(self, module):
+        """Counterfactual: the same fault in anti-cells grants permissions."""
+        anti_address = module.cell_map.address_regions_of_type(CellType.ANTI)[0][0]
+        module.write(anti_address, bytes([int(Permission.NONE)]))
+        row = anti_address // module.geometry.row_bytes
+        module.decay_row_fully(row)  # anti cells decay to '1'
+        value = Permission(module.read(anti_address, 1)[0] & int(Permission.full()))
+        assert value == Permission.full()  # denied became allowed
+
+    def test_requires_cell_map(self):
+        geometry = DramGeometry(total_bytes=1 * MIB, row_bytes=16 * 1024, num_banks=1)
+        with pytest.raises(ConfigurationError):
+            PermissionVectorStore(DramModule(geometry))
+
+
+class TestColdbootGuard:
+    def test_long_power_off_proceeds(self, module):
+        true_addrs, anti_addrs = reserve_canaries(module, per_type=16)
+        guard = ColdbootGuard(module, true_addrs, anti_addrs)
+        guard.arm()
+        guard.simulate_power_off(decay_fraction=1.0)
+        report = guard.check()
+        assert report.decision is BootDecision.PROCEED
+        assert report.remanence_fraction == 0.0
+
+    def test_fast_cold_cycle_shuts_down(self, module):
+        true_addrs, anti_addrs = reserve_canaries(module, per_type=16)
+        guard = ColdbootGuard(module, true_addrs, anti_addrs)
+        guard.arm()
+        guard.simulate_power_off(decay_fraction=0.1)  # chilled: remanence
+        report = guard.check()
+        assert report.decision is BootDecision.SHUTDOWN
+        assert report.remanence_fraction > 0.5
+
+    def test_tolerance_allows_small_remanence(self, module):
+        true_addrs, anti_addrs = reserve_canaries(module, per_type=20)
+        guard = ColdbootGuard(module, true_addrs, anti_addrs, tolerance=0.2)
+        guard.arm()
+        guard.simulate_power_off(decay_fraction=0.95)
+        assert guard.check().decision is BootDecision.PROCEED
+
+    def test_canary_type_validation(self, module):
+        true_addrs, anti_addrs = reserve_canaries(module, per_type=4)
+        with pytest.raises(ConfigurationError):
+            ColdbootGuard(module, anti_addrs, true_addrs)  # swapped
+
+    def test_reserve_canaries_types(self, module):
+        true_addrs, anti_addrs = reserve_canaries(module, per_type=8)
+        for address in true_addrs:
+            assert module.cell_map.type_of_address(address) is CellType.TRUE
+        for address in anti_addrs:
+            assert module.cell_map.type_of_address(address) is CellType.ANTI
+
+    def test_reserve_too_many_rejected(self, module):
+        with pytest.raises(ConfigurationError):
+            reserve_canaries(module, per_type=10**8)
+
+
+class TestDirectionalCodec:
+    def test_popcount(self):
+        assert popcount(b"\xff\x0f") == 12
+        assert popcount(b"\x00") == 0
+
+    def test_clean_block_verifies(self, module):
+        codec = DirectionalCodec(module)
+        block = codec.encode(b"secret data payload")
+        clean, data = codec.check(block)
+        assert clean
+        assert data == b"secret data payload"
+
+    def test_single_data_flip_detected(self, module):
+        codec = DirectionalCodec(module)
+        block = codec.encode(b"\xff" * 32)
+        # One 1->0 leak flip in the data (true-cells).
+        module.write_bit(block.data_address, 0, 0)
+        clean, _ = codec.check(block)
+        assert not clean
+
+    def test_weight_corruption_detected(self, module):
+        codec = DirectionalCodec(module)
+        block = codec.encode(b"\x0f" * 8)
+        # Anti-cell leak: a 0->1 flip in the stored weight.
+        current = codec.read_weight(block)
+        bit = 6
+        assert (current >> bit) & 1 == 0
+        module.write_bit(block.weight_address, bit, 1)
+        clean, _ = codec.check(block)
+        assert not clean
+
+    def test_many_leak_flips_all_detected(self, module):
+        """Any number of pure 1->0 data flips strictly lowers the weight."""
+        codec = DirectionalCodec(module)
+        block = codec.encode(bytes(range(1, 65)))
+        for byte_offset in (0, 5, 9, 31):
+            data = module.read(block.data_address + byte_offset, 1)[0]
+            if data:
+                lowest_set = (data & -data).bit_length() - 1
+                module.write_bit(block.data_address + byte_offset, lowest_set, 0)
+        clean, _ = codec.check(block)
+        assert not clean
+
+    def test_sequential_blocks_do_not_overlap(self, module):
+        codec = DirectionalCodec(module)
+        first = codec.encode(b"a" * 16)
+        second = codec.encode(b"b" * 16)
+        assert second.data_address >= first.data_address + 16
+        assert codec.check(first)[1] == b"a" * 16
+        assert codec.check(second)[1] == b"b" * 16
+
+    def test_false_negative_probability(self):
+        assert DirectionalCodec.false_negative_probability(0) == 0.0
+        one = DirectionalCodec.false_negative_probability(1)
+        assert one == pytest.approx(0.002)
+        many = DirectionalCodec.false_negative_probability(100)
+        assert one < many < 1.0
+
+    def test_empty_block_rejected(self, module):
+        with pytest.raises(ConfigurationError):
+            DirectionalCodec(module).encode(b"")
+
+    def test_uniform_module_rejected(self):
+        geometry = DramGeometry(total_bytes=1 * MIB, row_bytes=16 * 1024, num_banks=1)
+        cell_map = CellTypeMap.uniform(geometry, CellType.TRUE)
+        with pytest.raises(DramError):
+            DirectionalCodec(DramModule(geometry, cell_map))

@@ -1,0 +1,128 @@
+"""Cross-cutting integration properties of the whole stack."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PageFaultError
+from repro.kernel.page import PageUse
+from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
+
+from tests.conftest import make_cta_kernel, make_stock_kernel
+
+
+class TestProcessIsolation:
+    def test_frames_never_shared_between_processes(self):
+        kernel = make_stock_kernel()
+        owners = {}
+        for _ in range(3):
+            process = kernel.create_process()
+            for index in range(16):
+                vma = kernel.mmap(process, PAGE_SIZE)
+                pa = kernel.touch(process, vma.start, write=True)
+                pfn = pa >> PAGE_SHIFT
+                assert pfn not in owners, "frame handed to two processes"
+                owners[pfn] = process.pid
+
+    def test_processes_cannot_read_each_other(self):
+        kernel = make_stock_kernel()
+        victim = kernel.create_process()
+        attacker = kernel.create_process()
+        vma = kernel.mmap(victim, PAGE_SIZE)
+        kernel.write_virtual(victim, vma.start, b"victim secret")
+        # The attacker has no mapping at that VA; its own tree faults.
+        with pytest.raises(PageFaultError):
+            kernel.mmu.load(attacker.cr3, vma.start, 13, pid=attacker.pid)
+
+    def test_page_tables_owned_per_process(self):
+        kernel = make_cta_kernel()
+        a = kernel.create_process()
+        b = kernel.create_process()
+        for process in (a, b):
+            vma = kernel.mmap(process, PAGE_SIZE)
+            kernel.touch(process, vma.start)
+        pt_a = set(kernel.page_table_pfns(a.pid))
+        pt_b = set(kernel.page_table_pfns(b.pid))
+        assert pt_a and pt_b
+        assert not pt_a & pt_b
+
+
+class TestBootEquivalence:
+    def test_profiled_and_ground_truth_boots_agree(self):
+        """Booting with the Section 2.2 profiler must produce the same
+        ZONE_PTP layout as booting with the ground-truth map."""
+        from repro.kernel.cta import CtaConfig
+        from repro.kernel.kernel import Kernel, KernelConfig
+
+        config = dict(
+            total_bytes=32 * MIB, row_bytes=16 * 1024, num_banks=2,
+            cell_interleave_rows=32, cta=CtaConfig(ptp_bytes=2 * MIB),
+        )
+        profiled = Kernel(KernelConfig(profile_cells=True, **config))
+        trusted = Kernel(KernelConfig(profile_cells=False, **config))
+        assert (
+            profiled.cta_policy.low_water_mark == trusted.cta_policy.low_water_mark
+        )
+        assert (
+            profiled.cta_policy.true_cell_ranges
+            == trusted.cta_policy.true_cell_ranges
+        )
+
+
+class TestAccountingConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(pages=st.integers(1, 24), seed=st.integers(0, 100))
+    def test_alloc_free_cycles_conserve_memory(self, pages, seed):
+        import random
+
+        kernel = make_stock_kernel()
+        rng = random.Random(seed)
+        process = kernel.create_process()
+        free_before = sum(free for free, _ in kernel.zone_usage().values())
+        vmas = []
+        for index in range(pages):
+            vma = kernel.mmap(process, PAGE_SIZE)
+            kernel.touch(process, vma.start, write=True)
+            vmas.append(vma)
+        rng.shuffle(vmas)
+        for vma in vmas:
+            kernel.munmap(process, vma)
+        kernel.reclaim_empty_page_tables()
+        free_after = sum(free for free, _ in kernel.zone_usage().values())
+        # Everything except the (possibly reclaimed) upper-level tables and
+        # PML4 returns; the delta is bounded by the paging-tree skeleton.
+        assert free_before - free_after <= 4
+
+    def test_db_and_allocators_agree(self):
+        kernel = make_cta_kernel()
+        process = kernel.create_process()
+        for _ in range(8):
+            vma = kernel.mmap(process, 2 * PAGE_SIZE)
+            kernel.write_virtual(process, vma.start, b"x")
+        allocated_db = sum(1 for _ in kernel.page_db.allocated_frames())
+        allocated_buddy = sum(
+            total - free for free, total in kernel.zone_usage().values()
+        )
+        assert allocated_db == allocated_buddy
+
+
+class TestAttackSurfaceAccounting:
+    def test_modeled_time_grows_with_rounds(self):
+        from repro.attacks.timing import AttackTimingModel
+
+        timing = AttackTimingModel()
+        single = timing.time_per_target_page_s(32 * MIB)
+        assert single > 0
+        assert timing.worst_case_s(8 * 1024 * MIB, 32 * MIB) == pytest.approx(
+            single * timing.pages_below_mark(8 * 1024 * MIB, 32 * MIB)
+        )
+
+    def test_spray_accounting_matches_kernel_state(self):
+        from repro.attacks.spray import spray_page_tables
+
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        result = spray_page_tables(kernel, attacker, num_mappings=12)
+        assert result.page_tables_created == len(
+            kernel.page_table_pfns(attacker.pid)
+        ) - 1  # minus the PML4 created before the spray

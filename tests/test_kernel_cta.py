@@ -1,0 +1,181 @@
+"""CTA policy: region planning, indicator math, rule checks."""
+
+import pytest
+
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.errors import ConfigurationError, ZoneViolationError
+from repro.kernel.cta import CtaConfig, CtaPolicy, ptp_indicator_bits
+from repro.kernel.page import PageFrameDatabase, PageUse
+from repro.kernel.zones import ZoneId
+from repro.units import GIB, MIB, PAGE_SHIFT
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry(total_bytes=32 * MIB, row_bytes=16 * 1024, num_banks=2)
+
+
+@pytest.fixture
+def cell_map(geometry):
+    # 32-row period -> 512 KiB regions; top region (rows 2016+...) type
+    # depends on block parity: 2048 rows, blocks of 32 -> 64 blocks,
+    # last block index 63 (odd) -> ANTI at the very top.
+    return CellTypeMap.interleaved(geometry, period_rows=32)
+
+
+class TestRegionPlanning:
+    def test_low_water_mark_skips_top_anti_region(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=512 * 1024))
+        # The top 512 KiB region is anti-cell, so the PTP capacity comes
+        # from the region below it and the mark sits below both.
+        assert policy.capacity_loss_bytes == 512 * 1024
+        for start, end in policy.true_cell_ranges:
+            assert cell_map.type_of_address(start) is CellType.TRUE
+            assert cell_map.type_of_address(end - 1) is CellType.TRUE
+
+    def test_collects_exactly_requested_capacity(self, cell_map):
+        for ptp in (256 * 1024, 512 * 1024, MIB):
+            policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=ptp))
+            collected = sum(end - start for start, end in policy.true_cell_ranges)
+            assert collected == ptp
+
+    def test_everything_above_mark(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        for start, _end in policy.true_cell_ranges:
+            assert start >= policy.low_water_mark
+        for start, _end in policy.anti_cell_ranges:
+            assert start >= policy.low_water_mark
+
+    def test_insufficient_true_cells_rejected(self, geometry):
+        all_anti = CellTypeMap.uniform(geometry, CellType.ANTI)
+        with pytest.raises(ConfigurationError):
+            CtaPolicy(all_anti, CtaConfig(ptp_bytes=MIB))
+
+    def test_monotonicity_guarantee(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        assert policy.ptes_are_monotonic()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CtaConfig(ptp_bytes=100)  # not page aligned
+        with pytest.raises(ConfigurationError):
+            CtaConfig(ptp_bytes=0)
+
+
+class TestLowWaterMarkOnlyAblation:
+    def test_takes_literal_top(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB, cell_aware=False))
+        total = cell_map.geometry.total_bytes
+        assert policy.low_water_mark == total - MIB
+        assert policy.true_cell_ranges == [(total - MIB, total)]
+        assert policy.capacity_loss_bytes == 0
+
+    def test_monotonicity_lost_on_anti_top(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB, cell_aware=False))
+        # The top 512 KiB region is anti-cell: monotonicity does not hold.
+        assert not policy.ptes_are_monotonic()
+
+
+class TestSubzones:
+    def test_single_level_subzones_cover_ranges(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        subzones = policy.build_subzones()
+        assert all(z.zone_id is ZoneId.PTP for z in subzones)
+        covered = sum(z.num_pages for z in subzones)
+        assert covered == MIB >> PAGE_SHIFT
+
+    def test_multilevel_ordering(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB, multilevel=True))
+        subzones = policy.build_subzones()
+        # Higher levels must occupy strictly higher addresses (Section 7).
+        by_level = {}
+        for zone in subzones:
+            by_level.setdefault(zone.pt_level, []).append(zone)
+        for lower in (1, 2, 3):
+            higher = lower + 1
+            if lower in by_level and higher in by_level:
+                max_lower = max(z.end_pfn for z in by_level[lower])
+                min_higher = min(z.start_pfn for z in by_level[higher])
+                assert min_higher >= max_lower
+
+    def test_multilevel_covers_all_capacity(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB, multilevel=True))
+        covered = sum(z.num_pages for z in policy.build_subzones())
+        assert covered == MIB >> PAGE_SHIFT
+
+    def test_multilevel_all_levels_present(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB, multilevel=True))
+        levels = {z.pt_level for z in policy.build_subzones()}
+        assert levels == {1, 2, 3, 4}
+
+
+class TestIndicatorMath:
+    def test_paper_running_example(self):
+        assert ptp_indicator_bits(8 * GIB, 32 * MIB) == 8
+
+    def test_other_sizes(self):
+        assert ptp_indicator_bits(8 * GIB, 64 * MIB) == 7
+        assert ptp_indicator_bits(16 * GIB, 32 * MIB) == 9
+        assert ptp_indicator_bits(32 * GIB, 64 * MIB) == 9
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            ptp_indicator_bits(8 * GIB + 4096, 32 * MIB)
+        with pytest.raises(ConfigurationError):
+            ptp_indicator_bits(32 * MIB, 32 * MIB)
+
+    def test_indicator_zero_count(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=2 * MIB))
+        n = policy.indicator_bits()
+        top_address = cell_map.geometry.total_bytes - 1
+        assert policy.indicator_zero_count(top_address) == 0
+        assert policy.indicator_zero_count(0) == n
+
+    def test_untrusted_restriction(self, cell_map):
+        policy = CtaPolicy(
+            cell_map, CtaConfig(ptp_bytes=2 * MIB, restrict_indicator_zeros=True)
+        )
+        assert not policy.address_allowed_for_untrusted(
+            cell_map.geometry.total_bytes - 4 * MIB
+        )
+        assert policy.address_allowed_for_untrusted(0)
+
+    def test_no_restriction_by_default(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=2 * MIB))
+        assert policy.address_allowed_for_untrusted(cell_map.geometry.total_bytes - 1)
+
+
+class TestRuleChecks:
+    def test_clean_database_passes(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        db = PageFrameDatabase(cell_map.geometry.total_bytes >> PAGE_SHIFT)
+        ptp_pfn = policy.true_cell_ranges[0][0] >> PAGE_SHIFT
+        db.mark_allocated(ptp_pfn, PageUse.PAGE_TABLE, owner_pid=1, pt_level=1)
+        db.mark_allocated(10, PageUse.USER_DATA, owner_pid=1)
+        policy.check_rules(db)
+
+    def test_rule1_violation_detected(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        db = PageFrameDatabase(cell_map.geometry.total_bytes >> PAGE_SHIFT)
+        db.mark_allocated(10, PageUse.PAGE_TABLE, owner_pid=1, pt_level=1)
+        with pytest.raises(ZoneViolationError, match="Rule 1"):
+            policy.check_rules(db)
+
+    def test_rule2_violation_detected(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        db = PageFrameDatabase(cell_map.geometry.total_bytes >> PAGE_SHIFT)
+        high_pfn = policy.true_cell_ranges[0][0] >> PAGE_SHIFT
+        db.mark_allocated(high_pfn, PageUse.USER_DATA, owner_pid=1)
+        with pytest.raises(ZoneViolationError, match="Rule 2"):
+            policy.check_rules(db)
+
+    def test_anti_cell_allocation_detected(self, cell_map):
+        policy = CtaPolicy(cell_map, CtaConfig(ptp_bytes=MIB))
+        if not policy.anti_cell_ranges:
+            pytest.skip("layout has no invalid anti range")
+        anti_pfn = policy.anti_cell_ranges[0][0] >> PAGE_SHIFT
+        db = PageFrameDatabase(cell_map.geometry.total_bytes >> PAGE_SHIFT)
+        db.mark_allocated(anti_pfn, PageUse.PAGE_TABLE, owner_pid=1, pt_level=1)
+        with pytest.raises(ZoneViolationError):
+            policy.check_rules(db)

@@ -1,0 +1,227 @@
+"""Kernel facade: allocation policy, demand paging, CTA enforcement."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, PageFaultError, ZoneViolationError
+from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.cta import CtaConfig
+from repro.kernel.page import PageUse
+from repro.kernel.zones import ZoneId
+from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
+
+from tests.conftest import make_cta_kernel, make_stock_kernel
+
+
+class TestAllocation:
+    def test_alloc_zeroes_page(self, stock_kernel):
+        pfn = stock_kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA)
+        stock_kernel.module.write((pfn << PAGE_SHIFT) + 10, b"\xff")
+        stock_kernel.free_page(pfn)
+        pfn2 = stock_kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA)
+        if pfn2 == pfn:
+            assert stock_kernel.module.read(pfn2 << PAGE_SHIFT, PAGE_SIZE) == b"\x00" * PAGE_SIZE
+
+    def test_normal_alloc_prefers_high_zone(self, stock_kernel):
+        pfn = stock_kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA)
+        zone = stock_kernel.layout.zone_of_pfn(pfn)
+        assert zone.zone_id is ZoneId.NORMAL
+
+    def test_gfp_ptp_for_non_page_table_rejected(self, cta_kernel):
+        with pytest.raises(ZoneViolationError):
+            cta_kernel.alloc_page(GFP_PTP, PageUse.USER_DATA)
+
+    def test_pte_alloc_lands_in_ptp_zone(self, cta_kernel):
+        pfn = cta_kernel.pte_alloc_one(owner_pid=1, table_level=1)
+        zone = cta_kernel.layout.zone_of_pfn(pfn)
+        assert zone.zone_id is ZoneId.PTP
+        assert pfn >= cta_kernel.cta_policy.low_water_mark_pfn
+
+    def test_pte_alloc_without_cta_uses_normal_zones(self, stock_kernel):
+        pfn = stock_kernel.pte_alloc_one(owner_pid=1, table_level=1)
+        assert stock_kernel.layout.zone_of_pfn(pfn).zone_id is not ZoneId.PTP
+
+    def test_ptp_exhaustion_does_not_fall_back(self):
+        kernel = make_cta_kernel(ptp_bytes=256 * 1024)  # tiny: 64 PTPs
+        with pytest.raises(OutOfMemoryError):
+            for _ in range(100):
+                kernel.pte_alloc_one(owner_pid=1, table_level=1)
+        assert kernel.stats.ptp_fallback_denied >= 1
+        # No page table escaped below the mark.
+        kernel.verify_cta_rules()
+
+    def test_user_alloc_never_in_ptp(self, cta_kernel):
+        for _ in range(50):
+            pfn = cta_kernel.alloc_page(GFP_USER, PageUse.USER_DATA, owner_pid=1)
+            assert not cta_kernel.layout.is_above_low_water_mark(pfn)
+
+    def test_free_page_updates_db(self, stock_kernel):
+        pfn = stock_kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA)
+        stock_kernel.free_page(pfn)
+        assert stock_kernel.page_db.frame(pfn).is_free
+
+
+class TestProcessLifecycle:
+    def test_create_process_allocates_pml4(self, stock_kernel):
+        process = stock_kernel.create_process()
+        frame = stock_kernel.page_db.frame(process.cr3 >> PAGE_SHIFT)
+        assert frame.use is PageUse.PAGE_TABLE
+        assert frame.pt_level == 4
+        assert frame.owner_pid == process.pid
+
+    def test_pids_unique(self, stock_kernel):
+        a = stock_kernel.create_process()
+        b = stock_kernel.create_process()
+        assert a.pid != b.pid
+
+    def test_write_read_roundtrip(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, 4 * PAGE_SIZE)
+        stock_kernel.write_virtual(process, vma.start + 100, b"paper")
+        assert stock_kernel.read_virtual(process, vma.start + 100, 5) == b"paper"
+
+    def test_cross_page_write(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, 2 * PAGE_SIZE)
+        data = bytes(range(100))
+        stock_kernel.write_virtual(process, vma.start + PAGE_SIZE - 50, data)
+        assert stock_kernel.read_virtual(process, vma.start + PAGE_SIZE - 50, 100) == data
+
+    def test_segfault_outside_vma(self, stock_kernel):
+        process = stock_kernel.create_process()
+        with pytest.raises(PageFaultError):
+            stock_kernel.touch(process, 0xDEAD000)
+
+    def test_write_to_readonly_mapping(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, PAGE_SIZE, writable=False)
+        stock_kernel.touch(process, vma.start, write=False)
+        with pytest.raises(PageFaultError):
+            stock_kernel.touch(process, vma.start, write=True)
+
+    def test_demand_faults_counted(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, 3 * PAGE_SIZE)
+        before = stock_kernel.stats.demand_faults
+        for page in range(3):
+            stock_kernel.touch(process, vma.start + page * PAGE_SIZE)
+        assert stock_kernel.stats.demand_faults == before + 3
+        # Re-touching is TLB/PTE hit, no new fault.
+        stock_kernel.touch(process, vma.start)
+        assert stock_kernel.stats.demand_faults == before + 3
+
+    def test_file_pages_shared_across_mappings(self, stock_kernel):
+        process = stock_kernel.create_process()
+        shared = stock_kernel.create_file(PAGE_SIZE)
+        vma_a = stock_kernel.mmap(process, PAGE_SIZE, backing=shared)
+        vma_b = stock_kernel.mmap(process, PAGE_SIZE, backing=shared)
+        pa_a = stock_kernel.touch(process, vma_a.start)
+        pa_b = stock_kernel.touch(process, vma_b.start)
+        assert pa_a == pa_b
+
+    def test_file_mapping_past_eof_faults(self, stock_kernel):
+        process = stock_kernel.create_process()
+        shared = stock_kernel.create_file(PAGE_SIZE)
+        vma = stock_kernel.mmap(process, 2 * PAGE_SIZE, backing=shared)
+        stock_kernel.touch(process, vma.start)
+        with pytest.raises(PageFaultError):
+            stock_kernel.touch(process, vma.start + PAGE_SIZE)
+
+    def test_munmap_frees_anonymous_frames(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, 2 * PAGE_SIZE)
+        pa = stock_kernel.touch(process, vma.start, write=True)
+        pfn = pa >> PAGE_SHIFT
+        stock_kernel.munmap(process, vma)
+        assert stock_kernel.page_db.frame(pfn).is_free
+        with pytest.raises(PageFaultError):
+            stock_kernel.mmu.translate(process.cr3, vma.start, pid=process.pid)
+
+    def test_munmap_keeps_shared_file_frames(self, stock_kernel):
+        process = stock_kernel.create_process()
+        shared = stock_kernel.create_file(PAGE_SIZE)
+        vma_a = stock_kernel.mmap(process, PAGE_SIZE, backing=shared)
+        vma_b = stock_kernel.mmap(process, PAGE_SIZE, backing=shared)
+        pa = stock_kernel.touch(process, vma_a.start)
+        stock_kernel.touch(process, vma_b.start)
+        stock_kernel.munmap(process, vma_a)
+        assert not stock_kernel.page_db.frame(pa >> PAGE_SHIFT).is_free
+        assert stock_kernel.read_virtual(process, vma_b.start, 1) == b"\x00"
+
+
+class TestCtaIntegration:
+    def test_rules_hold_after_workload(self, cta_kernel):
+        process = cta_kernel.create_process()
+        for index in range(8):
+            vma = cta_kernel.mmap(process, 2 * PAGE_SIZE)
+            cta_kernel.write_virtual(process, vma.start, b"x" * 16)
+        cta_kernel.verify_cta_rules()
+
+    def test_all_page_tables_above_mark(self, cta_kernel):
+        process = cta_kernel.create_process()
+        vma = cta_kernel.mmap(process, 16 * PAGE_SIZE)
+        for page in range(16):
+            cta_kernel.touch(process, vma.start + page * PAGE_SIZE)
+        mark = cta_kernel.cta_policy.low_water_mark_pfn
+        for pfn in cta_kernel.page_table_pfns():
+            assert pfn >= mark
+
+    def test_page_tables_only_in_true_cells(self, cta_kernel):
+        from repro.dram.cells import CellType
+
+        process = cta_kernel.create_process()
+        vma = cta_kernel.mmap(process, 8 * PAGE_SIZE)
+        cta_kernel.touch(process, vma.start)
+        cell_map = cta_kernel.module.cell_map
+        for pfn in cta_kernel.page_table_pfns():
+            assert cell_map.type_of_address(pfn << PAGE_SHIFT) is CellType.TRUE
+
+    def test_profiled_boot_matches_ground_truth(self):
+        kernel = make_cta_kernel()
+        # Profiled map drove the layout; verify PTPs are true-cell per the
+        # ground-truth map too.
+        assert kernel.cta_policy.ptes_are_monotonic()
+
+    def test_multilevel_pte_alloc_per_level(self):
+        kernel = make_cta_kernel(ptp_bytes=2 * MIB, multilevel=True)
+        process = kernel.create_process()
+        vma = kernel.mmap(process, PAGE_SIZE)
+        kernel.touch(process, vma.start)
+        levels = {}
+        for pfn in kernel.page_table_pfns(process.pid):
+            frame = kernel.page_db.frame(pfn)
+            levels.setdefault(frame.pt_level, []).append(pfn)
+        # All four levels exist and respect the address ordering.
+        assert set(levels) == {1, 2, 3, 4}
+        for lower in (1, 2, 3):
+            assert max(levels[lower]) < min(levels[lower + 1])
+        kernel.verify_cta_rules()
+
+    def test_indicator_restriction_rejects_high_pages(self):
+        kernel = make_cta_kernel(restrict_indicator_zeros=True)
+        process = kernel.create_process()  # untrusted by default
+        vma = kernel.mmap(process, 8 * PAGE_SIZE)
+        policy = kernel.cta_policy
+        for page in range(8):
+            pa = kernel.touch(process, vma.start + page * PAGE_SIZE)
+            assert policy.address_allowed_for_untrusted(pa)
+
+    def test_zone_usage_snapshot(self, cta_kernel):
+        usage = cta_kernel.zone_usage()
+        assert any("ZONE_PTP" in name for name in usage)
+        for free, total in usage.values():
+            assert 0 <= free <= total
+
+
+class TestStats:
+    def test_page_table_bytes_accounting(self, stock_kernel):
+        process = stock_kernel.create_process()
+        vma = stock_kernel.mmap(process, PAGE_SIZE)
+        stock_kernel.touch(process, vma.start)
+        # PML4 + PDPT + PD + PT = 4 pages.
+        assert stock_kernel.page_table_bytes(process.pid) == 4 * PAGE_SIZE
+
+    def test_is_page_table_pfn(self, stock_kernel):
+        process = stock_kernel.create_process()
+        assert stock_kernel.is_page_table_pfn(process.cr3 >> PAGE_SHIFT)
+        assert not stock_kernel.is_page_table_pfn(10)

@@ -1,0 +1,146 @@
+"""Huge pages and Section 7's page-size-bit hazard + screening."""
+
+import pytest
+
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ProcessError
+from repro.kernel.pagetable import PageTableEntry
+from repro.kernel.screening import (
+    PS_BIT_IN_PTE,
+    frame_has_vulnerable_ps_bit,
+    install_ps_screening,
+    ps_bit_positions_in_page,
+)
+from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
+
+from tests.conftest import make_cta_kernel, make_stock_kernel
+
+HUGE = 2 * MIB
+
+
+class TestHugePageMapping:
+    def test_map_and_translate(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        va = 0x0000_8000_0000
+        head_pfn = kernel.map_huge_page(process, va)
+        result = kernel.mmu.walk(process.cr3, va + 0x12345)
+        assert result.huge_level == 2
+        assert result.physical_address == (head_pfn << PAGE_SHIFT) + 0x12345
+
+    def test_alignment_required(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        with pytest.raises(ProcessError):
+            kernel.map_huge_page(process, 0x8000_1000)
+
+    def test_data_block_contiguous_and_owned(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        head_pfn = kernel.map_huge_page(process, 0x0000_8000_0000)
+        for offset in (0, 1, 511):
+            frame = kernel.page_db.frame(head_pfn + offset)
+            assert not frame.is_free
+            assert frame.owner_pid == process.pid
+
+    def test_read_write_through_huge_mapping(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        va = 0x0000_8000_0000
+        kernel.map_huge_page(process, va)
+        kernel.mmu.store(process.cr3, va + 0x1000, b"huge!", pid=process.pid)
+        assert kernel.mmu.load(process.cr3, va + 0x1000, 5, pid=process.pid) == b"huge!"
+
+    def test_huge_mapping_under_cta_keeps_rules(self):
+        kernel = make_cta_kernel(total_bytes=32 * MIB, ptp_bytes=2 * MIB)
+        process = kernel.create_process()
+        kernel.map_huge_page(process, 0x0000_8000_0000)
+        kernel.verify_cta_rules()
+        # The PD entry (a high-level PTE) lives above the mark; the data
+        # block lives below it.
+        pd_entry = kernel.pd_entry_address(process, 0x0000_8000_0000)
+        assert (pd_entry >> PAGE_SHIFT) >= kernel.cta_policy.low_water_mark_pfn
+
+
+class TestPageSizeBitHazard:
+    def test_ps_bit_flip_reinterprets_attacker_data(self):
+        """The Section 7 attack: clear the PS bit of a huge-page PDE and
+        the attacker's 2 MiB region becomes a 'page table' it controls."""
+        kernel = make_stock_kernel()
+        attacker = kernel.create_process()
+        va = 0x0000_8000_0000
+        head_pfn = kernel.map_huge_page(attacker, va)
+        # Attacker pre-fills its huge region with fake PTEs mapping the
+        # kernel's secret frame.
+        from repro.kernel.gfp import GFP_KERNEL
+        from repro.kernel.page import PageUse
+
+        secret_pfn = kernel.alloc_page(GFP_KERNEL, PageUse.KERNEL_DATA)
+        kernel.module.write(secret_pfn << PAGE_SHIFT, b"TOP-SECRET")
+        fake_pte = PageTableEntry.make(secret_pfn, writable=True, user=True)
+        for slot in range(512):
+            kernel.module.write_u64(
+                (head_pfn << PAGE_SHIFT) + slot * 8, fake_pte.encode()
+            )
+        # Simulate the 1 -> 0 PS-bit flip in the PDE (true-cell direction).
+        pd_entry = kernel.pd_entry_address(attacker, va)
+        raw = kernel.module.read_u64(pd_entry)
+        kernel.module.write_u64(pd_entry, raw & ~(1 << PS_BIT_IN_PTE))
+        kernel.tlb.flush()
+        # The walk now uses the attacker's data as the last-level table.
+        leaked = kernel.mmu.load(attacker.cr3, va, 10, pid=attacker.pid)
+        assert leaked == b"TOP-SECRET"
+
+    def test_ps_positions_cover_every_slot(self):
+        positions = ps_bit_positions_in_page()
+        assert len(positions) == 512
+        assert positions[0] == 7
+        assert positions[1] == 71
+
+
+class TestScreening:
+    def test_screening_detects_seeded_vulnerability(self):
+        kernel = make_cta_kernel()
+        hammer = RowHammerModel(kernel.module, seed=5)
+        # Seed a PS-bit 1->0 vulnerable bit into the first PTP frame.
+        from repro.kernel.zones import ZoneId
+
+        zone = kernel.layout.zones_of(ZoneId.PTP)[0]
+        pfn = zone.start_pfn
+        geometry = kernel.module.geometry
+        row = geometry.row_of_address(pfn << PAGE_SHIFT)
+        offset_bits = ((pfn << PAGE_SHIFT) - geometry.row_base_address(row)) * 8
+        hammer.seed_vulnerable_bits(row, [(offset_bits + 7, 1, 0)])
+        assert frame_has_vulnerable_ps_bit(hammer, pfn)
+
+    def test_screened_frames_not_used_for_high_level_tables(self):
+        kernel = make_cta_kernel()
+        hammer = RowHammerModel(
+            kernel.module, FlipStatistics(p_vulnerable=5e-3, p_with_leak=0.998), seed=6
+        )
+        screened = install_ps_screening(kernel, hammer)
+        assert screened, "at this Pf some PTP frame must screen out"
+        process = kernel.create_process()
+        for index in range(6):
+            vma = kernel.mmap(process, PAGE_SIZE, address=0x0000_9000_0000 + index * (1 << 30))
+            kernel.touch(process, vma.start, write=True)
+        for pfn in kernel.page_table_pfns(process.pid):
+            frame = kernel.page_db.frame(pfn)
+            if frame.pt_level >= 2:
+                assert pfn not in screened
+        assert kernel.stats.screening_rejections >= 0
+        kernel.verify_cta_rules()
+
+    def test_vulnerable_direction_matters(self):
+        kernel = make_cta_kernel()
+        hammer = RowHammerModel(kernel.module, seed=7)
+        from repro.kernel.zones import ZoneId
+
+        zone = kernel.layout.zones_of(ZoneId.PTP)[0]
+        pfn = zone.start_pfn
+        geometry = kernel.module.geometry
+        row = geometry.row_of_address(pfn << PAGE_SHIFT)
+        offset_bits = ((pfn << PAGE_SHIFT) - geometry.row_base_address(row)) * 8
+        # A 0 -> 1 flippable PS bit is not the dangerous direction.
+        hammer.seed_vulnerable_bits(row, [(offset_bits + 7, 0, 1)])
+        assert not frame_has_vulnerable_ps_bit(hammer, pfn)

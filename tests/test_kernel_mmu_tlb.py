@@ -1,0 +1,178 @@
+"""MMU page walks and TLB behaviour."""
+
+import pytest
+
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.errors import ConfigurationError, PageFaultError
+from repro.kernel.mmu import Mmu
+from repro.kernel.pagetable import PageTableEntry, entry_address
+from repro.kernel.tlb import Tlb
+from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
+
+
+@pytest.fixture
+def dram():
+    geometry = DramGeometry(total_bytes=4 * MIB, row_bytes=16 * 1024, num_banks=2)
+    return DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=8))
+
+
+def build_mapping(dram, va, pfn, writable=True, user=True, huge_level=0):
+    """Hand-build a 4-level mapping rooted at pfn 1 (PML4)."""
+    from repro.kernel.pagetable import split_virtual_address
+
+    indices = split_virtual_address(va)
+    table_pfns = [1, 2, 3, 4]  # PML4, PDPT, PD, PT at fixed frames
+    cr3 = table_pfns[0] << PAGE_SHIFT
+    for position in range(3):
+        table_level = 4 - position  # level of the table holding this entry
+        base = table_pfns[position] << PAGE_SHIFT
+        address = entry_address(base, indices[position])
+        if huge_level and table_level == huge_level:
+            # A PS leaf in the level-`huge_level` table terminates the walk.
+            leaf = PageTableEntry.make(pfn, writable=writable, user=user, huge=True)
+            dram.write_u64(address, leaf.encode())
+            return cr3
+        next_entry = PageTableEntry.make(table_pfns[position + 1], writable=True, user=True)
+        dram.write_u64(address, next_entry.encode())
+    leaf_base = table_pfns[3] << PAGE_SHIFT
+    dram.write_u64(
+        entry_address(leaf_base, indices[3]),
+        PageTableEntry.make(pfn, writable=writable, user=user).encode(),
+    )
+    return cr3
+
+
+class TestWalk:
+    def test_translate_4k(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        mmu = Mmu(dram)
+        pa = mmu.translate(cr3, 0x200123)
+        assert pa == (42 << PAGE_SHIFT) | 0x123
+
+    def test_walk_records_steps(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        result = Mmu(dram).walk(cr3, 0x200000)
+        assert [step.level for step in result.steps] == [4, 3, 2, 1]
+        assert result.pfn == 42
+
+    def test_non_present_faults(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        with pytest.raises(PageFaultError):
+            Mmu(dram).translate(cr3, 0x400000)  # different PD entry: absent
+
+    def test_write_to_readonly_faults(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42, writable=False)
+        mmu = Mmu(dram)
+        assert mmu.translate(cr3, 0x200000, write=False)
+        with pytest.raises(PageFaultError):
+            mmu.translate(cr3, 0x200000, write=True)
+
+    def test_user_access_to_supervisor_faults(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42, user=False)
+        mmu = Mmu(dram)
+        with pytest.raises(PageFaultError):
+            mmu.translate(cr3, 0x200000, user=True)
+        assert mmu.translate(cr3, 0x200000, user=False)
+
+    def test_huge_2mb_translation(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=256, huge_level=2)
+        result = Mmu(dram).walk(cr3, 0x200000 + 0x12345)
+        assert result.huge_level == 2
+        base = (256 << PAGE_SHIFT) & ~((1 << 21) - 1)
+        assert result.physical_address == base | 0x12345
+
+    def test_corrupted_table_pointer_is_bus_error(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        # Corrupt the PDPT entry to point far outside the module.
+        from repro.kernel.pagetable import split_virtual_address
+
+        indices = split_virtual_address(0x200000)
+        pdpt_base = 2 << PAGE_SHIFT
+        dram.write_u64(
+            entry_address(pdpt_base, indices[1]),
+            PageTableEntry.make(1 << 30, writable=True, user=True).encode(),
+        )
+        with pytest.raises(PageFaultError, match="bus error"):
+            Mmu(dram).translate(cr3, 0x200000, use_tlb=False)
+
+    def test_load_store(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        mmu = Mmu(dram)
+        mmu.store(cr3, 0x200010, b"payload")
+        assert mmu.load(cr3, 0x200010, 7) == b"payload"
+        assert dram.read(42 * PAGE_SIZE + 0x10, 7) == b"payload"
+
+
+class TestTlbIntegration:
+    def test_hit_skips_walk(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        mmu = Mmu(dram)
+        mmu.translate(cr3, 0x200000)
+        walks_after_first = mmu.walk_count
+        mmu.translate(cr3, 0x200000)
+        assert mmu.walk_count == walks_after_first
+        assert mmu.tlb.hits == 1
+
+    def test_flush_forces_rewalk(self, dram):
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        mmu = Mmu(dram)
+        mmu.translate(cr3, 0x200000)
+        mmu.tlb.flush()
+        walks = mmu.walk_count
+        mmu.translate(cr3, 0x200000)
+        assert mmu.walk_count == walks + 1
+
+    def test_stale_tlb_hides_corruption_until_flush(self, dram):
+        """The reason hammer loops flush the TLB (Section 5 step 2)."""
+        cr3 = build_mapping(dram, va=0x200000, pfn=42)
+        mmu = Mmu(dram)
+        assert mmu.translate(cr3, 0x200000) >> PAGE_SHIFT == 42
+        # Corrupt the leaf PTE directly.
+        from repro.kernel.pagetable import split_virtual_address
+
+        indices = split_virtual_address(0x200000)
+        leaf = entry_address(4 << PAGE_SHIFT, indices[3])
+        dram.write_u64(leaf, PageTableEntry.make(99, writable=True, user=True).encode())
+        # Cached translation still returns the old frame...
+        assert mmu.translate(cr3, 0x200000) >> PAGE_SHIFT == 42
+        # ...until the TLB is flushed.
+        mmu.tlb.flush()
+        assert mmu.translate(cr3, 0x200000) >> PAGE_SHIFT == 99
+
+
+class TestTlbUnit:
+    def test_lru_eviction(self):
+        tlb = Tlb(capacity=2)
+        tlb.insert(1, 10, 100, True, True)
+        tlb.insert(1, 11, 101, True, True)
+        tlb.lookup(1, 10)  # refresh 10
+        tlb.insert(1, 12, 102, True, True)  # evicts 11
+        assert tlb.lookup(1, 11) is None
+        assert tlb.lookup(1, 10) is not None
+
+    def test_flush_pid_selective(self):
+        tlb = Tlb()
+        tlb.insert(1, 10, 100, True, True)
+        tlb.insert(2, 10, 200, True, True)
+        tlb.flush_pid(1)
+        assert tlb.lookup(1, 10) is None
+        assert tlb.lookup(2, 10) is not None
+
+    def test_invalidate_single(self):
+        tlb = Tlb()
+        tlb.insert(1, 10, 100, True, True)
+        tlb.invalidate(1, 10)
+        assert tlb.lookup(1, 10) is None
+
+    def test_hit_rate(self):
+        tlb = Tlb()
+        tlb.insert(1, 10, 100, True, True)
+        tlb.lookup(1, 10)
+        tlb.lookup(1, 11)
+        assert tlb.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(capacity=0)

@@ -1,0 +1,137 @@
+"""Page-frame database and process/VMA bookkeeping."""
+
+import pytest
+
+from repro.errors import KernelError, ProcessError
+from repro.kernel.page import PageFrameDatabase, PageUse
+from repro.kernel.process import MMAP_BASE, MappedFile, Process, VmArea
+from repro.units import PAGE_SIZE
+
+
+class TestPageFrameDatabase:
+    def test_lazy_frames_start_free(self):
+        db = PageFrameDatabase(100)
+        assert db.frame(5).is_free
+        assert db.frame(5).address == 5 * PAGE_SIZE
+
+    def test_allocate_and_free_cycle(self):
+        db = PageFrameDatabase(100)
+        db.mark_allocated(7, PageUse.USER_DATA, owner_pid=3)
+        frame = db.frame(7)
+        assert frame.use is PageUse.USER_DATA
+        assert frame.owner_pid == 3
+        db.mark_free(7)
+        assert db.frame(7).is_free
+
+    def test_double_allocate_rejected(self):
+        db = PageFrameDatabase(100)
+        db.mark_allocated(7, PageUse.USER_DATA)
+        with pytest.raises(KernelError):
+            db.mark_allocated(7, PageUse.KERNEL_DATA)
+
+    def test_double_free_rejected(self):
+        db = PageFrameDatabase(100)
+        with pytest.raises(KernelError):
+            db.mark_free(7)
+
+    def test_out_of_range_pfn(self):
+        db = PageFrameDatabase(100)
+        with pytest.raises(KernelError):
+            db.frame(100)
+
+    def test_counting_by_use(self):
+        db = PageFrameDatabase(100)
+        db.mark_allocated(1, PageUse.PAGE_TABLE, pt_level=1)
+        db.mark_allocated(2, PageUse.PAGE_TABLE, pt_level=2)
+        db.mark_allocated(3, PageUse.USER_DATA)
+        assert db.count_use(PageUse.PAGE_TABLE) == 2
+        assert db.bytes_used_by(PageUse.PAGE_TABLE) == 2 * PAGE_SIZE
+        assert len(list(db.allocated_frames())) == 3
+
+    def test_pt_level_recorded(self):
+        db = PageFrameDatabase(100)
+        db.mark_allocated(1, PageUse.PAGE_TABLE, pt_level=4)
+        assert db.frame(1).pt_level == 4
+
+
+class TestVmArea:
+    def test_alignment_enforced(self):
+        with pytest.raises(ProcessError):
+            VmArea(start=100, end=PAGE_SIZE)
+        with pytest.raises(ProcessError):
+            VmArea(start=0, end=100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProcessError):
+            VmArea(start=PAGE_SIZE, end=PAGE_SIZE)
+
+    def test_contains_and_pages(self):
+        vma = VmArea(start=0, end=4 * PAGE_SIZE)
+        assert vma.num_pages == 4
+        assert vma.contains(0)
+        assert vma.contains(4 * PAGE_SIZE - 1)
+        assert not vma.contains(4 * PAGE_SIZE)
+
+    def test_file_page_for(self):
+        backing = MappedFile(file_id=1, size_bytes=8 * PAGE_SIZE)
+        vma = VmArea(start=0, end=2 * PAGE_SIZE, backing=backing, file_page_offset=3)
+        assert vma.file_page_for(PAGE_SIZE) == 4
+
+    def test_file_page_for_anonymous_rejected(self):
+        vma = VmArea(start=0, end=PAGE_SIZE)
+        with pytest.raises(ProcessError):
+            vma.file_page_for(0)
+
+
+class TestMappedFile:
+    def test_size_validation(self):
+        with pytest.raises(ProcessError):
+            MappedFile(file_id=1, size_bytes=100)
+
+    def test_num_pages(self):
+        assert MappedFile(file_id=1, size_bytes=3 * PAGE_SIZE).num_pages == 3
+
+
+class TestProcess:
+    def test_vma_overlap_rejected(self):
+        process = Process(pid=1, cr3=0x1000)
+        process.add_vma(VmArea(start=0, end=4 * PAGE_SIZE))
+        with pytest.raises(ProcessError):
+            process.add_vma(VmArea(start=2 * PAGE_SIZE, end=6 * PAGE_SIZE))
+
+    def test_find_vma(self):
+        process = Process(pid=1, cr3=0x1000)
+        vma = process.add_vma(VmArea(start=0, end=PAGE_SIZE))
+        assert process.find_vma(100) is vma
+        assert process.find_vma(PAGE_SIZE) is None
+
+    def test_remove_vma(self):
+        process = Process(pid=1, cr3=0x1000)
+        vma = process.add_vma(VmArea(start=0, end=PAGE_SIZE))
+        process.remove_vma(vma)
+        assert process.find_vma(0) is None
+        with pytest.raises(ProcessError):
+            process.remove_vma(vma)
+
+    def test_reserve_va_range_advances(self):
+        process = Process(pid=1, cr3=0x1000)
+        first = process.reserve_va_range(2 * PAGE_SIZE)
+        second = process.reserve_va_range(PAGE_SIZE)
+        assert first == MMAP_BASE
+        assert second == MMAP_BASE + 2 * PAGE_SIZE
+
+    def test_reserve_validates_length(self):
+        process = Process(pid=1, cr3=0x1000)
+        with pytest.raises(ProcessError):
+            process.reserve_va_range(100)
+
+    def test_mapped_bytes(self):
+        process = Process(pid=1, cr3=0x1000)
+        process.add_vma(VmArea(start=0, end=3 * PAGE_SIZE))
+        assert process.mapped_bytes == 3 * PAGE_SIZE
+
+    def test_vmas_sorted(self):
+        process = Process(pid=1, cr3=0x1000)
+        process.add_vma(VmArea(start=8 * PAGE_SIZE, end=9 * PAGE_SIZE))
+        process.add_vma(VmArea(start=0, end=PAGE_SIZE))
+        assert [v.start for v in process.vmas] == [0, 8 * PAGE_SIZE]

@@ -1,0 +1,102 @@
+"""PTE encoding and virtual-address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageTableError
+from repro.kernel.pagetable import (
+    ENTRIES_PER_TABLE,
+    PageTableEntry,
+    PteFlags,
+    entry_address,
+    join_virtual_address,
+    split_virtual_address,
+)
+
+
+class TestPteEncoding:
+    def test_make_and_flags(self):
+        entry = PageTableEntry.make(pfn=0x123, writable=True, user=True)
+        assert entry.present and entry.writable and entry.user
+        assert not entry.huge
+
+    def test_encode_layout(self):
+        entry = PageTableEntry.make(pfn=1, writable=True, user=True)
+        assert entry.encode() == (1 << 12) | 0b111
+
+    def test_decode_inverse(self):
+        raw = (0x4567 << 12) | int(PteFlags.PRESENT | PteFlags.WRITABLE)
+        entry = PageTableEntry.decode(raw)
+        assert entry.pfn == 0x4567
+        assert entry.present and entry.writable and not entry.user
+
+    def test_decode_never_fails_on_garbage(self):
+        entry = PageTableEntry.decode(0xFFFF_FFFF_FFFF_FFFF)
+        assert entry.present  # hardware would happily interpret this
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(PageTableError):
+            PageTableEntry.decode(2**64)
+
+    def test_empty_entry(self):
+        entry = PageTableEntry.empty()
+        assert not entry.present
+        assert entry.encode() == 0
+
+    def test_huge_flag(self):
+        entry = PageTableEntry.make(pfn=2, huge=True)
+        assert entry.huge
+        assert PageTableEntry.decode(entry.encode()).huge
+
+    def test_nx_flag_survives_roundtrip(self):
+        raw = (5 << 12) | int(PteFlags.PRESENT | PteFlags.NX)
+        assert PageTableEntry.decode(raw).encode() == raw
+
+    @given(
+        pfn=st.integers(min_value=0, max_value=(1 << 39) - 1),
+        present=st.booleans(),
+        writable=st.booleans(),
+        user=st.booleans(),
+        huge=st.booleans(),
+    )
+    def test_property_encode_decode_roundtrip(self, pfn, present, writable, user, huge):
+        entry = PageTableEntry.make(pfn, present=present, writable=writable, user=user, huge=huge)
+        decoded = PageTableEntry.decode(entry.encode())
+        assert decoded == entry
+
+
+class TestVirtualAddressSplit:
+    def test_zero(self):
+        assert split_virtual_address(0) == (0, 0, 0, 0, 0)
+
+    def test_known_example(self):
+        va = (3 << 39) | (7 << 30) | (15 << 21) | (31 << 12) | 0x123
+        assert split_virtual_address(va) == (3, 7, 15, 31, 0x123)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PageTableError):
+            split_virtual_address(1 << 48)
+        with pytest.raises(PageTableError):
+            split_virtual_address(-1)
+
+    def test_join_validates_indices(self):
+        with pytest.raises(PageTableError):
+            join_virtual_address(ENTRIES_PER_TABLE, 0, 0, 0)
+        with pytest.raises(PageTableError):
+            join_virtual_address(0, 0, 0, 0, offset=4096)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_property_split_join_roundtrip(self, va):
+        pml4, pdpt, pd, pt, offset = split_virtual_address(va)
+        assert join_virtual_address(pml4, pdpt, pd, pt, offset) == va
+
+
+class TestEntryAddress:
+    def test_offsets(self):
+        assert entry_address(0x10000, 0) == 0x10000
+        assert entry_address(0x10000, 5) == 0x10028
+
+    def test_bounds(self):
+        with pytest.raises(PageTableError):
+            entry_address(0, 512)

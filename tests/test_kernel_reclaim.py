@@ -1,0 +1,68 @@
+"""PTP-pressure reclaim (kswapd-lite)."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.units import MIB, PAGE_SIZE
+
+from tests.conftest import make_cta_kernel, make_stock_kernel
+
+
+def fill_and_release(kernel, process, regions, base=0x0000_6000_0000):
+    """Map+touch one page in each 2 MiB region, then unmap everything."""
+    vmas = []
+    for index in range(regions):
+        vma = kernel.mmap(process, PAGE_SIZE, address=base + index * (2 * MIB))
+        kernel.touch(process, vma.start, write=True)
+        vmas.append(vma)
+    for vma in vmas:
+        kernel.munmap(process, vma)
+
+
+class TestReclaim:
+    def test_empty_tables_reclaimed(self):
+        kernel = make_cta_kernel()
+        process = kernel.create_process()
+        fill_and_release(kernel, process, regions=8)
+        before = len(kernel.page_table_pfns(process.pid))
+        reclaimed = kernel.reclaim_empty_page_tables()
+        after = len(kernel.page_table_pfns(process.pid))
+        assert reclaimed >= 8
+        assert after == before - reclaimed
+
+    def test_live_tables_survive_reclaim(self):
+        kernel = make_cta_kernel()
+        process = kernel.create_process()
+        vma = kernel.mmap(process, PAGE_SIZE)
+        kernel.write_virtual(process, vma.start, b"live")
+        kernel.reclaim_empty_page_tables()
+        assert kernel.read_virtual(process, vma.start, 4) == b"live"
+
+    def test_pte_alloc_recovers_from_ptp_pressure(self):
+        kernel = make_cta_kernel(ptp_bytes=256 * 1024)  # 64 PTP frames
+        process = kernel.create_process()
+        # Fill ZONE_PTP with page tables, then release the mappings so the
+        # tables are empty but still allocated.
+        try:
+            fill_and_release(kernel, process, regions=70)
+        except OutOfMemoryError:
+            pass
+        for vma in list(process.vmas):
+            kernel.munmap(process, vma)
+        # A fresh burst of mappings must succeed via reclaim, not OOM.
+        fill_and_release(kernel, process, regions=16, base=0x0000_7800_0000)
+        assert kernel.stats.ptp_reclaims > 0
+        kernel.verify_cta_rules()
+
+    def test_reclaim_without_cta_is_available_too(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        fill_and_release(kernel, process, regions=4)
+        assert kernel.reclaim_empty_page_tables() >= 4
+
+    def test_reclaim_counts_in_stats(self):
+        kernel = make_cta_kernel()
+        process = kernel.create_process()
+        fill_and_release(kernel, process, regions=4)
+        kernel.reclaim_empty_page_tables()
+        assert kernel.stats.ptp_reclaims >= 4

@@ -1,0 +1,181 @@
+"""Memory zones, zonelists, and the low water mark."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
+from repro.kernel.zones import MemoryZone, ZoneId, ZoneLayout
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+class TestMemoryZone:
+    def test_basic_fields(self):
+        zone = MemoryZone(ZoneId.NORMAL, 100, 200)
+        assert zone.num_pages == 100
+        assert zone.num_bytes == 100 * PAGE_SIZE
+        assert zone.name == "ZONE_NORMAL"
+        assert zone.contains_pfn(150)
+        assert not zone.contains_pfn(200)
+
+    def test_sub_label_in_name(self):
+        zone = MemoryZone(ZoneId.PTP, 100, 200, sub_label="ZONE_TC0")
+        assert zone.name == "ZONE_PTP/ZONE_TC0"
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            MemoryZone(ZoneId.DMA, 10, 10)
+
+    def test_overlap_detection(self):
+        a = MemoryZone(ZoneId.DMA, 0, 100)
+        b = MemoryZone(ZoneId.NORMAL, 50, 150)
+        c = MemoryZone(ZoneId.NORMAL, 100, 150)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestX8664Layout:
+    def test_full_scale_cut_points(self):
+        layout = ZoneLayout.x86_64(8 * GIB)
+        zones = {z.zone_id: z for z in layout.zones}
+        assert zones[ZoneId.DMA].num_bytes == 16 * MIB
+        assert zones[ZoneId.DMA32].end_pfn * PAGE_SIZE == 4 * GIB
+        assert zones[ZoneId.NORMAL].end_pfn * PAGE_SIZE == 8 * GIB
+        assert not layout.has_ptp
+
+    def test_ptp_at_top(self):
+        layout = ZoneLayout.x86_64(8 * GIB, ptp_bytes=32 * MIB)
+        ptp = layout.zones_of(ZoneId.PTP)[0]
+        assert ptp.end_pfn == layout.total_pages
+        assert layout.low_water_mark_pfn == (8 * GIB - 32 * MIB) // PAGE_SIZE
+
+    def test_scaled_down_keeps_all_zones(self):
+        layout = ZoneLayout.x86_64(32 * MIB, ptp_bytes=2 * MIB)
+        ids = [z.zone_id for z in layout.zones]
+        assert ids == [ZoneId.DMA, ZoneId.DMA32, ZoneId.NORMAL, ZoneId.PTP]
+
+    def test_zones_do_not_overlap_and_tile(self):
+        layout = ZoneLayout.x86_64(32 * MIB, ptp_bytes=2 * MIB)
+        cursor = 0
+        for zone in layout.zones:
+            assert zone.start_pfn == cursor
+            cursor = zone.end_pfn
+        assert cursor == layout.total_pages
+
+    def test_ptp_cannot_cover_memory(self):
+        with pytest.raises(ConfigurationError):
+            ZoneLayout.x86_64(32 * MIB, ptp_bytes=32 * MIB)
+
+    def test_unaligned_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZoneLayout.x86_64(32 * MIB + 1)
+        with pytest.raises(ConfigurationError):
+            ZoneLayout.x86_64(32 * MIB, ptp_bytes=100)
+
+    def test_explicit_subzones(self):
+        total = 32 * MIB
+        low_water_pfn = (total - 2 * MIB) // PAGE_SIZE
+        subzones = [
+            MemoryZone(ZoneId.PTP, low_water_pfn, low_water_pfn + 128, sub_label="ZONE_TC0"),
+            MemoryZone(ZoneId.PTP, low_water_pfn + 256, low_water_pfn + 512, sub_label="ZONE_TC1"),
+        ]
+        layout = ZoneLayout.x86_64(total, ptp_bytes=2 * MIB, ptp_subzones=subzones)
+        assert len(layout.zones_of(ZoneId.PTP)) == 2
+        # The gap between sub-zones is a hole: no zone contains it.
+        assert layout.zone_of_pfn(low_water_pfn + 200) is None
+
+    def test_subzone_below_mark_rejected(self):
+        total = 32 * MIB
+        low_water_pfn = (total - 2 * MIB) // PAGE_SIZE
+        bad = [MemoryZone(ZoneId.PTP, low_water_pfn - 10, low_water_pfn, sub_label="X")]
+        with pytest.raises(ConfigurationError):
+            ZoneLayout.x86_64(total, ptp_bytes=2 * MIB, ptp_subzones=bad)
+
+    def test_subzone_wrong_id_rejected(self):
+        total = 32 * MIB
+        bad = [MemoryZone(ZoneId.NORMAL, 8000, 8100)]
+        with pytest.raises(ConfigurationError):
+            ZoneLayout.x86_64(total, ptp_bytes=2 * MIB, ptp_subzones=bad)
+
+
+class TestX8632Layout:
+    def test_full_scale_zones(self):
+        layout = ZoneLayout.x86_32(2 * GIB)
+        ids = [z.zone_id for z in layout.zones]
+        assert ids == [ZoneId.DMA, ZoneId.NORMAL, ZoneId.HIGHMEM]
+        zones = {z.zone_id: z for z in layout.zones}
+        assert zones[ZoneId.NORMAL].end_pfn * PAGE_SIZE == 896 * MIB
+
+    def test_with_ptp(self):
+        layout = ZoneLayout.x86_32(2 * GIB, ptp_bytes=32 * MIB)
+        assert layout.has_ptp
+        assert layout.zones_of(ZoneId.PTP)[0].end_pfn == layout.total_pages
+
+
+class TestZonelists:
+    @pytest.fixture
+    def layout(self):
+        return ZoneLayout.x86_64(32 * MIB, ptp_bytes=2 * MIB)
+
+    def test_normal_request_order(self, layout):
+        names = [z.zone_id for z in layout.zonelist_for(GFP_KERNEL)]
+        assert names == [ZoneId.NORMAL, ZoneId.DMA32, ZoneId.DMA]
+
+    def test_normal_request_never_sees_ptp(self, layout):
+        for flags in (GFP_KERNEL, GFP_USER, GfpFlags.DMA, GfpFlags.DMA32):
+            zonelist = layout.zonelist_for(flags)
+            assert all(z.zone_id is not ZoneId.PTP for z in zonelist)
+
+    def test_ptp_request_sees_only_ptp(self, layout):
+        zonelist = layout.zonelist_for(GFP_PTP)
+        assert zonelist
+        assert all(z.zone_id is ZoneId.PTP for z in zonelist)
+
+    def test_dma_request_restricted(self, layout):
+        names = [z.zone_id for z in layout.zonelist_for(GfpFlags.DMA)]
+        assert names == [ZoneId.DMA]
+
+    def test_dma32_request_falls_to_dma(self, layout):
+        names = [z.zone_id for z in layout.zonelist_for(GfpFlags.DMA32)]
+        assert names == [ZoneId.DMA32, ZoneId.DMA]
+
+    def test_ptp_zonelist_highest_first(self):
+        total = 32 * MIB
+        low_water_pfn = (total - 2 * MIB) // PAGE_SIZE
+        subzones = [
+            MemoryZone(ZoneId.PTP, low_water_pfn, low_water_pfn + 128, sub_label="ZONE_TC0"),
+            MemoryZone(ZoneId.PTP, low_water_pfn + 256, low_water_pfn + 512, sub_label="ZONE_TC1"),
+        ]
+        layout = ZoneLayout.x86_64(total, ptp_bytes=2 * MIB, ptp_subzones=subzones)
+        zonelist = layout.zonelist_for(GFP_PTP)
+        assert [z.sub_label for z in zonelist] == ["ZONE_TC1", "ZONE_TC0"]
+
+    def test_pt_level_filtering(self):
+        total = 32 * MIB
+        low_water_pfn = (total - 2 * MIB) // PAGE_SIZE
+        subzones = [
+            MemoryZone(ZoneId.PTP, low_water_pfn, low_water_pfn + 128, sub_label="L1", pt_level=1),
+            MemoryZone(ZoneId.PTP, low_water_pfn + 128, low_water_pfn + 256, sub_label="L2", pt_level=2),
+        ]
+        layout = ZoneLayout.x86_64(total, ptp_bytes=2 * MIB, ptp_subzones=subzones)
+        level1 = layout.zonelist_for(GFP_PTP, pt_level=1)
+        assert [z.sub_label for z in level1] == ["L1"]
+        any_level = layout.zonelist_for(GFP_PTP, pt_level=0)
+        assert len(any_level) == 2
+
+    def test_is_above_low_water_mark(self, layout):
+        mark = layout.low_water_mark_pfn
+        assert layout.is_above_low_water_mark(mark)
+        assert not layout.is_above_low_water_mark(mark - 1)
+
+    def test_no_mark_without_ptp(self):
+        layout = ZoneLayout.x86_64(32 * MIB)
+        assert layout.low_water_mark_pfn is None
+        assert not layout.is_above_low_water_mark(0)
+
+
+class TestGfpFlags:
+    def test_ptp_flag_semantics(self):
+        assert GFP_PTP.is_ptp_request
+        assert GFP_PTP.forbids_fallback
+        assert not GFP_KERNEL.is_ptp_request
+        assert not GFP_USER.forbids_fallback

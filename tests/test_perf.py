@@ -1,0 +1,92 @@
+"""Performance harness (Table 4 substitute)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    PHORONIX_WORKLOADS,
+    SPEC_WORKLOADS,
+    compare_cta_overhead,
+    run_workload,
+)
+from repro.perf.report import OverheadRow, format_report, suite_mean, table4_report
+from repro.perf.runner import make_perf_kernel
+from repro.perf.workloads import WorkloadProfile, find_workload
+
+
+class TestWorkloadProfiles:
+    def test_table4_rosters_complete(self):
+        assert len(SPEC_WORKLOADS) == 12  # the 12 SPEC rows of Table 4
+        assert len(PHORONIX_WORKLOADS) == 15  # the 15 Phoronix rows
+
+    def test_names_unique(self):
+        names = [w.name for w in SPEC_WORKLOADS + PHORONIX_WORKLOADS]
+        assert len(names) == len(set(names))
+
+    def test_find_workload(self):
+        assert find_workload("mcf").suite == "spec2006"
+        assert find_workload("stream:Copy").suite == "phoronix"
+        with pytest.raises(ConfigurationError):
+            find_workload("doom")
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", "badsuite", 1, 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("x", "spec2006", 0, 1, 1, 1)
+
+    def test_total_pages(self):
+        profile = WorkloadProfile("x", "spec2006", 4, 8, 1, 1)
+        assert profile.total_pages == 32
+
+
+class TestRunner:
+    def test_run_produces_counters(self):
+        kernel = make_perf_kernel(cta=False)
+        result = run_workload(kernel, find_workload("sjeng"))
+        assert result.page_allocs > 0
+        assert result.pte_allocs > 0
+        assert result.demand_faults >= find_workload("sjeng").total_pages
+        assert result.elapsed_s > 0
+        assert not result.cta_enabled
+
+    def test_cta_kernel_reports_flag(self):
+        kernel = make_perf_kernel(cta=True)
+        result = run_workload(kernel, find_workload("sjeng"))
+        assert result.cta_enabled
+        kernel.verify_cta_rules()
+
+    def test_same_fault_counts_with_and_without_cta(self):
+        """CTA changes *where* page tables go, not how many faults occur."""
+        profile = find_workload("hmmer")
+        stock = run_workload(make_perf_kernel(cta=False), profile)
+        cta = run_workload(make_perf_kernel(cta=True), profile)
+        assert stock.demand_faults == cta.demand_faults
+        assert stock.pte_allocs == cta.pte_allocs
+
+    def test_overhead_is_small(self):
+        """The Table 4 claim at simulator scale: |overhead| is a few %."""
+        overhead = compare_cta_overhead(find_workload("sjeng"), repeats=3)
+        assert abs(overhead) < 0.25
+
+
+class TestReport:
+    def test_report_covers_requested_workloads(self):
+        rows = table4_report(workloads=SPEC_WORKLOADS[:2], repeats=1)
+        assert [row.workload for row in rows] == ["perlbench", "bzip2"]
+
+    def test_suite_mean(self):
+        rows = [
+            OverheadRow("a", "spec2006", 1.0),
+            OverheadRow("b", "spec2006", -1.0),
+            OverheadRow("c", "phoronix", 2.0),
+        ]
+        assert suite_mean(rows, "spec2006") == 0.0
+        assert suite_mean(rows, "phoronix") == 2.0
+        assert suite_mean(rows, "nothing") == 0.0
+
+    def test_format_report_structure(self):
+        rows = [OverheadRow("a", "spec2006", 0.5)]
+        text = format_report(rows)
+        assert "Benchmark" in text
+        assert "Mean (spec2006)" in text

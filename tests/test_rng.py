@@ -1,0 +1,55 @@
+"""Deterministic RNG utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rng import bernoulli, make_rng, split_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(7).integers(0, 1000) == make_rng(7).integers(0, 1000)
+
+    def test_different_seeds_diverge(self):
+        draws_a = make_rng(1).integers(0, 2**31, size=8)
+        draws_b = make_rng(2).integers(0, 2**31, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_none_uses_default_seed(self):
+        assert make_rng(None).integers(0, 2**31) == make_rng(None).integers(0, 2**31)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(3)
+        assert make_rng(generator) is generator
+
+
+class TestSplitRng:
+    def test_labels_give_independent_streams(self):
+        parent = make_rng(5)
+        child_a = split_rng(parent, "alpha")
+        parent2 = make_rng(5)
+        child_b = split_rng(parent2, "beta")
+        assert child_a.integers(0, 2**31) != child_b.integers(0, 2**31)
+
+    def test_same_label_same_stream(self):
+        child1 = split_rng(make_rng(5), "x")
+        child2 = split_rng(make_rng(5), "x")
+        assert child1.integers(0, 2**31) == child2.integers(0, 2**31)
+
+
+class TestBernoulli:
+    def test_scalar(self):
+        assert bernoulli(make_rng(1), 1.0) is True
+        assert bernoulli(make_rng(1), 0.0) is False
+
+    def test_vector_shape(self):
+        draws = bernoulli(make_rng(1), 0.5, size=100)
+        assert draws.shape == (100,)
+
+    def test_rate_approximates_probability(self):
+        draws = bernoulli(make_rng(1), 0.3, size=20_000)
+        assert abs(draws.mean() - 0.3) < 0.02
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            bernoulli(make_rng(1), 1.5)

@@ -1,0 +1,103 @@
+"""Unit/constant helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    PTES_PER_PAGE,
+    align_down,
+    align_up,
+    format_duration,
+    format_size,
+    is_power_of_two,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("4096") == 4096
+
+    def test_mib(self):
+        assert parse_size("32MB") == 32 * MIB
+
+    def test_gib_with_space(self):
+        assert parse_size("8 GiB") == 8 * GIB
+
+    def test_kib_short(self):
+        assert parse_size("64k") == 64 * KIB
+
+    def test_case_insensitive(self):
+        assert parse_size("1gb") == parse_size("1GB") == GIB
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+    def test_garbage_suffix_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("12xx")
+
+    def test_no_number_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("MB")
+
+
+class TestFormatting:
+    def test_format_size_mib(self):
+        assert format_size(32 * MIB) == "32.0MiB"
+
+    def test_format_size_bytes(self):
+        assert format_size(512) == "512.0B"
+
+    def test_format_duration_days(self):
+        assert format_duration(2 * 86400) == "2.0 days"
+
+    def test_format_duration_hours(self):
+        assert "hours" in format_duration(7200)
+
+    def test_format_duration_minutes(self):
+        assert "minutes" in format_duration(120)
+
+    def test_format_duration_seconds(self):
+        assert "seconds" in format_duration(1.5)
+
+
+class TestAlignment:
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+
+    def test_align_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(100, 3)
+
+    @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([1, 2, 4096, 2**20]))
+    def test_align_roundtrip_properties(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down <= value <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+def test_derived_constants_consistent():
+    assert PAGE_SIZE == 4096
+    assert PTES_PER_PAGE == 512
