@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
 from repro.attacks.spray import spray_page_tables
@@ -78,13 +79,14 @@ class CtaBruteForceAttack:
         spray_mappings: int = 48,
     ) -> AttackResult:
         """Run the (truncated) brute force; returns outcome and accounting."""
+        obs.inc("attack.attempts", kind="algorithm1")
         kernel = self.kernel
         result = AttackResult(outcome=AttackOutcome.BUDGET_EXHAUSTED)
         ptp_rows = self._zone_ptp_rows()
         if not ptp_rows:
             result.outcome = AttackOutcome.BLOCKED
             result.detail = "ZONE_PTP is empty"
-            return result
+            return self._finish(result)
 
         for target_page in range(max_target_pages):
             # Step (1): fill ZONE_PTP with PTEs pointing at one physical page.
@@ -113,7 +115,7 @@ class CtaBruteForceAttack:
                     result.corrupted_vas = [r.virtual_address for r in references]
                     result.escalated_pid = attacker.pid
                     result.detail = report.detail
-                    return result
+                    return self._finish(result)
 
             # Tear the spray down before the next target page.
             for vma in list(attacker.vmas):
@@ -123,6 +125,18 @@ class CtaBruteForceAttack:
         result.detail = (
             f"no exploitable PTE after {max_target_pages} target pages; "
             f"{self._monotonic_summary()}"
+        )
+        return self._finish(result)
+
+    def _finish(self, result: AttackResult) -> AttackResult:
+        """Record the terminal outcome and monotonicity evidence."""
+        obs.inc("attack.outcomes", kind="algorithm1", outcome=result.outcome.value)
+        monotonic = sum(1 for o in self.observations if o.monotonic)
+        obs.inc("attack.pointer_observations", monotonic, monotonic="true")
+        obs.inc(
+            "attack.pointer_observations",
+            len(self.observations) - monotonic,
+            monotonic="false",
         )
         return result
 

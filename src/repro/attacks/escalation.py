@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.errors import PageFaultError
 from repro.kernel.kernel import Kernel
 from repro.kernel.pagetable import PageTableEntry
@@ -121,6 +122,7 @@ def attempt_escalation(
     frame with user/write permissions. Success is proven by reading that
     frame's content through the re-mapped virtual address.
     """
+    obs.inc("attack.escalation_probes")
     victim_frame = _pick_kernel_frame(kernel)
     if victim_frame is None:
         return EscalationReport(achieved=False, detail="no kernel frame to target")
@@ -156,6 +158,14 @@ def attempt_escalation(
     except PageFaultError as exc:
         return EscalationReport(achieved=False, detail=f"forged mapping faulted: {exc}")
     achieved = leaked == secret
+    if achieved:
+        obs.inc("attack.escalations_achieved")
+        obs.trace(
+            "attack.escalation",
+            window_va=window_va,
+            target_pfn=self_reference.target_pfn,
+            victim_frame=victim_frame,
+        )
     return EscalationReport(
         achieved=achieved,
         self_reference=self_reference,

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set
 
+from repro import obs
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
 from repro.attacks.spray import PT_COVERAGE, SPRAY_BASE
@@ -65,22 +66,27 @@ class ProbabilisticPteAttack:
         page table holds; ``interleave_data_pages`` how many hammerable
         anonymous pages are allocated between consecutive mappings.
         """
+        obs.inc("attack.attempts", kind="probabilistic_pte")
         self._spray_interleaved(
             attacker, spray_mappings, pages_per_mapping, interleave_data_pages
         )
         if not self.sprayed_vas:
-            return AttackResult(
-                outcome=AttackOutcome.FAILED, detail="spray created no mappings"
+            return self._finish(
+                AttackResult(
+                    outcome=AttackOutcome.FAILED, detail="spray created no mappings"
+                )
             )
 
         victim_rows = self._candidate_victim_rows(attacker)
         if not any(self._is_page_table_row(row) for row in victim_rows):
-            return AttackResult(
-                outcome=AttackOutcome.BLOCKED,
-                detail=(
-                    "no attacker-adjacent row contains page tables; the spray "
-                    "cannot reach them (low water mark separation)"
-                ),
+            return self._finish(
+                AttackResult(
+                    outcome=AttackOutcome.BLOCKED,
+                    detail=(
+                        "no attacker-adjacent row contains page tables; the spray "
+                        "cannot reach them (low water mark separation)"
+                    ),
+                )
             )
 
         # Hammer one row, then immediately check and (if lucky) escalate —
@@ -106,15 +112,23 @@ class ProbabilisticPteAttack:
                         result.corrupted_vas = [r.virtual_address for r in references]
                         result.escalated_pid = attacker.pid
                         result.detail = report.detail
-                        return result
+                        return self._finish(result)
                     result.detail = (
                         f"self-reference found but escalation failed: {report.detail}"
                     )
         if not result.detail:
             result.detail = f"no self-reference after {max_rounds} rounds"
-        return result
+        return self._finish(result)
 
     # -- internals -------------------------------------------------------
+    @staticmethod
+    def _finish(result: AttackResult) -> AttackResult:
+        """Record the terminal outcome before handing the result back."""
+        obs.inc(
+            "attack.outcomes", kind="probabilistic_pte", outcome=result.outcome.value
+        )
+        return result
+
     def _spray_interleaved(
         self,
         attacker: Process,
@@ -140,6 +154,7 @@ class ProbabilisticPteAttack:
                     kernel.touch(attacker, page_va)
                     self.checked_vas.append(page_va)
                 self.sprayed_vas.append(va)
+                obs.inc("attack.spray_mappings")
                 for _ in range(interleave_data_pages):
                     data_va = data_base + data_cursor * PAGE_SIZE
                     # Keep each anonymous chunk inside one 2 MiB region so

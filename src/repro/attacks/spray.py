@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
+from repro import obs
 from repro.errors import OutOfMemoryError, PageFaultError, ProcessError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import MappedFile, Process
@@ -87,5 +88,12 @@ def spray_page_tables(
             # access would just crash here — skip the mapping.
             continue
         result.mapped_vas.append(va)
+        obs.inc("attack.spray_mappings")
     result.page_tables_created = len(kernel.page_table_pfns(attacker.pid)) - pt_before
+    obs.trace(
+        "attack.spray",
+        mappings=result.num_mappings,
+        page_tables=result.page_tables_created,
+        oom=result.stopped_by_oom,
+    )
     return result

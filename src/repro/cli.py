@@ -11,6 +11,7 @@ Usage::
     python -m repro anticell        # low-water-mark-only ablation
     python -m repro capacity        # Section 6.2 capacity accounting
     python -m repro headline        # abstract's headline numbers
+    python -m repro stats --trace 5 # demo attack + observability dump
 """
 
 from __future__ import annotations
@@ -151,6 +152,45 @@ def _cmd_headline(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a demo hammer campaign and dump the collected metrics.
+
+    Exercises every instrumented layer — spray (buddy/zones), hammer
+    (DRAM flips), walk/check (MMU+TLB), refresh — then prints the
+    default registry as a text table (default) or JSON (``--json``).
+    ``--trace N`` appends the last N trace events.
+    """
+    from repro import build_stock_system, obs
+    from repro.attacks import ProbabilisticPteAttack
+    from repro.dram.refresh import RefreshScheduler
+    from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+
+    obs.reset()
+    kernel = build_stock_system()
+    hammer = RowHammerModel(
+        kernel.module, FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5), seed=args.seed
+    )
+    result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
+        kernel.create_process(), spray_mappings=48, max_rounds=2
+    )
+    refresh = RefreshScheduler(total_rows=kernel.module.geometry.total_rows)
+    refresh.advance(0.064)
+    refresh.refresh_all()
+
+    registry = obs.get_registry()
+    if args.json:
+        print(registry.to_json())
+    else:
+        print(f"demo attack outcome: {result.outcome.value}")
+        print(registry.format_table())
+    if args.trace:
+        print(f"\nlast {args.trace} trace events "
+              f"({len(registry.trace)} retained, {registry.trace.dropped} dropped):")
+        for event in registry.trace.events(last=args.trace):
+            print(f"  {event.format()}")
+    return 0
+
+
 def _cmd_vm(_args: argparse.Namespace) -> int:
     from repro.dram.cells import CellTypeMap
     from repro.dram.geometry import DramGeometry
@@ -226,6 +266,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers.add_parser("capacity", help="capacity-loss accounting").set_defaults(func=_cmd_capacity)
     subparsers.add_parser("headline", help="abstract headline numbers").set_defaults(func=_cmd_headline)
     subparsers.add_parser("vm", help="Section 7 virtual-machine support demo").set_defaults(func=_cmd_vm)
+    stats = subparsers.add_parser(
+        "stats", help="run a demo attack and dump observability metrics"
+    )
+    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--json", action="store_true", help="emit metrics as JSON")
+    stats.add_argument(
+        "--trace", type=int, default=0, metavar="N",
+        help="also print the last N trace events",
+    )
+    stats.set_defaults(func=_cmd_stats)
     ecc = subparsers.add_parser("ecc", help="SECDED-vs-RowHammer demo")
     ecc.add_argument("--seed", type=int, default=13)
     ecc.set_defaults(func=_cmd_ecc)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.units import REFRESH_INTERVAL_S
 
@@ -65,14 +66,24 @@ class RefreshScheduler:
     def refresh_row(self, row: int) -> None:
         """Record a refresh of ``row`` at the current time."""
         self._check_row(row)
+        overdue = self._now - self._last_refresh.get(row, 0.0) > self.interval_s
         self._last_refresh[row] = self._now
         self.refresh_ops += 1
+        obs.inc("refresh.rows_refreshed")
+        if overdue:
+            obs.inc("refresh.rows_restored_late")
 
     def refresh_all(self) -> None:
         """Refresh every row (one full refresh cycle)."""
+        overdue = len(self.overdue_rows()) if self._enabled else 0
         for row in range(self._total_rows):
             self._last_refresh[row] = self._now
         self.refresh_ops += self._total_rows
+        obs.inc("refresh.sweeps")
+        obs.inc("refresh.rows_refreshed", self._total_rows)
+        if overdue:
+            obs.inc("refresh.rows_restored_late", overdue)
+        obs.trace("refresh.sweep", rows=self._total_rows, overdue=overdue, t=self._now)
 
     def time_since_refresh(self, row: int) -> float:
         """Seconds since ``row`` was last refreshed (or since t=0)."""

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.dram.cells import CellType
 from repro.dram.module import DramModule
 from repro.errors import ConfigurationError
@@ -227,12 +228,15 @@ class RowHammerModel:
         self, aggressor_row: int, victims: Tuple[int, ...], activations: int
     ) -> HammerOutcome:
         self.hammer_count += 1
+        obs.inc("rowhammer.hammers")
+        obs.inc("rowhammer.activations", activations)
         outcome = HammerOutcome(
             aggressor_row=aggressor_row, victim_rows=victims, activations=activations
         )
         row_bytes = self._module.geometry.row_bytes
         for victim in victims:
             base = victim * row_bytes
+            cell = self._module.cell_map.type_of_row(victim).value
             for vuln in self.vulnerable_bits(victim):
                 if self._activation_probability < 1.0:
                     if self._rng.random() >= self._activation_probability:
@@ -245,6 +249,19 @@ class RowHammerModel:
                     outcome.flips.append(
                         BitFlip(address=address, bit=bit, old=current, new=vuln.to_value)
                     )
+                    obs.inc(
+                        "rowhammer.flips",
+                        direction=f"{current}to{vuln.to_value}",
+                        cell=cell,
+                    )
+        obs.observe("rowhammer.flips_per_hammer", outcome.flip_count)
+        obs.trace(
+            "rowhammer.hammer",
+            aggressor=aggressor_row,
+            victims=len(victims),
+            flips=outcome.flip_count,
+            activations=activations,
+        )
         return outcome
 
     # -- statistics helpers ---------------------------------------------------

@@ -66,3 +66,7 @@ class DefenseError(ReproError):
 
 class AnalysisError(ReproError):
     """Invalid parameters for the analytical security model."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/trace subsystem (kind mismatch, bad config)."""

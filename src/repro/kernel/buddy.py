@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set
 
+from repro import obs
 from repro.errors import ConfigurationError, OutOfMemoryError, KernelError
 
 #: Largest allocation order supported (matches Linux's historical MAX_ORDER-1).
@@ -26,13 +27,17 @@ class BuddyAllocator:
     ----------
     start_pfn, end_pfn:
         Page-frame range managed (end exclusive).
+    name:
+        Zone label attached to this allocator's metrics (e.g. "Normal",
+        "PTP0"); empty for standalone allocators.
     """
 
-    def __init__(self, start_pfn: int, end_pfn: int):
+    def __init__(self, start_pfn: int, end_pfn: int, name: str = ""):
         if end_pfn <= start_pfn:
             raise ConfigurationError(f"empty pfn range [{start_pfn}, {end_pfn})")
         self._start_pfn = start_pfn
         self._end_pfn = end_pfn
+        self.name = name
         # free_lists[order] = set of relative block starts.
         self._free_lists: Dict[int, Set[int]] = {order: set() for order in range(MAX_ORDER + 1)}
         self._allocated: Dict[int, int] = {}  # relative start -> order
@@ -102,6 +107,7 @@ class BuddyAllocator:
                 break
         if found_order is None:
             self.failed_allocs += 1
+            obs.inc("buddy.failed_allocs", zone=self.name, order=order)
             raise OutOfMemoryError(
                 f"no free block of order >= {order} in pfn range "
                 f"[{self._start_pfn}, {self._end_pfn})"
@@ -112,9 +118,12 @@ class BuddyAllocator:
         while found_order > order:
             found_order -= 1
             self.split_count += 1
+            obs.inc("buddy.splits", zone=self.name)
             buddy = block + (1 << found_order)
             self._free_lists[found_order].add(buddy)
         self._allocated[block] = order
+        obs.inc("buddy.allocs", zone=self.name, order=order)
+        obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
         return self._start_pfn + block
 
     def free_pages_block(self, pfn: int, order: Optional[int] = None) -> None:
@@ -141,9 +150,12 @@ class BuddyAllocator:
                 break
             self._free_lists[current].discard(buddy)
             self.coalesce_count += 1
+            obs.inc("buddy.merges", zone=self.name)
             block = min(block, buddy)
             current += 1
         self._free_lists[current].add(block)
+        obs.inc("buddy.frees", zone=self.name, order=recorded)
+        obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
 
     def contains(self, pfn: int) -> bool:
         """Whether ``pfn`` is managed by this allocator."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.dram.cells import CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
@@ -122,7 +123,7 @@ class Kernel:
         self._cta_policy: Optional[CtaPolicy] = None
         self._layout = self._build_layout(geometry)
         self._allocators: List[Tuple[MemoryZone, BuddyAllocator]] = [
-            (zone, BuddyAllocator(zone.start_pfn, zone.end_pfn))
+            (zone, BuddyAllocator(zone.start_pfn, zone.end_pfn, name=zone.name))
             for zone in self._layout.zones
         ]
         self._page_db = PageFrameDatabase(self._layout.total_pages)
@@ -251,6 +252,7 @@ class Kernel:
                         if not self._cta_policy.address_allowed_for_untrusted(address):
                             rejected.append((allocator, pfn))
                             self.stats.indicator_rejections += 1
+                            obs.inc("kernel.indicator_rejections")
                             continue
                     if (
                         use is PageUse.PAGE_TABLE
@@ -259,6 +261,7 @@ class Kernel:
                     ):
                         rejected.append((allocator, pfn))
                         self.stats.screening_rejections += 1
+                        obs.inc("kernel.screening_rejections")
                         continue
                     for offset in range(1 << order):
                         self._page_db.mark_allocated(
@@ -269,9 +272,11 @@ class Kernel:
                         pfn << PAGE_SHIFT, b"\x00" * (PAGE_SIZE << order)
                     )
                     self.stats.page_allocs += 1
+                    obs.inc("kernel.page_allocs", use=use.value, zone=zone.name)
                     return pfn
             if flags.forbids_fallback:
                 self.stats.ptp_fallback_denied += 1
+                obs.inc("kernel.ptp_fallback_denied")
             raise OutOfMemoryError(
                 f"no free page for {use.value} in zonelist "
                 f"{[z.name for z in zonelist]}"
@@ -290,6 +295,7 @@ class Kernel:
             self._page_db.mark_free(pfn + offset)
         allocator.free_pages_block(pfn)
         self.stats.page_frees += 1
+        obs.inc("kernel.page_frees")
 
     def set_screened_ptp_frames(self, frames) -> None:
         """Install the page-size-bit screening list (Section 7).
@@ -328,6 +334,8 @@ class Kernel:
                 flags, PageUse.PAGE_TABLE, owner_pid=owner_pid, pt_level=effective_level
             )
         self.stats.pte_allocs += 1
+        obs.inc("kernel.pte_allocs", level=table_level)
+        obs.trace("kernel.pte_alloc", pid=owner_pid, level=table_level, pfn=pfn)
         return pfn
 
     def reclaim_empty_page_tables(self) -> int:
@@ -374,6 +382,7 @@ class Kernel:
         if reclaimed:
             self._tlb.flush()
             self.stats.ptp_reclaims += reclaimed
+            obs.inc("kernel.ptp_reclaims", reclaimed)
         return reclaimed
 
     # -- processes ------------------------------------------------------------
@@ -453,6 +462,7 @@ class Kernel:
                 f"write to read-only mapping at {virtual_address:#x}", virtual_address
             )
         self.stats.demand_faults += 1
+        obs.inc("kernel.demand_faults")
         # Mirror Linux's fault path: page tables are allocated (pte_alloc)
         # before the data frame itself — the ordering Drammer's memory
         # massaging depends on.
@@ -592,6 +602,7 @@ class Kernel:
                    writable=writable)
         )
         self.stats.huge_mappings += 1
+        obs.inc("kernel.huge_mappings")
         return data_pfn
 
     def pd_entry_address(self, process: Process, virtual_address: int) -> Optional[int]:

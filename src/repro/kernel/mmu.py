@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.dram.module import DramModule
 from repro.errors import AddressError, PageFaultError
 from repro.kernel.pagetable import (
@@ -117,6 +118,7 @@ class Mmu:
         discussion).
         """
         self.walk_count += 1
+        obs.inc("mmu.walks")
         indices = split_virtual_address(virtual_address)[:NUM_LEVELS]
         offset_bits = PAGE_SHIFT
         table_base = cr3
@@ -129,6 +131,7 @@ class Mmu:
             except AddressError:
                 # A corrupted upper-level entry pointed outside physical
                 # memory; hardware raises a machine check / bus error.
+                obs.inc("mmu.faults", kind="bus_error")
                 raise PageFaultError(
                     f"bus error: level-{level} table at {table_base:#x} outside "
                     f"physical memory (VA {virtual_address:#x})",
@@ -136,6 +139,7 @@ class Mmu:
                 ) from None
             steps.append(WalkStep(level=level, entry_physical_address=address, entry=entry))
             if not entry.present:
+                obs.inc("mmu.faults", kind="not_present")
                 raise PageFaultError(
                     f"non-present level-{level} entry for VA {virtual_address:#x}",
                     virtual_address,
@@ -190,10 +194,12 @@ class Mmu:
         virtual_address: int, writable: bool, user_ok: bool, write: bool, user: bool
     ) -> None:
         if write and not writable:
+            obs.inc("mmu.faults", kind="write_protect")
             raise PageFaultError(
                 f"write to read-only VA {virtual_address:#x}", virtual_address
             )
         if user and not user_ok:
+            obs.inc("mmu.faults", kind="privilege")
             raise PageFaultError(
                 f"user access to supervisor VA {virtual_address:#x}", virtual_address
             )

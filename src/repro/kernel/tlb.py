@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 
@@ -37,9 +38,11 @@ class Tlb:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            obs.inc("tlb.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        obs.inc("tlb.hits")
         return entry
 
     def insert(self, pid: int, vpn: int, pfn: int, writable: bool, user: bool) -> None:
@@ -54,6 +57,7 @@ class Tlb:
         """Drop every cached translation (the attacker's clflush/remap)."""
         self._entries.clear()
         self.flushes += 1
+        obs.inc("tlb.flushes", scope="full")
 
     def flush_pid(self, pid: int) -> None:
         """Drop one address space's translations (context switch)."""
@@ -61,6 +65,7 @@ class Tlb:
         for key in stale:
             del self._entries[key]
         self.flushes += 1
+        obs.inc("tlb.flushes", scope="pid")
 
     def invalidate(self, pid: int, vpn: int) -> None:
         """Drop a single translation (invlpg)."""

@@ -1,0 +1,144 @@
+"""repro.obs — zero-dependency observability (metrics + trace events).
+
+A process-wide default :class:`~repro.obs.metrics.Registry` collects
+typed metrics (counters, gauges, histograms) and structured trace
+events from every instrumented layer. Instrumentation goes through the
+module-level helpers below, which resolve the default registry *at call
+time* — replacing or resetting the registry (as the test suite does
+between tests) immediately redirects all recording.
+
+Usage::
+
+    from repro import obs
+
+    obs.inc("rowhammer.flips", direction="1to0", cell="true")
+    obs.trace("rowhammer.hammer", aggressor=7, flips=3)
+
+    snapshot = obs.get_registry().snapshot()
+    obs.disable()        # record calls become cheap no-ops
+
+The metric names emitted by the simulator form a stable contract,
+documented in the README's "Observability" section.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSeries,
+    Metric,
+    Registry,
+    format_series,
+    label_key,
+)
+from repro.obs.trace import TraceBuffer, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSeries",
+    "Metric",
+    "Registry",
+    "TraceBuffer",
+    "TraceEvent",
+    "format_series",
+    "label_key",
+    "get_registry",
+    "set_registry",
+    "reset",
+    "enable",
+    "disable",
+    "enabled",
+    "counter",
+    "gauge",
+    "histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    "trace",
+]
+
+_default_registry = Registry()
+
+
+def get_registry() -> Registry:
+    """The process-wide default registry."""
+    return _default_registry
+
+
+def set_registry(registry: Registry) -> Registry:
+    """Install ``registry`` as the default; returns it (for chaining)."""
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def reset() -> None:
+    """Clear the default registry's values and traces (keeps bindings)."""
+    _default_registry.reset()
+
+
+def enable() -> None:
+    """Turn default-registry recording on."""
+    _default_registry.enable()
+
+
+def disable() -> None:
+    """Turn default-registry recording off (no-op path)."""
+    _default_registry.disable()
+
+
+def enabled() -> bool:
+    """Whether default-registry recording is on."""
+    return _default_registry.enabled
+
+
+# -- metric shorthands (resolve the default registry at call time) ----------
+def counter(name: str, description: str = "") -> Counter:
+    """Create-or-get a counter in the default registry."""
+    return _default_registry.counter(name, description)
+
+
+def gauge(name: str, description: str = "") -> Gauge:
+    """Create-or-get a gauge in the default registry."""
+    return _default_registry.gauge(name, description)
+
+
+def histogram(
+    name: str, description: str = "", buckets: Optional[Sequence[float]] = None
+) -> Histogram:
+    """Create-or-get a histogram in the default registry."""
+    return _default_registry.histogram(name, description, buckets=buckets)
+
+
+def inc(name: str, amount: float = 1.0, **labels: object) -> None:
+    """Increment a default-registry counter (no-op when disabled)."""
+    registry = _default_registry
+    if registry.enabled:
+        registry.counter(name).inc(amount, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    """Set a default-registry gauge (no-op when disabled)."""
+    registry = _default_registry
+    if registry.enabled:
+        registry.gauge(name).set(value, **labels)
+
+
+def observe(name: str, value: float, **labels: object) -> None:
+    """Record a sample into a default-registry histogram (no-op when disabled)."""
+    registry = _default_registry
+    if registry.enabled:
+        registry.histogram(name).observe(value, **labels)
+
+
+def trace(name: str, **fields: object) -> None:
+    """Emit a trace event into the default registry (no-op when disabled)."""
+    registry = _default_registry
+    if registry.enabled:
+        registry.trace.emit(name, **fields)

@@ -1,0 +1,353 @@
+"""Typed metrics: counters, gauges, and histograms in a registry.
+
+Zero-dependency observability substrate for the simulator. Every
+instrumented layer (DRAM hammer model, refresh scheduler, buddy
+allocator, MMU/TLB, attack harnesses) records into the process-wide
+default registry (see :mod:`repro.obs`); the perf harness and the
+``repro stats`` CLI read snapshots back out.
+
+Design constraints:
+
+- **Zero dependencies** — plain dicts, no client libraries.
+- **Cheap no-op path** — a disabled registry turns every record call
+  into a single attribute check and an early return, so instrumentation
+  can stay unconditionally in hot simulator loops.
+- **Typed** — a name is permanently bound to one metric kind; reusing a
+  name with a different kind raises :class:`ObservabilityError`, which
+  keeps the metric-name contract (README "Observability") honest.
+
+Labels are free-form keyword arguments; each distinct label set is an
+independent series, e.g. ``flips{cell=true,direction=1to0}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Canonical, hashable form of one series' labels.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def label_key(labels: Dict[str, object]) -> LabelKey:
+    """Canonicalise a label dict: sorted (key, str(value)) pairs."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, key: LabelKey) -> str:
+    """Printable series name, ``name{k=v,...}`` (bare name when unlabeled)."""
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Metric:
+    """Base class: a named, labeled family of series.
+
+    ``registry`` is the owning :class:`Registry`; a standalone metric
+    (``registry=None``) is always enabled.
+    """
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = "", registry: Optional["Registry"] = None):
+        if not name:
+            raise ObservabilityError("metric name must be non-empty")
+        self.name = name
+        self.description = description
+        self._registry = registry
+
+    @property
+    def enabled(self) -> bool:
+        """Whether record calls take effect."""
+        return self._registry is None or self._registry.enabled
+
+    def clear(self) -> None:
+        """Drop every series (back to the just-created state)."""
+        raise NotImplementedError
+
+    def series(self) -> Dict[LabelKey, float]:
+        """Snapshot of every series' scalar value."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, flips, allocations)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "", registry: Optional["Registry"] = None):
+        super().__init__(name, description, registry)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if not self.enabled:
+            return
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name} cannot decrease")
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labeled series (0 when never incremented)."""
+        return self._values.get(label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return sum(self._values.values())
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class Gauge(Metric):
+    """Point-in-time level (free pages, TLB occupancy)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "", registry: Optional["Registry"] = None):
+        super().__init__(name, description, registry)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the labeled series to ``value``."""
+        if not self.enabled:
+            return
+        self._values[label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Adjust the labeled series by ``amount`` (may be negative)."""
+        if not self.enabled:
+            return
+        key = label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Adjust the labeled series by ``-amount``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Current value of one labeled series (0 when never set)."""
+        return self._values.get(label_key(labels), 0.0)
+
+    def series(self) -> Dict[LabelKey, float]:
+        return dict(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+#: Default histogram bucket upper bounds (log-ish spread; +inf implied).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+
+class HistogramSeries:
+    """One label set's accumulated distribution."""
+
+    __slots__ = ("count", "sum", "min", "max", "bucket_counts")
+
+    def __init__(self, num_buckets: int):
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        # One slot per finite bound plus the +inf overflow slot.
+        self.bucket_counts = [0] * (num_buckets + 1)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observed values (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram(Metric):
+    """Distribution of observed values over fixed buckets."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Optional[Sequence[float]] = None,
+        registry: Optional["Registry"] = None,
+    ):
+        super().__init__(name, description, registry)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name} buckets must be a non-empty ascending sequence"
+            )
+        self.buckets = bounds
+        self._series: Dict[LabelKey, HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one sample into the labeled series."""
+        if not self.enabled:
+            return
+        key = label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+                return
+        series.bucket_counts[-1] += 1
+
+    def stats(self, **labels: object) -> HistogramSeries:
+        """The labeled series' accumulated statistics (empty when unused)."""
+        return self._series.get(label_key(labels), HistogramSeries(len(self.buckets)))
+
+    def series(self) -> Dict[LabelKey, float]:
+        """Snapshot: each series reduced to its sample count."""
+        return {key: float(s.count) for key, s in self._series.items()}
+
+    def clear(self) -> None:
+        self._series.clear()
+
+
+class Registry:
+    """A namespace of typed metrics plus a trace-event ring buffer.
+
+    ``enabled`` gates every record call registered metrics make (reads
+    always work). Metric objects are created on first use and persist
+    until :meth:`reset_metrics`; values survive :meth:`disable` /
+    :meth:`enable` cycles.
+    """
+
+    def __init__(self, enabled: bool = True, trace_capacity: int = 4096):
+        from repro.obs.trace import TraceBuffer  # late import: trace imports nothing back
+
+        self._metrics: Dict[str, Metric] = {}
+        self._enabled = enabled
+        self.trace = TraceBuffer(capacity=trace_capacity)
+
+    # -- enable/disable ------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether record calls currently take effect."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Turn recording on."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off (record calls become cheap no-ops)."""
+        self._enabled = False
+
+    # -- metric accessors ----------------------------------------------------
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Create-or-get the counter called ``name``."""
+        return self._get(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Create-or-get the gauge called ``name``."""
+        return self._get(Gauge, name, description)
+
+    def histogram(
+        self, name: str, description: str = "", buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """Create-or-get the histogram called ``name``."""
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(name, description, buckets=buckets, registry=self)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(existing, Histogram):
+            raise ObservabilityError(
+                f"metric {name!r} is a {existing.kind}, not a histogram"
+            )
+        return existing
+
+    def _get(self, cls, name: str, description: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = cls(name, description, registry=self)
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not cls:
+            raise ObservabilityError(
+                f"metric {name!r} is a {existing.kind}, not a {cls.kind}"
+            )
+        return existing
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The metric called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def metrics(self) -> Iterable[Metric]:
+        """Registered metrics in name order."""
+        return [self._metrics[name] for name in self.names()]
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset(self) -> None:
+        """Clear every metric's values and drain the trace buffer.
+
+        Metric objects (and their kind bindings) survive so cached
+        handles in instrumented modules stay valid.
+        """
+        for metric in self._metrics.values():
+            metric.clear()
+        self.trace.clear()
+
+    def reset_metrics(self) -> None:
+        """Forget every metric entirely (names become rebindable)."""
+        self._metrics.clear()
+        self.trace.clear()
+
+    # -- export --------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``series-name -> value`` view of every metric.
+
+        Histograms contribute ``<name>.count``, ``.sum``, ``.min``,
+        ``.max`` per series so snapshot deltas stay meaningful.
+        """
+        out: Dict[str, float] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                for key in metric.series():
+                    stats = metric.stats(**dict(key))
+                    base = format_series(metric.name, key)
+                    out[f"{base}.count"] = float(stats.count)
+                    out[f"{base}.sum"] = stats.sum
+                    out[f"{base}.min"] = stats.min
+                    out[f"{base}.max"] = stats.max
+            else:
+                for key, value in metric.series().items():
+                    out[format_series(metric.name, key)] = value
+        return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Snapshot serialised as a JSON object (stable key order)."""
+        import json
+
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def format_table(self) -> str:
+        """Snapshot as an aligned two-column text table."""
+        snapshot = self.snapshot()
+        if not snapshot:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in snapshot)
+        lines = []
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            rendered = f"{int(value)}" if float(value).is_integer() else f"{value:.6g}"
+            lines.append(f"{name:<{width}s}  {rendered:>14s}")
+        return "\n".join(lines)

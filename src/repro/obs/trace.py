@@ -1,0 +1,87 @@
+"""Structured trace events in a bounded ring buffer.
+
+A trace event is a named record with free-form scalar fields — e.g.
+``rowhammer.hammer{aggressor=37, victims=2, flips=1}``. Events go into a
+fixed-capacity ring: when full, the oldest events are evicted and the
+``dropped`` counter records how many were lost, so a long campaign can
+run with tracing on without unbounded memory growth.
+
+Events carry a monotonically increasing per-buffer sequence number
+instead of a wall-clock timestamp, keeping traces deterministic for a
+given simulation seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: buffer-order sequence number, name, fields."""
+
+    seq: int
+    name: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """``seq name{k=v,...}`` one-line rendering."""
+        if not self.fields:
+            return f"{self.seq:>8d}  {self.name}"
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"{self.seq:>8d}  {self.name}{{{inner}}}"
+
+
+class TraceBuffer:
+    """Fixed-capacity FIFO of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ObservabilityError("trace capacity must be positive")
+        self._capacity = capacity
+        self._events: Deque[TraceEvent] = deque()
+        self._next_seq = 0
+        #: Events evicted because the ring was full.
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum events retained."""
+        return self._capacity
+
+    def emit(self, name: str, **fields: Any) -> TraceEvent:
+        """Append one event, evicting the oldest when full."""
+        event = TraceEvent(seq=self._next_seq, name=name, fields=fields)
+        self._next_seq += 1
+        self._events.append(event)
+        if len(self._events) > self._capacity:
+            self._events.popleft()
+            self.dropped += 1
+        return event
+
+    def events(self, name: Optional[str] = None, last: Optional[int] = None) -> List[TraceEvent]:
+        """Retained events oldest-first, optionally filtered by ``name``
+        and/or truncated to the ``last`` N."""
+        selected = [e for e in self._events if name is None or e.name == name]
+        if last is not None:
+            selected = selected[-last:]
+        return selected
+
+    def clear(self) -> None:
+        """Drop every retained event and reset eviction accounting.
+
+        The sequence counter keeps running so post-clear events remain
+        ordered relative to earlier reads.
+        """
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(list(self._events))

@@ -9,8 +9,8 @@ kernel with and without CTA, timing the allocator/paging path that the
 """
 
 from repro.perf.workloads import PHORONIX_WORKLOADS, SPEC_WORKLOADS, WorkloadProfile
-from repro.perf.runner import PerfResult, run_workload, compare_cta_overhead
-from repro.perf.report import OverheadRow, table4_report
+from repro.perf.runner import PerfResult, metric_deltas, run_workload, compare_cta_overhead
+from repro.perf.report import OverheadRow, format_result_metrics, table4_report
 
 __all__ = [
     "OverheadRow",
@@ -19,6 +19,8 @@ __all__ = [
     "SPEC_WORKLOADS",
     "WorkloadProfile",
     "compare_cta_overhead",
+    "format_result_metrics",
+    "metric_deltas",
     "run_workload",
     "table4_report",
 ]

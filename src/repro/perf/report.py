@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.perf.runner import compare_cta_overhead
+from repro.perf.runner import PerfResult, compare_cta_overhead
 from repro.perf.workloads import PHORONIX_WORKLOADS, SPEC_WORKLOADS, WorkloadProfile
 from repro.units import MIB
 
@@ -63,4 +63,22 @@ def format_report(rows: Sequence[OverheadRow]) -> str:
         )
     for suite in ("spec2006", "phoronix"):
         lines.append(f"{'Mean (' + suite + ')':35s} {suite_mean(rows, suite):13.2f}%")
+    return "\n".join(lines)
+
+
+def format_result_metrics(result: PerfResult, top: int = 0) -> str:
+    """Printable per-run metric deltas of one :class:`PerfResult`.
+
+    ``top`` keeps only the N largest-magnitude series (0 = all).
+    """
+    items = sorted(result.metrics.items(), key=lambda kv: -abs(kv[1]))
+    if top:
+        items = items[:top]
+    if not items:
+        return "(no metric deltas recorded)"
+    width = max(len(name) for name, _ in items)
+    lines = [f"{result.workload} (cta={'on' if result.cta_enabled else 'off'}):"]
+    for name, value in sorted(items):
+        rendered = f"{int(value)}" if float(value).is_integer() else f"{value:.6g}"
+        lines.append(f"  {name:<{width}s}  {rendered:>14s}")
     return "\n".join(lines)

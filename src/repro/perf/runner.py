@@ -11,9 +11,10 @@ kernels on identical workloads.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.errors import OutOfMemoryError
 from repro.kernel.cta import CtaConfig
 from repro.kernel.kernel import Kernel, KernelConfig
@@ -30,7 +31,13 @@ REGION_STRIDE = 2 * MIB
 
 @dataclass
 class PerfResult:
-    """Measured outcome of one workload run."""
+    """Measured outcome of one workload run.
+
+    ``metrics`` holds the :mod:`repro.obs` default-registry series that
+    changed during the run, as deltas (see :func:`metric_deltas`) — the
+    denominators behind the wall-clock number: buddy churn, TLB traffic,
+    walk counts, per-zone allocations.
+    """
 
     workload: str
     cta_enabled: bool
@@ -40,6 +47,25 @@ class PerfResult:
     demand_faults: int
     tlb_hit_rate: float
     page_table_bytes: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+def metric_deltas(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Non-zero per-series change between two registry snapshots.
+
+    Gauges report their final value change; histogram ``.min``/``.max``
+    series are dropped (a delta of an extremum is meaningless).
+    """
+    deltas: Dict[str, float] = {}
+    for name, value in after.items():
+        if name.endswith(".min") or name.endswith(".max"):
+            continue
+        change = value - before.get(name, 0.0)
+        if change:
+            deltas[name] = change
+    return deltas
 
 
 def make_perf_kernel(cta: bool, total_bytes: int = 64 * MIB) -> Kernel:
@@ -68,6 +94,7 @@ def run_workload(
     allocs_before = kernel.stats.page_allocs
     pte_before = kernel.stats.pte_allocs
     faults_before = kernel.stats.demand_faults
+    obs_before = obs.get_registry().snapshot()
 
     start = time.perf_counter()
     regions = []
@@ -110,6 +137,7 @@ def run_workload(
         demand_faults=kernel.stats.demand_faults - faults_before,
         tlb_hit_rate=kernel.tlb.hit_rate,
         page_table_bytes=kernel.page_table_bytes(process.pid),
+        metrics=metric_deltas(obs_before, obs.get_registry().snapshot()),
     )
 
 

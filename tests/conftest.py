@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
@@ -21,6 +22,22 @@ SMALL_TOTAL = 8 * MIB
 SMALL_ROW = 16 * 1024
 SMALL_BANKS = 2
 SMALL_PERIOD = 8
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_registry():
+    """Isolate the process-wide observability registry per test.
+
+    Every instrumented layer records into the :mod:`repro.obs` default
+    registry, which is module-level mutable state — without this reset a
+    metric incremented by one test would be visible to the next, making
+    assertions order-dependent. Installing a brand-new registry (rather
+    than clearing) also discards metric-kind bindings, so no test can be
+    poisoned by another's misuse of a name.
+    """
+    obs.set_registry(obs.Registry())
+    yield
+    obs.set_registry(obs.Registry())
 
 
 @pytest.fixture

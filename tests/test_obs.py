@@ -1,0 +1,270 @@
+"""Unit tests for the repro.obs metrics/trace subsystem.
+
+Covers counter/gauge/histogram semantics, registry typing and reset,
+ring-buffer trace eviction, the disabled no-op path, and (via a pair of
+order-symmetric tests) the per-test default-registry isolation that the
+conftest autouse fixture provides.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import Counter, Gauge, Histogram, Registry, TraceBuffer
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        assert counter.value() == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labeled_series_are_independent(self):
+        counter = Counter("flips")
+        counter.inc(3, direction="1to0")
+        counter.inc(1, direction="0to1")
+        assert counter.value(direction="1to0") == 3
+        assert counter.value(direction="0to1") == 1
+        assert counter.value() == 0  # the unlabeled series is its own series
+        assert counter.total() == 4
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(1, a="x", b="y")
+        counter.inc(1, b="y", a="x")
+        assert counter.value(a="x", b="y") == 2
+
+    def test_cannot_decrease(self):
+        counter = Counter("c")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_clear(self):
+        counter = Counter("c")
+        counter.inc(5, zone="Normal")
+        counter.clear()
+        assert counter.total() == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_gauge_may_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(4)
+        assert gauge.value() == -4
+
+
+class TestHistogram:
+    def test_observe_accumulates_stats(self):
+        histogram = Histogram("h", buckets=[1, 10, 100])
+        for value in (0.5, 5, 50, 500):
+            histogram.observe(value)
+        stats = histogram.stats()
+        assert stats.count == 4
+        assert stats.sum == 555.5
+        assert stats.min == 0.5
+        assert stats.max == 500
+        assert stats.mean == pytest.approx(555.5 / 4)
+        # One sample per finite bucket plus one in the +inf overflow slot.
+        assert stats.bucket_counts == [1, 1, 1, 1]
+
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        histogram = Histogram("h", buckets=[10])
+        histogram.observe(10)
+        assert histogram.stats().bucket_counts == [1, 0]
+
+    def test_labeled_series(self):
+        histogram = Histogram("h", buckets=[10])
+        histogram.observe(1, kind="a")
+        histogram.observe(2, kind="a")
+        histogram.observe(3, kind="b")
+        assert histogram.stats(kind="a").count == 2
+        assert histogram.stats(kind="b").count == 1
+        assert histogram.stats().count == 0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=[10, 1])
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_object(self):
+        registry = Registry()
+        assert registry.counter("c") is registry.counter("c")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = Registry()
+        registry.counter("m")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("m")
+        with pytest.raises(ObservabilityError):
+            registry.histogram("m")
+
+    def test_reset_clears_values_but_keeps_handles(self):
+        registry = Registry()
+        counter = registry.counter("c")
+        counter.inc(7)
+        registry.trace.emit("event")
+        registry.reset()
+        assert counter.value() == 0
+        assert len(registry.trace) == 0
+        counter.inc()  # the pre-reset handle still records
+        assert registry.counter("c").value() == 1
+
+    def test_snapshot_and_json(self):
+        registry = Registry()
+        registry.counter("c").inc(2, zone="Normal")
+        registry.gauge("g").set(5)
+        registry.histogram("h", buckets=[10]).observe(3)
+        snapshot = registry.snapshot()
+        assert snapshot["c{zone=Normal}"] == 2
+        assert snapshot["g"] == 5
+        assert snapshot["h.count"] == 1
+        assert snapshot["h.sum"] == 3
+        assert json.loads(registry.to_json()) == snapshot
+
+    def test_format_table_lists_every_series(self):
+        registry = Registry()
+        registry.counter("alpha").inc()
+        registry.counter("beta").inc(2, k="v")
+        table = registry.format_table()
+        assert "alpha" in table and "beta{k=v}" in table
+
+    def test_names_sorted(self):
+        registry = Registry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+
+
+class TestDisabledPath:
+    def test_disabled_registry_records_nothing(self):
+        registry = Registry(enabled=False)
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(10)
+        registry.histogram("h").observe(10)
+        assert registry.snapshot() == {}
+        assert registry.counter("c").value() == 0
+        assert registry.gauge("g").value() == 0
+        assert registry.histogram("h").stats().count == 0
+
+    def test_disable_enable_cycle_preserves_values(self):
+        registry = Registry()
+        registry.counter("c").inc(3)
+        registry.disable()
+        registry.counter("c").inc(100)
+        assert registry.counter("c").value() == 3
+        registry.enable()
+        registry.counter("c").inc()
+        assert registry.counter("c").value() == 4
+
+    def test_module_helpers_respect_disable(self):
+        obs.disable()
+        obs.inc("c")
+        obs.set_gauge("g", 9)
+        obs.observe("h", 9)
+        obs.trace("event")
+        registry = obs.get_registry()
+        assert registry.get("c") is None  # helpers short-circuit before creation
+        assert len(registry.trace) == 0
+        obs.enable()
+        obs.inc("c")
+        assert registry.counter("c").value() == 1
+
+    def test_standalone_metric_is_always_enabled(self):
+        counter = Counter("c")
+        assert counter.enabled
+        counter.inc()
+        assert counter.value() == 1
+
+
+class TestTraceBuffer:
+    def test_emit_and_read_back(self):
+        buffer = TraceBuffer(capacity=8)
+        buffer.emit("a", x=1)
+        buffer.emit("b", y=2)
+        events = buffer.events()
+        assert [e.name for e in events] == ["a", "b"]
+        assert events[0].fields == {"x": 1}
+        assert events[0].seq == 0 and events[1].seq == 1
+
+    def test_ring_eviction_drops_oldest(self):
+        buffer = TraceBuffer(capacity=3)
+        for index in range(10):
+            buffer.emit("e", i=index)
+        assert len(buffer) == 3
+        assert buffer.dropped == 7
+        assert [e.fields["i"] for e in buffer.events()] == [7, 8, 9]
+        # Sequence numbers keep counting across evictions.
+        assert [e.seq for e in buffer.events()] == [7, 8, 9]
+
+    def test_filter_by_name_and_last(self):
+        buffer = TraceBuffer(capacity=16)
+        for index in range(4):
+            buffer.emit("keep", i=index)
+            buffer.emit("skip")
+        kept = buffer.events(name="keep", last=2)
+        assert [e.fields["i"] for e in kept] == [2, 3]
+
+    def test_clear_keeps_sequence_running(self):
+        buffer = TraceBuffer(capacity=4)
+        buffer.emit("a")
+        buffer.clear()
+        event = buffer.emit("b")
+        assert len(buffer) == 1
+        assert event.seq == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ObservabilityError):
+            TraceBuffer(capacity=0)
+
+    def test_format_renders_fields_sorted(self):
+        event = TraceBuffer().emit("e", b=2, a=1)
+        assert event.format().endswith("e{a=1,b=2}")
+
+
+class TestDefaultRegistryIsolation:
+    """Order-symmetric pair: each asserts it observes a *fresh* registry.
+
+    If the conftest autouse reset ever regresses, whichever of these runs
+    second fails — regardless of execution order.
+    """
+
+    def test_isolation_probe_one(self):
+        assert obs.counter("isolation.probe").value() == 0
+        obs.inc("isolation.probe")
+        obs.trace("isolation.event")
+        assert obs.counter("isolation.probe").value() == 1
+        assert len(obs.get_registry().trace) == 1
+
+    def test_isolation_probe_two(self):
+        assert obs.counter("isolation.probe").value() == 0
+        obs.inc("isolation.probe")
+        obs.trace("isolation.event")
+        assert obs.counter("isolation.probe").value() == 1
+        assert len(obs.get_registry().trace) == 1
+
+    def test_set_registry_redirects_module_helpers(self):
+        original = obs.get_registry()
+        replacement = Registry()
+        try:
+            obs.set_registry(replacement)
+            obs.inc("redirected")
+            assert replacement.counter("redirected").value() == 1
+            assert original.get("redirected") is None
+        finally:
+            obs.set_registry(original)

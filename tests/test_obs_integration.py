@@ -1,0 +1,192 @@
+"""End-to-end observability assertions over instrumented subsystems.
+
+A scripted hammer campaign and a buddy alloc/free cycle must emit
+exactly the metric deltas their ground-truth return values imply; the
+kernel facade's obs counters must mirror ``KernelStats``; a full attack
+run must light up every instrumented layer at once.
+"""
+
+import pytest
+
+from repro import build_stock_system, obs
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.kernel.buddy import BuddyAllocator
+from repro.units import PAGE_SIZE
+
+from tests.conftest import make_stock_kernel
+
+
+class TestHammerCampaignMetrics:
+    def test_scripted_campaign_emits_exact_deltas(self, module):
+        """Seeded vulnerable bits -> flip counters match ground truth."""
+        hammer = RowHammerModel(module, FlipStatistics(), seed=7)
+        aggressor = 4
+        victims = module.geometry.neighbors(aggressor)
+        # Two deterministic true-cell-style flips (1->0) in the first
+        # victim row, one anti-cell-style flip (0->1) in the second.
+        hammer.seed_vulnerable_bits(victims[0], [(0, 1, 0), (9, 1, 0)])
+        hammer.seed_vulnerable_bits(victims[1], [(16, 0, 1)])
+        module.write(victims[0] * module.geometry.row_bytes, b"\xff\xff")
+        module.write(victims[1] * module.geometry.row_bytes, b"\x00\x00\x00")
+
+        outcome = hammer.hammer(aggressor, activations=1000)
+
+        flips = obs.counter("rowhammer.flips")
+        assert obs.counter("rowhammer.hammers").total() == 1
+        assert obs.counter("rowhammer.activations").total() == 1000
+        assert flips.total() == outcome.flip_count == 3
+        # flips_total decomposes exactly into the per-direction series.
+        by_direction = {
+            direction: sum(
+                value
+                for key, value in flips.series().items()
+                if ("direction", direction) in key
+            )
+            for direction in ("1to0", "0to1")
+        }
+        assert by_direction["1to0"] == 2
+        assert by_direction["0to1"] == 1
+        assert sum(by_direction.values()) == flips.total()
+
+    def test_cell_type_labels_match_victim_rows(self, module):
+        hammer = RowHammerModel(module, FlipStatistics(), seed=7)
+        aggressor = 4
+        victim = module.geometry.neighbors(aggressor)[0]
+        cell = module.cell_map.type_of_row(victim).value
+        hammer.seed_vulnerable_bits(victim, [(3, 1, 0)])
+        for other in module.geometry.neighbors(aggressor)[1:]:
+            hammer.seed_vulnerable_bits(other, [])
+        module.write(victim * module.geometry.row_bytes, b"\xff")
+        hammer.hammer(aggressor)
+        flips = obs.counter("rowhammer.flips")
+        assert flips.value(direction="1to0", cell=cell) == 1
+        assert flips.total() == 1
+
+    def test_second_hammer_of_settled_row_adds_no_flips(self, module):
+        hammer = RowHammerModel(module, FlipStatistics(), seed=7)
+        aggressor = 4
+        victim = module.geometry.neighbors(aggressor)[0]
+        hammer.seed_vulnerable_bits(victim, [(0, 1, 0)])
+        for other in module.geometry.neighbors(aggressor)[1:]:
+            hammer.seed_vulnerable_bits(other, [])
+        module.write(victim * module.geometry.row_bytes, b"\x01")
+        hammer.hammer(aggressor)
+        first_total = obs.counter("rowhammer.flips").total()
+        hammer.hammer(aggressor)  # the bit already sits at its flip target
+        assert obs.counter("rowhammer.hammers").total() == 2
+        assert obs.counter("rowhammer.flips").total() == first_total == 1
+
+    def test_trace_events_record_each_hammer(self, module):
+        hammer = RowHammerModel(module, FlipStatistics(), seed=7)
+        hammer.hammer(4)
+        hammer.hammer(10)
+        events = obs.get_registry().trace.events(name="rowhammer.hammer")
+        assert [e.fields["aggressor"] for e in events] == [4, 10]
+
+
+class TestBuddyMetrics:
+    def test_alloc_free_cycle_balances(self):
+        allocator = BuddyAllocator(0, 1 << 8, name="TESTZONE")
+        pfns = [allocator.alloc_pages(order) for order in (0, 0, 1, 2)]
+        for pfn, order in zip(pfns, (0, 0, 1, 2)):
+            allocator.free_pages_block(pfn, order)
+
+        allocs = obs.counter("buddy.allocs")
+        frees = obs.counter("buddy.frees")
+        assert allocs.total() == 4
+        assert frees.total() == 4
+        # Per-(zone, order) series balance one-to-one.
+        for order, count in (("0", 2), ("1", 1), ("2", 1)):
+            assert allocs.value(zone="TESTZONE", order=order) == count
+            assert frees.value(zone="TESTZONE", order=order) == count
+        # Splits and merges mirror each other once everything coalesces back.
+        assert (
+            obs.counter("buddy.splits").value(zone="TESTZONE")
+            == obs.counter("buddy.merges").value(zone="TESTZONE")
+        )
+        # The free-pages gauge ends where it started: everything returned.
+        assert obs.gauge("buddy.free_pages").value(zone="TESTZONE") == allocator.total_pages
+        allocator.check_invariants()
+
+    def test_failed_alloc_is_counted(self):
+        allocator = BuddyAllocator(0, 2, name="TINY")
+        allocator.alloc_pages(1)
+        with pytest.raises(Exception):
+            allocator.alloc_pages(0)
+        assert obs.counter("buddy.failed_allocs").value(zone="TINY", order="0") == 1
+
+
+class TestKernelMetricsMirrorStats:
+    def test_kernel_counters_match_kernelstats(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        vma = kernel.mmap(process, 8 * PAGE_SIZE)
+        for page in range(8):
+            kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)
+        kernel.munmap(process, vma)
+
+        assert obs.counter("kernel.page_allocs").total() == kernel.stats.page_allocs
+        assert obs.counter("kernel.page_frees").total() == kernel.stats.page_frees
+        assert obs.counter("kernel.pte_allocs").total() == kernel.stats.pte_allocs
+        assert obs.counter("kernel.demand_faults").total() == kernel.stats.demand_faults
+        assert kernel.stats.demand_faults == 8
+
+    def test_tlb_and_mmu_counters_match_component_stats(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        vma = kernel.mmap(process, 2 * PAGE_SIZE)
+        kernel.touch(process, vma.start, write=True)
+        for _ in range(5):
+            kernel.read_virtual(process, vma.start, 8)
+        assert obs.counter("tlb.hits").total() == kernel.tlb.hits > 0
+        assert obs.counter("tlb.misses").total() == kernel.tlb.misses > 0
+        assert obs.counter("mmu.walks").total() == kernel.mmu.walk_count > 0
+        kernel.tlb.flush()
+        assert obs.counter("tlb.flushes").total() == kernel.tlb.flushes
+
+    def test_zone_label_distinguishes_allocations(self):
+        kernel = make_stock_kernel()
+        process = kernel.create_process()
+        kernel.touch(process, kernel.mmap(process, PAGE_SIZE).start, write=True)
+        allocs = obs.counter("kernel.page_allocs")
+        zones = {dict(key).get("zone") for key in allocs.series()}
+        assert zones  # every series carries its serving zone's name
+        assert all(zone for zone in zones)
+
+
+class TestRefreshMetrics:
+    def test_sweep_counts_rows_and_late_restores(self):
+        scheduler = RefreshScheduler(total_rows=16)
+        scheduler.advance(scheduler.interval_s * 2)  # every row is overdue
+        scheduler.refresh_all()
+        assert obs.counter("refresh.sweeps").total() == 1
+        assert obs.counter("refresh.rows_refreshed").total() == 16
+        assert obs.counter("refresh.rows_restored_late").total() == 16
+        scheduler.refresh_row(3)
+        assert obs.counter("refresh.rows_refreshed").total() == 17
+        # Row 3 was just refreshed: not late this time.
+        assert obs.counter("refresh.rows_restored_late").total() == 16
+
+
+class TestFullAttackLightsEveryLayer:
+    def test_demo_attack_populates_all_layers(self):
+        from repro.attacks import ProbabilisticPteAttack
+
+        kernel = build_stock_system()
+        hammer = RowHammerModel(
+            kernel.module, FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5), seed=1
+        )
+        result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
+            kernel.create_process(), spray_mappings=48, max_rounds=2
+        )
+        snapshot = obs.get_registry().snapshot()
+        for prefix in ("rowhammer.", "buddy.", "kernel.", "tlb.", "mmu.", "attack."):
+            assert any(
+                name.startswith(prefix) and value > 0
+                for name, value in snapshot.items()
+            ), f"no non-zero {prefix}* metric after a full attack run"
+        outcomes = obs.counter("attack.outcomes")
+        assert outcomes.value(kind="probabilistic_pte", outcome=result.outcome.value) == 1
+        assert obs.counter("rowhammer.hammers").total() == result.hammer_rounds
+        assert obs.counter("rowhammer.flips").total() == result.flips_induced

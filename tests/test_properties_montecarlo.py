@@ -1,0 +1,156 @@
+"""Property-based tests: monotonic pointers end-to-end, Monte-Carlo vs
+closed form.
+
+Two randomized guarantees backing the paper's core claims:
+
+1. **Monotonic pointers through the live DRAM path** — arbitrary
+   true-cell flip sequences applied *by the RowHammer model to a PTE
+   stored in simulated DRAM* never increase the decoded frame pointer
+   (the existing ``test_theorem.py`` checks only the bit algebra; this
+   exercises the module/hammer machinery in between).
+2. **Monte-Carlo/analytic agreement** — ``MonteCarloResult.
+   agrees_with_analytic`` holds across randomized ``(Pf, P01, trials)``
+   draws spanning the closed form's validity regime, not just the
+   paper's Table 2/3 points. The regime matters: the paper's formula
+   ``sum C(n,i) (Pf*P01)^i (1 - Pf*P10)^(n-i)`` drops the probability
+   that the remaining bits do *not* flip up, so it is only a small-Pf
+   approximation — at large ``Pf*P01`` it exceeds 1 and stops being a
+   probability at all (asserted explicitly below, so nobody widens the
+   property bounds blindly).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.exploitability import p_exploitable
+from repro.analysis.montecarlo import simulate_exploitable_ptes
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.kernel.pagetable import PageTableEntry
+from repro.units import MIB
+
+
+def _true_cell_module() -> DramModule:
+    """A small all-true-cell module (every flip is 1 -> 0)."""
+    geometry = DramGeometry(total_bytes=2 * MIB, row_bytes=16 * 1024, num_banks=2)
+    cell_map = CellTypeMap.from_rows(
+        geometry, [CellType.TRUE] * geometry.total_rows
+    )
+    return DramModule(geometry, cell_map)
+
+
+class TestMonotonicPointerLiveDram:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pfn=st.integers(min_value=0, max_value=2**39 - 1),
+        flip_bits=st.lists(
+            st.integers(min_value=0, max_value=63), max_size=12, unique=True
+        ),
+        hammer_rounds=st.integers(min_value=1, max_value=3),
+    )
+    def test_hammered_pte_pointer_never_increases(self, pfn, flip_bits, hammer_rounds):
+        """Random true-cell flip sequences over an in-DRAM PTE are monotone."""
+        module = _true_cell_module()
+        hammer = RowHammerModel(module, FlipStatistics(p_with_leak=1.0), seed=0)
+        aggressor = 4
+        victim = module.geometry.neighbors(aggressor)[0]
+        # The victim row's vulnerable bits all lie inside its first PTE
+        # slot and, being true-cells, flip 1 -> 0 only.
+        hammer.seed_vulnerable_bits(victim, [(bit, 1, 0) for bit in flip_bits])
+        for other in module.geometry.neighbors(aggressor)[1:]:
+            hammer.seed_vulnerable_bits(other, [])
+
+        entry = PageTableEntry.make(pfn, writable=True, user=True)
+        pte_address = victim * module.geometry.row_bytes
+        module.write_u64(pte_address, entry.encode())
+
+        previous = entry.pfn
+        for _ in range(hammer_rounds):
+            hammer.hammer(aggressor)
+            corrupted = PageTableEntry.decode(module.read_u64(pte_address))
+            assert corrupted.pfn <= previous  # monotone at every step
+            previous = corrupted.pfn
+        assert previous <= entry.pfn
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        pfn=st.integers(min_value=0, max_value=2**39 - 1),
+        flip_bits=st.lists(
+            st.integers(min_value=0, max_value=63), max_size=12, unique=True
+        ),
+    )
+    def test_raw_word_also_never_increases(self, pfn, flip_bits):
+        """Stronger than the pfn property: the whole 64-bit word is monotone,
+        so no flag bit can climb either (present/user bits only ever drop)."""
+        module = _true_cell_module()
+        hammer = RowHammerModel(module, FlipStatistics(p_with_leak=1.0), seed=0)
+        aggressor = 4
+        victim = module.geometry.neighbors(aggressor)[0]
+        hammer.seed_vulnerable_bits(victim, [(bit, 1, 0) for bit in flip_bits])
+        for other in module.geometry.neighbors(aggressor)[1:]:
+            hammer.seed_vulnerable_bits(other, [])
+        raw = PageTableEntry.make(pfn, writable=True, user=True).encode()
+        pte_address = victim * module.geometry.row_bytes
+        module.write_u64(pte_address, raw)
+        hammer.hammer(aggressor)
+        assert module.read_u64(pte_address) <= raw
+
+
+class TestMonteCarloAgreesWithAnalytic:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        # Up to 4x the paper's pessimistic Pf = 5e-4; see module docstring
+        # for why the closed form breaks down at large Pf * P01.
+        p_vulnerable=st.floats(min_value=1e-6, max_value=2e-3),
+        p_up=st.floats(min_value=0.0, max_value=1.0),
+        trials=st.integers(min_value=1, max_value=3),
+        min_upward_flips=st.integers(min_value=1, max_value=2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_agreement_across_randomized_parameters(
+        self, p_vulnerable, p_up, trials, min_upward_flips, seed
+    ):
+        result = simulate_exploitable_ptes(
+            total_bytes=256 * MIB,
+            ptp_bytes=MIB,
+            p_vulnerable=p_vulnerable,
+            p_up=p_up,
+            min_upward_flips=min_upward_flips,
+            trials=trials,
+            seed=seed,
+        )
+        assert result.agrees_with_analytic()
+        assert 0.0 <= result.empirical_probability <= 1.0
+        assert result.trials == trials
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        p_vulnerable=st.floats(min_value=1e-5, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_degenerate_directions(self, p_vulnerable, seed):
+        """P01 = 0 (pure true-cells): upward flips are impossible, so both
+        the sampler and the closed form must report exactly zero."""
+        result = simulate_exploitable_ptes(
+            total_bytes=256 * MIB,
+            ptp_bytes=MIB,
+            p_vulnerable=p_vulnerable,
+            p_up=0.0,
+            trials=2,
+            seed=seed,
+        )
+        assert result.exploitable_count == 0
+        assert result.analytic_probability == 0.0
+        assert result.agrees_with_analytic()
+
+    def test_closed_form_is_a_small_pf_approximation(self):
+        """REPRODUCTION FINDING: outside the paper's small-Pf regime the
+        Section 5 closed form is not a probability (it exceeds 1), because
+        its ``i`` upward flips are not weighted by the chance the other
+        ``n - i`` zero-bits stay down. The Monte-Carlo sampler diverges
+        from it there, which is why the agreement property above bounds
+        Pf. At the paper's parameters (Pf <= 5e-4) the discrepancy is far
+        below sampling error."""
+        assert p_exploitable(8, 0.125, 1.0) > 1.0
