@@ -14,6 +14,7 @@ from typing import List
 
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
+from repro.errors import AnalysisError
 from repro.kernel.cta import CtaConfig, CtaPolicy
 from repro.units import GIB, MIB
 
@@ -76,5 +77,6 @@ def capacity_sweep(
             best = report
         if worst is None or report.loss_bytes > worst.loss_bytes:
             worst = report
-    assert best is not None and worst is not None
+    if best is None or worst is None:
+        raise AnalysisError("capacity sweep produced no layout reports")
     return [best, worst]

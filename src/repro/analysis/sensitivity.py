@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
 
 from repro.analysis.exploitability import expected_exploitable_ptes
 from repro.attacks.timing import AttackTimingModel

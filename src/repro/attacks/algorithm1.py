@@ -23,9 +23,9 @@ benchmark: every corrupted pointer value vs its original.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from repro import obs
+from repro import obs, sanitize
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
 from repro.attacks.spray import spray_page_tables
@@ -33,7 +33,6 @@ from repro.attacks.timing import AttackTimingModel
 from repro.dram.rowhammer import RowHammerModel
 from repro.errors import AttackError
 from repro.kernel.kernel import Kernel
-from repro.kernel.page import PageUse
 from repro.kernel.pagetable import PageTableEntry
 from repro.kernel.process import Process
 from repro.units import PAGE_SHIFT, PTE_SIZE
@@ -138,12 +137,20 @@ class CtaBruteForceAttack:
             len(self.observations) - monotonic,
             monotonic="false",
         )
+        sanitize.notify(
+            "attack.campaign",
+            kernel=self.kernel,
+            hammer=self.hammer,
+            kind="algorithm1",
+            outcome=result.outcome.value,
+        )
         return result
 
     def full_sweep_modeled_time_s(self) -> float:
         """What the complete Algorithm 1 sweep would cost on real hardware."""
         policy = self.kernel.cta_policy
-        assert policy is not None
+        if policy is None:
+            raise AttackError("Algorithm 1 requires a CTA kernel")
         total = self.kernel.module.geometry.total_bytes
         ptp = policy.config.ptp_bytes
         return self.timing.worst_case_s(total, ptp)
@@ -154,7 +161,8 @@ class CtaBruteForceAttack:
         geometry = self.kernel.module.geometry
         rows: List[int] = []
         policy = self.kernel.cta_policy
-        assert policy is not None
+        if policy is None:
+            raise AttackError("Algorithm 1 requires a CTA kernel")
         for start, end in policy.true_cell_ranges:
             first = start // geometry.row_bytes
             last = (end + geometry.row_bytes - 1) // geometry.row_bytes

@@ -15,7 +15,7 @@ demonstrated arbitrary physical read/write.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro import obs

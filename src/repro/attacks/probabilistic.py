@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set
 
-from repro import obs
+from repro import obs, sanitize
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
 from repro.attacks.spray import PT_COVERAGE, SPRAY_BASE
@@ -121,11 +121,17 @@ class ProbabilisticPteAttack:
         return self._finish(result)
 
     # -- internals -------------------------------------------------------
-    @staticmethod
-    def _finish(result: AttackResult) -> AttackResult:
+    def _finish(self, result: AttackResult) -> AttackResult:
         """Record the terminal outcome before handing the result back."""
         obs.inc(
             "attack.outcomes", kind="probabilistic_pte", outcome=result.outcome.value
+        )
+        sanitize.notify(
+            "attack.campaign",
+            kernel=self.kernel,
+            hammer=self.hammer,
+            kind="probabilistic_pte",
+            outcome=result.outcome.value,
         )
         return result
 

@@ -25,6 +25,15 @@ class AttackRecord:
     modeled_by: Optional[str] = None
 
 
+#: Every runnable attack implementation in this package, by dotted path.
+#: The ``repro lint`` RL004 rule checks that each ``*Attack`` class defined
+#: under ``repro.attacks`` appears here (or in a ``modeled_by`` path below).
+ATTACK_IMPLEMENTATIONS: Tuple[str, ...] = (
+    "repro.attacks.algorithm1.CtaBruteForceAttack",
+    "repro.attacks.probabilistic.ProbabilisticPteAttack",
+    "repro.attacks.templating.TemplatingAttack",
+)
+
 KNOWN_ATTACKS: Tuple[AttackRecord, ...] = (
     AttackRecord(
         reference="Seaborn & Dullien [32]",

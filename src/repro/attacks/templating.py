@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from repro import obs, sanitize
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
 from repro.attacks.spray import SPRAY_BASE, PT_COVERAGE
@@ -30,7 +31,6 @@ from repro.attacks.timing import AttackTimingModel
 from repro.dram.rowhammer import RowHammerModel
 from repro.errors import OutOfMemoryError
 from repro.kernel.kernel import Kernel
-from repro.kernel.page import PageUse
 from repro.kernel.pagetable import PageTableEntry
 from repro.kernel.process import Process
 from repro.units import PAGE_SHIFT, PAGE_SIZE, PTE_SIZE
@@ -76,6 +76,7 @@ class TemplatingAttack:
         max_massage_attempts: int = 64,
     ) -> AttackResult:
         """Template, massage, replay. Returns the outcome and accounting."""
+        obs.inc("attack.attempts", kind="templating")
         result = AttackResult(outcome=AttackOutcome.FAILED)
         templates = self._template_phase(attacker, template_buffer_bytes, result)
         if not templates:
@@ -83,12 +84,12 @@ class TemplatingAttack:
             result.detail = (
                 "templating produced no usable flips in attacker-reachable rows"
             )
-            return result
+            return self._finish(result)
 
         usable = [t for t in templates if self._useful_for_pte(t)]
         if not usable:
             result.detail = "no template hits a PTE frame field usefully"
-            return result
+            return self._finish(result)
 
         for template in usable[:max_massage_attempts]:
             victim_va = self._massage_phase(attacker, template)
@@ -107,7 +108,7 @@ class TemplatingAttack:
                     result.corrupted_vas = [victim_va]
                     result.escalated_pid = attacker.pid
                     result.detail = report.detail
-                    return result
+                    return self._finish(result)
         if self.kernel.cta_enabled:
             result.outcome = AttackOutcome.BLOCKED
             result.detail = (
@@ -116,6 +117,18 @@ class TemplatingAttack:
             )
         else:
             result.detail = "massage never landed a page table on a templated frame"
+        return self._finish(result)
+
+    def _finish(self, result: AttackResult) -> AttackResult:
+        """Record the terminal outcome before handing the result back."""
+        obs.inc("attack.outcomes", kind="templating", outcome=result.outcome.value)
+        sanitize.notify(
+            "attack.campaign",
+            kernel=self.kernel,
+            hammer=self.hammer,
+            kind="templating",
+            outcome=result.outcome.value,
+        )
         return result
 
     # -- phase 1: templating -------------------------------------------------

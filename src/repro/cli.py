@@ -12,6 +12,13 @@ Usage::
     python -m repro capacity        # Section 6.2 capacity accounting
     python -m repro headline        # abstract's headline numbers
     python -m repro stats --trace 5 # demo attack + observability dump
+    python -m repro lint            # static contract checks (RL001..RL005)
+    python -m repro check --sanitize# attack demo under runtime sanitizers
+
+All errors raised by the simulator derive from
+:class:`repro.errors.ReproError`; the CLI catches the family at the top
+level and exits with status 2 and a one-line message instead of a
+traceback.
 """
 
 from __future__ import annotations
@@ -20,7 +27,24 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.units import format_duration, SECONDS_PER_DAY
+from repro.errors import ConfigurationError, ReproError
+from repro.units import format_duration
+
+
+def _seed(text: str) -> int:
+    """argparse ``type=`` for ``--seed``: a non-negative integer.
+
+    Raises :class:`ConfigurationError` (not ``ValueError``) so argparse
+    lets it propagate to :func:`main`'s taxonomy handler — a bad seed
+    exits 2 with a clean one-line message, not an argparse traceback.
+    """
+    try:
+        value = int(text, 0)
+    except ValueError:
+        raise ConfigurationError(f"seed {text!r} is not an integer") from None
+    if value < 0:
+        raise ConfigurationError(f"seed must be non-negative, got {value}")
+    return value
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -107,7 +131,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     print(f"Algorithm 1 on CTA kernel: {result.outcome.value}")
     print(f"corrupted PTE pointers observed: {len(attack.observations)}")
     print(f"moved monotonically downward:    {monotonic}")
-    print(f"full-sweep modeled attack time:  "
+    print("full-sweep modeled attack time:  "
           f"{format_duration(attack.full_sweep_modeled_time_s())}")
     return 0
 
@@ -243,6 +267,105 @@ def _cmd_ecc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the repo's AST rule pack; non-zero exit when findings exist."""
+    import json
+
+    from repro.sanitize.lint import RULES, run_lint
+
+    findings = run_lint(args.paths or None)
+    if args.json:
+        print(json.dumps(
+            [
+                {"rule": f.rule, "path": f.path, "line": f.line, "message": f.message}
+                for f in findings
+            ],
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            by_rule = {}
+            for finding in findings:
+                by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+            summary = ", ".join(
+                f"{count}x {rule} ({RULES[rule]})" for rule, count in sorted(by_rule.items())
+            )
+            print(f"\n{len(findings)} finding(s): {summary}")
+        else:
+            print("repro lint: no findings")
+    return 1 if findings else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the attack demo end-to-end, optionally under runtime sanitizers.
+
+    Stage 1 attacks a stock kernel (the attack should succeed or at least
+    run without tripping any invariant); stage 2 attacks a CTA kernel with
+    idealized true-cells, where the monotonicity and no-self-reference
+    sanitizers must stay silent — the paper's theorem, enforced live.
+
+    Stage 2 uses the Section 7 multi-level sub-zones: with a single
+    ZONE_PTP, a downward flip in an *intermediate* entry can redirect it
+    to a different page table inside the zone, and the level confusion
+    (a PD read as a PT) opens a self-reference window the sanitizer
+    rightly flags. Per-level zones remove that reinterpretation, which is
+    exactly the structural argument the multilevel extension makes.
+    """
+    from repro import build_protected_system, build_stock_system, obs, sanitize
+    from repro.attacks import CtaBruteForceAttack, ProbabilisticPteAttack
+    from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+
+    # Stage 1: stock kernel (buddy + zone sanitizers only; no CTA checkers).
+    obs.reset()
+    sanitize.reset()
+    stock = build_stock_system()
+    hammer = RowHammerModel(
+        stock.module, FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5), seed=args.seed
+    )
+    if args.sanitize:
+        sanitize.install(stock, hammer=hammer)
+    result = ProbabilisticPteAttack(kernel=stock, hammer=hammer).run(
+        stock.create_process(), spray_mappings=48, max_rounds=2
+    )
+    stock_checks = sanitize.get_suite().checks
+    print(f"stock kernel:   {result.outcome.value:18s} "
+          f"({stock_checks} sanitizer checks, 0 violations)")
+
+    # Stage 2: CTA kernel with idealized true-cells (p_with_leak=1.0): every
+    # flip in ZONE_PTP moves pointers down, so the monotonicity sanitizer
+    # must never fire.
+    obs.reset()
+    sanitize.reset()
+    protected = build_protected_system(multilevel=True)
+    hammer2 = RowHammerModel(
+        protected.module,
+        FlipStatistics(p_vulnerable=3e-2, p_with_leak=1.0),
+        seed=args.seed,
+    )
+    if args.sanitize:
+        sanitize.install(protected, hammer=hammer2)
+    result2 = ProbabilisticPteAttack(kernel=protected, hammer=hammer2).run(
+        protected.create_process(), spray_mappings=48, max_rounds=2
+    )
+    attack = CtaBruteForceAttack(kernel=protected, hammer=hammer2)
+    result3 = attack.run(protected.create_process(), max_target_pages=1, spray_mappings=24)
+    protected.verify_cta_rules()
+    if args.sanitize:
+        sanitize.get_suite().check_now()
+    cta_checks = sanitize.get_suite().checks
+    print(f"CTA kernel:     {result2.outcome.value:18s} "
+          f"({cta_checks} sanitizer checks, 0 violations)")
+    print(f"Algorithm 1:    {result3.outcome.value:18s} "
+          f"({len(attack.observations)} pointer corruptions, all monotonic)")
+    if args.sanitize:
+        print("sanitizers: all invariants held (buddy heap, zone containment, "
+              "monotonicity, no-self-reference)")
+    sanitize.reset()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -257,10 +380,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     t4.add_argument("--repeats", type=int, default=3)
     t4.set_defaults(func=_cmd_table4)
     fig3 = subparsers.add_parser("fig3", help="live privilege-escalation demo")
-    fig3.add_argument("--seed", type=int, default=1)
+    fig3.add_argument("--seed", type=_seed, default=1)
     fig3.set_defaults(func=_cmd_fig3)
     fig5 = subparsers.add_parser("fig5", help="monotonic-pointer demonstration")
-    fig5.add_argument("--seed", type=int, default=1)
+    fig5.add_argument("--seed", type=_seed, default=1)
     fig5.set_defaults(func=_cmd_fig5)
     subparsers.add_parser("anticell", help="anti-cell ZONE_PTP ablation").set_defaults(func=_cmd_anticell)
     subparsers.add_parser("capacity", help="capacity-loss accounting").set_defaults(func=_cmd_capacity)
@@ -269,7 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats = subparsers.add_parser(
         "stats", help="run a demo attack and dump observability metrics"
     )
-    stats.add_argument("--seed", type=int, default=1)
+    stats.add_argument("--seed", type=_seed, default=1)
     stats.add_argument("--json", action="store_true", help="emit metrics as JSON")
     stats.add_argument(
         "--trace", type=int, default=0, metavar="N",
@@ -277,11 +400,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     stats.set_defaults(func=_cmd_stats)
     ecc = subparsers.add_parser("ecc", help="SECDED-vs-RowHammer demo")
-    ecc.add_argument("--seed", type=int, default=13)
+    ecc.add_argument("--seed", type=_seed, default=13)
     ecc.set_defaults(func=_cmd_ecc)
+    lint = subparsers.add_parser(
+        "lint", help="run the repo-specific static contract checks"
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--json", action="store_true", help="emit findings as JSON")
+    lint.set_defaults(func=_cmd_lint)
+    check = subparsers.add_parser(
+        "check", help="run the attack demo under runtime invariant sanitizers"
+    )
+    check.add_argument("--seed", type=_seed, default=1)
+    check.add_argument(
+        "--sanitize", action="store_true",
+        help="enable the runtime sanitizer suite during the demo",
+    )
+    check.set_defaults(func=_cmd_check)
 
-    args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        args = parser.parse_args(argv)
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

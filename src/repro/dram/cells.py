@@ -16,7 +16,7 @@ cell types (Section 2.2).
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 

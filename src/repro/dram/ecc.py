@@ -31,7 +31,10 @@ _PARITY_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
 _DATA_POSITIONS = tuple(
     position for position in range(1, CODE_BITS) if position not in _PARITY_POSITIONS
 )
-assert len(_DATA_POSITIONS) == 64
+if len(_DATA_POSITIONS) != 64:
+    raise ConfigurationError(
+        f"(72,64) SECDED layout error: {len(_DATA_POSITIONS)} data positions"
+    )
 
 
 class DecodeStatus(enum.Enum):

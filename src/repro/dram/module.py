@@ -11,13 +11,14 @@ model).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from repro import sanitize
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
-from repro.errors import AddressError
+from repro.errors import AddressError, ConfigurationError
 
 
 class DramModule:
@@ -42,7 +43,7 @@ class DramModule:
         fill_byte: int = 0x00,
     ):
         if not 0 <= fill_byte <= 0xFF:
-            raise ValueError(f"fill_byte {fill_byte:#x} out of range")
+            raise ConfigurationError(f"fill_byte {fill_byte:#x} out of range")
         self._geometry = geometry
         self._cell_map = cell_map
         self._fill_byte = fill_byte
@@ -123,13 +124,13 @@ class DramModule:
     def write_u64(self, address: int, value: int) -> None:
         """Write a little-endian 64-bit word at ``address``."""
         if not 0 <= value < 2**64:
-            raise ValueError(f"value {value:#x} does not fit in 64 bits")
+            raise ConfigurationError(f"value {value:#x} does not fit in 64 bits")
         self.write(address, value.to_bytes(8, "little"))
 
     def fill_row(self, row: int, byte: int) -> None:
         """Set every byte of global row ``row`` to ``byte``."""
         if not 0 <= byte <= 0xFF:
-            raise ValueError(f"byte {byte:#x} out of range")
+            raise ConfigurationError(f"byte {byte:#x} out of range")
         backing = self._row_array(row)
         backing[:] = byte
 
@@ -160,6 +161,9 @@ class DramModule:
         old = self.read_bit(address, bit)
         new = old ^ 1
         self.write_bit(address, bit, new)
+        sanitize.notify(
+            "dram.bit_flip", module=self, address=address, bit=bit, old=old, new=new
+        )
         return old, new
 
     # -- charge semantics ------------------------------------------------------

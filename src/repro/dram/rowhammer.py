@@ -20,11 +20,10 @@ current value matches its flip source changes to its flip target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
-from repro import obs
+from repro import obs, sanitize
 from repro.dram.cells import CellType
 from repro.dram.module import DramModule
 from repro.errors import ConfigurationError
@@ -262,6 +261,7 @@ class RowHammerModel:
             flips=outcome.flip_count,
             activations=activations,
         )
+        sanitize.notify("rowhammer.hammer", hammer=self, module=self._module, outcome=outcome)
         return outcome
 
     # -- statistics helpers ---------------------------------------------------

@@ -70,3 +70,16 @@ class AnalysisError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the metrics/trace subsystem (kind mismatch, bad config)."""
+
+
+class SanitizerError(ReproError):
+    """A runtime sanitizer detected a violated simulator invariant.
+
+    Carries the name of the checker that fired and the event that
+    triggered it, so tests and CLI output can attribute the violation.
+    """
+
+    def __init__(self, message: str, checker: str = "", event: str = ""):
+        super().__init__(message)
+        self.checker = checker
+        self.event = event

@@ -17,7 +17,7 @@ the small against-leak flip probability (0.2%) — quantified by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.dram.cells import CellType
 from repro.dram.module import DramModule

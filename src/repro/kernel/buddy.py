@@ -11,9 +11,9 @@ need not start at power-of-two-aligned pfns.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
-from repro import obs
+from repro import obs, sanitize
 from repro.errors import ConfigurationError, OutOfMemoryError, KernelError
 
 #: Largest allocation order supported (matches Linux's historical MAX_ORDER-1).
@@ -124,6 +124,9 @@ class BuddyAllocator:
         self._allocated[block] = order
         obs.inc("buddy.allocs", zone=self.name, order=order)
         obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
+        sanitize.notify(
+            "buddy.alloc", allocator=self, pfn=self._start_pfn + block, order=order
+        )
         return self._start_pfn + block
 
     def free_pages_block(self, pfn: int, order: Optional[int] = None) -> None:
@@ -156,6 +159,7 @@ class BuddyAllocator:
         self._free_lists[current].add(block)
         obs.inc("buddy.frees", zone=self.name, order=recorded)
         obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
+        sanitize.notify("buddy.free", allocator=self, pfn=pfn, order=recorded)
 
     def contains(self, pfn: int) -> bool:
         """Whether ``pfn`` is managed by this allocator."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.dram.cells import CellType, CellTypeMap
 from repro.errors import ConfigurationError, ZoneViolationError

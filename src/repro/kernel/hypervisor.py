@@ -19,15 +19,14 @@ real cell types.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.module import DramModule
 from repro.errors import ConfigurationError, ZoneViolationError
 from repro.kernel.cta import CtaConfig, CtaPolicy
 from repro.kernel.kernel import Kernel, KernelConfig
-from repro.kernel.page import PageUse
-from repro.units import PAGE_SHIFT, PAGE_SIZE
+from repro.units import PAGE_SHIFT
 
 
 class GuestPhysicalWindow(DramModule):

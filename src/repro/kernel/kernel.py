@@ -19,10 +19,10 @@ allocator the attacks exploit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro import obs
+from repro import obs, sanitize
 from repro.dram.cells import CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
@@ -49,7 +49,7 @@ from repro.kernel.pagetable import (
 from repro.kernel.process import MappedFile, Process, VmArea
 from repro.kernel.tlb import Tlb
 from repro.kernel.zones import MemoryZone, ZoneId, ZoneLayout
-from repro.units import DEFAULT_CELL_INTERLEAVE_ROWS, PAGE_SHIFT, PAGE_SIZE
+from repro.units import PAGE_SHIFT, PAGE_SIZE
 
 
 @dataclass
@@ -273,6 +273,10 @@ class Kernel:
                     )
                     self.stats.page_allocs += 1
                     obs.inc("kernel.page_allocs", use=use.value, zone=zone.name)
+                    sanitize.notify(
+                        "kernel.page_alloc", kernel=self, pfn=pfn, use=use,
+                        order=order, pt_level=pt_level,
+                    )
                     return pfn
             if flags.forbids_fallback:
                 self.stats.ptp_fallback_denied += 1
@@ -296,6 +300,7 @@ class Kernel:
         allocator.free_pages_block(pfn)
         self.stats.page_frees += 1
         obs.inc("kernel.page_frees")
+        sanitize.notify("kernel.page_free", kernel=self, pfn=pfn)
 
     def set_screened_ptp_frames(self, frames) -> None:
         """Install the page-size-bit screening list (Section 7).
@@ -505,7 +510,7 @@ class Kernel:
         except AddressError:
             raise PageFaultError(
                 f"bus error: page table for VA {virtual_address:#x} lies "
-                f"outside physical memory",
+                "outside physical memory",
                 virtual_address,
             ) from None
         self._tlb.invalidate(process.pid, virtual_address >> PAGE_SHIFT)

@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro import obs
+from repro import obs, sanitize
 from repro.dram.module import DramModule
-from repro.errors import AddressError, PageFaultError
+from repro.errors import AddressError, PageFaultError, PageTableError
 from repro.kernel.pagetable import (
     BITS_PER_LEVEL,
     NUM_LEVELS,
@@ -108,6 +108,10 @@ class Mmu:
             self._tlb.insert(
                 pid, vpn, result.physical_address >> PAGE_SHIFT, writable, user_ok
             )
+        sanitize.notify(
+            "mmu.translate", mmu=self, pid=pid,
+            pfn=result.physical_address >> PAGE_SHIFT, user=user,
+        )
         return result.physical_address
 
     def walk(self, cr3: int, virtual_address: int) -> WalkResult:
@@ -162,7 +166,10 @@ class Mmu:
                     physical_address=physical, pfn=entry.pfn, steps=tuple(steps)
                 )
             table_base = entry.pfn << PAGE_SHIFT
-        raise AssertionError("unreachable")
+        raise PageTableError(
+            f"walk for VA {virtual_address:#x} descended past level 1 without "
+            "reaching a leaf"
+        )
 
     # -- memory access through translation ----------------------------------
     def load(

@@ -9,7 +9,7 @@ harness's ground-truth validation both read this database.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional
 
 from repro.errors import KernelError

@@ -24,7 +24,6 @@ from typing import List, Set
 
 from repro.dram.rowhammer import RowHammerModel
 from repro.kernel.kernel import Kernel
-from repro.kernel.pagetable import PteFlags
 from repro.units import PAGE_SIZE, PAGE_SHIFT, PTE_SIZE
 
 #: Bit index of the PS flag within a 64-bit PTE.

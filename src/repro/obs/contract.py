@@ -1,0 +1,86 @@
+"""The frozen observability contract: every metric and trace-event name.
+
+The README's "Observability" section documents metric names as a stable
+contract — ``PerfResult.metrics`` and the integration tests assert on
+them, so renaming one is a breaking change. This module is the single
+machine-readable source of that contract: the static lint rule ``RL005``
+checks every ``obs.inc`` / ``obs.set_gauge`` / ``obs.observe`` /
+``obs.trace`` call site against these tables, and the README table is
+expected to stay in sync with them.
+
+Adding a metric is fine (add it here and to the README in the same
+change); renaming or re-kinding one is the breaking change the lint
+exists to catch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+
+#: Metric name -> kind. Kind must match the helper used at the call
+#: site: ``inc`` -> ``counter``, ``set_gauge`` -> ``gauge``,
+#: ``observe`` -> ``histogram``.
+METRICS: Dict[str, str] = {
+    # RowHammer
+    "rowhammer.hammers": "counter",
+    "rowhammer.activations": "counter",
+    "rowhammer.flips": "counter",
+    "rowhammer.flips_per_hammer": "histogram",
+    # Refresh
+    "refresh.sweeps": "counter",
+    "refresh.rows_refreshed": "counter",
+    "refresh.rows_restored_late": "counter",
+    # Buddy allocator
+    "buddy.allocs": "counter",
+    "buddy.frees": "counter",
+    "buddy.splits": "counter",
+    "buddy.merges": "counter",
+    "buddy.failed_allocs": "counter",
+    "buddy.free_pages": "gauge",
+    # Kernel facade
+    "kernel.page_allocs": "counter",
+    "kernel.page_frees": "counter",
+    "kernel.pte_allocs": "counter",
+    "kernel.demand_faults": "counter",
+    "kernel.huge_mappings": "counter",
+    "kernel.ptp_reclaims": "counter",
+    "kernel.ptp_fallback_denied": "counter",
+    "kernel.indicator_rejections": "counter",
+    "kernel.screening_rejections": "counter",
+    # TLB / MMU
+    "tlb.hits": "counter",
+    "tlb.misses": "counter",
+    "tlb.flushes": "counter",
+    "mmu.walks": "counter",
+    "mmu.faults": "counter",
+    # Attacks
+    "attack.attempts": "counter",
+    "attack.outcomes": "counter",
+    "attack.spray_mappings": "counter",
+    "attack.escalation_probes": "counter",
+    "attack.escalations_achieved": "counter",
+    "attack.pointer_observations": "counter",
+    # Sanitizers
+    "sanitize.checks": "counter",
+    "sanitize.violations": "counter",
+}
+
+#: Names allowed as the first argument of ``obs.trace``.
+TRACE_EVENTS: FrozenSet[str] = frozenset(
+    {
+        "rowhammer.hammer",
+        "refresh.sweep",
+        "kernel.pte_alloc",
+        "attack.spray",
+        "attack.escalation",
+        "sanitize.violation",
+    }
+)
+
+#: Helper-name -> metric kind it may record (used by lint rule RL005).
+HELPER_KINDS: Dict[str, str] = {
+    "inc": "counter",
+    "set_gauge": "gauge",
+    "observe": "histogram",
+}

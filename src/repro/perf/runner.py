@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro import obs
-from repro.errors import OutOfMemoryError
+from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.kernel.cta import CtaConfig
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.perf.workloads import WorkloadProfile
@@ -153,6 +153,8 @@ def compare_cta_overhead(
     best time of each — the standard benchmark-noise reduction — and
     returns ``(cta - stock) / stock``.
     """
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     stock_best: Optional[float] = None
     cta_best: Optional[float] = None
     for _ in range(repeats):
@@ -162,5 +164,4 @@ def compare_cta_overhead(
             stock_best = stock_result.elapsed_s
         if cta_best is None or cta_result.elapsed_s < cta_best:
             cta_best = cta_result.elapsed_s
-    assert stock_best is not None and cta_best is not None
     return (cta_best - stock_best) / stock_best

@@ -13,6 +13,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 SeedLike = Union[None, int, np.random.Generator]
 
 #: Default seed used when callers do not supply one. Fixed so that casual
@@ -48,7 +50,7 @@ def split_rng(rng: np.random.Generator, label: str) -> np.random.Generator:
 def bernoulli(rng: np.random.Generator, probability: float, size: Optional[int] = None):
     """Draw Bernoulli(probability) samples as booleans."""
     if not 0.0 <= probability <= 1.0:
-        raise ValueError(f"probability {probability} outside [0, 1]")
+        raise ConfigurationError(f"probability {probability} outside [0, 1]")
     if size is None:
         return bool(rng.random() < probability)
     return rng.random(size) < probability

@@ -1,0 +1,248 @@
+"""repro.sanitize — runtime invariant sanitizers (KASAN/lockdep-style).
+
+The paper's security argument rests on invariants that are otherwise only
+exercised incidentally by tests: buddy-heap consistency, ZONE_PTP
+containment above the low water mark, monotonicity of PTE pointers stored
+in true-cells, and the No-Self-Reference property. This package makes the
+simulated kernel *continuously self-checking*: instrumented layers call
+:func:`notify` on every mutation, and registered :class:`Sanitizer`
+checkers validate the invariant right there, raising
+:class:`~repro.errors.SanitizerError` at the first violation — the same
+"fail at the faulting instruction" model KASAN and lockdep use.
+
+Mirrors the :mod:`repro.obs` design: a process-wide default
+:class:`SanitizerSuite`, module-level helpers that resolve it at call
+time, and a cheap no-op path — a disabled suite turns every
+:func:`notify` into one attribute check and an early return, so the hooks
+can stay unconditionally in hot simulator loops.
+
+Usage::
+
+    from repro import sanitize
+
+    suite = sanitize.install(kernel, hammer=hammer)   # register + enable
+    ...  # run workloads/attacks; violations raise SanitizerError
+    suite.check_now()                                 # full offline sweep
+    sanitize.reset()                                  # back to disabled
+
+The static half of the package lives in :mod:`repro.sanitize.lint` (the
+``repro lint`` AST rule pack); the runtime checkers in
+:mod:`repro.sanitize.checkers`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, NoReturn, Optional, Tuple
+
+from repro import obs
+from repro.errors import SanitizerError
+
+if TYPE_CHECKING:
+    from repro.dram.rowhammer import RowHammerModel
+    from repro.kernel.kernel import Kernel
+
+__all__ = [
+    "Sanitizer",
+    "SanitizerSuite",
+    "get_suite",
+    "set_suite",
+    "reset",
+    "enable",
+    "disable",
+    "enabled",
+    "notify",
+    "install",
+    "uninstall",
+]
+
+
+class Sanitizer:
+    """Base class for one pluggable invariant checker.
+
+    Subclasses set :attr:`name` (used in violation reports and the
+    ``sanitize.*`` metrics) and :attr:`events` (the notification events
+    they subscribe to), and implement :meth:`handle`. Checkers bound to a
+    specific object (a kernel, an allocator) must ignore events whose
+    context carries a different object — several kernels can coexist in
+    one process and the suite fans every event out to all subscribers.
+    """
+
+    #: Checker identifier used in error messages and metric labels.
+    name: str = "sanitizer"
+    #: Event names this checker subscribes to.
+    events: Tuple[str, ...] = ()
+
+    def handle(self, event: str, ctx: Mapping[str, object]) -> None:
+        """Validate one mutation event; raise via :meth:`violation` on failure."""
+        raise NotImplementedError
+
+    def check_all(self) -> None:
+        """Full (possibly expensive) validation of the guarded invariant.
+
+        Called by :meth:`SanitizerSuite.check_now`; the default is a no-op
+        so purely event-driven checkers need not override it.
+        """
+
+    def violation(self, message: str, event: str = "") -> NoReturn:
+        """Record and raise a :class:`SanitizerError` for this checker."""
+        obs.inc("sanitize.violations", checker=self.name)
+        obs.trace("sanitize.violation", checker=self.name, event=event)
+        raise SanitizerError(message, checker=self.name, event=event)
+
+
+class SanitizerSuite:
+    """A set of registered checkers plus the event dispatch fabric.
+
+    Starts disabled: :func:`notify` is a no-op until :meth:`enable` (which
+    :func:`install` calls for you). ``checks`` / ``violations`` count
+    dispatched validations and raised violations for reporting.
+    """
+
+    def __init__(self) -> None:
+        self._checkers: List[Sanitizer] = []
+        self._by_event: Dict[str, List[Sanitizer]] = {}
+        self._enabled = False
+        #: Total checker invocations (event handlers + full sweeps).
+        self.checks = 0
+        #: Total violations raised through this suite's checkers.
+        self.violations = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether events are dispatched to checkers."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Start dispatching events."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop dispatching events (hooks become no-ops)."""
+        self._enabled = False
+
+    @property
+    def checkers(self) -> Tuple[Sanitizer, ...]:
+        """Registered checkers, in registration order."""
+        return tuple(self._checkers)
+
+    def register(self, checker: Sanitizer) -> Sanitizer:
+        """Add ``checker`` and subscribe it to its events; returns it."""
+        self._checkers.append(checker)
+        for event in checker.events:
+            self._by_event.setdefault(event, []).append(checker)
+        return checker
+
+    # -- dispatch ----------------------------------------------------------
+    def dispatch(self, event: str, ctx: Mapping[str, object]) -> None:
+        """Fan one event out to every subscribed checker."""
+        for checker in self._by_event.get(event, ()):
+            self.checks += 1
+            obs.inc("sanitize.checks", checker=checker.name, event=event)
+            try:
+                checker.handle(event, ctx)
+            except SanitizerError:
+                self.violations += 1
+                raise
+
+    def check_now(self) -> None:
+        """Run every checker's full validation pass immediately."""
+        for checker in self._checkers:
+            self.checks += 1
+            obs.inc("sanitize.checks", checker=checker.name, event="check_all")
+            try:
+                checker.check_all()
+            except SanitizerError:
+                self.violations += 1
+                raise
+
+
+_default_suite = SanitizerSuite()
+
+
+def get_suite() -> SanitizerSuite:
+    """The process-wide default suite."""
+    return _default_suite
+
+
+def set_suite(suite: SanitizerSuite) -> SanitizerSuite:
+    """Install ``suite`` as the default; returns it (for chaining)."""
+    global _default_suite
+    _default_suite = suite
+    return suite
+
+
+def reset() -> SanitizerSuite:
+    """Replace the default suite with a fresh, disabled one."""
+    return set_suite(SanitizerSuite())
+
+
+def enable() -> None:
+    """Turn default-suite dispatch on."""
+    _default_suite.enable()
+
+
+def disable() -> None:
+    """Turn default-suite dispatch off (no-op path)."""
+    _default_suite.disable()
+
+
+def enabled() -> bool:
+    """Whether default-suite dispatch is on."""
+    return _default_suite.enabled
+
+
+def notify(event: str, **ctx: object) -> None:
+    """Report one mutation event to the default suite.
+
+    This is the hook instrumented layers call unconditionally; when the
+    suite is disabled it costs one attribute check and an early return.
+    """
+    suite = _default_suite
+    if not suite._enabled:
+        return
+    suite.dispatch(event, ctx)
+
+
+def install(
+    kernel: "Kernel",
+    hammer: Optional["RowHammerModel"] = None,
+    full_every: int = 64,
+) -> SanitizerSuite:
+    """Register the standard checker set for ``kernel`` and enable the suite.
+
+    Adds one :class:`~repro.sanitize.checkers.BuddyHeapSanitizer` per
+    zone allocator and a
+    :class:`~repro.sanitize.checkers.ZoneContainmentSanitizer`; on CTA
+    kernels additionally a
+    :class:`~repro.sanitize.checkers.MonotonicPointerSanitizer` and a
+    :class:`~repro.sanitize.checkers.NoSelfReferenceSanitizer` (both are
+    defined in terms of ZONE_PTP, so they have nothing to guard on stock
+    kernels). ``hammer`` is accepted for symmetry/forward-compat; flip
+    events carry the mutated module, which is how checkers filter.
+    ``full_every`` bounds how often the buddy checkers run their full
+    (expensive) invariant sweep.
+    """
+    from repro.sanitize.checkers import (
+        BuddyHeapSanitizer,
+        MonotonicPointerSanitizer,
+        NoSelfReferenceSanitizer,
+        ZoneContainmentSanitizer,
+    )
+
+    suite = _default_suite
+    for zone in kernel.layout.zones:
+        suite.register(
+            BuddyHeapSanitizer(kernel.allocator_for_zone(zone), full_every=full_every)
+        )
+    suite.register(ZoneContainmentSanitizer(kernel))
+    if kernel.cta_enabled:
+        suite.register(MonotonicPointerSanitizer(kernel))
+        suite.register(NoSelfReferenceSanitizer(kernel))
+    suite.enable()
+    return suite
+
+
+def uninstall() -> None:
+    """Drop every registered checker and disable dispatch."""
+    reset()

@@ -1,0 +1,332 @@
+"""``repro lint`` — the repo-specific AST rule pack (stdlib ``ast`` only).
+
+Static enforcement of the simulator's contracts, so violations are caught
+before anything runs:
+
+=======  =====================================================================
+rule     contract enforced
+=======  =====================================================================
+RL001    determinism: no direct ``random`` / ``numpy.random`` use outside the
+         :mod:`repro.rng` plumbing — every stochastic component must accept a
+         seed through :func:`repro.rng.make_rng`
+RL002    no bare ``assert`` in library code — asserts vanish under
+         ``python -O``, silently disabling the invariant
+RL003    every raised exception derives from :class:`repro.errors.ReproError`
+         (or is ``NotImplementedError`` / a re-raise), keeping the error
+         taxonomy catchable as one family
+RL004    every ``*Attack`` class is registered in ``attacks/registry.py``, so
+         the Table 1 catalogue and the benchmarks can enumerate them
+RL005    metric/trace names passed to :mod:`repro.obs` helpers match the
+         frozen contract in :mod:`repro.obs.contract`, including the metric
+         kind (``inc`` -> counter, ``set_gauge`` -> gauge, ``observe`` ->
+         histogram)
+=======  =====================================================================
+
+A finding can be suppressed per line with ``# repro-lint: ignore`` (all
+rules) or ``# repro-lint: ignore[RL002]`` (specific rules, comma-separated).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.obs import contract
+
+#: Rule identifiers and their one-line descriptions (mirrored in README).
+RULES: Dict[str, str] = {
+    "RL001": "no direct random/numpy.random use outside repro.rng",
+    "RL002": "no bare assert in library code (vanishes under python -O)",
+    "RL003": "all raises must derive from ReproError",
+    "RL004": "every *Attack class must be registered in attacks/registry.py",
+    "RL005": "obs metric/trace names must match the frozen contract",
+}
+
+_IGNORE_MARKER = "# repro-lint: ignore"
+
+#: Helpers whose first argument is a contract-checked metric name.
+_OBS_HELPERS = ("inc", "set_gauge", "observe", "trace")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        """``path:line: RULE: message`` — the CLI's output line."""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def taxonomy_names() -> FrozenSet[str]:
+    """Exception names RL003 accepts: the ReproError family + re-raise escapes."""
+    import repro.errors as errors_module
+
+    names = {
+        name
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type) and issubclass(obj, errors_module.ReproError)
+    }
+    names.add("NotImplementedError")
+    return frozenset(names)
+
+
+def _ignores_by_line(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> suppressed rule set (None = every rule)."""
+    ignores: Dict[int, Optional[Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        index = text.find(_IGNORE_MARKER)
+        if index < 0:
+            continue
+        rest = text[index + len(_IGNORE_MARKER):].strip()
+        if rest.startswith("[") and "]" in rest:
+            rules = {r.strip() for r in rest[1 : rest.index("]")].split(",")}
+            ignores[lineno] = {r for r in rules if r}
+        else:
+            ignores[lineno] = None
+    return ignores
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Applies the per-file rules (RL001/RL002/RL003/RL005) to one module."""
+
+    def __init__(self, path: str, allowed_raises: FrozenSet[str], check_rng: bool):
+        self.path = path
+        self.allowed_raises = allowed_raises
+        self.check_rng = check_rng
+        self.findings: List[LintFinding] = []
+        #: ``*Attack`` classes defined in this file (collected for RL004).
+        self.attack_classes: List[Tuple[str, int]] = []
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            LintFinding(rule=rule, path=self.path, line=getattr(node, "lineno", 0), message=message)
+        )
+
+    # -- RL001: RNG discipline --------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.check_rng:
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random.") or (
+                    alias.name == "numpy.random"
+                ):
+                    self._add(
+                        "RL001",
+                        node,
+                        f"import of {alias.name!r}; route randomness through "
+                        "repro.rng.make_rng",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.check_rng:
+            module = node.module or ""
+            if module in ("random", "numpy.random") or module.startswith("random."):
+                self._add(
+                    "RL001",
+                    node,
+                    f"import from {module!r}; route randomness through "
+                    "repro.rng.make_rng",
+                )
+            elif module == "numpy" and any(a.name == "random" for a in node.names):
+                self._add(
+                    "RL001",
+                    node,
+                    "import of numpy.random; route randomness through "
+                    "repro.rng.make_rng",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.check_rng
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        ):
+            self._add(
+                "RL001",
+                node,
+                "direct numpy.random access; route randomness through "
+                "repro.rng.make_rng",
+            )
+        self.generic_visit(node)
+
+    # -- RL002: bare assert ------------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._add(
+            "RL002",
+            node,
+            "bare assert vanishes under python -O; raise a ReproError subclass",
+        )
+        self.generic_visit(node)
+
+    # -- RL003: raise taxonomy ---------------------------------------------
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if exc is not None:
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name: Optional[str] = None
+            if isinstance(target, ast.Name):
+                name = target.id
+            elif isinstance(target, ast.Attribute):
+                name = target.attr
+            # Lowercase names are re-raised exception *variables* (``raise
+            # exc``); dynamic expressions are skipped — only literal class
+            # names are judged.
+            if name is not None and name[:1].isupper() and name not in self.allowed_raises:
+                self._add(
+                    "RL003",
+                    node,
+                    f"raise of {name}; use a repro.errors.ReproError subclass",
+                )
+        self.generic_visit(node)
+
+    # -- RL004 collection + RL005: obs contract ----------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Attack") and not node.name.startswith("_"):
+            self.attack_classes.append((node.name, node.lineno))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "obs"
+            and func.attr in _OBS_HELPERS
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            name = node.args[0].value
+            if func.attr == "trace":
+                if name not in contract.TRACE_EVENTS:
+                    self._add(
+                        "RL005",
+                        node,
+                        f"trace event {name!r} is not in the frozen contract "
+                        "(repro.obs.contract.TRACE_EVENTS)",
+                    )
+            else:
+                expected_kind = contract.HELPER_KINDS[func.attr]
+                actual_kind = contract.METRICS.get(name)
+                if actual_kind is None:
+                    self._add(
+                        "RL005",
+                        node,
+                        f"metric {name!r} is not in the frozen contract "
+                        "(repro.obs.contract.METRICS)",
+                    )
+                elif actual_kind != expected_kind:
+                    self._add(
+                        "RL005",
+                        node,
+                        f"obs.{func.attr} records a {expected_kind}, but "
+                        f"{name!r} is bound to kind {actual_kind!r}",
+                    )
+        self.generic_visit(node)
+
+
+def _filter_ignores(
+    findings: Sequence[LintFinding], ignores: Dict[int, Optional[Set[str]]]
+) -> List[LintFinding]:
+    kept = []
+    for finding in findings:
+        suppressed = ignores.get(finding.line)
+        if suppressed is None and finding.line in ignores:
+            continue  # blanket ignore
+        if suppressed is not None and finding.rule in suppressed:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    allowed_raises: Optional[FrozenSet[str]] = None,
+) -> Tuple[List[LintFinding], List[Tuple[str, int]]]:
+    """Lint one module's source with the per-file rules.
+
+    Returns ``(findings, attack_classes)``; the attack classes feed the
+    cross-file RL004 check in :func:`run_lint`. ``path`` determines the
+    RL001 exemption (``rng.py`` is the sanctioned numpy.random user).
+    """
+    if allowed_raises is None:
+        allowed_raises = taxonomy_names()
+    check_rng = Path(path).name != "rng.py"
+    tree = ast.parse(source, filename=path)
+    linter = _FileLinter(path, allowed_raises, check_rng)
+    linter.visit(tree)
+    findings = _filter_ignores(linter.findings, _ignores_by_line(source))
+    return findings, linter.attack_classes
+
+
+def default_target() -> Path:
+    """The directory ``repro lint`` checks by default: the repro package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def _collect_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def run_lint(paths: Optional[Sequence[str]] = None) -> List[LintFinding]:
+    """Run every rule over ``paths`` (files or directories).
+
+    With no paths, lints the installed ``repro`` package. The cross-file
+    RL004 check runs when an ``attacks/registry.py`` is among the linted
+    files; ``*Attack`` classes found in any ``attacks/`` module must then
+    appear in one of the registry's string literals (the dotted
+    ``ATTACK_IMPLEMENTATIONS`` / ``modeled_by`` paths).
+    """
+    targets = [Path(p) for p in paths] if paths else [default_target()]
+    allowed = taxonomy_names()
+    findings: List[LintFinding] = []
+    attack_classes: List[Tuple[str, str, int]] = []
+    registry_strings: Optional[Set[str]] = None
+    for file_path in _collect_files(targets):
+        source = file_path.read_text(encoding="utf-8")
+        file_findings, file_attacks = lint_source(
+            source, path=str(file_path), allowed_raises=allowed
+        )
+        findings.extend(file_findings)
+        if "attacks" in file_path.parts:
+            for name, line in file_attacks:
+                attack_classes.append((str(file_path), name, line))
+            if file_path.name == "registry.py":
+                registry_strings = {
+                    node.value
+                    for node in ast.walk(ast.parse(source))
+                    if isinstance(node, ast.Constant) and isinstance(node.value, str)
+                }
+    if registry_strings is not None:
+        for path_str, name, line in attack_classes:
+            if not any(name in literal for literal in registry_strings):
+                findings.append(
+                    LintFinding(
+                        rule="RL004",
+                        path=path_str,
+                        line=line,
+                        message=(
+                            f"Attack class {name!r} is not referenced in "
+                            "attacks/registry.py"
+                        ),
+                    )
+                )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -8,6 +8,8 @@ one canonical set of constants so the rest of the codebase never hand-rolls
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 KIB = 1024
 MIB = 1024 * KIB
 GIB = 1024 * MIB
@@ -71,16 +73,16 @@ def parse_size(text: str) -> int:
     """
     cleaned = text.strip().lower().replace(" ", "")
     if not cleaned:
-        raise ValueError("empty size string")
+        raise ConfigurationError("empty size string")
     idx = len(cleaned)
     while idx > 0 and not cleaned[idx - 1].isdigit():
         idx -= 1
     number, suffix = cleaned[:idx], cleaned[idx:]
     if not number:
-        raise ValueError(f"no numeric part in size {text!r}")
+        raise ConfigurationError(f"no numeric part in size {text!r}")
     multiplier = _SUFFIXES.get(suffix or "b")
     if multiplier is None:
-        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+        raise ConfigurationError(f"unknown size suffix {suffix!r} in {text!r}")
     return int(number) * multiplier
 
 
@@ -91,11 +93,11 @@ def format_size(num_bytes: int) -> str:
     '32.0MiB'
     """
     value = float(num_bytes)
-    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
-        if abs(value) < 1024.0 or suffix == "TiB":
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0:
             return f"{value:.1f}{suffix}"
         value /= 1024.0
-    raise AssertionError("unreachable")
+    return f"{value:.1f}TiB"
 
 
 def format_duration(seconds: float) -> str:
@@ -124,7 +126,7 @@ def is_power_of_two(value: int) -> bool:
 def align_down(value: int, alignment: int) -> int:
     """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
     if not is_power_of_two(alignment):
-        raise ValueError(f"alignment {alignment} is not a power of two")
+        raise ConfigurationError(f"alignment {alignment} is not a power of two")
     return value & ~(alignment - 1)
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import obs
+from repro import obs, sanitize
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
@@ -38,6 +38,19 @@ def _fresh_obs_registry():
     obs.set_registry(obs.Registry())
     yield
     obs.set_registry(obs.Registry())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sanitize_suite():
+    """Isolate the process-wide sanitizer suite per test.
+
+    Mirrors ``_fresh_obs_registry``: a test that installs checkers (or
+    trips a violation) must not leave an enabled suite behind for the
+    next test's kernels to dispatch into.
+    """
+    sanitize.set_suite(sanitize.SanitizerSuite())
+    yield
+    sanitize.set_suite(sanitize.SanitizerSuite())
 
 
 @pytest.fixture

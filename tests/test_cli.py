@@ -43,6 +43,44 @@ class TestAnalyticalCommands:
             main([])
 
 
+class TestLintCommand:
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_json_output(self, capsys):
+        import json
+
+        assert main(["lint", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_lint_reports_findings_with_exit_1(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert x\nraise ValueError('no')\n", encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "RL002" in output
+        assert "RL003" in output
+
+
+class TestErrorExitContract:
+    """Invalid input exits 2 with one clean ``repro: error:`` line."""
+
+    def test_negative_seed(self, capsys):
+        assert main(["fig3", "--seed", "-1"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1  # one line, no traceback
+
+    def test_non_integer_seed(self, capsys):
+        assert main(["fig5", "--seed", "banana"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_invalid_repeats(self, capsys):
+        assert main(["table4", "--repeats", "0"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestLiveCommands:
     def test_fig3(self, capsys):

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
-from repro.errors import AddressError
+from repro.errors import AddressError, ConfigurationError
 from repro.units import MIB
 
 
@@ -45,7 +45,7 @@ class TestByteAccess:
         assert module.read(0, 1) == b"\x00"
 
     def test_invalid_fill_byte(self, geometry, cell_map):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             DramModule(geometry, cell_map, fill_byte=256)
 
     @given(st.binary(min_size=1, max_size=200), st.integers(min_value=0, max_value=10_000))
@@ -66,7 +66,7 @@ class TestWordAccess:
         assert module.read(0, 8) == b"\x01" + b"\x00" * 7
 
     def test_u64_rejects_oversized(self, module):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             module.write_u64(0, 2**64)
 
 
@@ -76,7 +76,7 @@ class TestRowOps:
         assert module.read_row(2) == b"\xff" * module.geometry.row_bytes
 
     def test_fill_row_invalid_byte(self, module):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             module.fill_row(0, 300)
 
     def test_snapshot_row_copies(self, module):

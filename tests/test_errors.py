@@ -1,0 +1,91 @@
+"""The ReproError taxonomy: construction, family membership, documented raisers."""
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ConfigurationError,
+    KernelError,
+    OutOfMemoryError,
+    PageFaultError,
+    ReproError,
+    SanitizerError,
+    ZoneViolationError,
+)
+from repro.kernel.buddy import BuddyAllocator
+from repro.kernel.gfp import GFP_PTP
+from repro.kernel.page import PageUse
+from repro.units import parse_size
+
+from tests.conftest import make_cta_kernel
+
+
+def _public_error_classes():
+    return [
+        obj
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type)
+        and issubclass(obj, Exception)
+        and not name.startswith("_")
+    ]
+
+
+class TestTaxonomy:
+    def test_every_public_error_is_repro_error(self):
+        classes = _public_error_classes()
+        assert ReproError in classes
+        for cls in classes:
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_every_public_error_constructible_with_message(self):
+        for cls in _public_error_classes():
+            exc = cls("boom")
+            assert "boom" in str(exc)
+            assert isinstance(exc, ReproError)
+
+    def test_page_fault_error_carries_virtual_address(self):
+        exc = PageFaultError("fault", virtual_address=0x1234)
+        assert exc.virtual_address == 0x1234
+        assert PageFaultError("fault").virtual_address == 0
+
+    def test_sanitizer_error_carries_checker_and_event(self):
+        exc = SanitizerError("bad", checker="buddy_heap", event="buddy.free")
+        assert exc.checker == "buddy_heap"
+        assert exc.event == "buddy.free"
+        assert isinstance(exc, ReproError)
+
+    def test_zone_violation_is_kernel_error(self):
+        assert issubclass(ZoneViolationError, KernelError)
+        assert issubclass(OutOfMemoryError, KernelError)
+
+    def test_catching_the_family_catches_everything(self):
+        for cls in _public_error_classes():
+            with pytest.raises(ReproError):
+                raise cls("caught")
+
+
+class TestDocumentedRaisers:
+    def test_out_of_memory_from_exhausted_allocator(self):
+        allocator = BuddyAllocator(0, 4, name="tiny")
+        for _ in range(4):
+            allocator.alloc_pages(order=0)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_pages(order=0)
+
+    def test_out_of_memory_from_oversized_order(self):
+        allocator = BuddyAllocator(0, 2, name="tiny")
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_pages(order=4)
+
+    def test_zone_violation_for_non_pt_ptp_request(self):
+        kernel = make_cta_kernel()
+        with pytest.raises(ZoneViolationError):
+            kernel.alloc_page(GFP_PTP, PageUse.USER_DATA)
+
+    def test_configuration_error_from_parse_size(self):
+        with pytest.raises(ConfigurationError):
+            parse_size("not-a-size")
+
+    def test_configuration_error_from_empty_buddy_range(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(10, 10)

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.rng import bernoulli, make_rng, split_rng
 
 
@@ -51,5 +52,5 @@ class TestBernoulli:
         assert abs(draws.mean() - 0.3) < 0.02
 
     def test_invalid_probability(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             bernoulli(make_rng(1), 1.5)

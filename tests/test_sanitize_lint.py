@@ -1,0 +1,189 @@
+"""The ``repro lint`` AST rule pack: one minimal violating snippet per rule,
+suppression markers, exemptions, and the self-check over the real package."""
+
+import textwrap
+
+import pytest
+
+from repro.sanitize.lint import (
+    RULES,
+    LintFinding,
+    lint_source,
+    run_lint,
+    taxonomy_names,
+)
+
+
+def _rules_of(source):
+    findings, _ = lint_source(textwrap.dedent(source))
+    return [f.rule for f in findings]
+
+
+class TestRL001Randomness:
+    def test_import_random(self):
+        assert _rules_of("import random\n") == ["RL001"]
+
+    def test_from_random_import(self):
+        assert _rules_of("from random import choice\n") == ["RL001"]
+
+    def test_numpy_random_attribute(self):
+        assert "RL001" in _rules_of(
+            """
+            import numpy as np
+            x = np.random.default_rng()
+            """
+        )
+
+    def test_from_numpy_import_random(self):
+        assert "RL001" in _rules_of("from numpy import random\n")
+
+    def test_rng_module_is_exempt(self):
+        findings, _ = lint_source("import random\n", path="src/repro/rng.py")
+        assert findings == []
+
+    def test_make_rng_usage_is_clean(self):
+        assert _rules_of("from repro.rng import make_rng\nrng = make_rng(1)\n") == []
+
+
+class TestRL002BareAssert:
+    def test_assert_flagged(self):
+        assert _rules_of("assert x > 0\n") == ["RL002"]
+
+    def test_raise_instead_is_clean(self):
+        src = """
+            from repro.errors import ConfigurationError
+            def f(x):
+                if x <= 0:
+                    raise ConfigurationError("x must be positive")
+            """
+        assert _rules_of(src) == []
+
+
+class TestRL003RaiseTaxonomy:
+    def test_value_error_flagged(self):
+        assert _rules_of("raise ValueError('nope')\n") == ["RL003"]
+
+    def test_runtime_error_flagged(self):
+        assert _rules_of("raise RuntimeError\n") == ["RL003"]
+
+    def test_taxonomy_raise_is_clean(self):
+        assert _rules_of("raise ZoneViolationError('rule 2')\n") == []
+
+    def test_not_implemented_error_allowed(self):
+        assert _rules_of("raise NotImplementedError\n") == []
+
+    def test_reraise_variable_allowed(self):
+        src = """
+            try:
+                f()
+            except Exception as exc:
+                raise exc
+            """
+        assert _rules_of(src) == []
+
+    def test_bare_reraise_allowed(self):
+        src = """
+            try:
+                f()
+            except Exception:
+                raise
+            """
+        assert _rules_of(src) == []
+
+    def test_taxonomy_names_cover_family(self):
+        names = taxonomy_names()
+        assert "ReproError" in names
+        assert "SanitizerError" in names
+        assert "NotImplementedError" in names
+        assert "ValueError" not in names
+
+
+class TestRL005ObsContract:
+    def test_unknown_metric_flagged(self):
+        assert _rules_of("obs.inc('no.such.metric')\n") == ["RL005"]
+
+    def test_kind_mismatch_flagged(self):
+        # buddy.free_pages is contractually a gauge; obs.inc records a counter.
+        findings, _ = lint_source("obs.inc('buddy.free_pages')\n")
+        assert [f.rule for f in findings] == ["RL005"]
+        assert "gauge" in findings[0].message
+
+    def test_unknown_trace_event_flagged(self):
+        assert _rules_of("obs.trace('no.such.event')\n") == ["RL005"]
+
+    def test_contract_names_are_clean(self):
+        src = """
+            obs.inc('sanitize.violations', checker='buddy_heap')
+            obs.trace('sanitize.violation', checker='buddy_heap')
+            """
+        assert _rules_of(src) == []
+
+    def test_dynamic_names_skipped(self):
+        assert _rules_of("obs.inc(metric_name)\n") == []
+
+
+class TestSuppression:
+    def test_blanket_ignore(self):
+        assert _rules_of("assert x  # repro-lint: ignore\n") == []
+
+    def test_targeted_ignore(self):
+        assert _rules_of("assert x  # repro-lint: ignore[RL002]\n") == []
+
+    def test_targeted_ignore_wrong_rule_keeps_finding(self):
+        assert _rules_of("assert x  # repro-lint: ignore[RL003]\n") == ["RL002"]
+
+    def test_ignore_only_covers_its_line(self):
+        src = "assert x  # repro-lint: ignore\nassert y\n"
+        findings, _ = lint_source(src)
+        assert [f.rule for f in findings] == ["RL002"]
+        assert findings[0].line == 2
+
+
+class TestRL004Registry:
+    @staticmethod
+    def _attacks_dir(tmp_path, registry_source):
+        attacks = tmp_path / "attacks"
+        attacks.mkdir()
+        (attacks / "registry.py").write_text(registry_source, encoding="utf-8")
+        (attacks / "rogue.py").write_text(
+            "class RogueAttack:\n    pass\n", encoding="utf-8"
+        )
+        return attacks
+
+    def test_unregistered_attack_flagged(self, tmp_path):
+        attacks = self._attacks_dir(tmp_path, "ATTACK_IMPLEMENTATIONS = ()\n")
+        findings = run_lint([str(attacks)])
+        rl004 = [f for f in findings if f.rule == "RL004"]
+        assert len(rl004) == 1
+        assert "RogueAttack" in rl004[0].message
+
+    def test_registered_attack_is_clean(self, tmp_path):
+        attacks = self._attacks_dir(
+            tmp_path,
+            "ATTACK_IMPLEMENTATIONS = ('pkg.attacks.rogue.RogueAttack',)\n",
+        )
+        assert [f for f in run_lint([str(attacks)]) if f.rule == "RL004"] == []
+
+    def test_no_registry_skips_cross_file_check(self, tmp_path):
+        attacks = tmp_path / "attacks"
+        attacks.mkdir()
+        (attacks / "orphan.py").write_text(
+            "class OrphanAttack:\n    pass\n", encoding="utf-8"
+        )
+        assert run_lint([str(attacks)]) == []
+
+
+class TestHarness:
+    def test_finding_format(self):
+        finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
+        assert finding.format() == "src/x.py:7: RL002: bad"
+
+    def test_all_rules_documented(self):
+        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:\n")
+
+    def test_repro_package_lints_clean(self):
+        assert run_lint() == []

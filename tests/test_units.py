@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.errors import ConfigurationError
 from repro.units import (
     GIB,
     KIB,
@@ -36,15 +37,15 @@ class TestParseSize:
         assert parse_size("1gb") == parse_size("1GB") == GIB
 
     def test_empty_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             parse_size("")
 
     def test_garbage_suffix_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             parse_size("12xx")
 
     def test_no_number_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             parse_size("MB")
 
 
@@ -85,7 +86,7 @@ class TestAlignment:
         assert align_up(4096, 4096) == 4096
 
     def test_align_bad_alignment(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             align_down(100, 3)
 
     @given(st.integers(min_value=0, max_value=2**48), st.sampled_from([1, 2, 4096, 2**20]))
