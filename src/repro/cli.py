@@ -12,13 +12,16 @@ Usage::
     python -m repro capacity        # Section 6.2 capacity accounting
     python -m repro headline        # abstract's headline numbers
     python -m repro stats --trace 5 # demo attack + observability dump
-    python -m repro lint            # static contract checks (RL001..RL005)
+    python -m repro lint            # static contract checks (RL001..RL006)
     python -m repro check --sanitize# attack demo under runtime sanitizers
+    python -m repro chaos --smoke   # fault-injection campaign (deterministic)
+    python -m repro resume --checkpoint chaos.json   # continue a killed run
 
 All errors raised by the simulator derive from
 :class:`repro.errors.ReproError`; the CLI catches the family at the top
 level and exits with status 2 and a one-line message instead of a
-traceback.
+traceback (capacity exhaustion gets its own ``capacity exhausted:``
+prefix so operators can tell "out of room" from "misconfigured").
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import CapacityError, ConfigurationError, ReproError
 from repro.units import format_duration
 
 
@@ -215,7 +218,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_vm(_args: argparse.Namespace) -> int:
+def _cmd_vm(args: argparse.Namespace) -> int:
     from repro.dram.cells import CellTypeMap
     from repro.dram.geometry import DramGeometry
     from repro.dram.module import DramModule
@@ -225,7 +228,7 @@ def _cmd_vm(_args: argparse.Namespace) -> int:
     geometry = DramGeometry(total_bytes=64 * MIB, row_bytes=16 * 1024, num_banks=2)
     host = DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=64))
     hypervisor = Hypervisor(host, hypervisor_zone_bytes=8 * MIB)
-    for _ in range(3):
+    for _ in range(args.guests):
         vm = hypervisor.create_guest(data_bytes=8 * MIB, ptp_bytes=MIB)
         process = vm.kernel.create_process()
         vma = vm.kernel.mmap(process, 4 * PAGE_SIZE)
@@ -366,6 +369,115 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_campaign_report(report, as_json: bool) -> int:
+    """Render a campaign report; returns the CLI exit status.
+
+    Exit 0 when everything recorded so far succeeded (including a partial
+    budget-interrupted run — the checkpoint holds the completed work) and
+    1 when any segment terminally failed.
+    """
+    import json
+
+    if as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        for index, result in enumerate(report.results()):
+            if result is None:
+                print(f"  segment {index}: pending")
+            elif "error" in result:
+                print(f"  segment {index}: FAILED ({result['error']})")
+            else:
+                summary = ", ".join(
+                    f"{key}={result[key]}"
+                    for key in ("outcome", "flips", "exploitable",
+                                "security_downgrades", "sanitizer_violations")
+                    if key in result
+                )
+                print(f"  segment {index}: {result.get('kind', '?')} ok ({summary})")
+        totals = report.fault_totals()
+        fired = {name: count for name, count in totals.items() if count}
+        print(f"faults injected: {sum(totals.values())} "
+              f"({', '.join(f'{k}={v}' for k, v in fired.items()) or 'none fired'})")
+        print(f"segments: {len(report.completed)} completed, "
+              f"{len(report.failed)} failed, {report.remaining} remaining; "
+              f"{report.retries} retries "
+              f"({report.backoff_wait_s:.2f}s backoff)")
+        if report.interrupted:
+            print("campaign interrupted — rerun with `repro resume "
+                  "--checkpoint <path>` to continue")
+    return 1 if report.failed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the standard fault-injection campaign (see repro.faults).
+
+    Deterministic for a fixed seed: two identical invocations produce
+    identical fault counts, segment results and metric tables. ``--smoke``
+    shrinks each segment for CI; ``--max-segments`` stops early with a
+    resumable checkpoint.
+    """
+    from repro import faults, obs, sanitize
+    from repro.faults.campaign import CampaignBudget
+    from repro.faults.scenarios import build_chaos_runner
+
+    obs.reset()
+    sanitize.reset()
+    faults.reset()
+    budget = None
+    if args.max_segments is not None:
+        budget = CampaignBudget(max_segments=args.max_segments)
+    runner = build_chaos_runner(
+        args.seed,
+        num_segments=args.segments,
+        policy=args.policy,
+        smoke=args.smoke,
+        checkpoint_path=args.checkpoint,
+        budget=budget,
+    )
+    report = runner.run()
+    status = _print_campaign_report(report, args.json)
+    if not args.json:
+        print()
+        print(obs.get_registry().format_table())
+    return status
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Continue a chaos campaign from its checkpoint file.
+
+    The campaign's identity (seed, segment count, policy, smoke mode) is
+    read back from the checkpoint, so the merged result is exactly what an
+    uninterrupted run would have produced.
+    """
+    from repro import faults, obs, sanitize
+    from repro.faults.campaign import read_checkpoint
+    from repro.faults.scenarios import build_chaos_runner
+
+    data = read_checkpoint(args.checkpoint)
+    if data["name"] != "chaos":
+        raise ConfigurationError(
+            f"checkpoint {args.checkpoint} records campaign {data['name']!r}; "
+            "repro resume only handles 'chaos' campaigns"
+        )
+    config = data["config"]
+    obs.reset()
+    sanitize.reset()
+    faults.reset()
+    runner = build_chaos_runner(
+        data["seed"],
+        num_segments=data["num_segments"],
+        policy=config.get("policy", "fail-hard"),
+        smoke=config.get("smoke", True),
+        checkpoint_path=args.checkpoint,
+    )
+    report = runner.run(resume=True)
+    status = _print_campaign_report(report, args.json)
+    if not args.json:
+        print()
+        print(obs.get_registry().format_table())
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -388,7 +500,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     subparsers.add_parser("anticell", help="anti-cell ZONE_PTP ablation").set_defaults(func=_cmd_anticell)
     subparsers.add_parser("capacity", help="capacity-loss accounting").set_defaults(func=_cmd_capacity)
     subparsers.add_parser("headline", help="abstract headline numbers").set_defaults(func=_cmd_headline)
-    subparsers.add_parser("vm", help="Section 7 virtual-machine support demo").set_defaults(func=_cmd_vm)
+    vm = subparsers.add_parser("vm", help="Section 7 virtual-machine support demo")
+    vm.add_argument(
+        "--guests", type=int, default=3,
+        help="guest VMs to boot (enough of them exhausts ZONE_HYPERVISOR)",
+    )
+    vm.set_defaults(func=_cmd_vm)
     stats = subparsers.add_parser(
         "stats", help="run a demo attack and dump observability metrics"
     )
@@ -420,10 +537,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="enable the runtime sanitizer suite during the demo",
     )
     check.set_defaults(func=_cmd_check)
+    chaos = subparsers.add_parser(
+        "chaos", help="run the deterministic fault-injection campaign"
+    )
+    chaos.add_argument("--seed", type=_seed, default=1)
+    chaos.add_argument(
+        "--smoke", action="store_true",
+        help="small fast segments (the CI gate configuration)",
+    )
+    chaos.add_argument(
+        "--policy", default="fail-hard",
+        choices=("fail-hard", "reclaim-retry", "screened-fallback"),
+        help="ZONE_PTP exhaustion policy for the CTA segments",
+    )
+    chaos.add_argument(
+        "--segments", type=int, default=6,
+        help="total campaign segments (rotating scenario kinds)",
+    )
+    chaos.add_argument(
+        "--max-segments", type=int, default=None, metavar="N",
+        help="budget: stop after N segments this run (checkpoint keeps the rest)",
+    )
+    chaos.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write resumable campaign state to PATH after every segment",
+    )
+    chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
+    chaos.set_defaults(func=_cmd_chaos)
+    resume = subparsers.add_parser(
+        "resume", help="continue a chaos campaign from its checkpoint"
+    )
+    resume.add_argument("--checkpoint", required=True, metavar="PATH")
+    resume.add_argument("--json", action="store_true", help="emit the report as JSON")
+    resume.set_defaults(func=_cmd_resume)
 
     try:
         args = parser.parse_args(argv)
         return args.func(args)
+    except CapacityError as exc:
+        print(f"repro: capacity exhausted: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2

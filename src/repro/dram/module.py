@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro import sanitize
+from repro import faults, sanitize
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.errors import AddressError, ConfigurationError
@@ -83,8 +83,15 @@ class DramModule:
 
     # -- byte access --------------------------------------------------------
     def read(self, address: int, length: int) -> bytes:
-        """Read ``length`` bytes starting at physical ``address``."""
+        """Read ``length`` bytes starting at physical ``address``.
+
+        An armed ``dram-read-error`` fault may abort the read with a
+        :class:`~repro.errors.TransientFaultError` (uncorrectable-ECC
+        machine-check analogue).
+        """
         self._geometry.check_address(address, length)
+        if faults.get_plane().armed:
+            faults.notify("dram.read", module=self, address=address, length=length)
         self.read_count += 1
         out = bytearray(length)
         cursor = 0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import ConfigurationError
 from repro.units import REFRESH_INTERVAL_S
 
@@ -74,7 +74,13 @@ class RefreshScheduler:
             obs.inc("refresh.rows_restored_late")
 
     def refresh_all(self) -> None:
-        """Refresh every row (one full refresh cycle)."""
+        """Refresh every row (one full refresh cycle).
+
+        An armed ``refresh-stall`` fault suppresses the sweep entirely:
+        rows keep ageing, modelling a stalled refresh engine.
+        """
+        if faults.get_plane().armed and faults.notify("refresh.sweep", scheduler=self):
+            return
         overdue = len(self.overdue_rows()) if self._enabled else 0
         for row in range(self._total_rows):
             self._last_refresh[row] = self._now

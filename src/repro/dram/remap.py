@@ -55,6 +55,23 @@ class RowRemapper:
         return dict(self._table)
 
     @property
+    def total_rows(self) -> int:
+        """Rows in the underlying geometry (valid table-entry range)."""
+        return self._cell_map.geometry.total_rows
+
+    def corrupt_entry(self, logical_row: int, physical_row: int) -> None:
+        """Overwrite a remap-table entry, bypassing every safety rule.
+
+        Fault-injection hook (``remap-corrupt``): models a vendor table
+        gone bad — no spare accounting, no cell-type enforcement. Both
+        rows must still lie inside the geometry so reads stay addressable.
+        """
+        for row in (logical_row, physical_row):
+            if not 0 <= row < self.total_rows:
+                raise RowRemapError(f"row {row} outside [0, {self.total_rows})")
+        self._table[logical_row] = physical_row
+
+    @property
     def available_spares(self) -> List[int]:
         """Spare rows not yet consumed."""
         return list(self._spares)

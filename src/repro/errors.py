@@ -36,6 +36,21 @@ class OutOfMemoryError(KernelError):
     """The buddy allocator could not satisfy an allocation request."""
 
 
+class CapacityError(OutOfMemoryError):
+    """A finite capacity pool is exhausted (ZONE_PTP, ZONE_HYPERVISOR, ...).
+
+    Distinct from a transient allocation failure: the pool was sized at
+    configuration time and demand outgrew it, so retrying without freeing
+    or reconfiguring cannot succeed. Subclasses ``OutOfMemoryError`` so
+    existing allocation-failure handling (sprays, reclaim paths) degrades
+    gracefully, while the CLI can render capacity exhaustion specially.
+    """
+
+    def __init__(self, message: str, zone: str = ""):
+        super().__init__(message)
+        self.zone = zone
+
+
 class ZoneViolationError(KernelError):
     """An allocation would violate a zone policy (e.g. CTA rules 1/2)."""
 
@@ -70,6 +85,23 @@ class AnalysisError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the metrics/trace subsystem (kind mismatch, bad config)."""
+
+
+class FaultInjectionError(ReproError):
+    """Misuse of the fault-injection plane (bad spec, missing target)."""
+
+
+class TransientFaultError(FaultInjectionError):
+    """An *injected* transient failure (e.g. a DRAM read error).
+
+    Raised by fault injectors to abort the operation in flight; campaign
+    runners treat it as retryable. ``fault`` names the injector spec that
+    fired, for attribution in reports.
+    """
+
+    def __init__(self, message: str, fault: str = ""):
+        super().__init__(message)
+        self.fault = fault
 
 
 class SanitizerError(ReproError):

@@ -1,0 +1,336 @@
+"""Crash-safe campaign running: budgets, checkpoints, backoff, resume.
+
+Long campaigns (Algorithm 1 sweeps, probabilistic sprays, Monte Carlo
+batches) are split into numbered *segments*. The runner executes them
+under optional wall-clock / segment budgets, retries segments aborted by
+transient injected faults with exponential backoff, checkpoints completed
+work to JSON after every segment (atomic tmp-file + ``os.replace``), and
+reports partial results when interrupted.
+
+The determinism contract that makes resume trustworthy: segment ``index``
+attempt ``attempt`` always runs with seed ``derive_seed(campaign_seed,
+index, attempt)`` — independent of execution order or history — so a
+killed-and-resumed campaign merges into *exactly* the result an
+uninterrupted run would have produced (asserted by the resume tests).
+Reports derive retry/backoff accounting from the recorded per-segment
+attempt counts rather than live wall-clock, so they compare equal too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Type, Union
+
+from repro import obs
+from repro.errors import ConfigurationError, TransientFaultError
+from repro.rng import DEFAULT_SEED, derive_seed
+
+CHECKPOINT_VERSION = 1
+
+#: ``segment_fn(index, seed, attempt) -> result dict``.
+SegmentFn = Callable[[int, int, int], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class CampaignBudget:
+    """Stop-early limits: segments per run() call and/or wall-clock."""
+
+    max_segments: Optional[int] = None
+    max_wall_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_segments is not None and self.max_segments < 1:
+            raise ConfigurationError(
+                f"max_segments {self.max_segments} must be >= 1"
+            )
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ConfigurationError(f"max_wall_s {self.max_wall_s} must be > 0")
+
+
+def _attempt_backoff_s(attempts: int, base_s: float) -> float:
+    """Total backoff slept before a segment that took ``attempts`` tries."""
+    return sum(base_s * (2**retry) for retry in range(attempts - 1))
+
+
+@dataclass
+class CampaignReport:
+    """Partial or complete campaign results plus retry accounting."""
+
+    name: str
+    seed: int
+    num_segments: int
+    config: Dict[str, Any]
+    backoff_base_s: float
+    completed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    failed: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    interrupted: bool = False
+
+    @property
+    def remaining(self) -> int:
+        """Segments neither completed nor terminally failed."""
+        return self.num_segments - len(self.completed) - len(self.failed)
+
+    @property
+    def retries(self) -> int:
+        """Total retry attempts across all recorded segments."""
+        records = list(self.completed.values()) + list(self.failed.values())
+        return sum(record["attempts"] - 1 for record in records)
+
+    @property
+    def backoff_wait_s(self) -> float:
+        """Total exponential-backoff wait implied by the attempt counts."""
+        records = list(self.completed.values()) + list(self.failed.values())
+        return sum(
+            _attempt_backoff_s(record["attempts"], self.backoff_base_s)
+            for record in records
+        )
+
+    def results(self) -> list:
+        """Per-index merged results: result dict, error record, or None."""
+        out = []
+        for index in range(self.num_segments):
+            if index in self.completed:
+                out.append(self.completed[index]["result"])
+            elif index in self.failed:
+                out.append({"error": self.failed[index]["error_type"]})
+            else:
+                out.append(None)
+        return out
+
+    def fault_totals(self) -> Dict[str, int]:
+        """Injected-fault firings summed over completed segments."""
+        totals: Dict[str, int] = {}
+        for index in sorted(self.completed):
+            faults = self.completed[index]["result"].get("faults", {})
+            for name, count in faults.items():
+                totals[name] = totals.get(name, 0) + int(count)
+        return dict(sorted(totals.items()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Deterministic JSON-ready view (no wall-clock content)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "num_segments": self.num_segments,
+            "config": self.config,
+            "interrupted": self.interrupted,
+            "segments": {
+                "completed": len(self.completed),
+                "failed": len(self.failed),
+                "remaining": self.remaining,
+            },
+            "retries": self.retries,
+            "backoff_wait_s": self.backoff_wait_s,
+            "fault_totals": self.fault_totals(),
+            "results": self.results(),
+        }
+
+
+def read_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate a checkpoint file.
+
+    Raises :class:`ConfigurationError` on a missing, unparseable or
+    wrong-version file.
+    """
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read checkpoint {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"checkpoint {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(data, dict) or data.get("version") != CHECKPOINT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else '?'}"
+        )
+    for key in ("name", "seed", "num_segments", "config", "completed", "failed"):
+        if key not in data:
+            raise ConfigurationError(f"checkpoint {path} is missing {key!r}")
+    return data
+
+
+class CampaignRunner:
+    """Runs numbered segments crash-safely; see the module docstring.
+
+    Parameters
+    ----------
+    name, num_segments, seed, config:
+        Campaign identity; all four are recorded in checkpoints and
+        validated on resume (a mismatch raises ConfigurationError).
+    segment_fn:
+        ``(index, seed, attempt) -> result dict``; the seed is already
+        derived per (campaign seed, index, attempt).
+    budget:
+        Optional per-``run()`` limits; exceeding one stops cleanly with
+        ``interrupted=True`` and the checkpoint holding completed work.
+    checkpoint_path:
+        When set, the campaign state is rewritten atomically after every
+        segment.
+    retryable:
+        Exception types retried with exponential backoff (default: the
+        injected :class:`TransientFaultError`); other ``ReproError``
+        subclasses mark the segment failed immediately.
+    sleep_fn / time_source:
+        Injectable for tests and simulated time; ``sleep_fn=None`` (the
+        default) accounts backoff without real sleeping.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        segment_fn: SegmentFn,
+        num_segments: int,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        budget: Optional[CampaignBudget] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.5,
+        retryable: Tuple[Type[BaseException], ...] = (TransientFaultError,),
+        sleep_fn: Optional[Callable[[float], None]] = None,
+        time_source: Optional[Callable[[], float]] = None,
+    ):
+        if num_segments < 1:
+            raise ConfigurationError(f"num_segments {num_segments} must be >= 1")
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries {max_retries} must be >= 0")
+        if backoff_base_s < 0:
+            raise ConfigurationError(f"backoff_base_s {backoff_base_s} must be >= 0")
+        self._name = name
+        self._segment_fn = segment_fn
+        self._num_segments = num_segments
+        self._seed = DEFAULT_SEED if seed is None else int(seed)
+        self._config: Dict[str, Any] = dict(config or {})
+        self._budget = budget
+        self._checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self._max_retries = max_retries
+        self._backoff_base_s = backoff_base_s
+        self._retryable = retryable
+        self._sleep_fn = sleep_fn
+        self._time_source = time_source or time.monotonic
+
+    @property
+    def checkpoint_path(self) -> Optional[Path]:
+        """Where state is persisted (None = in-memory only)."""
+        return self._checkpoint_path
+
+    # -- running -----------------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Execute pending segments; returns the (possibly partial) report."""
+        completed: Dict[int, Dict[str, Any]] = {}
+        failed: Dict[int, Dict[str, Any]] = {}
+        if resume:
+            completed, failed = self._load_state()
+        started_at = self._time_source()
+        processed = 0
+        for index in range(self._num_segments):
+            if index in completed or index in failed:
+                continue
+            if self._budget_exceeded(processed, started_at):
+                break
+            record, ok = self._run_segment(index)
+            if ok:
+                completed[index] = record
+                obs.inc("campaign.segments", campaign=self._name, status="completed")
+            else:
+                failed[index] = record
+                obs.inc("campaign.segments", campaign=self._name, status="failed")
+            processed += 1
+            self._write_checkpoint(completed, failed)
+        interrupted = (len(completed) + len(failed)) < self._num_segments
+        return CampaignReport(
+            name=self._name,
+            seed=self._seed,
+            num_segments=self._num_segments,
+            config=dict(self._config),
+            backoff_base_s=self._backoff_base_s,
+            completed=completed,
+            failed=failed,
+            interrupted=interrupted,
+        )
+
+    def _budget_exceeded(self, processed: int, started_at: float) -> bool:
+        budget = self._budget
+        if budget is None:
+            return False
+        if budget.max_segments is not None and processed >= budget.max_segments:
+            return True
+        if (
+            budget.max_wall_s is not None
+            and self._time_source() - started_at >= budget.max_wall_s
+        ):
+            return True
+        return False
+
+    def _run_segment(self, index: int) -> Tuple[Dict[str, Any], bool]:
+        attempt = 0
+        while True:
+            seed = derive_seed(self._seed, index, attempt)
+            try:
+                result = self._segment_fn(index, seed, attempt)
+            except self._retryable as exc:
+                attempt += 1
+                if attempt > self._max_retries:
+                    return (
+                        {
+                            "attempts": attempt,
+                            "error": str(exc),
+                            "error_type": type(exc).__name__,
+                        },
+                        False,
+                    )
+                obs.inc("campaign.retries", campaign=self._name)
+                delay = self._backoff_base_s * (2 ** (attempt - 1))
+                if self._sleep_fn is not None and delay > 0:
+                    self._sleep_fn(delay)
+                continue
+            return {"attempts": attempt + 1, "result": result}, True
+
+    # -- checkpointing -----------------------------------------------------
+    def _write_checkpoint(
+        self, completed: Dict[int, Dict[str, Any]], failed: Dict[int, Dict[str, Any]]
+    ) -> None:
+        path = self._checkpoint_path
+        if path is None:
+            return
+        data = {
+            "version": CHECKPOINT_VERSION,
+            "name": self._name,
+            "seed": self._seed,
+            "num_segments": self._num_segments,
+            "config": self._config,
+            "completed": {str(k): v for k, v in sorted(completed.items())},
+            "failed": {str(k): v for k, v in sorted(failed.items())},
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(data, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def _load_state(
+        self,
+    ) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, Dict[str, Any]]]:
+        path = self._checkpoint_path
+        if path is None:
+            raise ConfigurationError("resume requested without a checkpoint_path")
+        data = read_checkpoint(path)
+        expected = {
+            "name": self._name,
+            "seed": self._seed,
+            "num_segments": self._num_segments,
+            "config": self._config,
+        }
+        for key, value in expected.items():
+            if data[key] != value:
+                raise ConfigurationError(
+                    f"checkpoint {path} does not match this campaign: "
+                    f"{key} is {data[key]!r}, expected {value!r}"
+                )
+        completed = {int(k): v for k, v in data["completed"].items()}
+        failed = {int(k): v for k, v in data["failed"].items()}
+        return completed, failed

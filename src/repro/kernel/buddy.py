@@ -96,9 +96,12 @@ class BuddyAllocator:
         """Allocate a 2**order-page block; returns its first (absolute) pfn.
 
         Raises :class:`OutOfMemoryError` when no block of sufficient order
-        is free.
+        is free — or immediately when an armed ``buddy-oom`` fault targets
+        this zone (the ``buddy.prepare_alloc`` hook fires before any free
+        list is touched, so injected pressure never leaks blocks).
         """
         self._check_order(order)
+        sanitize.notify("buddy.prepare_alloc", allocator=self, order=order)
         self.alloc_calls += 1
         found_order = None
         for candidate in range(order, MAX_ORDER + 1):

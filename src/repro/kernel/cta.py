@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from repro.dram.cells import CellType, CellTypeMap
 from repro.errors import ConfigurationError, ZoneViolationError
@@ -261,20 +261,34 @@ class CtaPolicy:
         return self.indicator_zero_count(physical_address) >= 2
 
     # -- rule validation ----------------------------------------------------------
-    def check_rules(self, page_db: PageFrameDatabase) -> None:
+    def check_rules(
+        self,
+        page_db: PageFrameDatabase,
+        acknowledged_downgrades: Optional[FrozenSet[int]] = None,
+    ) -> None:
         """Validate Rules 1 and 2 over the live page-frame database.
 
         Raises :class:`ZoneViolationError` on the first violation:
         - a PAGE_TABLE frame below the low water mark (Rule 1 broken), or
         - a non-PAGE_TABLE allocated frame at or above it (Rule 2 broken),
         - any allocated frame inside an invalid anti-cell range.
+
+        ``acknowledged_downgrades`` exempts specific page-table frames
+        from the Rule 1 check: those served by the screened-fallback
+        exhaustion policy as explicit, separately-counted security
+        downgrades (see :mod:`repro.kernel.degrade`).
         """
         mark_pfn = self.low_water_mark_pfn
+        downgraded = acknowledged_downgrades or frozenset()
         anti_pfn_ranges = [
             (start >> PAGE_SHIFT, end >> PAGE_SHIFT) for start, end in self._anti_cell_ranges
         ]
         for frame in page_db.allocated_frames():
-            if frame.use is PageUse.PAGE_TABLE and frame.pfn < mark_pfn:
+            if (
+                frame.use is PageUse.PAGE_TABLE
+                and frame.pfn < mark_pfn
+                and frame.pfn not in downgraded
+            ):
                 raise ZoneViolationError(
                     f"Rule 1 violated: page-table pfn {frame.pfn} below low water "
                     f"mark pfn {mark_pfn}"

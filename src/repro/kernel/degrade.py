@@ -1,0 +1,127 @@
+"""Graceful degradation when ZONE_PTP runs dry.
+
+CTA's Rule 1 says a page-table allocation may *never* fall back to an
+ordinary zone — that is the defense. But a production deployment must
+still decide what happens when ZONE_PTP is exhausted and reclaim finds
+nothing: today's behavior is to fail the allocation (the paper's answer,
+and still the default), yet an operator may prefer availability over the
+full security guarantee. This module defines the policy knob and the
+*screened fallback* path: a CATT-style compromise that serves the page
+table from an ordinary zone, but only from a true-cell row whose physical
+neighborhood holds no untrusted data, and records the frame as an explicit
+**security downgrade** so sanitizers, ``verify_cta_rules`` and the
+``kernel.security_downgrades`` metric all account for it rather than
+silently weakening the invariant.
+
+Policies (``KernelConfig.ptp_exhaustion_policy``):
+
+``fail-hard``
+    Rule 1 verbatim: one reclaim pass, then :class:`CapacityError`.
+``reclaim-retry``
+    Several reclaim passes before giving up (kswapd pressure loop); still
+    never falls back — only the failure point moves.
+``screened-fallback``
+    After reclaim fails, allocate below the low water mark through
+    :func:`screened_fallback_alloc`; every such frame is a counted
+    downgrade.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Union
+
+from repro.dram.cells import CellType
+from repro.errors import CapacityError, ConfigurationError, OutOfMemoryError
+from repro.kernel.gfp import GFP_KERNEL
+from repro.kernel.page import PageUse
+from repro.units import PAGE_SHIFT
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+#: Reclaim passes attempted under ``reclaim-retry`` before giving up.
+RECLAIM_RETRY_ROUNDS = 4
+
+
+class ExhaustionPolicy(enum.Enum):
+    """What ``pte_alloc_one`` does when ZONE_PTP is exhausted."""
+
+    FAIL_HARD = "fail-hard"
+    RECLAIM_RETRY = "reclaim-retry"
+    SCREENED_FALLBACK = "screened-fallback"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "ExhaustionPolicy"]) -> "ExhaustionPolicy":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(policy.value for policy in cls)
+            raise ConfigurationError(
+                f"unknown ZONE_PTP exhaustion policy {value!r} (choose from {choices})"
+            ) from None
+
+
+def frame_is_screened_safe(kernel: "Kernel", pfn: int) -> bool:
+    """CATT-style screen for a fallback page-table frame below the mark.
+
+    A frame qualifies only when (a) its row is true-cells, so stored PTE
+    pointers keep the monotonic 1->0 failure mode, and (b) neither its own
+    row nor any physically adjacent row holds data an untrusted process
+    can hammer from (USER_DATA / FILE_CACHE owned by an untrusted pid).
+    """
+    module = kernel.module
+    cell_map = module.cell_map
+    geometry = module.geometry
+    row = geometry.row_of_address(pfn << PAGE_SHIFT)
+    if cell_map is None or cell_map.type_of_row(row) is not CellType.TRUE:
+        return False
+    pages_per_row = geometry.row_bytes >> PAGE_SHIFT
+    page_db = kernel.page_db
+    processes = kernel.processes
+    for candidate_row in (row, *geometry.neighbors(row)):
+        base_pfn = (candidate_row * geometry.row_bytes) >> PAGE_SHIFT
+        for neighbor_pfn in range(base_pfn, base_pfn + pages_per_row):
+            if neighbor_pfn == pfn or neighbor_pfn >= page_db.total_pages:
+                continue
+            frame = page_db.frame(neighbor_pfn)
+            if frame.use not in (PageUse.USER_DATA, PageUse.FILE_CACHE):
+                continue
+            owner = processes.get(frame.owner_pid) if frame.owner_pid else None
+            if owner is None or not owner.trusted:
+                return False
+    return True
+
+
+def screened_fallback_alloc(kernel: "Kernel", owner_pid: int, pt_level: int) -> int:
+    """Serve a page table from an ordinary zone, screened and accounted.
+
+    The allocation walks the normal kernel zonelist but rejects every
+    frame failing :func:`frame_is_screened_safe`; the frame that survives
+    is registered as a security downgrade before its ``kernel.page_alloc``
+    event fires, so sanitizers see an *acknowledged* Rule 1 exception
+    instead of a violation. Raises :class:`CapacityError` when no ordinary
+    frame passes the screen either.
+    """
+
+    def screen(pfn: int) -> bool:
+        return frame_is_screened_safe(kernel, pfn)
+
+    try:
+        return kernel.alloc_page(
+            GFP_KERNEL,
+            PageUse.PAGE_TABLE,
+            owner_pid=owner_pid,
+            pt_level=pt_level,
+            frame_filter=screen,
+            downgraded=True,
+        )
+    except OutOfMemoryError:
+        raise CapacityError(
+            "ZONE_PTP exhausted and no ordinary frame passed the "
+            "screened-fallback neighborhood screen",
+            zone="ZONE_PTP",
+        ) from None

@@ -23,7 +23,7 @@ from typing import Dict, List, Tuple
 
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.module import DramModule
-from repro.errors import ConfigurationError, ZoneViolationError
+from repro.errors import CapacityError, ConfigurationError, ZoneViolationError
 from repro.kernel.cta import CtaConfig, CtaPolicy
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.units import PAGE_SHIFT
@@ -215,7 +215,7 @@ class Hypervisor:
     def _allocate_data(self, size: int) -> int:
         base = self._data_cursor
         if base + size > self.zone_hypervisor_base:
-            raise ConfigurationError("host out of guest data memory")
+            raise CapacityError("host out of guest data memory", zone="guest-data")
         self._data_cursor = base + size
         return base
 
@@ -224,7 +224,7 @@ class Hypervisor:
             if end - start >= size:
                 self._ptp_free[index] = (start + size, end)
                 return start
-        raise ConfigurationError("ZONE_HYPERVISOR exhausted")
+        raise CapacityError("ZONE_HYPERVISOR exhausted", zone="ZONE_HYPERVISOR")
 
     # -- invariants ------------------------------------------------------------
     def verify_isolation(self) -> None:

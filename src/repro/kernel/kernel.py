@@ -20,7 +20,7 @@ allocator the attacks exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import obs, sanitize
 from repro.dram.cells import CellTypeMap
@@ -29,6 +29,7 @@ from repro.dram.module import DramModule
 from repro.dram.profiler import CellTypeProfiler
 from repro.errors import (
     AddressError,
+    CapacityError,
     ConfigurationError,
     OutOfMemoryError,
     PageFaultError,
@@ -37,6 +38,11 @@ from repro.errors import (
 )
 from repro.kernel.buddy import BuddyAllocator
 from repro.kernel.cta import CtaConfig, CtaPolicy
+from repro.kernel.degrade import (
+    RECLAIM_RETRY_ROUNDS,
+    ExhaustionPolicy,
+    screened_fallback_alloc,
+)
 from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
 from repro.kernel.mmu import Mmu
 from repro.kernel.page import PageFrameDatabase, PageUse
@@ -60,7 +66,9 @@ class KernelConfig:
     alternation period; ``cta`` enables the paper's defense. When ``cta``
     is set, ``profile_cells`` chooses between running the system-level
     profiler (realistic; default) and trusting the ground-truth map
-    directly (faster for big sweeps).
+    directly (faster for big sweeps), and ``ptp_exhaustion_policy``
+    selects what ``pte_alloc_one`` does when ZONE_PTP runs dry after
+    reclaim (see :mod:`repro.kernel.degrade`).
     """
 
     total_bytes: int = 64 * 1024 * 1024
@@ -71,10 +79,14 @@ class KernelConfig:
     profile_cells: bool = True
     tlb_capacity: int = 1536
     arch: str = "x86_64"
+    ptp_exhaustion_policy: Union[ExhaustionPolicy, str] = ExhaustionPolicy.FAIL_HARD
 
     def __post_init__(self) -> None:
         if self.arch not in ("x86_64", "x86_32"):
             raise ConfigurationError(f"unknown arch {self.arch!r}")
+        self.ptp_exhaustion_policy = ExhaustionPolicy.coerce(
+            self.ptp_exhaustion_policy
+        )
 
 
 @dataclass
@@ -90,6 +102,9 @@ class KernelStats:
     screening_rejections: int = 0
     huge_mappings: int = 0
     ptp_reclaims: int = 0
+    capacity_exhaustions: int = 0
+    security_downgrades: int = 0
+    fallback_screen_rejections: int = 0
 
 
 class Kernel:
@@ -136,6 +151,10 @@ class Kernel:
         #: Frames the Section 7 page-size-bit screening forbids for
         #: high-level page tables (see :mod:`repro.kernel.screening`).
         self._screened_ptp_frames: set = set()
+        #: Page-table frames served below the low water mark by the
+        #: screened-fallback exhaustion policy — each one an acknowledged
+        #: Rule 1 exception (see :mod:`repro.kernel.degrade`).
+        self._downgraded_pt_pfns: set = set()
 
     # -- boot helpers ------------------------------------------------------
     def _build_layout(self, geometry: DramGeometry) -> ZoneLayout:
@@ -223,6 +242,8 @@ class Kernel:
         pt_level: int = 0,
         untrusted: bool = False,
         order: int = 0,
+        frame_filter: Optional[Callable[[int], bool]] = None,
+        downgraded: bool = False,
     ) -> int:
         """Allocate and zero a 2**order-page block according to ``flags``.
 
@@ -232,6 +253,11 @@ class Kernel:
         untrusted allocations skip pages whose PTP indicator has fewer
         than two '0' bits. Frames on the Section 7 page-size-bit screening
         list are never used for high-level page tables.
+
+        ``frame_filter`` rejects candidate head frames (used by the
+        screened-fallback path); ``downgraded`` records the surviving
+        frame as an acknowledged security downgrade before sanitizers see
+        its ``kernel.page_alloc`` event.
         """
         if flags.is_ptp_request and use is not PageUse.PAGE_TABLE:
             raise ZoneViolationError(
@@ -263,6 +289,11 @@ class Kernel:
                         self.stats.screening_rejections += 1
                         obs.inc("kernel.screening_rejections")
                         continue
+                    if frame_filter is not None and not frame_filter(pfn):
+                        rejected.append((allocator, pfn))
+                        self.stats.fallback_screen_rejections += 1
+                        obs.inc("kernel.fallback_screen_rejections")
+                        continue
                     for offset in range(1 << order):
                         self._page_db.mark_allocated(
                             pfn + offset, use, owner_pid=owner_pid,
@@ -273,9 +304,11 @@ class Kernel:
                     )
                     self.stats.page_allocs += 1
                     obs.inc("kernel.page_allocs", use=use.value, zone=zone.name)
+                    if downgraded:
+                        self._register_downgrade(pfn, pt_level)
                     sanitize.notify(
                         "kernel.page_alloc", kernel=self, pfn=pfn, use=use,
-                        order=order, pt_level=pt_level,
+                        order=order, pt_level=pt_level, downgraded=downgraded,
                     )
                     return pfn
             if flags.forbids_fallback:
@@ -298,6 +331,7 @@ class Kernel:
         for offset in range(1 << order):
             self._page_db.mark_free(pfn + offset)
         allocator.free_pages_block(pfn)
+        self._downgraded_pt_pfns.discard(pfn)
         self.stats.page_frees += 1
         obs.inc("kernel.page_frees")
         sanitize.notify("kernel.page_free", kernel=self, pfn=pfn)
@@ -320,10 +354,11 @@ class Kernel:
 
         With CTA enabled the request carries ``__GFP_PTP`` (Rule 1: PTP
         zones only, no fallback); otherwise it is a normal kernel
-        allocation served from any ordinary zone. When ZONE_PTP is full,
-        the kswapd-style reclaimer frees empty last-level tables and the
-        allocation retries once — the "swap daemon is awakened" behaviour
-        of Section 6.1.
+        allocation served from any ordinary zone. When ZONE_PTP is full
+        the configured exhaustion policy takes over (see
+        :meth:`_pte_alloc_degraded`): at least one kswapd-style reclaim
+        pass — the "swap daemon is awakened" behaviour of Section 6.1 —
+        then either a :class:`CapacityError` or the screened fallback.
         """
         flags = GFP_PTP if self.cta_enabled else GFP_KERNEL
         level = table_level if (self._cta_policy and self._cta_policy.config.multilevel) else 0
@@ -333,15 +368,58 @@ class Kernel:
                 flags, PageUse.PAGE_TABLE, owner_pid=owner_pid, pt_level=effective_level
             )
         except OutOfMemoryError:
-            if not self.cta_enabled or self.reclaim_empty_page_tables() == 0:
+            if not self.cta_enabled:
                 raise
-            pfn = self.alloc_page(
-                flags, PageUse.PAGE_TABLE, owner_pid=owner_pid, pt_level=effective_level
-            )
+            pfn = self._pte_alloc_degraded(owner_pid, effective_level)
         self.stats.pte_allocs += 1
         obs.inc("kernel.pte_allocs", level=table_level)
         obs.trace("kernel.pte_alloc", pid=owner_pid, level=table_level, pfn=pfn)
         return pfn
+
+    def _pte_alloc_degraded(self, owner_pid: int, pt_level: int) -> int:
+        """ZONE_PTP is exhausted: reclaim, then apply the configured policy.
+
+        All policies reclaim first (``reclaim-retry`` keeps at it for
+        :data:`~repro.kernel.degrade.RECLAIM_RETRY_ROUNDS` rounds); when
+        reclaim cannot satisfy the request, ``screened-fallback`` serves
+        the table from an ordinary zone as a counted security downgrade
+        and the other policies raise :class:`CapacityError`.
+        """
+        policy = ExhaustionPolicy.coerce(self.config.ptp_exhaustion_policy)
+        self.stats.capacity_exhaustions += 1
+        obs.inc("kernel.capacity_exhaustions", policy=policy.value)
+        rounds = (
+            RECLAIM_RETRY_ROUNDS if policy is ExhaustionPolicy.RECLAIM_RETRY else 1
+        )
+        for _ in range(rounds):
+            if self.reclaim_empty_page_tables() == 0:
+                break
+            try:
+                return self.alloc_page(
+                    GFP_PTP, PageUse.PAGE_TABLE, owner_pid=owner_pid,
+                    pt_level=pt_level,
+                )
+            except OutOfMemoryError:
+                continue
+        if policy is ExhaustionPolicy.SCREENED_FALLBACK:
+            return screened_fallback_alloc(self, owner_pid, pt_level)
+        raise CapacityError(
+            f"ZONE_PTP exhausted under the {policy.value} policy "
+            "(Rule 1 forbids ordinary-zone fallback)",
+            zone="ZONE_PTP",
+        )
+
+    def _register_downgrade(self, pfn: int, pt_level: int) -> None:
+        policy = ExhaustionPolicy.coerce(self.config.ptp_exhaustion_policy)
+        self._downgraded_pt_pfns.add(pfn)
+        self.stats.security_downgrades += 1
+        obs.inc("kernel.security_downgrades", policy=policy.value)
+        obs.trace("kernel.downgrade", pfn=pfn, level=pt_level)
+
+    @property
+    def downgraded_pt_pfns(self) -> frozenset:
+        """Live page-table frames granted as explicit security downgrades."""
+        return frozenset(self._downgraded_pt_pfns)
 
     def reclaim_empty_page_tables(self) -> int:
         """Free last-level page tables that map nothing (kswapd-lite).
@@ -669,9 +747,16 @@ class Kernel:
         return len(self.page_table_pfns(pid)) * PAGE_SIZE
 
     def verify_cta_rules(self) -> None:
-        """Assert CTA Rules 1/2 over the live system (no-op without CTA)."""
+        """Assert CTA Rules 1/2 over the live system (no-op without CTA).
+
+        Frames in :attr:`downgraded_pt_pfns` are exempt from Rule 1 — they
+        were served below the mark deliberately, and are accounted under
+        ``kernel.security_downgrades`` instead of raised as violations.
+        """
         if self._cta_policy is not None:
-            self._cta_policy.check_rules(self._page_db)
+            self._cta_policy.check_rules(
+                self._page_db, acknowledged_downgrades=self._downgraded_pt_pfns
+            )
 
     def zone_usage(self) -> Dict[str, Tuple[int, int]]:
         """Per-zone (free_pages, total_pages) snapshot."""

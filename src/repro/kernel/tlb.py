@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import ConfigurationError
 
 
@@ -68,7 +68,15 @@ class Tlb:
         obs.inc("tlb.flushes", scope="pid")
 
     def invalidate(self, pid: int, vpn: int) -> None:
-        """Drop a single translation (invlpg)."""
+        """Drop a single translation (invlpg).
+
+        An armed ``tlb-stale`` fault suppresses the invalidation, leaving
+        a stale translation cached (lost-IPI / missed-shootdown model).
+        """
+        if faults.get_plane().armed and faults.notify(
+            "tlb.invalidate", tlb=self, pid=pid, vpn=vpn
+        ):
+            return
         self._entries.pop((pid, vpn), None)
 
     @property

@@ -64,6 +64,16 @@ METRICS: Dict[str, str] = {
     # Sanitizers
     "sanitize.checks": "counter",
     "sanitize.violations": "counter",
+    "sanitize.acknowledged_downgrades": "counter",
+    # Fault-injection plane
+    "faults.injected": "counter",
+    # Graceful degradation (ZONE_PTP exhaustion policies)
+    "kernel.capacity_exhaustions": "counter",
+    "kernel.security_downgrades": "counter",
+    "kernel.fallback_screen_rejections": "counter",
+    # Campaign runner
+    "campaign.segments": "counter",
+    "campaign.retries": "counter",
 }
 
 #: Names allowed as the first argument of ``obs.trace``.
@@ -75,6 +85,8 @@ TRACE_EVENTS: FrozenSet[str] = frozenset(
         "attack.spray",
         "attack.escalation",
         "sanitize.violation",
+        "faults.inject",
+        "kernel.downgrade",
     }
 )
 

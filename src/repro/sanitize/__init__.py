@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Mapping, NoReturn, Optional, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.errors import SanitizerError
 
 if TYPE_CHECKING:
@@ -88,6 +88,16 @@ class Sanitizer:
         obs.inc("sanitize.violations", checker=self.name)
         obs.trace("sanitize.violation", checker=self.name, event=event)
         raise SanitizerError(message, checker=self.name, event=event)
+
+    def acknowledge_downgrade(self) -> None:
+        """Count a would-be violation excused by an explicit downgrade.
+
+        Used by checkers whose invariant is deliberately relaxed for
+        frames the screened-fallback exhaustion policy granted (see
+        :mod:`repro.kernel.degrade`) — the event is counted under
+        ``sanitize.acknowledged_downgrades``, not raised.
+        """
+        obs.inc("sanitize.acknowledged_downgrades", checker=self.name)
 
 
 class SanitizerSuite:
@@ -197,7 +207,13 @@ def notify(event: str, **ctx: object) -> None:
 
     This is the hook instrumented layers call unconditionally; when the
     suite is disabled it costs one attribute check and an early return.
+    Events are offered to the fault-injection plane (:mod:`repro.faults`)
+    *before* the checkers see them, so sanitizers validate the perturbed
+    state rather than the pristine one.
     """
+    plane = faults._default_plane
+    if plane._armed:
+        plane.dispatch(event, ctx)
     suite = _default_suite
     if not suite._enabled:
         return

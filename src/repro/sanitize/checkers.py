@@ -9,7 +9,9 @@ event                     context fields
 ========================  ====================================================
 ``buddy.alloc``           ``allocator``, ``pfn`` (absolute head), ``order``
 ``buddy.free``            ``allocator``, ``pfn``, ``order``
-``kernel.page_alloc``     ``kernel``, ``pfn``, ``use``, ``order``, ``pt_level``
+``buddy.prepare_alloc``   ``allocator``, ``order`` (pre-commit; fault plane)
+``kernel.page_alloc``     ``kernel``, ``pfn``, ``use``, ``order``,
+                          ``pt_level``, ``downgraded``
 ``kernel.page_free``      ``kernel``, ``pfn``
 ``dram.bit_flip``         ``module``, ``address``, ``bit``, ``old``, ``new``
 ``rowhammer.hammer``      ``hammer``, ``module``, ``outcome``
@@ -182,6 +184,9 @@ class ZoneContainmentSanitizer(Sanitizer):
         mark_pfn = policy.low_water_mark_pfn
         if use is PageUse.PAGE_TABLE:
             if pfn < mark_pfn:
+                if ctx.get("downgraded") or pfn in self._kernel.downgraded_pt_pfns:
+                    self.acknowledge_downgrade()
+                    return
                 self.violation(
                     f"Rule 1 violated: page table allocated at pfn {pfn}, "
                     f"below the low water mark (pfn {mark_pfn})",
@@ -199,7 +204,10 @@ class ZoneContainmentSanitizer(Sanitizer):
         if policy is None:
             return
         try:
-            policy.check_rules(self._kernel.page_db)
+            policy.check_rules(
+                self._kernel.page_db,
+                acknowledged_downgrades=self._kernel.downgraded_pt_pfns,
+            )
         except ZoneViolationError as exc:
             self.violation(str(exc), "check_all")
 
@@ -247,7 +255,13 @@ class MonotonicPointerSanitizer(Sanitizer):
         if new <= old:
             return  # 1 -> 0 (or no-op): monotone by definition
         kernel = self._kernel
-        if not kernel.is_page_table_pfn(address >> PAGE_SHIFT):
+        pfn = address >> PAGE_SHIFT
+        if not kernel.is_page_table_pfn(pfn):
+            return
+        if pfn in kernel.downgraded_pt_pfns:
+            # Screened-fallback frames sit outside ZONE_PTP's true-cell
+            # guarantee; their exposure is the counted downgrade itself.
+            self.acknowledge_downgrade()
             return
         module = kernel.module
         row = module.geometry.row_of_address(address)
@@ -306,6 +320,9 @@ class NoSelfReferenceSanitizer(Sanitizer):
                 return
             pfn = int(ctx["pfn"])  # type: ignore[call-overload]
             if kernel.is_page_table_pfn(pfn):
+                if pfn in kernel.downgraded_pt_pfns:
+                    self.acknowledge_downgrade()
+                    return
                 self.violation(
                     f"user-mode translation resolved to page-table pfn {pfn}: "
                     "a PTE self-reference window is live",
@@ -330,6 +347,9 @@ class NoSelfReferenceSanitizer(Sanitizer):
                     continue
                 target = PageTableEntry.decode(raw).pfn
                 if target in page_table_pfns:
+                    if target in kernel.downgraded_pt_pfns:
+                        self.acknowledge_downgrade()
+                        continue
                     self.violation(
                         "No-Self-Reference violated: leaf PTE at "
                         f"{base + slot * PTE_SIZE:#x} points at page-table "

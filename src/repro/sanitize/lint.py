@@ -20,6 +20,11 @@ RL005    metric/trace names passed to :mod:`repro.obs` helpers match the
          frozen contract in :mod:`repro.obs.contract`, including the metric
          kind (``inc`` -> counter, ``set_gauge`` -> gauge, ``observe`` ->
          histogram)
+RL006    fault-plane determinism: :mod:`repro.faults` modules must not import
+         ``secrets`` / ``uuid``, call ``os.urandom`` / ``time.time``, or seed
+         ``make_rng`` implicitly (no-arg / ``None``) — every fault schedule
+         must replay exactly from an explicit seed (``time.monotonic`` is
+         fine: it measures budgets, it never feeds a schedule)
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -42,7 +47,11 @@ RULES: Dict[str, str] = {
     "RL003": "all raises must derive from ReproError",
     "RL004": "every *Attack class must be registered in attacks/registry.py",
     "RL005": "obs metric/trace names must match the frozen contract",
+    "RL006": "repro.faults must stay deterministic (no ambient entropy/clock)",
 }
+
+#: Module imports RL006 forbids inside :mod:`repro.faults`.
+_RL006_FORBIDDEN_IMPORTS = ("secrets", "uuid")
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -94,12 +103,19 @@ def _ignores_by_line(source: str) -> Dict[int, Optional[Set[str]]]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Applies the per-file rules (RL001/RL002/RL003/RL005) to one module."""
+    """Applies the per-file rules (RL001/02/03/05/06) to one module."""
 
-    def __init__(self, path: str, allowed_raises: FrozenSet[str], check_rng: bool):
+    def __init__(
+        self,
+        path: str,
+        allowed_raises: FrozenSet[str],
+        check_rng: bool,
+        check_fault_determinism: bool = False,
+    ):
         self.path = path
         self.allowed_raises = allowed_raises
         self.check_rng = check_rng
+        self.check_fault_determinism = check_fault_determinism
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -109,7 +125,7 @@ class _FileLinter(ast.NodeVisitor):
             LintFinding(rule=rule, path=self.path, line=getattr(node, "lineno", 0), message=message)
         )
 
-    # -- RL001: RNG discipline --------------------------------------------
+    # -- RL001 + RL006: RNG / entropy discipline ---------------------------
     def visit_Import(self, node: ast.Import) -> None:
         if self.check_rng:
             for alias in node.names:
@@ -121,6 +137,16 @@ class _FileLinter(ast.NodeVisitor):
                         node,
                         f"import of {alias.name!r}; route randomness through "
                         "repro.rng.make_rng",
+                    )
+        if self.check_fault_determinism:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _RL006_FORBIDDEN_IMPORTS:
+                    self._add(
+                        "RL006",
+                        node,
+                        f"import of {alias.name!r} in repro.faults; fault "
+                        "schedules must derive from explicit seeds only",
                     )
         self.generic_visit(node)
 
@@ -140,6 +166,15 @@ class _FileLinter(ast.NodeVisitor):
                     node,
                     "import of numpy.random; route randomness through "
                     "repro.rng.make_rng",
+                )
+        if self.check_fault_determinism:
+            root = (node.module or "").split(".")[0]
+            if root in _RL006_FORBIDDEN_IMPORTS:
+                self._add(
+                    "RL006",
+                    node,
+                    f"import from {node.module!r} in repro.faults; fault "
+                    "schedules must derive from explicit seeds only",
                 )
         self.generic_visit(node)
 
@@ -196,6 +231,8 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
+        if self.check_fault_determinism:
+            self._check_rl006_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -233,6 +270,37 @@ class _FileLinter(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
+    def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL006 call checks: ambient entropy/clock and implicit seeds."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            dotted = f"{func.value.id}.{func.attr}"
+            if dotted in ("os.urandom", "time.time"):
+                self._add(
+                    "RL006",
+                    node,
+                    f"call to {dotted} in repro.faults; wall-clock/entropy "
+                    "would make fault schedules unreplayable",
+                )
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name == "make_rng":
+            seed_arg: Optional[ast.expr] = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_arg = keyword.value
+            if seed_arg is None or (
+                isinstance(seed_arg, ast.Constant) and seed_arg.value is None
+            ):
+                self._add(
+                    "RL006",
+                    node,
+                    "make_rng without an explicit seed in repro.faults; "
+                    "fault schedules must replay from a recorded seed",
+                )
+
 
 def _filter_ignores(
     findings: Sequence[LintFinding], ignores: Dict[int, Optional[Set[str]]]
@@ -257,13 +325,18 @@ def lint_source(
 
     Returns ``(findings, attack_classes)``; the attack classes feed the
     cross-file RL004 check in :func:`run_lint`. ``path`` determines the
-    RL001 exemption (``rng.py`` is the sanctioned numpy.random user).
+    RL001 exemption (``rng.py`` is the sanctioned numpy.random user) and
+    RL006 activation (modules under a ``faults`` package directory).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
     check_rng = Path(path).name != "rng.py"
+    check_fault_determinism = "faults" in Path(path).parts
     tree = ast.parse(source, filename=path)
-    linter = _FileLinter(path, allowed_raises, check_rng)
+    linter = _FileLinter(
+        path, allowed_raises, check_rng,
+        check_fault_determinism=check_fault_determinism,
+    )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))
     return findings, linter.attack_classes

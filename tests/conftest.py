@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import obs, sanitize
+from repro import faults, obs, sanitize
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
@@ -51,6 +51,19 @@ def _fresh_sanitize_suite():
     sanitize.set_suite(sanitize.SanitizerSuite())
     yield
     sanitize.set_suite(sanitize.SanitizerSuite())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_plane():
+    """Isolate the process-wide fault-injection plane per test.
+
+    A test that arms injectors (directly or through a chaos segment)
+    must not leave a live plane behind: every hook point consults the
+    default plane, so a leak would perturb unrelated tests.
+    """
+    faults.set_plane(faults.FaultPlane())
+    yield
+    faults.set_plane(faults.FaultPlane())
 
 
 @pytest.fixture

@@ -93,3 +93,56 @@ class TestLiveCommands:
         assert main(["fig5", "--seed", "1"]) == 0
         output = capsys.readouterr().out
         assert "monotonically" in output
+
+
+class TestCapacityExitContract:
+    """CapacityError exits 2 with one ``repro: capacity exhausted:`` line."""
+
+    def test_vm_guest_overcommit(self, capsys):
+        assert main(["vm", "--guests", "9"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: capacity exhausted:")
+        assert err.count("\n") == 1
+
+
+@pytest.mark.slow
+class TestChaosCommands:
+    def test_chaos_smoke_is_deterministic(self, capsys):
+        argv = ["chaos", "--smoke", "--seed", "1", "--segments", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "faults injected" in first
+
+    def test_chaos_smoke_reports_fault_metrics(self, capsys):
+        assert main(["chaos", "--smoke", "--seed", "1", "--segments", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "faults.injected" in output
+        assert "campaign.segments" in output
+
+    def test_chaos_checkpoint_then_resume_merges(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck.json")
+        base = ["chaos", "--smoke", "--seed", "1", "--segments", "3"]
+        assert main(base + ["--max-segments", "1", "--checkpoint", ck]) == 0
+        interrupted = capsys.readouterr().out
+        assert "repro resume" in interrupted  # hint for the operator
+        assert main(["resume", "--checkpoint", ck]) == 0
+        resumed = capsys.readouterr().out
+        assert main(base) == 0
+        uninterrupted = capsys.readouterr().out
+
+        def summary_lines(text):
+            return [
+                line
+                for line in text.splitlines()
+                if line.startswith("segment ") or "faults injected" in line
+            ]
+
+        assert summary_lines(resumed) == summary_lines(uninterrupted)
+
+    def test_resume_with_bad_checkpoint_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["resume", "--checkpoint", missing]) == 2
+        assert "repro: error:" in capsys.readouterr().err

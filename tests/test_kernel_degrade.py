@@ -1,0 +1,203 @@
+"""ZONE_PTP exhaustion policies: fail-hard, reclaim-retry, screened-fallback.
+
+Exhaustion is induced the same way the ``ptp-exhaust`` injector does it —
+by draining every free PTP sub-zone block — so these tests exercise the
+exact degradation path a chaos campaign hits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import SMALL_BANKS, SMALL_ROW
+from repro import obs, sanitize
+from repro.errors import CapacityError, ConfigurationError, OutOfMemoryError
+from repro.kernel.degrade import (
+    ExhaustionPolicy,
+    frame_is_screened_safe,
+    screened_fallback_alloc,
+)
+from repro.kernel.cta import CtaConfig
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.zones import ZoneId
+from repro.units import MIB, PAGE_SIZE
+
+
+def drain_zone_ptp(kernel):
+    """Grab every free ZONE_PTP block, exactly like PtpExhaustionInjector."""
+    held = []
+    for zone in kernel.layout.zones:
+        if zone.zone_id is not ZoneId.PTP:
+            continue
+        allocator = kernel.allocator_for_zone(zone)
+        while True:
+            try:
+                held.append((allocator, allocator.alloc_pages(0)))
+            except OutOfMemoryError:
+                break
+    return held
+
+
+def make_kernel(policy: str):
+    return Kernel(
+        KernelConfig(
+            total_bytes=32 * MIB,
+            row_bytes=SMALL_ROW,
+            num_banks=SMALL_BANKS,
+            cell_interleave_rows=32,
+            cta=CtaConfig(ptp_bytes=MIB),
+            ptp_exhaustion_policy=policy,
+        )
+    )
+
+
+class TestExhaustionPolicy:
+    def test_coerce_accepts_strings_and_members(self):
+        assert ExhaustionPolicy.coerce("fail-hard") is ExhaustionPolicy.FAIL_HARD
+        assert (
+            ExhaustionPolicy.coerce(ExhaustionPolicy.SCREENED_FALLBACK)
+            is ExhaustionPolicy.SCREENED_FALLBACK
+        )
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ExhaustionPolicy.coerce("best-effort")
+
+    def test_kernel_config_coerces_policy(self):
+        kernel = make_kernel("reclaim-retry")
+        assert (
+            kernel.config.ptp_exhaustion_policy is ExhaustionPolicy.RECLAIM_RETRY
+        )
+
+    def test_kernel_config_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_kernel("best-effort")
+
+
+class TestFailHard:
+    def test_exhaustion_raises_capacity_error(self):
+        kernel = make_kernel("fail-hard")
+        process = kernel.create_process()  # root table before the drain
+        drain_zone_ptp(kernel)
+        with pytest.raises(CapacityError) as excinfo:
+            kernel.pte_alloc_one(process.pid, 1)
+        assert excinfo.value.zone == "ZONE_PTP"
+        assert kernel.stats.capacity_exhaustions == 1
+        assert kernel.stats.security_downgrades == 0
+        counter = obs.get_registry().counter("kernel.capacity_exhaustions")
+        assert counter.value(policy="fail-hard") == 1
+
+    def test_exhaustion_with_sanitizers_no_violations(self):
+        kernel = make_kernel("fail-hard")
+        suite = sanitize.install(kernel)
+        process = kernel.create_process()
+        drain_zone_ptp(kernel)
+        with pytest.raises(CapacityError):
+            kernel.pte_alloc_one(process.pid, 1)
+        suite.check_now()
+        assert suite.violations == 0
+
+    def test_capacity_error_is_an_oom(self):
+        # Spray loops catch OutOfMemoryError; exhaustion must stay inside
+        # that contract so attacks degrade gracefully instead of crashing.
+        assert issubclass(CapacityError, OutOfMemoryError)
+
+
+class TestReclaimRetry:
+    def test_reclaims_empty_tables_and_succeeds(self):
+        kernel = make_kernel("reclaim-retry")
+        process = kernel.create_process()
+        vma = kernel.mmap(process, PAGE_SIZE)
+        kernel.touch(process, vma.start, write=True)
+        kernel.munmap(process, vma)  # clears PTEs, leaves the empty table
+        held = drain_zone_ptp(kernel)
+        pfn = kernel.pte_alloc_one(process.pid, 1)
+        frame = kernel.page_db.frame(pfn)
+        assert frame.pt_level == 1
+        assert kernel.stats.capacity_exhaustions == 1
+        assert kernel.stats.ptp_reclaims >= 1
+        assert kernel.stats.security_downgrades == 0
+        assert held  # the drain really took blocks
+
+    def test_nothing_reclaimable_raises(self):
+        kernel = make_kernel("reclaim-retry")
+        process = kernel.create_process()
+        drain_zone_ptp(kernel)
+        with pytest.raises(CapacityError):
+            kernel.pte_alloc_one(process.pid, 1)
+
+
+class TestScreenedFallback:
+    def test_fallback_frame_is_accounted_downgrade(self):
+        kernel = make_kernel("screened-fallback")
+        process = kernel.create_process()
+        drain_zone_ptp(kernel)
+        pfn = kernel.pte_alloc_one(process.pid, 1)
+        assert pfn in kernel.downgraded_pt_pfns
+        assert kernel.stats.security_downgrades == 1
+        counter = obs.get_registry().counter("kernel.security_downgrades")
+        assert counter.value(policy="screened-fallback") == 1
+        trace = obs.get_registry().trace.events(name="kernel.downgrade")
+        assert len(trace) == 1
+        # The frame lives below the low water mark (an ordinary zone).
+        assert pfn < kernel.cta_policy.low_water_mark_pfn
+
+    def test_fallback_passes_screen(self):
+        kernel = make_kernel("screened-fallback")
+        process = kernel.create_process()
+        drain_zone_ptp(kernel)
+        pfn = kernel.pte_alloc_one(process.pid, 1)
+        assert frame_is_screened_safe(kernel, pfn)
+
+    def test_fallback_with_sanitizers_acknowledged_not_violated(self):
+        kernel = make_kernel("screened-fallback")
+        suite = sanitize.install(kernel)
+        drain_zone_ptp(kernel)
+        process = kernel.create_process()
+        vma = kernel.mmap(process, PAGE_SIZE)
+        kernel.touch(process, vma.start, write=True)
+        suite.check_now()
+        kernel.verify_cta_rules()
+        assert suite.violations == 0
+        assert kernel.stats.security_downgrades >= 1
+        acknowledged = obs.get_registry().counter("sanitize.acknowledged_downgrades")
+        assert acknowledged.total() >= 1
+
+    def test_freeing_downgraded_frame_clears_the_record(self):
+        kernel = make_kernel("screened-fallback")
+        process = kernel.create_process()
+        drain_zone_ptp(kernel)
+        pfn = kernel.pte_alloc_one(process.pid, 1)
+        kernel.free_page(pfn)
+        assert pfn not in kernel.downgraded_pt_pfns
+
+    def test_screen_rejects_untrusted_neighborhood(self):
+        kernel = make_kernel("screened-fallback")
+        untrusted = kernel.create_process()  # processes default to untrusted
+        # Fill ordinary memory with untrusted data so no neighborhood is
+        # clean, then exhaust ZONE_PTP: even the fallback must refuse.
+        from repro.kernel.gfp import GFP_USER
+        from repro.kernel.page import PageUse
+
+        filled = []
+        while True:
+            try:
+                filled.append(
+                    kernel.alloc_page(
+                        GFP_USER,
+                        PageUse.USER_DATA,
+                        owner_pid=untrusted.pid,
+                        untrusted=True,
+                    )
+                )
+            except OutOfMemoryError:
+                break
+        # Free a few scattered frames: they become allocation candidates,
+        # but each sits in a row still packed with untrusted data, so the
+        # neighborhood screen must reject every one of them.
+        for pfn in filled[10:50:10]:
+            kernel.free_page(pfn)
+        drain_zone_ptp(kernel)
+        with pytest.raises(CapacityError):
+            screened_fallback_alloc(kernel, untrusted.pid, 1)
+        assert kernel.stats.fallback_screen_rejections > 0

@@ -5,7 +5,7 @@ import pytest
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
-from repro.errors import ConfigurationError, ZoneViolationError
+from repro.errors import CapacityError, ConfigurationError, ZoneViolationError
 from repro.kernel.hypervisor import GuestPhysicalWindow, Hypervisor
 from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
 
@@ -126,7 +126,7 @@ class TestHypervisor:
     def test_hypervisor_zone_exhaustion(self, host_module):
         hypervisor = Hypervisor(host_module, hypervisor_zone_bytes=MIB)
         hypervisor.create_guest(data_bytes=2 * MIB, ptp_bytes=MIB)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(CapacityError):
             hypervisor.create_guest(data_bytes=2 * MIB, ptp_bytes=MIB)
 
     def test_guest_ptp_slices_are_true_cells(self, hypervisor, host_module):

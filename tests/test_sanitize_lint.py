@@ -173,13 +173,56 @@ class TestRL004Registry:
         assert run_lint([str(attacks)]) == []
 
 
+class TestRL006FaultDeterminism:
+    FAULTS_PATH = "src/repro/faults/injectors.py"
+
+    def _rules_at(self, source, path=FAULTS_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_secrets_import_flagged_in_faults(self):
+        assert "RL006" in self._rules_at("import secrets\n")
+
+    def test_uuid_import_flagged_in_faults(self):
+        assert "RL006" in self._rules_at("from uuid import uuid4\n")
+
+    def test_os_urandom_flagged_in_faults(self):
+        assert "RL006" in self._rules_at("import os\nx = os.urandom(8)\n")
+
+    def test_time_time_flagged_in_faults(self):
+        assert "RL006" in self._rules_at("import time\nt = time.time()\n")
+
+    def test_time_monotonic_allowed(self):
+        src = "import time\nt = time.monotonic()\n"
+        assert "RL006" not in self._rules_at(src)
+
+    def test_unseeded_make_rng_flagged_in_faults(self):
+        src = "from repro.rng import make_rng\nrng = make_rng()\n"
+        assert "RL006" in self._rules_at(src)
+
+    def test_none_seed_make_rng_flagged_in_faults(self):
+        src = "from repro.rng import make_rng\nrng = make_rng(seed=None)\n"
+        assert "RL006" in self._rules_at(src)
+
+    def test_seeded_make_rng_is_clean(self):
+        src = "from repro.rng import make_rng\nrng = make_rng(7)\n"
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_under_faults(self):
+        # The same entropy sources are legal elsewhere in the package.
+        src = "import time\nt = time.time()\n"
+        assert "RL006" not in self._rules_at(src, path="src/repro/kernel/kernel.py")
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
         assert finding.format() == "src/x.py:7: RL002: bad"
 
     def test_all_rules_documented(self):
-        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert set(RULES) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        }
 
     def test_syntax_error_propagates(self):
         with pytest.raises(SyntaxError):
