@@ -12,9 +12,11 @@ Usage::
     python -m repro capacity        # Section 6.2 capacity accounting
     python -m repro headline        # abstract's headline numbers
     python -m repro stats --trace 5 # demo attack + observability dump
-    python -m repro lint            # static contract checks (RL001..RL006)
+    python -m repro lint            # static contract checks (RL001..RL007)
     python -m repro check --sanitize# attack demo under runtime sanitizers
     python -m repro chaos --smoke   # fault-injection campaign (deterministic)
+    python -m repro chaos --smoke --workers 4        # same results, fanned out
+    python -m repro bench --quick   # hot-path microbenchmarks
     python -m repro resume --checkpoint chaos.json   # continue a killed run
 
 All errors raised by the simulator derive from
@@ -418,7 +420,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     """
     from repro import faults, obs, sanitize
     from repro.faults.campaign import CampaignBudget
-    from repro.faults.scenarios import build_chaos_runner
+    from repro.faults.scenarios import run_chaos_campaign
 
     obs.reset()
     sanitize.reset()
@@ -426,20 +428,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     budget = None
     if args.max_segments is not None:
         budget = CampaignBudget(max_segments=args.max_segments)
-    runner = build_chaos_runner(
+    report = run_chaos_campaign(
         args.seed,
         num_segments=args.segments,
         policy=args.policy,
         smoke=args.smoke,
         checkpoint_path=args.checkpoint,
         budget=budget,
+        workers=args.workers,
     )
-    report = runner.run()
     status = _print_campaign_report(report, args.json)
     if not args.json:
         print()
         print(obs.get_registry().format_table())
     return status
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path microbenchmarks and write ``BENCH_hotpath.json``.
+
+    ``--baseline`` turns the run into a CI gate: exit 1 when any case's
+    ops/s falls below the committed baseline divided by
+    ``--max-regression``.
+    """
+    from repro.perf.bench import bench_main
+
+    return bench_main(
+        quick=args.quick,
+        output=args.output,
+        baseline=args.baseline,
+        max_regression=args.max_regression,
+    )
 
 
 def _cmd_resume(args: argparse.Namespace) -> int:
@@ -562,8 +581,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--checkpoint", default=None, metavar="PATH",
         help="write resumable campaign state to PATH after every segment",
     )
+    chaos.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan segments out across N worker processes (same results as "
+        "serial for the same seed; 1 = serial reference path)",
+    )
     chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
+    bench = subparsers.add_parser(
+        "bench", help="hot-path microbenchmarks (vectorized vs scalar)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller iteration counts (the CI smoke configuration)",
+    )
+    bench.add_argument(
+        "--output", default="BENCH_hotpath.json", metavar="PATH",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="committed baseline to gate against; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=2.0, metavar="FACTOR",
+        help="allowed slowdown vs the baseline before failing (default: %(default)s)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     resume = subparsers.add_parser(
         "resume", help="continue a chaos campaign from its checkpoint"
     )

@@ -48,6 +48,16 @@ class DramModule:
         self._cell_map = cell_map
         self._fill_byte = fill_byte
         self._rows: Dict[int, np.ndarray] = {}
+        # Cached little-endian u64 aliases of backing arrays (see u64_view).
+        self._u64_views: Dict[int, np.ndarray] = {}
+        # Bumped whenever a backing array is dropped so external caches of
+        # row views (e.g. the MMU page-table cache) can cheaply revalidate.
+        self._generation = 0
+        # Cached faults.armed() result, refreshed when the fault-plane
+        # epoch moves — keeps the common disarmed read path to one int
+        # compare instead of two module lookups plus attribute probes.
+        self._faults_epoch = -1
+        self._faults_armed = False
         #: Count of writes/reads, useful for benchmarks.
         self.write_count = 0
         self.read_count = 0
@@ -68,6 +78,26 @@ class DramModule:
         """Number of rows currently backed by real arrays."""
         return len(self._rows)
 
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped when a backing array is dropped.
+
+        Views returned by :meth:`u64_view` / :meth:`row_u64_view` alias
+        live storage and stay valid across in-place writes; only
+        :meth:`forget_row` re-binds arrays. Callers caching views compare
+        this counter to detect that.
+        """
+        return self._generation
+
+    @property
+    def fault_plane_armed(self) -> bool:
+        """Whether the process fault plane is armed (epoch-cached)."""
+        current = faults.epoch()
+        if current != self._faults_epoch:
+            self._faults_epoch = current
+            self._faults_armed = faults.armed()
+        return self._faults_armed
+
     # -- row materialisation ----------------------------------------------
     def _row_array(self, row: int, materialize: bool = True) -> Optional[np.ndarray]:
         existing = self._rows.get(row)
@@ -79,7 +109,9 @@ class DramModule:
 
     def forget_row(self, row: int) -> None:
         """Drop a row's backing array (its content reverts to fill_byte)."""
-        self._rows.pop(row, None)
+        if self._rows.pop(row, None) is not None:
+            self._u64_views.pop(row, None)
+            self._generation += 1
 
     # -- byte access --------------------------------------------------------
     def read(self, address: int, length: int) -> bytes:
@@ -90,16 +122,24 @@ class DramModule:
         machine-check analogue).
         """
         self._geometry.check_address(address, length)
-        if faults.get_plane().armed:
+        if self.fault_plane_armed:
             faults.notify("dram.read", module=self, address=address, length=length)
         self.read_count += 1
+        row_bytes = self._geometry.row_bytes
+        row, offset = divmod(address, row_bytes)
+        if offset + length <= row_bytes:
+            # Single-row fast path: no chunking loop, one slice copy.
+            backing = self._rows.get(row)
+            if backing is None:
+                return bytes([self._fill_byte]) * length
+            return backing[offset : offset + length].tobytes()
         out = bytearray(length)
         cursor = 0
         while cursor < length:
             addr = address + cursor
-            row = addr // self._geometry.row_bytes
-            offset = addr % self._geometry.row_bytes
-            chunk = min(length - cursor, self._geometry.row_bytes - offset)
+            row = addr // row_bytes
+            offset = addr % row_bytes
+            chunk = min(length - cursor, row_bytes - offset)
             backing = self._rows.get(row)
             if backing is None:
                 out[cursor : cursor + chunk] = bytes([self._fill_byte]) * chunk
@@ -110,15 +150,24 @@ class DramModule:
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data`` at physical ``address``."""
-        self._geometry.check_address(address, len(data))
+        length = len(data)
+        self._geometry.check_address(address, length)
         self.write_count += 1
-        view = np.frombuffer(bytes(data), dtype=np.uint8)
+        row_bytes = self._geometry.row_bytes
+        row, offset = divmod(address, row_bytes)
+        if offset + length <= row_bytes:
+            # Single-row fast path; frombuffer aliases the caller's bytes
+            # (no intermediate copy), the slice assignment does the copy.
+            backing = self._row_array(row)
+            backing[offset : offset + length] = np.frombuffer(data, dtype=np.uint8)
+            return
+        view = np.frombuffer(data, dtype=np.uint8)
         cursor = 0
-        while cursor < len(data):
+        while cursor < length:
             addr = address + cursor
-            row = addr // self._geometry.row_bytes
-            offset = addr % self._geometry.row_bytes
-            chunk = min(len(data) - cursor, self._geometry.row_bytes - offset)
+            row = addr // row_bytes
+            offset = addr % row_bytes
+            chunk = min(length - cursor, row_bytes - offset)
             backing = self._row_array(row)
             backing[offset : offset + chunk] = view[cursor : cursor + chunk]
             cursor += chunk
@@ -153,15 +202,18 @@ class DramModule:
         return (self.read(address, 1)[0] >> bit) & 1
 
     def write_bit(self, address: int, bit: int, value: int) -> None:
-        """Set one bit of the byte at ``address``."""
+        """Set one bit of the byte at ``address`` (in place, no RMW round-trip)."""
         if not 0 <= bit < 8:
             raise AddressError(f"bit index {bit} outside [0, 8)")
-        current = self.read(address, 1)[0]
+        self._geometry.check_address(address, 1)
+        self.write_count += 1
+        row, offset = divmod(address, self._geometry.row_bytes)
+        backing = self._row_array(row)
+        current = int(backing[offset])
         if value:
-            updated = current | (1 << bit)
+            backing[offset] = current | (1 << bit)
         else:
-            updated = current & ~(1 << bit)
-        self.write(address, bytes([updated]))
+            backing[offset] = current & ~(1 << bit) & 0xFF
 
     def flip_bit(self, address: int, bit: int) -> Tuple[int, int]:
         """Invert one bit; returns ``(old, new)`` values."""
@@ -172,6 +224,108 @@ class DramModule:
             "dram.bit_flip", module=self, address=address, bit=bit, old=old, new=new
         )
         return old, new
+
+    # -- batched row-level primitives -----------------------------------------
+    def _check_row_positions(self, row: int, positions: np.ndarray) -> None:
+        if not 0 <= row < self._geometry.total_rows:
+            raise AddressError(f"row {row} outside module")
+        if positions.size and (
+            int(positions.min()) < 0
+            or int(positions.max()) >= self._geometry.row_bytes * 8
+        ):
+            raise AddressError(f"bit position outside row {row}")
+
+    def read_bits(self, row: int, positions: np.ndarray) -> np.ndarray:
+        """Logic values of row-relative bit positions, in one batched read.
+
+        ``positions`` are row-relative bit indices (``byte*8 + bit``).
+        Returns a uint8 array of 0/1 values aligned with ``positions``.
+        Counts as one read. Unlike :meth:`read_bit` this does not offer a
+        ``dram.read`` event to the fault plane — hammer hot paths fall
+        back to the scalar primitives when the plane is armed precisely so
+        fault schedules stay bit-identical (see ``RowHammerModel``).
+        """
+        positions = np.ascontiguousarray(positions, dtype=np.int64)
+        self._check_row_positions(row, positions)
+        self.read_count += 1
+        if positions.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        shifts = (positions & 7).astype(np.uint8)
+        backing = self._rows.get(row)
+        if backing is None:
+            byte_values = np.full(positions.shape, self._fill_byte, dtype=np.uint8)
+        else:
+            byte_values = backing[positions >> 3]
+        return (byte_values >> shifts) & np.uint8(1)
+
+    def apply_bit_flips(
+        self, row: int, positions: np.ndarray, targets: np.ndarray
+    ) -> int:
+        """Set row-relative bits to target values in one batched write.
+
+        ``positions`` are row-relative bit indices; ``targets`` the 0/1
+        value each bit is forced to. Duplicate positions are safe (ops are
+        idempotent per direction). Counts as one write; returns the number
+        of positions touched.
+        """
+        positions = np.ascontiguousarray(positions, dtype=np.int64)
+        self._check_row_positions(row, positions)
+        targets = np.ascontiguousarray(targets, dtype=np.uint8)
+        if targets.shape != positions.shape:
+            raise ConfigurationError(
+                f"targets shape {targets.shape} != positions shape {positions.shape}"
+            )
+        self.write_count += 1
+        if positions.size == 0:
+            return 0
+        backing = self._row_array(row)
+        byte_idx = positions >> 3
+        masks = np.uint8(1) << (positions & 7).astype(np.uint8)
+        setting = targets != 0
+        if setting.any():
+            np.bitwise_or.at(backing, byte_idx[setting], masks[setting])
+        clearing = ~setting
+        if clearing.any():
+            np.bitwise_and.at(backing, byte_idx[clearing], np.invert(masks[clearing]))
+        return int(positions.size)
+
+    def row_u64_view(self, row: int) -> np.ndarray:
+        """Little-endian u64 alias of ``row``'s backing array (materializes it).
+
+        The view shares storage with the row: in-place byte writes are
+        immediately visible through it and vice versa. It is invalidated
+        only by :meth:`forget_row` — watch :attr:`generation`.
+        """
+        view = self._u64_views.get(row)
+        if view is None:
+            if self._geometry.row_bytes % 8:
+                raise AddressError(
+                    f"row size {self._geometry.row_bytes} not u64-viewable"
+                )
+            backing = self._row_array(row)
+            view = backing.view(np.dtype("<u8"))
+            self._u64_views[row] = view
+        return view
+
+    def u64_view(self, address: int, count: int) -> Optional[np.ndarray]:
+        """Aliasing u64 view of ``count`` words at ``address``, or ``None``.
+
+        Returns ``None`` (caller falls back to :meth:`read_u64`) when the
+        span is unaligned, crosses a row boundary, or leaves the module.
+        Used by the MMU to index page-table entries without a full
+        ``read()`` per walk level.
+        """
+        row_bytes = self._geometry.row_bytes
+        span = 8 * count
+        if address < 0 or count < 0 or address % 8 or row_bytes % 8:
+            return None
+        if address + span > self._geometry.total_bytes:
+            return None
+        row, offset = divmod(address, row_bytes)
+        if offset + span > row_bytes:
+            return None
+        start = offset // 8
+        return self.row_u64_view(row)[start : start + count]
 
     # -- charge semantics ------------------------------------------------------
     def decay_bits(self, row: int, bit_positions: Iterable[int]) -> int:

@@ -20,8 +20,9 @@ current value matches its flip source changes to its flip target.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
 
 from repro import obs, sanitize
 from repro.dram.cells import CellType
@@ -128,15 +129,21 @@ class RowHammerModel:
         each vulnerable bit's trigger probability is divided by ``m``
         (fewer activations fit in a refresh window). The paper notes even
         high rates give no guarantee — the model keeps probability > 0.
+    slow_reference:
+        Force the legacy scalar per-bit disturb path. The vectorized path
+        consumes the RNG stream identically, so both produce bit-identical
+        outcomes for the same seed — equivalence tests and ``repro bench``
+        rely on this flag for the reference side.
     """
 
     def __init__(
         self,
         module: DramModule,
-        stats: FlipStatistics = FlipStatistics.paper_default(),
+        stats: Optional[FlipStatistics] = None,
         seed: SeedLike = None,
         activation_probability: float = 1.0,
         refresh_rate_multiplier: float = 1.0,
+        slow_reference: bool = False,
     ):
         if module.cell_map is None:
             raise ConfigurationError("RowHammerModel requires a module with a cell map")
@@ -145,10 +152,16 @@ class RowHammerModel:
         if refresh_rate_multiplier < 1:
             raise ConfigurationError("refresh_rate_multiplier must be >= 1")
         self._module = module
-        self._stats = stats
+        # Per-instance default: a module-level default instance would be
+        # shared by every model constructed without explicit stats.
+        self._stats = stats if stats is not None else FlipStatistics.paper_default()
         self._rng = make_rng(seed)
         self._activation_probability = activation_probability / refresh_rate_multiplier
         self._vulnerable: Dict[int, Tuple[_VulnerableBit, ...]] = {}
+        # Vulnerable-bit sets mirrored as numpy arrays (positions/from/to)
+        # for the vectorized disturb path; rebuilt lazily per row.
+        self._vulnerable_arrays: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._slow_reference = bool(slow_reference)
         #: Total hammer invocations (for attack-time accounting).
         self.hammer_count = 0
 
@@ -195,6 +208,27 @@ class RowHammerModel:
                 key=lambda b: b.bit_position,
             )
         )
+        self._vulnerable_arrays.pop(row, None)
+
+    def _vulnerable_row_arrays(
+        self, row: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(positions, from_values, to_values)`` arrays for ``row``.
+
+        Mirrors :meth:`vulnerable_bits` in the same sorted order, so the
+        vectorized path visits bits exactly as the scalar loop does.
+        """
+        cached = self._vulnerable_arrays.get(row)
+        if cached is None:
+            bits = self.vulnerable_bits(row)
+            n = len(bits)
+            cached = (
+                np.fromiter((b.bit_position for b in bits), dtype=np.int64, count=n),
+                np.fromiter((b.from_value for b in bits), dtype=np.uint8, count=n),
+                np.fromiter((b.to_value for b in bits), dtype=np.uint8, count=n),
+            )
+            self._vulnerable_arrays[row] = cached
+        return cached
 
     # -- hammering ----------------------------------------------------------
     def hammer(self, aggressor_row: int, activations: int = 2_000_000) -> HammerOutcome:
@@ -232,27 +266,13 @@ class RowHammerModel:
         outcome = HammerOutcome(
             aggressor_row=aggressor_row, victim_rows=victims, activations=activations
         )
-        row_bytes = self._module.geometry.row_bytes
-        for victim in victims:
-            base = victim * row_bytes
-            cell = self._module.cell_map.type_of_row(victim).value
-            for vuln in self.vulnerable_bits(victim):
-                if self._activation_probability < 1.0:
-                    if self._rng.random() >= self._activation_probability:
-                        continue
-                byte_index, bit = divmod(vuln.bit_position, 8)
-                address = base + byte_index
-                current = self._module.read_bit(address, bit)
-                if current == vuln.from_value:
-                    self._module.write_bit(address, bit, vuln.to_value)
-                    outcome.flips.append(
-                        BitFlip(address=address, bit=bit, old=current, new=vuln.to_value)
-                    )
-                    obs.inc(
-                        "rowhammer.flips",
-                        direction=f"{current}to{vuln.to_value}",
-                        cell=cell,
-                    )
+        # An armed fault plane needs the per-access dram.read hooks of the
+        # scalar primitives so injector schedules replay identically; the
+        # vectorized path runs only when chaos is off.
+        if self._slow_reference or self._module.fault_plane_armed:
+            self._disturb_scalar(outcome, victims)
+        else:
+            self._disturb_vectorized(outcome, victims)
         obs.observe("rowhammer.flips_per_hammer", outcome.flip_count)
         obs.trace(
             "rowhammer.hammer",
@@ -263,6 +283,71 @@ class RowHammerModel:
         )
         sanitize.notify("rowhammer.hammer", hammer=self, module=self._module, outcome=outcome)
         return outcome
+
+    def _disturb_scalar(self, outcome: HammerOutcome, victims: Tuple[int, ...]) -> None:
+        """Legacy per-bit reference path (fault-plane hooks fire per access)."""
+        row_bytes = self._module.geometry.row_bytes
+        for victim in victims:
+            base = victim * row_bytes
+            cell = self._module.cell_map.type_of_row(victim).value
+            for vuln in self.vulnerable_bits(victim):
+                if self._activation_probability < 1.0:
+                    if self._rng.random() >= self._activation_probability:
+                        continue
+                byte_index, bit = divmod(vuln.bit_position, 8)
+                address = base + byte_index
+                current = self._module.read_bit(address, bit)  # repro-lint: ignore[RL007] — reference path
+                if current == vuln.from_value:
+                    self._module.write_bit(address, bit, vuln.to_value)  # repro-lint: ignore[RL007] — reference path
+                    outcome.flips.append(
+                        BitFlip(address=address, bit=bit, old=current, new=vuln.to_value)
+                    )
+                    obs.inc(  # repro-lint: ignore[RL007] — reference path
+                        "rowhammer.flips",
+                        direction=f"{current}to{vuln.to_value}",
+                        cell=cell,
+                    )
+
+    def _disturb_vectorized(
+        self, outcome: HammerOutcome, victims: Tuple[int, ...]
+    ) -> None:
+        """Batched disturb: one masked compare + one flip write per victim row.
+
+        Consumes the RNG stream exactly like :meth:`_disturb_scalar` (one
+        uniform draw per vulnerable bit, in bit-position order, only when
+        ``activation_probability < 1``) so outcomes are bit-identical.
+        """
+        module = self._module
+        row_bytes = module.geometry.row_bytes
+        probability = self._activation_probability
+        flip_totals: Dict[Tuple[str, str], int] = {}
+        for victim in victims:
+            positions, from_values, to_values = self._vulnerable_row_arrays(victim)
+            if positions.size == 0:
+                continue
+            current = module.read_bits(victim, positions)
+            flip_mask = current == from_values
+            if probability < 1.0:
+                flip_mask &= self._rng.random(positions.size) < probability
+            if not flip_mask.any():
+                continue
+            flip_positions = positions[flip_mask]
+            flip_targets = to_values[flip_mask]
+            module.apply_bit_flips(victim, flip_positions, flip_targets)
+            base = victim * row_bytes
+            cell = module.cell_map.type_of_row(victim).value
+            addresses = (base + (flip_positions >> 3)).tolist()
+            bits = (flip_positions & 7).tolist()
+            old_values = from_values[flip_mask].tolist()
+            new_values = flip_targets.tolist()
+            for address, bit, old, new in zip(addresses, bits, old_values, new_values):
+                outcome.flips.append(BitFlip(address=address, bit=bit, old=old, new=new))
+                key = (f"{old}to{new}", cell)
+                flip_totals[key] = flip_totals.get(key, 0) + 1
+        # One aggregated obs update per (direction, cell) series instead of
+        # one inc per flip; totals match the scalar path exactly.
+        for (direction, cell), count in sorted(flip_totals.items()):
+            obs.inc("rowhammer.flips", count, direction=direction, cell=cell)  # repro-lint: ignore[RL007] — aggregated
 
     # -- statistics helpers ---------------------------------------------------
     def expected_flips_per_row(self, cell_type: CellType, stored_value: int) -> float:

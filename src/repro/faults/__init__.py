@@ -68,6 +68,7 @@ __all__ = [
     "arm",
     "disarm",
     "armed",
+    "epoch",
     "notify",
     "install",
     "uninstall",
@@ -105,10 +106,12 @@ class FaultPlane:
     def arm(self) -> None:
         """Start injecting."""
         self._armed = True
+        _bump_epoch()
 
     def disarm(self) -> None:
         """Stop injecting (hooks become no-ops; schedules freeze)."""
         self._armed = False
+        _bump_epoch()
 
     @property
     def injectors(self) -> tuple:
@@ -183,6 +186,22 @@ class FaultPlane:
 
 _default_plane = FaultPlane()
 
+# Monotonic counter bumped whenever the armed state of *any* plane (or the
+# identity of the default plane) may have changed. Hot paths cache the
+# result of :func:`armed` keyed by this epoch instead of probing the plane
+# on every access — see ``DramModule.fault_plane_armed``.
+_epoch = 0
+
+
+def _bump_epoch() -> None:
+    global _epoch
+    _epoch += 1
+
+
+def epoch() -> int:
+    """Current armed-state epoch (see module comment on ``_epoch``)."""
+    return _epoch
+
 
 def get_plane() -> FaultPlane:
     """The process-wide default plane."""
@@ -193,6 +212,7 @@ def set_plane(plane: FaultPlane) -> FaultPlane:
     """Install ``plane`` as the default; returns it (for chaining)."""
     global _default_plane
     _default_plane = plane
+    _bump_epoch()
     return plane
 
 

@@ -155,6 +155,68 @@ def read_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
     return data
 
 
+def write_checkpoint(
+    path: Union[str, Path],
+    *,
+    name: str,
+    seed: int,
+    num_segments: int,
+    config: Dict[str, Any],
+    completed: Dict[int, Dict[str, Any]],
+    failed: Dict[int, Dict[str, Any]],
+) -> None:
+    """Atomically persist campaign state (tmp file + ``os.replace``).
+
+    Shared by :class:`CampaignRunner` and the parallel engine in
+    :mod:`repro.perf.parallel`, so checkpoints written by either are
+    byte-identical for the same recorded state.
+    """
+    path = Path(path)
+    data = {
+        "version": CHECKPOINT_VERSION,
+        "name": name,
+        "seed": seed,
+        "num_segments": num_segments,
+        "config": config,
+        "completed": {str(k): v for k, v in sorted(completed.items())},
+        "failed": {str(k): v for k, v in sorted(failed.items())},
+    }
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(data, indent=2, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def load_checkpoint_state(
+    path: Union[str, Path],
+    *,
+    name: str,
+    seed: int,
+    num_segments: int,
+    config: Dict[str, Any],
+) -> Tuple[Dict[int, Dict[str, Any]], Dict[int, Dict[str, Any]]]:
+    """Load a checkpoint and validate it belongs to this campaign.
+
+    Returns ``(completed, failed)`` keyed by int segment index. Raises
+    :class:`ConfigurationError` when the file's identity fields mismatch.
+    """
+    data = read_checkpoint(path)
+    expected = {
+        "name": name,
+        "seed": seed,
+        "num_segments": num_segments,
+        "config": config,
+    }
+    for key, value in expected.items():
+        if data[key] != value:
+            raise ConfigurationError(
+                f"checkpoint {path} does not match this campaign: "
+                f"{key} is {data[key]!r}, expected {value!r}"
+            )
+    completed = {int(k): v for k, v in data["completed"].items()}
+    failed = {int(k): v for k, v in data["failed"].items()}
+    return completed, failed
+
+
 class CampaignRunner:
     """Runs numbered segments crash-safely; see the module docstring.
 
@@ -299,18 +361,15 @@ class CampaignRunner:
         path = self._checkpoint_path
         if path is None:
             return
-        data = {
-            "version": CHECKPOINT_VERSION,
-            "name": self._name,
-            "seed": self._seed,
-            "num_segments": self._num_segments,
-            "config": self._config,
-            "completed": {str(k): v for k, v in sorted(completed.items())},
-            "failed": {str(k): v for k, v in sorted(failed.items())},
-        }
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(data, indent=2, sort_keys=True), encoding="utf-8")
-        os.replace(tmp, path)
+        write_checkpoint(
+            path,
+            name=self._name,
+            seed=self._seed,
+            num_segments=self._num_segments,
+            config=self._config,
+            completed=completed,
+            failed=failed,
+        )
 
     def _load_state(
         self,
@@ -318,19 +377,10 @@ class CampaignRunner:
         path = self._checkpoint_path
         if path is None:
             raise ConfigurationError("resume requested without a checkpoint_path")
-        data = read_checkpoint(path)
-        expected = {
-            "name": self._name,
-            "seed": self._seed,
-            "num_segments": self._num_segments,
-            "config": self._config,
-        }
-        for key, value in expected.items():
-            if data[key] != value:
-                raise ConfigurationError(
-                    f"checkpoint {path} does not match this campaign: "
-                    f"{key} is {data[key]!r}, expected {value!r}"
-                )
-        completed = {int(k): v for k, v in data["completed"].items()}
-        failed = {int(k): v for k, v in data["failed"].items()}
-        return completed, failed
+        return load_checkpoint_state(
+            path,
+            name=self._name,
+            seed=self._seed,
+            num_segments=self._num_segments,
+            config=self._config,
+        )

@@ -213,6 +213,54 @@ def run_chaos_segment(
     return result
 
 
+def run_chaos_campaign(
+    seed: Optional[int],
+    num_segments: int = DEFAULT_SEGMENTS,
+    policy: Union[str, ExhaustionPolicy] = "fail-hard",
+    smoke: bool = True,
+    checkpoint_path: Optional[str] = None,
+    budget: Optional[CampaignBudget] = None,
+    workers: int = 1,
+    resume: bool = False,
+):
+    """Run the standard chaos rotation, serially or across processes.
+
+    ``workers <= 1`` is the serial :func:`build_chaos_runner` path;
+    ``workers > 1`` fans segments out via
+    :func:`repro.perf.parallel.run_campaign_parallel` with the same
+    retry protocol, so reports, checkpoints and obs totals are identical
+    for the same seed (the parallel determinism contract).
+    """
+    policy_value = ExhaustionPolicy.coerce(policy).value
+    if workers <= 1:
+        runner = build_chaos_runner(
+            seed,
+            num_segments=num_segments,
+            policy=policy_value,
+            smoke=smoke,
+            checkpoint_path=checkpoint_path,
+            budget=budget,
+        )
+        return runner.run(resume=resume)
+    from repro.perf.parallel import run_campaign_parallel
+
+    return run_campaign_parallel(
+        name="chaos",
+        target="repro.faults.scenarios:run_chaos_segment",
+        num_segments=num_segments,
+        seed=seed,
+        kwargs={"policy": policy_value, "smoke": bool(smoke)},
+        config={"policy": policy_value, "smoke": bool(smoke)},
+        workers=workers,
+        max_retries=2,
+        backoff_base_s=0.25,
+        retryable=(TransientFaultError, OutOfMemoryError),
+        checkpoint_path=checkpoint_path,
+        budget=budget,
+        resume=resume,
+    )
+
+
 def build_chaos_runner(
     seed: Optional[int],
     num_segments: int = DEFAULT_SEGMENTS,

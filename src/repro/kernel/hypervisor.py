@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+import numpy as np
+
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.module import DramModule
 from repro.errors import CapacityError, ConfigurationError, ZoneViolationError
@@ -127,6 +129,49 @@ class GuestPhysicalWindow(DramModule):
         """Decay specific bits of a guest row on the host."""
         host_row = self.host_address(row * self.geometry.row_bytes) // self.geometry.row_bytes
         return self._host.decay_bits(host_row, bit_positions)
+
+    # -- forwarded fast paths -------------------------------------------------
+    # The base-class batched primitives operate in place on *this* module's
+    # sparse rows; a window has no storage of its own, so every one of them
+    # must forward to the host or guest writes would land in dead arrays.
+    def _host_row(self, row: int) -> int:
+        return self.host_address(row * self.geometry.row_bytes) // self.geometry.row_bytes
+
+    @property
+    def generation(self) -> int:
+        """Host generation — the window aliases host storage."""
+        return self._host.generation
+
+    def write_bit(self, address: int, bit: int, value: int) -> None:
+        """Set one bit via the host backing array."""
+        self.geometry.check_address(address, 1)
+        self.write_count += 1
+        self._host.write_bit(self.host_address(address), bit, value)
+
+    def read_bits(self, row: int, positions) -> "np.ndarray":
+        """Batched bit read via the host row."""
+        self.read_count += 1
+        return self._host.read_bits(self._host_row(row), positions)
+
+    def apply_bit_flips(self, row: int, positions, targets) -> int:
+        """Batched bit write via the host row."""
+        self.write_count += 1
+        return self._host.apply_bit_flips(self._host_row(row), positions, targets)
+
+    def row_u64_view(self, row: int) -> "np.ndarray":
+        """u64 alias of the backing host row."""
+        return self._host.row_u64_view(self._host_row(row))
+
+    def u64_view(self, address: int, count: int):
+        """Aliasing u64 view resolved against host storage (or ``None``)."""
+        span = 8 * count
+        if address < 0 or count < 0:
+            return None
+        in_data = address + span <= self._data_size
+        in_ptp = address >= self._data_size and address + span <= self._data_size + self._ptp_size
+        if not (in_data or in_ptp):
+            return None
+        return self._host.u64_view(self.host_address(address), count)
 
 
 @dataclass

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro import obs, sanitize
 from repro.dram.cells import CellTypeMap
 from repro.dram.geometry import DramGeometry
@@ -47,6 +49,7 @@ from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
 from repro.kernel.mmu import Mmu
 from repro.kernel.page import PageFrameDatabase, PageUse
 from repro.kernel.pagetable import (
+    ENTRIES_PER_TABLE,
     NUM_LEVELS,
     PageTableEntry,
     entry_address,
@@ -327,9 +330,16 @@ class Kernel:
         allocator = self.allocator_of_pfn(pfn)
         if allocator is None:
             raise ConfigurationError(f"pfn {pfn} lies in a zone hole")
-        order = self._page_db.frame(pfn).order
+        head = self._page_db.frame(pfn)
+        order = head.order
+        was_page_table = head.use is PageUse.PAGE_TABLE
         for offset in range(1 << order):
             self._page_db.mark_free(pfn + offset)
+        if was_page_table:
+            # The MMU may hold an aliasing entry view of this table; once
+            # the frame is reused for data that view must not be consulted.
+            for offset in range(1 << order):
+                self._mmu.forget_table((pfn + offset) << PAGE_SHIFT)
         allocator.free_pages_block(pfn)
         self._downgraded_pt_pfns.discard(pfn)
         self.stats.page_frees += 1
@@ -440,9 +450,17 @@ class Kernel:
             if frame.pt_level >= 2
         ]
         reclaimed = 0
+        # Armed chaos needs the per-entry read path so dram.read fault
+        # schedules stay identical; otherwise scan whole tables with one
+        # aliasing u64 view each.
+        use_views = not self._module.fault_plane_armed
         for pt_pfn in leaf_tables:
             base = pt_pfn << PAGE_SHIFT
-            if any(
+            view = self._module.u64_view(base, ENTRIES_PER_TABLE) if use_views else None
+            if view is not None:
+                if bool((view & np.uint64(1)).any()):
+                    continue
+            elif any(
                 self._module.read_u64(base + slot * 8) & 1 for slot in range(512)
             ):
                 continue
@@ -451,6 +469,18 @@ class Kernel:
             parent_refs = []
             for parent_pfn in parents:
                 parent_base = parent_pfn << PAGE_SHIFT
+                parent_view = (
+                    self._module.u64_view(parent_base, ENTRIES_PER_TABLE)
+                    if use_views
+                    else None
+                )
+                if parent_view is not None:
+                    present_slots = np.nonzero(parent_view & np.uint64(1))[0]
+                    for slot in present_slots.tolist():
+                        raw = int(parent_view[slot])
+                        if PageTableEntry.decode(raw).pfn == pt_pfn:
+                            parent_refs.append(parent_base + slot * 8)
+                    continue
                 for slot in range(512):
                     address = parent_base + slot * 8
                     raw = self._module.read_u64(address)
@@ -606,7 +636,9 @@ class Kernel:
             # The entry at this position points to a table of `table_level`.
             address = entry_address(table_pa, indices[position])
             try:
-                entry = PageTableEntry.decode(self._module.read_u64(address))
+                entry = PageTableEntry.decode(
+                    self._mmu.read_entry(table_pa, indices[position])
+                )
             except AddressError:
                 raise PageFaultError(
                     f"bus error: corrupted level-{table_level + 1} table for "
@@ -629,9 +661,10 @@ class Kernel:
         indices = split_virtual_address(virtual_address)
         table_pa = process.cr3
         for position in range(3):
-            address = entry_address(table_pa, indices[position])
             try:
-                entry = PageTableEntry.decode(self._module.read_u64(address))
+                entry = PageTableEntry.decode(
+                    self._mmu.read_entry(table_pa, indices[position])
+                )
             except AddressError:
                 return None
             if not entry.present:
@@ -667,7 +700,9 @@ class Kernel:
         table_pa = process.cr3
         for position, table_level in zip(range(2), (3, 2)):
             address = entry_address(table_pa, indices[position])
-            entry = PageTableEntry.decode(self._module.read_u64(address))
+            entry = PageTableEntry.decode(
+                self._mmu.read_entry(table_pa, indices[position])
+            )
             if not entry.present:
                 new_pfn = self.pte_alloc_one(process.pid, table_level=table_level)
                 entry = PageTableEntry.make(new_pfn, writable=True, user=True)
@@ -693,9 +728,10 @@ class Kernel:
         indices = split_virtual_address(virtual_address)
         table_pa = process.cr3
         for position in range(2):
-            address = entry_address(table_pa, indices[position])
             try:
-                entry = PageTableEntry.decode(self._module.read_u64(address))
+                entry = PageTableEntry.decode(
+                    self._mmu.read_entry(table_pa, indices[position])
+                )
             except AddressError:
                 return None
             if not entry.present:

@@ -14,13 +14,16 @@ self-reference behaviour the paper's defense must make unreachable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro import obs, sanitize
 from repro.dram.module import DramModule
 from repro.errors import AddressError, PageFaultError, PageTableError
 from repro.kernel.pagetable import (
     BITS_PER_LEVEL,
+    ENTRIES_PER_TABLE,
     NUM_LEVELS,
     PageTableEntry,
     entry_address,
@@ -57,9 +60,17 @@ class WalkResult:
 class Mmu:
     """Page-table walker + TLB front-end over one DRAM module."""
 
-    def __init__(self, dram: DramModule, tlb: Optional[Tlb] = None):
+    def __init__(self, dram: DramModule, tlb: Optional[Tlb] = None, pt_cache: bool = True):
         self._dram = dram
         self._tlb = tlb or Tlb()
+        # Page-table entry cache: table base PA -> aliasing u64 view of the
+        # whole table (or None when the table isn't view-addressable). The
+        # views share storage with DRAM, so PTE writes and RowHammer flips
+        # are visible without invalidation; only forget_row() re-binds
+        # arrays, which the generation stamp detects.
+        self._pt_cache_enabled = bool(pt_cache)
+        self._pt_views: Dict[int, Optional[np.ndarray]] = {}
+        self._pt_generation = -1
         #: Count of full walks performed (perf harness signal).
         self.walk_count = 0
 
@@ -72,6 +83,51 @@ class Mmu:
     def dram(self) -> DramModule:
         """Physical memory the walker reads."""
         return self._dram
+
+    # -- page-table entry cache -------------------------------------------
+    @property
+    def pt_cache_enabled(self) -> bool:
+        """Whether walks index cached table views instead of full reads."""
+        return self._pt_cache_enabled
+
+    @pt_cache_enabled.setter
+    def pt_cache_enabled(self, enabled: bool) -> None:
+        self._pt_cache_enabled = bool(enabled)
+        self._pt_views.clear()
+
+    def forget_table(self, table_base: int) -> None:
+        """Drop the cached view of the table at physical ``table_base``.
+
+        Called by the kernel when a page-table frame is freed, so a frame
+        later reused for data can't serve stale entry views.
+        """
+        self._pt_views.pop(table_base, None)
+
+    def read_entry(self, table_base: int, index: int) -> int:
+        """Raw 64-bit entry ``index`` of the table at ``table_base``.
+
+        Fast path: one cached numpy index per level. Falls back to the
+        full :meth:`DramModule.read_u64` path (chunking, fault-plane
+        hooks) when the cache is disabled, the fault plane is armed —
+        per-read fault schedules must see every access — or the table
+        doesn't fit a single aligned row span.
+        """
+        dram = self._dram
+        if not self._pt_cache_enabled or dram.fault_plane_armed:
+            return dram.read_u64(entry_address(table_base, index))
+        generation = dram.generation
+        if generation != self._pt_generation:
+            self._pt_views.clear()
+            self._pt_generation = generation
+        try:
+            view = self._pt_views[table_base]
+        except KeyError:
+            view = dram.u64_view(table_base, ENTRIES_PER_TABLE)
+            self._pt_views[table_base] = view
+        if view is None:
+            return dram.read_u64(entry_address(table_base, index))
+        dram.read_count += 1
+        return int(view[index])
 
     # -- translation ------------------------------------------------------
     def translate(
@@ -131,7 +187,7 @@ class Mmu:
             index = indices[position]
             address = entry_address(table_base, index)
             try:
-                entry = PageTableEntry.decode(self._dram.read_u64(address))
+                entry = PageTableEntry.decode(self.read_entry(table_base, index))
             except AddressError:
                 # A corrupted upper-level entry pointed outside physical
                 # memory; hardware raises a machine check / bus error.

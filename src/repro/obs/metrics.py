@@ -333,6 +333,94 @@ class Registry:
                     out[format_series(metric.name, key)] = value
         return out
 
+    def export_state(self) -> Dict[str, object]:
+        """Structured, picklable dump of every metric and trace event.
+
+        The inverse of :meth:`merge_state`: campaign workers export the
+        metrics they recorded in their own process and the parent merges
+        them back, so a parallel run's registry converges to the same
+        totals a serial run records directly.
+        """
+        counters: Dict[str, Dict[str, object]] = {}
+        gauges: Dict[str, Dict[str, object]] = {}
+        histograms: Dict[str, Dict[str, object]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = {
+                    "description": metric.description,
+                    "series": sorted(metric._values.items()),
+                }
+            elif isinstance(metric, Gauge):
+                gauges[name] = {
+                    "description": metric.description,
+                    "series": sorted(metric._values.items()),
+                }
+            elif isinstance(metric, Histogram):
+                histograms[name] = {
+                    "description": metric.description,
+                    "buckets": metric.buckets,
+                    "series": [
+                        (
+                            key,
+                            {
+                                "count": s.count,
+                                "sum": s.sum,
+                                "min": s.min,
+                                "max": s.max,
+                                "bucket_counts": list(s.bucket_counts),
+                            },
+                        )
+                        for key, s in sorted(metric._series.items())
+                    ],
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "trace": [(event.name, dict(event.fields)) for event in self.trace.events()],
+        }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a worker's :meth:`export_state` dump into this registry.
+
+        Counters add, gauges overwrite (last merge wins, matching serial
+        last-write semantics when dumps are merged in segment order),
+        histogram series merge field-wise, and trace events are re-emitted
+        in dump order. Merging bypasses the ``enabled`` gate — a disabled
+        parent registry still accepts worker state.
+        """
+        for name, data in state.get("counters", {}).items():  # type: ignore[union-attr]
+            metric = self.counter(name, data.get("description", ""))
+            for key, value in data["series"]:
+                key = tuple(tuple(pair) for pair in key)
+                metric._values[key] = metric._values.get(key, 0.0) + value
+        for name, data in state.get("gauges", {}).items():  # type: ignore[union-attr]
+            metric = self.gauge(name, data.get("description", ""))
+            for key, value in data["series"]:
+                metric._values[tuple(tuple(pair) for pair in key)] = value
+        for name, data in state.get("histograms", {}).items():  # type: ignore[union-attr]
+            metric = self.histogram(
+                name, data.get("description", ""), buckets=data.get("buckets")
+            )
+            if tuple(data.get("buckets", metric.buckets)) != metric.buckets:
+                raise ObservabilityError(
+                    f"histogram {name!r} bucket mismatch during merge"
+                )
+            for key, dump in data["series"]:
+                key = tuple(tuple(pair) for pair in key)
+                series = metric._series.get(key)
+                if series is None:
+                    series = metric._series[key] = HistogramSeries(len(metric.buckets))
+                series.count += dump["count"]
+                series.sum += dump["sum"]
+                series.min = min(series.min, dump["min"])
+                series.max = max(series.max, dump["max"])
+                for index, count in enumerate(dump["bucket_counts"]):
+                    series.bucket_counts[index] += count
+        for name, fields in state.get("trace", ()):  # type: ignore[union-attr]
+            self.trace.emit(name, **fields)
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Snapshot serialised as a JSON object (stable key order)."""
         import json

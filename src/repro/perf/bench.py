@@ -1,0 +1,278 @@
+"""Hot-path microbenchmarks behind ``repro bench``.
+
+Three cases, each timed against a same-seed reference so the reported
+speedups are apples-to-apples on the *same machine in the same run*:
+
+``hammer_heavy``
+    A burst of double-/single-sided hammers through the vectorized
+    :class:`~repro.dram.rowhammer.RowHammerModel` vs the scalar
+    ``slow_reference`` path. Equal flip totals are asserted — a speedup
+    built on divergent results would be meaningless.
+``walk_heavy``
+    TLB-off translation sweeps with the MMU page-table entry cache on
+    vs off (each level one cached numpy index vs a full ``read()``).
+``campaign``
+    Serial probabilistic-attack trials via the campaign fan-out target
+    (throughput signal for Monte-Carlo scaling; deterministic, so its
+    ops/s is comparable across commits on the same hardware).
+
+``run_bench_suite`` returns a JSON-ready report; ``write_bench_report``
+persists it (``BENCH_hotpath.json``), and ``check_baseline`` compares
+ops/s against a committed baseline with a regression factor — CI fails
+when hammer-heavy regresses more than 2x.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro import obs
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ConfigurationError, ReproError
+from repro.kernel.kernel import Kernel
+from repro.perf.parallel import run_probabilistic_trials
+from repro.perf.runner import WORKLOAD_BASE, make_perf_kernel
+from repro.units import MIB, PAGE_SIZE
+
+BENCH_VERSION = 1
+
+DEFAULT_OUTPUT = "BENCH_hotpath.json"
+
+#: Default allowed slowdown vs the committed baseline before CI fails.
+DEFAULT_MAX_REGRESSION = 2.0
+
+
+def _hammer_world(slow_reference: bool, seed: int) -> RowHammerModel:
+    geometry = DramGeometry(total_bytes=16 * MIB, row_bytes=16 * 1024, num_banks=2)
+    cell_map = CellTypeMap.interleaved(geometry, period_rows=8)
+    module = DramModule(geometry, cell_map)
+    for row in range(96):
+        module.fill_row(row, 0xFF if row % 2 else 0x5A)
+    return RowHammerModel(
+        module,
+        stats=FlipStatistics(p_vulnerable=2e-3, p_with_leak=0.9),
+        seed=seed,
+        activation_probability=0.9,
+        slow_reference=slow_reference,
+    )
+
+
+def _time_hammers(model: RowHammerModel, warmup: int, hammers: int) -> tuple:
+    """Hammer ``warmup`` untimed bursts, then time ``hammers`` more.
+
+    The warmup absorbs one-time costs shared by both paths — vulnerable-bit
+    sampling per first-touched row and the initial flip flood on fresh
+    fill patterns — so the timed region measures steady-state hammering.
+    Both paths consume the RNG identically during warmup, so streams stay
+    aligned and total flips (warmup + timed) remain comparable.
+    """
+    flips = 0
+    for burst in range(warmup):
+        aggressor = 2 + (burst * 3) % 90
+        flips += model.hammer(aggressor).flip_count
+    start = time.perf_counter()
+    for burst in range(warmup, warmup + hammers):
+        aggressor = 2 + (burst * 3) % 90
+        flips += model.hammer(aggressor).flip_count
+    return time.perf_counter() - start, flips
+
+
+def bench_hammer_heavy(quick: bool = False) -> Dict[str, Any]:
+    """Vectorized vs scalar hammer bursts; asserts identical flip totals."""
+    warmup = 60
+    hammers = 120 if quick else 300
+    seed = 20_260_806
+    vec_elapsed, vec_flips = _time_hammers(_hammer_world(False, seed), warmup, hammers)
+    ref_elapsed, ref_flips = _time_hammers(_hammer_world(True, seed), warmup, hammers)
+    if vec_flips != ref_flips:
+        raise ReproError(
+            f"hammer bench mismatch: vectorized induced {vec_flips} flips, "
+            f"scalar reference {ref_flips} — equivalence is broken"
+        )
+    return {
+        "ops": hammers,
+        "elapsed_s": vec_elapsed,
+        "ops_per_s": hammers / vec_elapsed if vec_elapsed else 0.0,
+        "reference_elapsed_s": ref_elapsed,
+        "speedup": ref_elapsed / vec_elapsed if vec_elapsed else 0.0,
+        "flips": vec_flips,
+    }
+
+
+def _walk_world(pt_cache: bool) -> tuple:
+    kernel = make_perf_kernel(cta=False, total_bytes=32 * MIB)
+    kernel.mmu.pt_cache_enabled = pt_cache
+    process = kernel.create_process()
+    addresses: List[int] = []
+    for region in range(8):
+        base = WORKLOAD_BASE + region * (64 * PAGE_SIZE)
+        vma = kernel.mmap(process, 16 * PAGE_SIZE, address=base)
+        for page in range(16):
+            address = vma.start + page * PAGE_SIZE
+            kernel.touch(process, address, write=True)
+            addresses.append(address)
+    return kernel, process, addresses
+
+
+def _time_walks(pt_cache: bool, passes: int) -> tuple:
+    kernel, process, addresses = _walk_world(pt_cache)
+    mmu = kernel.mmu
+    for address in addresses:  # warmup pass: populate PT views / decode cache
+        mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)
+    start = time.perf_counter()
+    walks = 0
+    for _ in range(passes):
+        for address in addresses:
+            mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)
+            walks += 1
+    return time.perf_counter() - start, walks
+
+
+def bench_walk_heavy(quick: bool = False) -> Dict[str, Any]:
+    """TLB-off translation sweeps with the PT entry cache on vs off."""
+    passes = 6 if quick else 30
+    elapsed, walks = _time_walks(True, passes)
+    ref_elapsed, ref_walks = _time_walks(False, passes)
+    if walks != ref_walks:
+        raise ReproError("walk bench mismatch: unequal walk counts")
+    return {
+        "ops": walks,
+        "elapsed_s": elapsed,
+        "ops_per_s": walks / elapsed if elapsed else 0.0,
+        "reference_elapsed_s": ref_elapsed,
+        "speedup": ref_elapsed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_campaign(quick: bool = False) -> Dict[str, Any]:
+    """Serial probabilistic-trial throughput through the campaign engine."""
+    trials = 2 if quick else 4
+    start = time.perf_counter()
+    report = run_probabilistic_trials(
+        trials,
+        seed=99,
+        workers=1,
+        spray_mappings=8,
+        max_rounds=1,
+    )
+    elapsed = time.perf_counter() - start
+    outcomes = sorted(
+        record["result"]["outcome"] for record in report.completed.values()
+    )
+    return {
+        "ops": trials,
+        "elapsed_s": elapsed,
+        "ops_per_s": trials / elapsed if elapsed else 0.0,
+        "outcomes": outcomes,
+    }
+
+
+def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
+    """Run every case against a fresh registry; returns the report dict."""
+    previous = obs.get_registry()
+    obs.set_registry(obs.Registry())
+    try:
+        results = {
+            "hammer_heavy": bench_hammer_heavy(quick=quick),
+            "walk_heavy": bench_walk_heavy(quick=quick),
+            "campaign": bench_campaign(quick=quick),
+        }
+    finally:
+        obs.set_registry(previous)
+    return {"version": BENCH_VERSION, "quick": bool(quick), "results": results}
+
+
+def write_bench_report(report: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Persist a bench report as stable-ordered JSON."""
+    Path(path).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a committed baseline (``{case: {"ops_per_s": float}}``)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"baseline {path} must be a JSON object")
+    return data
+
+
+def check_baseline(
+    report: Dict[str, Any],
+    baseline: Union[str, Path, Dict[str, Any]],
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> List[str]:
+    """Compare a report against a baseline; returns regression messages.
+
+    A case regresses when its measured ops/s falls below the baseline's
+    ``ops_per_s / max_regression``. Cases absent from either side are
+    skipped (new benchmarks don't fail old baselines).
+    """
+    if max_regression <= 0:
+        raise ConfigurationError(f"max_regression {max_regression} must be > 0")
+    if not isinstance(baseline, dict):
+        baseline = load_baseline(baseline)
+    failures: List[str] = []
+    for case, expected in sorted(baseline.items()):
+        measured = report.get("results", {}).get(case)
+        if measured is None or "ops_per_s" not in expected:
+            continue
+        floor = float(expected["ops_per_s"]) / max_regression
+        actual = float(measured["ops_per_s"])
+        if actual < floor:
+            failures.append(
+                f"{case}: {actual:.1f} ops/s is below the regression floor "
+                f"{floor:.1f} (baseline {float(expected['ops_per_s']):.1f} "
+                f"/ {max_regression:g}x)"
+            )
+    return failures
+
+
+def format_bench_table(report: Dict[str, Any]) -> str:
+    """Human-readable summary of one report."""
+    lines = []
+    for case, result in sorted(report.get("results", {}).items()):
+        parts = [
+            f"{case:<14s}",
+            f"{result['ops']:>6d} ops",
+            f"{result['elapsed_s']:>9.3f} s",
+            f"{result['ops_per_s']:>10.1f} ops/s",
+        ]
+        if "speedup" in result:
+            parts.append(f"{result['speedup']:>7.1f}x vs scalar")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def bench_main(
+    quick: bool = False,
+    output: Union[str, Path] = DEFAULT_OUTPUT,
+    baseline: Optional[Union[str, Path]] = None,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> int:
+    """CLI driver: run, persist, print, optionally gate on a baseline."""
+    report = run_bench_suite(quick=quick)
+    write_bench_report(report, output)
+    print(format_bench_table(report))
+    print(f"report written to {output}")
+    if baseline is not None:
+        failures = check_baseline(report, baseline, max_regression=max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION {failure}")
+            return 1
+        print(f"baseline check passed (max regression {max_regression:g}x)")
+    return 0

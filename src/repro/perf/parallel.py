@@ -1,0 +1,365 @@
+"""Process-parallel Monte-Carlo trial fan-out.
+
+Campaign segments already run under the stateless seed contract
+``derive_seed(campaign_seed, index, attempt)`` (see
+:mod:`repro.faults.campaign`), which makes them order-independent: a
+segment's stream depends only on its identity, never on what ran before
+it. This module exploits that to fan segments out across a
+:class:`~concurrent.futures.ProcessPoolExecutor` while keeping the
+merged result **bit-identical** to a serial run:
+
+- each worker replays :class:`~repro.faults.campaign.CampaignRunner`'s
+  exact retry protocol (same derived seeds, same record shapes, same
+  ``campaign.retries`` increments) for its segment;
+- each worker records metrics into a fresh, isolated
+  :class:`~repro.obs.Registry` and ships the structured delta back;
+- the parent merges deltas **in segment-index order** — counters add,
+  gauges overwrite, traces re-emit — so the final registry, the
+  :class:`~repro.faults.campaign.CampaignReport`, and any checkpoint file
+  all compare equal to their serial counterparts;
+- checkpoints are written through the same
+  :func:`~repro.faults.campaign.write_checkpoint` helper the serial
+  runner uses, after the merge (one atomic write per run).
+
+Backoff never sleeps in workers; like the serial runner's default
+``sleep_fn=None``, reports account backoff from attempt counts, so the
+accounting also matches.
+
+Targets must be importable top-level callables — they are shipped to
+workers as ``"module:qualname"`` strings, as are the retryable exception
+types.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from importlib import import_module
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+
+from repro import obs
+from repro.attacks.timing import AttackTimingModel
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ConfigurationError, TransientFaultError
+from repro.faults.campaign import (
+    CampaignBudget,
+    CampaignReport,
+    load_checkpoint_state,
+    write_checkpoint,
+)
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.rng import DEFAULT_SEED, derive_seed
+from repro.units import MIB
+
+__all__ = [
+    "default_workers",
+    "qualified_name",
+    "resolve_qualified",
+    "run_campaign_parallel",
+    "probabilistic_trial",
+    "run_probabilistic_trials",
+]
+
+
+def default_workers() -> int:
+    """Sensible worker count: one core left for the parent process."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def qualified_name(obj: Any) -> str:
+    """``"module:qualname"`` reference for a picklable top-level object."""
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if not module or not qualname or "<locals>" in qualname:
+        raise ConfigurationError(
+            f"{obj!r} is not an importable top-level callable; parallel "
+            "campaigns need module-level targets"
+        )
+    return f"{module}:{qualname}"
+
+
+def resolve_qualified(reference: str) -> Any:
+    """Import the object a :func:`qualified_name` reference points at."""
+    module_name, _, qualname = reference.partition(":")
+    if not module_name or not qualname:
+        raise ConfigurationError(f"malformed qualified reference {reference!r}")
+    try:
+        target: Any = import_module(module_name)
+    except ImportError as exc:
+        raise ConfigurationError(
+            f"cannot import {module_name!r} for {reference!r}: {exc}"
+        ) from None
+    for part in qualname.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise ConfigurationError(
+                f"{module_name!r} has no attribute path {qualname!r}"
+            ) from None
+    return target
+
+
+def _run_segment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one segment in a worker (or inline) with an isolated registry.
+
+    Mirrors ``CampaignRunner._run_segment``: same
+    ``derive_seed(campaign_seed, index, attempt)`` streams, same
+    completed/failed record shapes, same ``campaign.retries`` counting —
+    so a merged parallel run is indistinguishable from a serial one.
+    """
+    target = resolve_qualified(payload["target"])
+    retryable: Tuple[Type[BaseException], ...] = tuple(
+        resolve_qualified(reference) for reference in payload["retryable"]
+    )
+    index = payload["index"]
+    name = payload["name"]
+    campaign_seed = payload["seed"]
+    max_retries = payload["max_retries"]
+    kwargs = payload["kwargs"]
+    previous = obs.get_registry()
+    registry = obs.set_registry(obs.Registry())
+    try:
+        attempt = 0
+        while True:
+            segment_seed = derive_seed(campaign_seed, index, attempt)
+            try:
+                result = target(index, segment_seed, **kwargs)
+            except retryable as exc:
+                attempt += 1
+                if attempt > max_retries:
+                    record: Dict[str, Any] = {
+                        "attempts": attempt,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                    }
+                    ok = False
+                    break
+                obs.inc("campaign.retries", campaign=name)
+                continue
+            record = {"attempts": attempt + 1, "result": result}
+            ok = True
+            break
+    finally:
+        obs.set_registry(previous)
+    return {
+        "index": index,
+        "ok": ok,
+        "record": record,
+        "obs_state": registry.export_state(),
+    }
+
+
+def run_campaign_parallel(
+    *,
+    name: str,
+    target: Union[str, Callable[..., Dict[str, Any]]],
+    num_segments: int,
+    seed: Optional[int] = None,
+    kwargs: Optional[Dict[str, Any]] = None,
+    config: Optional[Dict[str, Any]] = None,
+    workers: Optional[int] = None,
+    max_retries: int = 3,
+    backoff_base_s: float = 0.5,
+    retryable: Tuple[Type[BaseException], ...] = (TransientFaultError,),
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    budget: Optional[CampaignBudget] = None,
+    resume: bool = False,
+) -> CampaignReport:
+    """Run a campaign's segments across worker processes; merge serially.
+
+    ``target`` is ``(index, seed, **kwargs) -> result dict`` and must be
+    an importable top-level callable (or its ``"module:qualname"``
+    string). Segment budgets apply to this call like the serial runner's;
+    wall-clock budgets are rejected — they depend on execution order,
+    which parallel fan-out does not preserve.
+    """
+    if num_segments < 1:
+        raise ConfigurationError(f"num_segments {num_segments} must be >= 1")
+    if max_retries < 0:
+        raise ConfigurationError(f"max_retries {max_retries} must be >= 0")
+    if budget is not None and budget.max_wall_s is not None:
+        raise ConfigurationError(
+            "wall-clock budgets require the serial CampaignRunner"
+        )
+    campaign_seed = DEFAULT_SEED if seed is None else int(seed)
+    campaign_config: Dict[str, Any] = dict(config or {})
+    target_reference = target if isinstance(target, str) else qualified_name(target)
+    resolve_qualified(target_reference)  # fail fast in the parent
+    retryable_references = [qualified_name(exc_type) for exc_type in retryable]
+
+    completed: Dict[int, Dict[str, Any]] = {}
+    failed: Dict[int, Dict[str, Any]] = {}
+    if resume:
+        if checkpoint_path is None:
+            raise ConfigurationError("resume requested without a checkpoint_path")
+        completed, failed = load_checkpoint_state(
+            checkpoint_path,
+            name=name,
+            seed=campaign_seed,
+            num_segments=num_segments,
+            config=campaign_config,
+        )
+
+    pending = [
+        index
+        for index in range(num_segments)
+        if index not in completed and index not in failed
+    ]
+    if budget is not None and budget.max_segments is not None:
+        pending = pending[: budget.max_segments]
+    payloads: List[Dict[str, Any]] = [
+        {
+            "target": target_reference,
+            "retryable": retryable_references,
+            "index": index,
+            "name": name,
+            "seed": campaign_seed,
+            "max_retries": max_retries,
+            "kwargs": dict(kwargs or {}),
+        }
+        for index in pending
+    ]
+
+    outcomes: Dict[int, Dict[str, Any]] = {}
+    worker_count = default_workers() if workers is None else int(workers)
+    if payloads:
+        if worker_count <= 1:
+            for payload in payloads:
+                outcome = _run_segment_task(payload)
+                outcomes[outcome["index"]] = outcome
+        else:
+            pool_size = min(worker_count, len(payloads))
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                for outcome in pool.map(_run_segment_task, payloads):
+                    outcomes[outcome["index"]] = outcome
+
+    registry = obs.get_registry()
+    for index in sorted(outcomes):
+        outcome = outcomes[index]
+        registry.merge_state(outcome["obs_state"])
+        if outcome["ok"]:
+            completed[index] = outcome["record"]
+            obs.inc("campaign.segments", campaign=name, status="completed")
+        else:
+            failed[index] = outcome["record"]
+            obs.inc("campaign.segments", campaign=name, status="failed")
+
+    if checkpoint_path is not None:
+        write_checkpoint(
+            checkpoint_path,
+            name=name,
+            seed=campaign_seed,
+            num_segments=num_segments,
+            config=campaign_config,
+            completed=completed,
+            failed=failed,
+        )
+    interrupted = (len(completed) + len(failed)) < num_segments
+    return CampaignReport(
+        name=name,
+        seed=campaign_seed,
+        num_segments=num_segments,
+        config=campaign_config,
+        backoff_base_s=backoff_base_s,
+        completed=completed,
+        failed=failed,
+        interrupted=interrupted,
+    )
+
+
+def probabilistic_trial(
+    index: int,
+    seed: int,
+    total_bytes: int = 16 * MIB,
+    row_bytes: int = 16 * 1024,
+    spray_mappings: int = 16,
+    max_rounds: int = 1,
+    p_vulnerable: float = 3e-2,
+    p_with_leak: float = 0.5,
+) -> Dict[str, Any]:
+    """One self-contained probabilistic-attack trial (picklable target).
+
+    Builds a fresh stock kernel + hammer seeded from the segment seed and
+    runs one Drammer-style spray; the result dict is JSON-checkpointable.
+    ``index`` is accepted for the segment-fn signature but the trial's
+    stream depends only on ``seed``.
+    """
+    del index
+    kernel = Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=row_bytes,
+            num_banks=2,
+            cell_interleave_rows=32,
+        )
+    )
+    hammer = RowHammerModel(
+        kernel.module,
+        stats=FlipStatistics(p_vulnerable=p_vulnerable, p_with_leak=p_with_leak),
+        seed=derive_seed(seed, "hammer"),
+    )
+    from repro.attacks.probabilistic import ProbabilisticPteAttack
+
+    attack = ProbabilisticPteAttack(
+        kernel=kernel, hammer=hammer, timing=AttackTimingModel()
+    )
+    result = attack.run(
+        kernel.create_process(),
+        spray_mappings=spray_mappings,
+        max_rounds=max_rounds,
+    )
+    return {
+        "outcome": result.outcome.value,
+        "hammer_rounds": result.hammer_rounds,
+        "flips": result.flips_induced,
+        "ptes_checked": result.ptes_checked,
+        "faults": {},
+    }
+
+
+def run_probabilistic_trials(
+    trials: int,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    budget: Optional[CampaignBudget] = None,
+    resume: bool = False,
+    **trial_kwargs: Any,
+) -> CampaignReport:
+    """Run ``trials`` independent probabilistic-attack trials.
+
+    ``workers <= 1`` uses the serial :class:`CampaignRunner` (reference
+    behaviour); ``workers > 1`` fans out with
+    :func:`run_campaign_parallel`. Both produce identical reports,
+    checkpoints and obs totals for the same seed.
+    """
+    config = {"trials": int(trials), **{k: trial_kwargs[k] for k in sorted(trial_kwargs)}}
+    if workers <= 1:
+        from repro.faults.campaign import CampaignRunner
+
+        def segment_fn(index: int, segment_seed: int, attempt: int) -> Dict[str, Any]:
+            return probabilistic_trial(index, segment_seed, **trial_kwargs)
+
+        runner = CampaignRunner(
+            name="probabilistic-trials",
+            segment_fn=segment_fn,
+            num_segments=trials,
+            seed=seed,
+            config=config,
+            budget=budget,
+            checkpoint_path=checkpoint_path,
+        )
+        return runner.run(resume=resume)
+    return run_campaign_parallel(
+        name="probabilistic-trials",
+        target="repro.perf.parallel:probabilistic_trial",
+        num_segments=trials,
+        seed=seed,
+        kwargs=dict(trial_kwargs),
+        config=config,
+        workers=workers,
+        checkpoint_path=checkpoint_path,
+        budget=budget,
+        resume=resume,
+    )

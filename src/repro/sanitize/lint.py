@@ -25,6 +25,12 @@ RL006    fault-plane determinism: :mod:`repro.faults` modules must not import
          ``make_rng`` implicitly (no-arg / ``None``) — every fault schedule
          must replay exactly from an explicit seed (``time.monotonic`` is
          fine: it measures budgets, it never feeds a schedule)
+RL007    hot-path vectorization: :mod:`repro.dram.rowhammer` must not call
+         per-element ``read_bit`` / ``write_bit`` or per-event ``obs.inc``
+         inside a loop — use the batched :class:`~repro.dram.module.DramModule`
+         primitives (``read_bits`` / ``apply_bit_flips``) and aggregate the
+         counter updates (the sanctioned scalar reference path carries
+         per-line suppressions)
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -48,10 +54,14 @@ RULES: Dict[str, str] = {
     "RL004": "every *Attack class must be registered in attacks/registry.py",
     "RL005": "obs metric/trace names must match the frozen contract",
     "RL006": "repro.faults must stay deterministic (no ambient entropy/clock)",
+    "RL007": "no per-bit read_bit/write_bit/obs.inc loops in repro.dram.rowhammer",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
 _RL006_FORBIDDEN_IMPORTS = ("secrets", "uuid")
+
+#: Per-element DRAM accessors RL007 forbids inside loops in rowhammer.py.
+_RL007_SCALAR_ACCESSORS = ("read_bit", "write_bit")
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -111,14 +121,18 @@ class _FileLinter(ast.NodeVisitor):
         allowed_raises: FrozenSet[str],
         check_rng: bool,
         check_fault_determinism: bool = False,
+        check_hot_loops: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
         self.check_rng = check_rng
         self.check_fault_determinism = check_fault_determinism
+        self.check_hot_loops = check_hot_loops
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
+        #: Current loop nesting depth (for/while/comprehensions), for RL007.
+        self._loop_depth = 0
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -193,6 +207,35 @@ class _FileLinter(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- RL007: loop-depth tracking ----------------------------------------
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_loop(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_loop(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_loop(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_loop(node)
+
     # -- RL002: bare assert ------------------------------------------------
     def visit_Assert(self, node: ast.Assert) -> None:
         self._add(
@@ -233,6 +276,8 @@ class _FileLinter(ast.NodeVisitor):
         func = node.func
         if self.check_fault_determinism:
             self._check_rl006_call(node, func)
+        if self.check_hot_loops and self._loop_depth > 0:
+            self._check_rl007_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -269,6 +314,29 @@ class _FileLinter(ast.NodeVisitor):
                         f"{name!r} is bound to kind {actual_kind!r}",
                     )
         self.generic_visit(node)
+
+    def _check_rl007_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL007: per-element DRAM/obs calls inside a loop on the hot path."""
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _RL007_SCALAR_ACCESSORS:
+            self._add(
+                "RL007",
+                node,
+                f"per-bit {func.attr}() inside a loop; use the batched "
+                "DramModule primitives (read_bits / apply_bit_flips)",
+            )
+        elif (
+            func.attr == "inc"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "obs"
+        ):
+            self._add(
+                "RL007",
+                node,
+                "per-event obs.inc inside a loop; aggregate counts and emit "
+                "one increment per (direction, cell) bucket",
+            )
 
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
@@ -325,17 +393,20 @@ def lint_source(
 
     Returns ``(findings, attack_classes)``; the attack classes feed the
     cross-file RL004 check in :func:`run_lint`. ``path`` determines the
-    RL001 exemption (``rng.py`` is the sanctioned numpy.random user) and
-    RL006 activation (modules under a ``faults`` package directory).
+    RL001 exemption (``rng.py`` is the sanctioned numpy.random user),
+    RL006 activation (modules under a ``faults`` package directory), and
+    RL007 activation (``rowhammer.py`` — the vectorized hot path).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
     check_rng = Path(path).name != "rng.py"
     check_fault_determinism = "faults" in Path(path).parts
+    check_hot_loops = Path(path).name == "rowhammer.py"
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
         check_fault_determinism=check_fault_determinism,
+        check_hot_loops=check_hot_loops,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

@@ -137,3 +137,75 @@ class TestChargeSemantics:
     def test_decay_bits_out_of_row(self, module):
         with pytest.raises(AddressError):
             module.decay_bits(0, [module.geometry.row_bytes * 8])
+
+
+class TestBatchedPrimitives:
+    def test_read_bits_matches_scalar(self, module):
+        module.write(0, bytes(range(64)))
+        positions = np.array([0, 1, 7, 8, 65, 511], dtype=np.int64)
+        batched = module.read_bits(0, positions)
+        scalar = [module.read_bit(int(p) // 8, int(p) % 8) for p in positions]
+        assert batched.tolist() == scalar
+
+    def test_read_bits_unmaterialized_row_uses_fill(self, geometry, cell_map):
+        module = DramModule(geometry, cell_map, fill_byte=0xFF)
+        assert module.read_bits(3, np.array([0, 9, 100])).tolist() == [1, 1, 1]
+        assert module.materialized_rows == 0  # reading must not materialize
+
+    def test_read_bits_counts_one_read(self, module):
+        before = module.read_count
+        module.read_bits(0, np.array([0, 1, 2, 3]))
+        assert module.read_count == before + 1
+
+    def test_apply_bit_flips_roundtrip(self, module):
+        positions = np.array([0, 3, 8, 77], dtype=np.int64)
+        module.apply_bit_flips(1, positions, np.array([1, 1, 0, 1], dtype=np.uint8))
+        assert module.read_bits(1, positions).tolist() == [1, 1, 0, 1]
+        # Clearing is idempotent and duplicate-safe.
+        dupes = np.array([0, 0, 3], dtype=np.int64)
+        module.apply_bit_flips(1, dupes, np.zeros(3, dtype=np.uint8))
+        assert module.read_bits(1, positions).tolist() == [0, 0, 0, 1]
+
+    def test_apply_bit_flips_shape_mismatch(self, module):
+        with pytest.raises(ConfigurationError):
+            module.apply_bit_flips(0, np.array([0, 1]), np.array([1]))
+
+    def test_batched_bounds_checked(self, module):
+        bits_per_row = module.geometry.row_bytes * 8
+        with pytest.raises(AddressError):
+            module.read_bits(0, np.array([bits_per_row]))
+        with pytest.raises(AddressError):
+            module.read_bits(module.geometry.total_rows, np.array([0]))
+        with pytest.raises(AddressError):
+            module.apply_bit_flips(0, np.array([-1]), np.array([1]))
+
+    def test_u64_view_aliases_storage(self, module):
+        module.write(0, (0x1122334455667788).to_bytes(8, "little"))
+        view = module.u64_view(0, 2)
+        assert int(view[0]) == 0x1122334455667788
+        module.write_bit(0, 0, 0)  # clear the lowest bit in place
+        assert int(view[0]) == 0x1122334455667788 & ~1
+
+    def test_u64_view_rejects_bad_spans(self, module):
+        assert module.u64_view(4, 1) is None  # unaligned
+        row_bytes = module.geometry.row_bytes
+        assert module.u64_view(row_bytes - 8, 2) is None  # crosses rows
+        assert module.u64_view(module.geometry.total_bytes, 1) is None
+
+    def test_generation_bumps_only_on_forget(self, module):
+        generation = module.generation
+        module.write(0, b"abc")
+        module.write_bit(0, 5, 1)
+        assert module.generation == generation
+        module.forget_row(0)
+        assert module.generation == generation + 1
+        module.forget_row(0)  # already absent: no bump
+        assert module.generation == generation + 1
+
+    def test_write_bit_is_in_place(self, module):
+        module.write(10, b"\x00")
+        view = module.u64_view(8, 1)
+        before = module.write_count
+        module.write_bit(10, 7, 1)
+        assert module.write_count == before + 1
+        assert int(view[0]) == 0x80 << 16

@@ -214,6 +214,54 @@ class TestRL006FaultDeterminism:
         assert "RL006" not in self._rules_at(src, path="src/repro/kernel/kernel.py")
 
 
+class TestRL007HotLoops:
+    HOT_PATH = "src/repro/dram/rowhammer.py"
+
+    def _rules_at(self, source, path=HOT_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_read_bit_in_loop_flagged(self):
+        src = "for b in bits:\n    v = module.read_bit(addr, b)\n"
+        assert self._rules_at(src) == ["RL007"]
+
+    def test_write_bit_in_while_flagged(self):
+        src = "while pending:\n    module.write_bit(addr, 0, 1)\n"
+        assert self._rules_at(src) == ["RL007"]
+
+    def test_read_bit_in_comprehension_flagged(self):
+        src = "vals = [module.read_bit(a, b) for a, b in pairs]\n"
+        assert self._rules_at(src) == ["RL007"]
+
+    def test_obs_inc_in_loop_flagged(self):
+        src = "for f in flips:\n    obs.inc('rowhammer.flips')\n"
+        assert "RL007" in self._rules_at(src)
+
+    def test_calls_outside_loops_are_clean(self):
+        src = "v = module.read_bit(a, b)\nmodule.write_bit(a, 0, 1)\n"
+        assert self._rules_at(src) == []
+
+    def test_batched_primitives_in_loops_are_clean(self):
+        src = (
+            "for row in victims:\n"
+            "    current = module.read_bits(row, positions)\n"
+            "    module.apply_bit_flips(row, positions, targets)\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "for b in bits:\n"
+            "    v = module.read_bit(a, b)"
+            "  # repro-lint: ignore[RL007] — reference path\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_rowhammer(self):
+        src = "for b in bits:\n    v = module.read_bit(addr, b)\n"
+        assert self._rules_at(src, path="src/repro/dram/module.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -221,7 +269,7 @@ class TestHarness:
 
     def test_all_rules_documented(self):
         assert set(RULES) == {
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         }
 
     def test_syntax_error_propagates(self):
