@@ -23,7 +23,7 @@ benchmark: every corrupted pointer value vs its original.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro import obs, sanitize
 from repro.attacks.base import AttackOutcome, AttackResult
@@ -169,22 +169,47 @@ class CtaBruteForceAttack:
             rows.extend(range(first, last))
         return sorted(set(rows))
 
+    def _read_table_words(self, base: int) -> List[int]:
+        """All 512 raw PTE words of the table at ``base``.
+
+        One zero-copy :meth:`DramModule.u64_view` gather per table on the
+        fast path; the per-entry ``read_u64`` loop is kept for armed
+        fault planes (per-read schedules must see every access) and for
+        geometries where a table straddles a row.
+        """
+        module = self.kernel.module
+        slots = 4096 // PTE_SIZE
+        if not module.fault_plane_armed:
+            view = module.u64_view(base, slots)
+            if view is not None:
+                return [int(raw) for raw in view]
+        return [module.read_u64(base + slot * PTE_SIZE) for slot in range(slots)]
+
     def _snapshot_ptes(self, attacker: Process) -> List[Tuple[int, int]]:
         """(pte_physical_address, raw_value) of every live attacker PTE."""
         snapshot: List[Tuple[int, int]] = []
-        module = self.kernel.module
         for pt_pfn in self.kernel.page_table_pfns(attacker.pid):
             base = pt_pfn << PAGE_SHIFT
-            for slot in range(0, 4096, PTE_SIZE):
-                raw = module.read_u64(base + slot)
+            for slot, raw in enumerate(self._read_table_words(base)):
                 if raw & 1:  # present entries only
-                    snapshot.append((base + slot, raw))
+                    snapshot.append((base + slot * PTE_SIZE, raw))
         return snapshot
 
     def _record_observations(self, before: List[Tuple[int, int]]) -> None:
+        armed = self.kernel.module.fault_plane_armed
         module = self.kernel.module
+        current_words: Dict[int, List[int]] = {}
         for address, original_raw in before:
-            current_raw = module.read_u64(address)
+            if armed:
+                # Reference path: one read per recorded PTE, in order, so
+                # per-read fault schedules replay exactly.
+                current_raw = module.read_u64(address)
+            else:
+                base = address & ~0xFFF
+                words = current_words.get(base)
+                if words is None:
+                    words = current_words[base] = self._read_table_words(base)
+                current_raw = words[(address - base) // PTE_SIZE]
             if current_raw == original_raw:
                 continue
             self.observations.append(

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.errors import PageFaultError
 from repro.kernel.kernel import Kernel
@@ -55,17 +57,43 @@ def _looks_like_page_table(content: bytes) -> bool:
     writable, user) and plausible frame numbers. We use the same simple
     pattern test the Project Zero exploit describes.
     """
-    words = [
-        int.from_bytes(content[i : i + PTE_SIZE], "little")
-        for i in range(0, len(content), PTE_SIZE)
-    ]
-    present = [w for w in words if w & 0x1]
-    if not present:
+    full = len(content) - (len(content) % PTE_SIZE)
+    words = np.frombuffer(content[:full], dtype="<u8")
+    if full != len(content):
+        words = np.append(words, np.uint64(int.from_bytes(content[full:], "little")))
+    present = words[(words & np.uint64(0x1)) != 0]
+    if present.size == 0:
         return False
     # PTEs have their low permission bits set and frame bits within the
     # physical address width; attacker data rarely does consistently.
-    plausible = sum(1 for w in present if (w & 0x7) == 0x7 and w < (1 << 52))
-    return plausible >= max(1, len(present) // 2)
+    plausible = int(
+        np.count_nonzero(
+            ((present & np.uint64(0x7)) == np.uint64(0x7))
+            & (present < np.uint64(1 << 52))
+        )
+    )
+    return plausible >= max(1, present.size // 2)
+
+
+def _confirm_self_reference(
+    kernel: Kernel, attacker: Process, va: int, leaf: int, entry: PageTableEntry
+) -> Optional[SelfReference]:
+    """Ground-truth confirmation of one page-table-looking page.
+
+    The demo escalation path forges entries in last-level tables
+    (pt_level 1); windows onto higher levels are exploitable too but need
+    a different forging recipe, so they are not reported here.
+    """
+    frame = kernel.page_db.frame(entry.pfn)
+    if (
+        frame.use is PageUse.PAGE_TABLE
+        and frame.owner_pid == attacker.pid
+        and frame.pt_level in (0, 1)
+    ):
+        return SelfReference(
+            virtual_address=va, pte_physical_address=leaf, target_pfn=entry.pfn
+        )
+    return None
 
 
 def find_self_references(
@@ -77,6 +105,68 @@ def find_self_references(
     content (user-level view) and flags page-table-looking pages; each
     flag is then confirmed against the kernel's frame database, mirroring
     how a real attack confirms by attempting the escalation.
+
+    The scan is batched — candidate leaves are collected first, then all
+    candidate pages load through :meth:`Mmu.load_many` in one pass — with
+    the per-VA reference loop kept for armed fault planes, where per-read
+    schedules must see each access in its original order.
+    """
+    if kernel.module.fault_plane_armed:
+        return _find_self_references_scalar(kernel, attacker, sprayed_vas)
+    candidates: List[Tuple[int, int, PageTableEntry]] = []
+    for va in sprayed_vas:
+        leaf = kernel.leaf_pte_address(attacker, va)
+        if leaf is None:
+            continue
+        entry = PageTableEntry.decode(kernel.module.read_u64(leaf))
+        if entry.present and entry.user:
+            candidates.append((va, leaf, entry))
+    if not candidates:
+        return []
+    contents = _load_pages_tolerant(kernel, attacker, [c[0] for c in candidates])
+    found: List[SelfReference] = []
+    for (va, leaf, entry), content in zip(candidates, contents):
+        if content is None or not _looks_like_page_table(content):
+            continue
+        reference = _confirm_self_reference(kernel, attacker, va, leaf, entry)
+        if reference is not None:
+            found.append(reference)
+    return found
+
+
+def _load_pages_tolerant(
+    kernel: Kernel, attacker: Process, vas: List[int]
+) -> List[Optional[bytes]]:
+    """One page of content per VA; ``None`` where the walk faults.
+
+    Tries the batched load first; when any address faults (the paging
+    subtree above it took collateral flips) it falls back to per-VA loads
+    so the surviving addresses still get scanned.
+    """
+    try:
+        return list(
+            kernel.mmu.load_many(attacker.cr3, vas, PAGE_SIZE, pid=attacker.pid)
+        )
+    except PageFaultError:
+        pass
+    contents: List[Optional[bytes]] = []
+    for va in vas:
+        try:
+            contents.append(
+                kernel.mmu.load(attacker.cr3, va, PAGE_SIZE, pid=attacker.pid)  # repro-lint: ignore[RL008] — per-VA fault tolerance after a faulting batch
+            )
+        except PageFaultError:
+            contents.append(None)
+    return contents
+
+
+def _find_self_references_scalar(
+    kernel: Kernel, attacker: Process, sprayed_vas: List[int]
+) -> List[SelfReference]:
+    """Per-VA reference scan, kept for armed fault planes.
+
+    Interleaves each VA's leaf read and page load exactly as the original
+    loop did, so per-access fault schedules replay unchanged.
     """
     found: List[SelfReference] = []
     for va in sprayed_vas:
@@ -87,28 +177,14 @@ def find_self_references(
         if not (entry.present and entry.user):
             continue
         try:
-            content = kernel.mmu.load(attacker.cr3, va, PAGE_SIZE, pid=attacker.pid)
+            content = kernel.mmu.load(attacker.cr3, va, PAGE_SIZE, pid=attacker.pid)  # repro-lint: ignore[RL008] — armed-plane reference path
         except PageFaultError:
             continue
         if not _looks_like_page_table(content):
             continue
-        frame = kernel.page_db.frame(entry.pfn)
-        # Confirm against ground truth. The demo escalation path forges
-        # entries in last-level tables (pt_level 1); windows onto higher
-        # levels are exploitable too but need a different forging recipe,
-        # so they are not reported here.
-        if (
-            frame.use is PageUse.PAGE_TABLE
-            and frame.owner_pid == attacker.pid
-            and frame.pt_level in (0, 1)
-        ):
-            found.append(
-                SelfReference(
-                    virtual_address=va,
-                    pte_physical_address=leaf,
-                    target_pfn=entry.pfn,
-                )
-            )
+        reference = _confirm_self_reference(kernel, attacker, va, leaf, entry)
+        if reference is not None:
+            found.append(reference)
     return found
 
 

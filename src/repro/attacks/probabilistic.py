@@ -66,10 +66,32 @@ class ProbabilisticPteAttack:
         page table holds; ``interleave_data_pages`` how many hammerable
         anonymous pages are allocated between consecutive mappings.
         """
+        self.prepare(
+            attacker, spray_mappings, pages_per_mapping, interleave_data_pages
+        )
+        return self.execute(attacker, max_rounds)
+
+    def prepare(
+        self,
+        attacker: Process,
+        spray_mappings: int = 64,
+        pages_per_mapping: int = 4,
+        interleave_data_pages: int = 2,
+    ) -> None:
+        """The deterministic setup half of :meth:`run`: record the attempt
+        and spray.
+
+        Consumes no hammer randomness, so a prepared world can be frozen
+        once (:mod:`repro.perf.snapshot`) and :meth:`execute` replayed
+        against it per trial seed.
+        """
         obs.inc("attack.attempts", kind="probabilistic_pte")
         self._spray_interleaved(
             attacker, spray_mappings, pages_per_mapping, interleave_data_pages
         )
+
+    def execute(self, attacker: Process, max_rounds: int = 8) -> AttackResult:
+        """The seed-dependent half of :meth:`run`: hammer, check, escalate."""
         if not self.sprayed_vas:
             return self._finish(
                 AttackResult(
@@ -143,6 +165,61 @@ class ProbabilisticPteAttack:
         interleave_data_pages: int,
     ) -> None:
         """Alternate file mappings with anonymous data-page allocations."""
+        if self.kernel.module.fault_plane_armed:
+            self._spray_interleaved_scalar(
+                attacker, spray_mappings, pages_per_mapping, interleave_data_pages
+            )
+            return
+        kernel = self.kernel
+        file_bytes = pages_per_mapping * PAGE_SIZE
+        shared = kernel.create_file(file_bytes)
+        data_base = SPRAY_BASE + 4096 * PT_COVERAGE
+        data_cursor = 0
+        try:
+            for index in range(spray_mappings):
+                va = SPRAY_BASE + index * PT_COVERAGE
+                _, page_pas = kernel.mmap_touch_many(
+                    attacker, file_bytes, writable=True,
+                    backing=shared, address=va,
+                )
+                self.checked_vas.extend(
+                    va + page * PAGE_SIZE for page in range(len(page_pas))
+                )
+                self.sprayed_vas.append(va)
+                obs.inc("attack.spray_mappings")
+                for _ in range(interleave_data_pages):
+                    data_va = data_base + data_cursor * PAGE_SIZE
+                    # Keep each anonymous chunk inside one 2 MiB region so
+                    # its page tables are shared, not one per page.
+                    kernel.mmap_touch_many(
+                        attacker, PAGE_SIZE, address=data_va, write=True
+                    )
+                    self.checked_vas.append(data_va)
+                    data_cursor += 1
+        except OutOfMemoryError as exc:
+            # Mirror the scalar loop's partial state: pages touched before
+            # the failure stay checkable, the failed mapping is not
+            # counted as sprayed.
+            touched = getattr(exc, "touched", [])
+            vma = getattr(exc, "vma", None)
+            if vma is not None:
+                self.checked_vas.extend(
+                    vma.start + page * PAGE_SIZE for page in range(len(touched))
+                )
+
+    def _spray_interleaved_scalar(
+        self,
+        attacker: Process,
+        spray_mappings: int,
+        pages_per_mapping: int,
+        interleave_data_pages: int,
+    ) -> None:
+        """Per-page reference spray, kept for armed fault planes.
+
+        Chaos schedules (``tlb-stale``, ``dram-read-error``, ``buddy-oom``)
+        are keyed to per-access event order; this loop preserves it
+        exactly.
+        """
         kernel = self.kernel
         file_bytes = pages_per_mapping * PAGE_SIZE
         shared = kernel.create_file(file_bytes)
@@ -157,7 +234,7 @@ class ProbabilisticPteAttack:
                 )
                 for page in range(pages_per_mapping):
                     page_va = vma.start + page * PAGE_SIZE
-                    kernel.touch(attacker, page_va)
+                    kernel.touch(attacker, page_va)  # repro-lint: ignore[RL008] — armed-plane reference path
                     self.checked_vas.append(page_va)
                 self.sprayed_vas.append(va)
                 obs.inc("attack.spray_mappings")
@@ -166,7 +243,7 @@ class ProbabilisticPteAttack:
                     # Keep each anonymous chunk inside one 2 MiB region so
                     # its page tables are shared, not one per page.
                     anon = kernel.mmap(attacker, PAGE_SIZE, address=data_va)
-                    kernel.touch(attacker, anon.start, write=True)
+                    kernel.touch(attacker, anon.start, write=True)  # repro-lint: ignore[RL008] — armed-plane reference path
                     self.checked_vas.append(anon.start)
                     data_cursor += 1
         except OutOfMemoryError:

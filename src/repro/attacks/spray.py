@@ -78,7 +78,7 @@ def spray_page_tables(
                 backing=result.file,
                 address=va,
             )
-            kernel.touch(attacker, vma.start, write=False)
+            kernel.touch(attacker, vma.start, write=False)  # repro-lint: ignore[RL008] — one touch per mapping with per-mapping fault tolerance
         except OutOfMemoryError:
             result.stopped_by_oom = True
             break

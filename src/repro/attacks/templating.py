@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+import numpy as np
+
 from repro import obs, sanitize
 from repro.attacks.base import AttackOutcome, AttackResult
 from repro.attacks.escalation import attempt_escalation, find_self_references
@@ -141,18 +143,57 @@ class TemplatingAttack:
         # One VMA per page so a single templated frame can later be released
         # without giving up the rest of the buffer (Drammer's landing pads).
         owned_pfns: Set[int] = set()
-        try:
-            for page in range(buffer_bytes // PAGE_SIZE):
-                va = base + page * PAGE_SIZE
-                kernel.mmap(attacker, PAGE_SIZE, address=va)
-                kernel.write_virtual(attacker, va, b"\xff" * 8)
-                pa = kernel.touch(attacker, va)
-                owned_pfns.add(pa >> PAGE_SHIFT)
-        except OutOfMemoryError:
-            pass
+        if kernel.module.fault_plane_armed:
+            # Reference path: per-page mmap/write/touch so per-access
+            # fault schedules replay exactly.
+            try:
+                for page in range(buffer_bytes // PAGE_SIZE):
+                    va = base + page * PAGE_SIZE
+                    kernel.mmap(attacker, PAGE_SIZE, address=va)
+                    kernel.write_virtual(attacker, va, b"\xff" * 8)
+                    pa = kernel.touch(attacker, va)  # repro-lint: ignore[RL008] — armed-plane reference path
+                    owned_pfns.add(pa >> PAGE_SHIFT)
+            except OutOfMemoryError:
+                pass
+        else:
+            owned_pfns = self._template_buffer_batched(attacker, base, buffer_bytes)
 
         geometry = kernel.module.geometry
         owned_rows = {geometry.row_of_address(pfn << PAGE_SHIFT) for pfn in owned_pfns}
+        return self._hammer_owned_rows(owned_rows, owned_pfns, result)
+
+    def _template_buffer_batched(
+        self, attacker: Process, base: int, buffer_bytes: int
+    ) -> Set[int]:
+        """Map and fault the landing-pad buffer through the batched pipeline.
+
+        Maps every single-page VMA first, demand-faults them all via
+        :meth:`Kernel.touch_many` (identical buddy allocation order to the
+        per-page loop), then stamps the marker word straight into each
+        owned frame. Stops at the OOM prefix like the scalar loop.
+        """
+        kernel = self.kernel
+        vas = [
+            base + page * PAGE_SIZE for page in range(buffer_bytes // PAGE_SIZE)
+        ]
+        for va in vas:
+            kernel.mmap(attacker, PAGE_SIZE, address=va)
+        try:
+            pas = kernel.touch_many(
+                attacker, np.asarray(vas, dtype=np.int64), write=True
+            )
+        except OutOfMemoryError as exc:
+            pas = list(getattr(exc, "touched", []))
+        for pa in pas:
+            kernel.module.write(pa, b"\xff" * 8)
+        return {pa >> PAGE_SHIFT for pa in pas}
+
+    def _hammer_owned_rows(
+        self, owned_rows: Set[int], owned_pfns: Set[int], result: AttackResult
+    ) -> List[FlipTemplate]:
+        """Hammer each owned row, collecting usable templates."""
+        kernel = self.kernel
+        geometry = kernel.module.geometry
         templates: List[FlipTemplate] = []
         for row in sorted(owned_rows):
             # Fill victim row candidates with a known pattern, then hammer
@@ -231,8 +272,10 @@ class TemplatingAttack:
         warm_base = fresh_base + PT_COVERAGE
         try:
             for filler in range(4):
-                warm = kernel.mmap(attacker, PAGE_SIZE, address=warm_base + filler * PAGE_SIZE)
-                kernel.touch(attacker, warm.start, write=True)
+                kernel.mmap_touch_many(
+                    attacker, PAGE_SIZE,
+                    address=warm_base + filler * PAGE_SIZE, write=True,
+                )
         except OutOfMemoryError:
             return None
 
@@ -242,8 +285,9 @@ class TemplatingAttack:
         # the templated bit's slot, so the replayed flip lands in a live PTE.
         fresh_va = fresh_base + template.pte_slot * PAGE_SIZE
         try:
-            fresh = kernel.mmap(attacker, PAGE_SIZE, address=fresh_va)
-            kernel.touch(attacker, fresh.start, write=True)
+            fresh, _ = kernel.mmap_touch_many(
+                attacker, PAGE_SIZE, address=fresh_va, write=True
+            )
         except OutOfMemoryError:
             return None
         leaf = kernel.leaf_pte_address(attacker, fresh.start)

@@ -206,6 +206,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     refresh.advance(0.064)
     refresh.refresh_all()
 
+    # Translation-pressure sweep through the batched VM pipeline: a
+    # working set larger than the TLB, swept twice, so the capacity
+    # (``tlb.evictions``) and re-fill behaviour show up in the table.
+    import numpy as np
+    from repro.units import PAGE_SIZE
+    sweeper = kernel.create_process()
+    vma, _ = kernel.mmap_touch_many(
+        sweeper, (kernel.tlb.capacity + 512) * PAGE_SIZE, write=True
+    )
+    sweep_vas = vma.start + PAGE_SIZE * np.arange(vma.num_pages, dtype=np.int64)
+    for _ in range(2):
+        kernel.mmu.translate_many(sweeper.cr3, sweep_vas, pid=sweeper.pid)
+    kernel.munmap(sweeper, vma)
+
     registry = obs.get_registry()
     if args.json:
         print(registry.to_json())
@@ -436,6 +450,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint,
         budget=budget,
         workers=args.workers,
+        warm_start=args.warm_start,
     )
     status = _print_campaign_report(report, args.json)
     if not args.json:
@@ -585,6 +600,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--workers", type=int, default=1, metavar="N",
         help="fan segments out across N worker processes (same results as "
         "serial for the same seed; 1 = serial reference path)",
+    )
+    chaos.add_argument(
+        "--warm-start", action="store_true",
+        help="boot the segment worlds once into a shared-memory snapshot "
+        "and attach copy-on-write per segment (identical results, less "
+        "per-segment setup)",
     )
     chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
     chaos.set_defaults(func=_cmd_chaos)

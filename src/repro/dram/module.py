@@ -11,7 +11,7 @@ model).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -101,8 +101,19 @@ class DramModule:
     # -- row materialisation ----------------------------------------------
     def _row_array(self, row: int, materialize: bool = True) -> Optional[np.ndarray]:
         existing = self._rows.get(row)
-        if existing is not None or not materialize:
+        if existing is not None:
+            if materialize and not existing.flags.writeable:
+                # Copy-on-first-write: the row aliases a read-only snapshot
+                # buffer (shared memory). Promote to a private writable
+                # copy and invalidate aliasing caches of the old storage.
+                fresh = existing.copy()
+                self._rows[row] = fresh
+                self._u64_views.pop(row, None)
+                self._generation += 1
+                return fresh
             return existing
+        if not materialize:
+            return None
         fresh = np.full(self._geometry.row_bytes, self._fill_byte, dtype=np.uint8)
         self._rows[row] = fresh
         return fresh
@@ -147,6 +158,47 @@ class DramModule:
                 out[cursor : cursor + chunk] = backing[offset : offset + chunk].tobytes()
             cursor += chunk
         return bytes(out)
+
+    def read_many(self, addresses: "np.ndarray", length: int) -> List[bytes]:
+        """One ``length``-byte read per physical address, in order.
+
+        Equivalent to calling :meth:`read` per address (same results and
+        ``read_count`` accounting); the per-call overhead — bounds check,
+        fault probe, row arithmetic — is paid once for the batch instead.
+        Falls back to the scalar loop when the fault plane is armed (each
+        read must probe the schedule individually) or any address is out
+        of bounds (the scalar loop raises at the right element with the
+        right prior counts).
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        n = int(addrs.size)
+        total = self._geometry.total_bytes
+        if (
+            self.fault_plane_armed
+            or n == 0
+            or bool(np.any(addrs < 0))
+            or bool(np.any(addrs + length > total))
+        ):
+            return [self.read(int(address), length) for address in addrs]
+        self.read_count += n
+        row_bytes = self._geometry.row_bytes
+        rows = addrs // row_bytes
+        offsets = addrs - rows * row_bytes
+        backing_of = self._rows
+        fill = bytes([self._fill_byte]) * length
+        out: List[bytes] = []
+        for row, offset in zip(rows.tolist(), offsets.tolist()):
+            if offset + length <= row_bytes:
+                backing = backing_of.get(row)
+                out.append(
+                    fill if backing is None else
+                    backing[offset : offset + length].tobytes()
+                )
+                continue
+            # Row-straddling read: reuse the chunking path uncounted.
+            self.read_count -= 1
+            out.append(self.read(row * row_bytes + offset, length))
+        return out
 
     def write(self, address: int, data: bytes) -> None:
         """Write ``data`` at physical ``address``."""

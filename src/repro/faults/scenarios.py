@@ -79,10 +79,28 @@ def _cta_kernel(policy: str) -> Kernel:
     )
 
 
-def _probabilistic_segment(seed: int, smoke: bool) -> Dict[str, Any]:
+def _segment_kernel(snapshot: Optional[str], factory) -> Kernel:
+    """A segment's world: warm-started from a snapshot, or freshly booted.
+
+    Segments boot their kernel *before* installing the fault plane and
+    sanitizers, so attaching copy-on-write to a pre-boot snapshot (and
+    merging its captured boot obs) is indistinguishable from the cold
+    boot — reports, checkpoints, and metric totals stay byte-identical.
+    """
+    if snapshot is None:
+        return factory()
+    from repro.perf.snapshot import SimulatorSnapshot
+
+    kernel, _ = SimulatorSnapshot.attach_cached(snapshot).materialize()
+    return kernel
+
+
+def _probabilistic_segment(
+    seed: int, smoke: bool, snapshot: Optional[str] = None
+) -> Dict[str, Any]:
     from repro.attacks.probabilistic import ProbabilisticPteAttack
 
-    kernel = _stock_kernel()
+    kernel = _segment_kernel(snapshot, _stock_kernel)
     hammer = RowHammerModel(
         kernel.module,
         FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5),
@@ -127,10 +145,12 @@ def _probabilistic_segment(seed: int, smoke: bool) -> Dict[str, Any]:
     }
 
 
-def _algorithm1_segment(seed: int, policy: str, smoke: bool) -> Dict[str, Any]:
+def _algorithm1_segment(
+    seed: int, policy: str, smoke: bool, snapshot: Optional[str] = None
+) -> Dict[str, Any]:
     from repro.attacks.algorithm1 import CtaBruteForceAttack
 
-    kernel = _cta_kernel(policy)
+    kernel = _segment_kernel(snapshot, lambda: _cta_kernel(policy))
     # Idealized true-cells (p_with_leak=1.0): every flip is 1 -> 0, the
     # regime where the monotonicity sanitizer must stay silent.
     hammer = RowHammerModel(
@@ -193,17 +213,29 @@ def _montecarlo_segment(seed: int, smoke: bool) -> Dict[str, Any]:
 
 
 def run_chaos_segment(
-    index: int, seed: int, policy: str = "fail-hard", smoke: bool = True
+    index: int,
+    seed: int,
+    policy: str = "fail-hard",
+    smoke: bool = True,
+    snapshot_names: Optional[Dict[str, str]] = None,
 ) -> Dict[str, Any]:
-    """Run one chaos segment in a clean world; always tears chaos down."""
+    """Run one chaos segment in a clean world; always tears chaos down.
+
+    ``snapshot_names`` maps segment kinds to shared-memory snapshot names
+    (see :func:`run_chaos_campaign`'s ``warm_start``); kinds without an
+    entry boot cold.
+    """
     kind = segment_kind(index)
+    names = snapshot_names or {}
     sanitize.reset()
     faults.uninstall()
     try:
         if kind == "probabilistic":
-            result = _probabilistic_segment(seed, smoke)
+            result = _probabilistic_segment(seed, smoke, snapshot=names.get(kind))
         elif kind == "algorithm1":
-            result = _algorithm1_segment(seed, policy, smoke)
+            result = _algorithm1_segment(
+                seed, policy, smoke, snapshot=names.get(kind)
+            )
         else:
             result = _montecarlo_segment(seed, smoke)
     finally:
@@ -222,6 +254,7 @@ def run_chaos_campaign(
     budget: Optional[CampaignBudget] = None,
     workers: int = 1,
     resume: bool = False,
+    warm_start: bool = False,
 ):
     """Run the standard chaos rotation, serially or across processes.
 
@@ -230,35 +263,62 @@ def run_chaos_campaign(
     :func:`repro.perf.parallel.run_campaign_parallel` with the same
     retry protocol, so reports, checkpoints and obs totals are identical
     for the same seed (the parallel determinism contract).
+
+    ``warm_start`` boots the stock and CTA worlds once into shared-memory
+    snapshots; every probabilistic/algorithm1 segment then attaches
+    copy-on-write instead of re-booting. The snapshot names travel in the
+    segment kwargs only — never in ``config`` — so checkpoint files stay
+    byte-identical to cold runs.
     """
     policy_value = ExhaustionPolicy.coerce(policy).value
-    if workers <= 1:
-        runner = build_chaos_runner(
-            seed,
+    snapshots = []
+    snapshot_names: Optional[Dict[str, str]] = None
+    if warm_start:
+        from repro.perf.snapshot import SimulatorSnapshot
+
+        snapshots = [
+            SimulatorSnapshot.capture(_stock_kernel),
+            SimulatorSnapshot.capture(lambda: _cta_kernel(policy_value)),
+        ]
+        snapshot_names = {
+            "probabilistic": snapshots[0].name,
+            "algorithm1": snapshots[1].name,
+        }
+    try:
+        if workers <= 1:
+            runner = build_chaos_runner(
+                seed,
+                num_segments=num_segments,
+                policy=policy_value,
+                smoke=smoke,
+                checkpoint_path=checkpoint_path,
+                budget=budget,
+                snapshot_names=snapshot_names,
+            )
+            return runner.run(resume=resume)
+        from repro.perf.parallel import run_campaign_parallel
+
+        kwargs: Dict[str, Any] = {"policy": policy_value, "smoke": bool(smoke)}
+        if snapshot_names is not None:
+            kwargs["snapshot_names"] = snapshot_names
+        return run_campaign_parallel(
+            name="chaos",
+            target="repro.faults.scenarios:run_chaos_segment",
             num_segments=num_segments,
-            policy=policy_value,
-            smoke=smoke,
+            seed=seed,
+            kwargs=kwargs,
+            config={"policy": policy_value, "smoke": bool(smoke)},
+            workers=workers,
+            max_retries=2,
+            backoff_base_s=0.25,
+            retryable=(TransientFaultError, OutOfMemoryError),
             checkpoint_path=checkpoint_path,
             budget=budget,
+            resume=resume,
         )
-        return runner.run(resume=resume)
-    from repro.perf.parallel import run_campaign_parallel
-
-    return run_campaign_parallel(
-        name="chaos",
-        target="repro.faults.scenarios:run_chaos_segment",
-        num_segments=num_segments,
-        seed=seed,
-        kwargs={"policy": policy_value, "smoke": bool(smoke)},
-        config={"policy": policy_value, "smoke": bool(smoke)},
-        workers=workers,
-        max_retries=2,
-        backoff_base_s=0.25,
-        retryable=(TransientFaultError, OutOfMemoryError),
-        checkpoint_path=checkpoint_path,
-        budget=budget,
-        resume=resume,
-    )
+    finally:
+        for snap in snapshots:
+            snap.release()
 
 
 def build_chaos_runner(
@@ -271,12 +331,19 @@ def build_chaos_runner(
     max_retries: int = 2,
     sleep_fn: Optional[Any] = None,
     time_source: Optional[Any] = None,
+    snapshot_names: Optional[Dict[str, str]] = None,
 ) -> CampaignRunner:
     """A :class:`CampaignRunner` over the standard chaos rotation."""
     policy_value = ExhaustionPolicy.coerce(policy).value
 
     def segment_fn(index: int, segment_seed: int, attempt: int) -> Dict[str, Any]:
-        return run_chaos_segment(index, segment_seed, policy=policy_value, smoke=smoke)
+        return run_chaos_segment(
+            index,
+            segment_seed,
+            policy=policy_value,
+            smoke=smoke,
+            snapshot_names=snapshot_names,
+        )
 
     return CampaignRunner(
         name="chaos",

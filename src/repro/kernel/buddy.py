@@ -38,8 +38,13 @@ class BuddyAllocator:
         self._start_pfn = start_pfn
         self._end_pfn = end_pfn
         self.name = name
-        # free_lists[order] = set of relative block starts.
+        # free_lists[order] = set of relative block starts. Per-order block
+        # counts and the total free-page count are maintained incrementally
+        # alongside (the obs gauge reads free_pages on every alloc/free and
+        # sanitizer sweeps poll free_blocks_by_order repeatedly).
         self._free_lists: Dict[int, Set[int]] = {order: set() for order in range(MAX_ORDER + 1)}
+        self._free_counts: Dict[int, int] = {order: 0 for order in range(MAX_ORDER + 1)}
+        self._free_pages = 0
         self._allocated: Dict[int, int] = {}  # relative start -> order
         self._seed_free_blocks()
         #: Allocation-path statistics for the perf harness.
@@ -58,8 +63,18 @@ class BuddyAllocator:
                 cursor % (1 << order) != 0 or cursor + (1 << order) > size
             ):
                 order -= 1
-            self._free_lists[order].add(cursor)
+            self._add_free(order, cursor)
             cursor += 1 << order
+
+    def _add_free(self, order: int, block: int) -> None:
+        self._free_lists[order].add(block)
+        self._free_counts[order] += 1
+        self._free_pages += 1 << order
+
+    def _take_free(self, order: int, block: int) -> None:
+        self._free_lists[order].discard(block)
+        self._free_counts[order] -= 1
+        self._free_pages -= 1 << order
 
     # -- properties ----------------------------------------------------------
     @property
@@ -79,8 +94,8 @@ class BuddyAllocator:
 
     @property
     def free_pages(self) -> int:
-        """Currently free page frames."""
-        return sum(len(blocks) << order for order, blocks in self._free_lists.items())
+        """Currently free page frames (maintained incrementally, O(1))."""
+        return self._free_pages
 
     @property
     def allocated_pages(self) -> int:
@@ -88,8 +103,12 @@ class BuddyAllocator:
         return sum(1 << order for order in self._allocated.values())
 
     def free_blocks_by_order(self) -> Dict[int, int]:
-        """Free-list occupancy, order -> block count (``/proc/buddyinfo``)."""
-        return {order: len(blocks) for order, blocks in self._free_lists.items()}
+        """Free-list occupancy, order -> block count (``/proc/buddyinfo``).
+
+        Served from the incrementally maintained counts — O(orders), not
+        O(free blocks) — since sanitizer sweeps call this repeatedly.
+        """
+        return dict(self._free_counts)
 
     # -- allocation -------------------------------------------------------------
     def alloc_pages(self, order: int = 0) -> int:
@@ -116,14 +135,14 @@ class BuddyAllocator:
                 f"[{self._start_pfn}, {self._end_pfn})"
             )
         block = min(self._free_lists[found_order])
-        self._free_lists[found_order].discard(block)
+        self._take_free(found_order, block)
         # Split down to the requested order, freeing the upper halves.
         while found_order > order:
             found_order -= 1
             self.split_count += 1
             obs.inc("buddy.splits", zone=self.name)
             buddy = block + (1 << found_order)
-            self._free_lists[found_order].add(buddy)
+            self._add_free(found_order, buddy)
         self._allocated[block] = order
         obs.inc("buddy.allocs", zone=self.name, order=order)
         obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
@@ -154,12 +173,12 @@ class BuddyAllocator:
                 break
             if buddy + (1 << current) > self.total_pages:
                 break
-            self._free_lists[current].discard(buddy)
+            self._take_free(current, buddy)
             self.coalesce_count += 1
             obs.inc("buddy.merges", zone=self.name)
             block = min(block, buddy)
             current += 1
-        self._free_lists[current].add(block)
+        self._add_free(current, block)
         obs.inc("buddy.frees", zone=self.name, order=recorded)
         obs.set_gauge("buddy.free_pages", self.free_pages, zone=self.name)
         sanitize.notify("buddy.free", allocator=self, pfn=pfn, order=recorded)

@@ -49,6 +49,7 @@ from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
 from repro.kernel.mmu import Mmu
 from repro.kernel.page import PageFrameDatabase, PageUse
 from repro.kernel.pagetable import (
+    BITS_PER_LEVEL,
     ENTRIES_PER_TABLE,
     NUM_LEVELS,
     PageTableEntry,
@@ -585,6 +586,173 @@ class Kernel:
         return self._mmu.translate(
             process.cr3, virtual_address, pid=process.pid, write=write, user=True
         )
+
+    def touch_many(
+        self,
+        process: Process,
+        virtual_addresses: "np.ndarray | List[int]",
+        write: bool = False,
+        slow_reference: bool = False,
+    ) -> List[int]:
+        """Batched :meth:`touch`: demand-map an address vector in order.
+
+        Observationally equivalent to calling ``touch`` per address in
+        sequence — identical buddy allocation order, TLB state, obs
+        counters, and the same exception raised at the same access — but
+        already-walked pages are classified in one vectorized pass and
+        page-table chains are descended once per 2 MiB region. On
+        :class:`OutOfMemoryError` the physical addresses of the completed
+        prefix are attached to the exception as ``exc.touched``. Degrades
+        to the scalar loop when ``slow_reference`` is set or the fault
+        plane is armed.
+        """
+        vas = np.asarray(virtual_addresses, dtype=np.int64)
+        results: List[int] = []
+        if slow_reference or self._module.fault_plane_armed:
+            try:
+                for va in vas:
+                    results.append(self.touch(process, int(va), write=write))
+            except OutOfMemoryError as exc:
+                exc.touched = results  # type: ignore[attr-defined]
+                raise
+            return results
+        mmu = self._mmu
+        walked = mmu._walk_many(process.cr3, np.unique(vas >> PAGE_SHIFT))
+        pt_bases: Dict[int, int] = {}
+        try:
+            for va in vas:
+                results.append(
+                    self._touch_one_prewalked(process, int(va), write, walked, pt_bases)
+                )
+        except OutOfMemoryError as exc:
+            exc.touched = results  # type: ignore[attr-defined]
+            raise
+        return results
+
+    def _touch_one_prewalked(
+        self,
+        process: Process,
+        va: int,
+        write: bool,
+        walked: Dict[int, tuple],
+        pt_bases: Dict[int, int],
+    ) -> int:
+        """One :meth:`touch`, using pre-walked page classifications.
+
+        Replays the exact scalar sequence (translate attempt, demand
+        fault, final translate) with the expensive hardware walks served
+        from ``walked``; newly mapped pages refresh their entry so later
+        accesses in the batch see them.
+        """
+        vpn = va >> PAGE_SHIFT
+        try:
+            return self._translate_prewalked(process, va, write, walked)
+        except PageFaultError:
+            pass
+        vma = process.find_vma(va)
+        if vma is None:
+            raise PageFaultError(f"segfault: VA {va:#x} not mapped", va)
+        if write and not vma.writable:
+            raise PageFaultError(
+                f"write to read-only mapping at {va:#x}", va
+            )
+        self.stats.demand_faults += 1
+        obs.inc("kernel.demand_faults")
+        region = vpn >> BITS_PER_LEVEL
+        pt_base = pt_bases.get(region)
+        if pt_base is None:
+            pt_base = self._walk_alloc_tables(process, va)
+            pt_bases[region] = pt_base
+        pfn = self._frame_for(process, vma, va)
+        self._set_leaf(process, pt_base, va, pfn, vma.writable)
+        walked.pop(vpn, None)
+        return self._translate_prewalked(process, va, write, walked)
+
+    def _translate_prewalked(
+        self, process: Process, va: int, write: bool, walked: Dict[int, tuple]
+    ) -> int:
+        """Scalar-equivalent ``mmu.translate`` served from a prewalk map.
+
+        Applies the same TLB/obs accounting and raises the same faults as
+        :meth:`Mmu.translate`; a vpn absent from ``walked`` (newly mapped
+        or evicted mid-batch) is walked quietly and memoised.
+        """
+        mmu = self._mmu
+        tlb = self._tlb
+        pid = process.pid
+        vpn = va >> PAGE_SHIFT
+        offset = va & (PAGE_SIZE - 1)
+        cached = tlb.lookup(pid, vpn)
+        if cached is not None:
+            pfn, writable, user_ok = cached
+            mmu._check_permissions(va, writable, user_ok, write, True)
+            return (pfn << PAGE_SHIFT) | offset
+        res = walked.get(vpn)
+        if res is None:
+            # Newly mapped (or evicted) mid-batch: a scalar walk is far
+            # cheaper than a single-element batched walk, and walk() does
+            # its own walk/fault accounting.
+            result = mmu.walk(process.cr3, va)
+            writable = all(step.entry.writable for step in result.steps)
+            user_ok = all(step.entry.user for step in result.steps)
+            mmu._check_permissions(va, writable, user_ok, write, True)
+            pfn = result.physical_address >> PAGE_SHIFT
+            tlb.insert(pid, vpn, pfn, writable, user_ok)
+            sanitize.notify(
+                "mmu.translate", mmu=mmu, pid=pid, pfn=pfn, user=True,
+            )
+            return result.physical_address
+        mmu.walk_count += 1
+        obs.inc("mmu.walks")
+        if res[0] == "not_present":
+            obs.inc("mmu.faults", kind="not_present")
+            raise PageFaultError(
+                f"non-present level-{res[1]} entry for VA {va:#x}", va
+            )
+        if res[0] == "bus_error":
+            obs.inc("mmu.faults", kind="bus_error")
+            raise PageFaultError(
+                f"bus error: level-{res[1]} table at {res[2]:#x} outside "
+                f"physical memory (VA {va:#x})",
+                va,
+            )
+        _, frame_pa, writable, user_ok = res
+        mmu._check_permissions(va, writable, user_ok, write, True)
+        tlb.insert(pid, vpn, frame_pa >> PAGE_SHIFT, writable, user_ok)
+        sanitize.notify(
+            "mmu.translate", mmu=mmu, pid=pid,
+            pfn=frame_pa >> PAGE_SHIFT, user=True,
+        )
+        return frame_pa | offset
+
+    def mmap_touch_many(
+        self,
+        process: Process,
+        length: int,
+        writable: bool = True,
+        backing: Optional[MappedFile] = None,
+        file_page_offset: int = 0,
+        address: Optional[int] = None,
+        write: bool = False,
+    ) -> Tuple[VmArea, List[int]]:
+        """Map a region and demand-fault every page in one batched call.
+
+        Equivalent to :meth:`mmap` followed by a scalar :meth:`touch`
+        loop over each page. On :class:`OutOfMemoryError` the VMA stays
+        mapped (as after a partial scalar loop), the completed physical
+        addresses ride on ``exc.touched``, and the VMA on ``exc.vma``.
+        """
+        vma = self.mmap(
+            process, length, writable=writable, backing=backing,
+            file_page_offset=file_page_offset, address=address,
+        )
+        vas = vma.start + PAGE_SIZE * np.arange(vma.num_pages, dtype=np.int64)
+        try:
+            pas = self.touch_many(process, vas, write=write)
+        except OutOfMemoryError as exc:
+            exc.vma = vma  # type: ignore[attr-defined]
+            raise
+        return vma, pas
 
     def _frame_for(self, process: Process, vma: VmArea, virtual_address: int) -> int:
         untrusted = not process.trusted

@@ -115,19 +115,25 @@ class Mmu:
         dram = self._dram
         if not self._pt_cache_enabled or dram.fault_plane_armed:
             return dram.read_u64(entry_address(table_base, index))
+        view = self._table_view(table_base)
+        if view is None:
+            return dram.read_u64(entry_address(table_base, index))
+        dram.read_count += 1
+        return int(view[index])
+
+    def _table_view(self, table_base: int) -> Optional[np.ndarray]:
+        """Cached aliasing u64 view of the whole table, or ``None``."""
+        dram = self._dram
         generation = dram.generation
         if generation != self._pt_generation:
             self._pt_views.clear()
             self._pt_generation = generation
         try:
-            view = self._pt_views[table_base]
+            return self._pt_views[table_base]
         except KeyError:
             view = dram.u64_view(table_base, ENTRIES_PER_TABLE)
             self._pt_views[table_base] = view
-        if view is None:
-            return dram.read_u64(entry_address(table_base, index))
-        dram.read_count += 1
-        return int(view[index])
+            return view
 
     # -- translation ------------------------------------------------------
     def translate(
@@ -227,6 +233,310 @@ class Mmu:
             "reaching a leaf"
         )
 
+    # -- batched translation ----------------------------------------------
+    def translate_many(
+        self,
+        cr3: int,
+        virtual_addresses: "np.ndarray | List[int]",
+        pid: int = 0,
+        write: bool = False,
+        user: bool = True,
+        use_tlb: bool = True,
+        slow_reference: bool = False,
+    ) -> np.ndarray:
+        """Translate an address vector; returns int64 physical addresses.
+
+        Observationally equivalent to calling :meth:`translate` per
+        address in order — same results, TLB hit/miss/eviction state, obs
+        counters, and the same fault raised at the same access — but each
+        distinct page is walked at most once and results fan out over the
+        vector. Automatically degrades to the scalar loop when
+        ``slow_reference`` is set or the fault plane is armed, so
+        per-access fault schedules (``tlb-stale``, ``dram-read-error``)
+        replay exactly as in a scalar run.
+
+        Stores in the same batch must not modify page tables consulted by
+        later addresses (data pages only); the batched walk reads tables
+        once up front.
+        """
+        vas = np.asarray(virtual_addresses, dtype=np.int64)
+        if slow_reference or self._dram.fault_plane_armed:
+            return np.array(
+                [
+                    self.translate(
+                        cr3, int(va), pid=pid, write=write, user=user, use_tlb=use_tlb
+                    )
+                    for va in vas
+                ],
+                dtype=np.int64,
+            )
+        n = int(vas.size)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        vpns = vas >> PAGE_SHIFT
+        offsets = vas & ((1 << PAGE_SHIFT) - 1)
+        tlb = self._tlb
+        if use_tlb:
+            found, hit_pfns, hit_w, hit_u = tlb.probe_many(pid, vpns)
+            need = np.unique(vpns[~found])
+        else:
+            found = np.zeros(n, dtype=bool)
+            hit_pfns = np.zeros(n, dtype=np.int64)
+            hit_w = np.zeros(n, dtype=bool)
+            hit_u = np.zeros(n, dtype=bool)
+            need = np.unique(vpns)
+        walked = self._walk_many(cr3, need)
+        # Distinct-page walk outcomes, aligned with the sorted `need`.
+        ok_arr = np.zeros(need.size, dtype=bool)
+        frame_arr = np.zeros(need.size, dtype=np.int64)
+        w_arr = np.zeros(need.size, dtype=bool)
+        u_arr = np.zeros(need.size, dtype=bool)
+        all_ok = True
+        for k in range(need.size):
+            res = walked[int(need[k])]
+            if res[0] == "ok":
+                ok_arr[k] = True
+                frame_arr[k] = res[1]
+                w_arr[k] = res[2]
+                u_arr[k] = res[3]
+            else:
+                all_ok = False
+        fast = all_ok
+        if fast and use_tlb and tlb.size + need.size > tlb.capacity:
+            fast = False  # evictions possible: replay access order exactly
+        if fast:
+            miss_pos = np.searchsorted(need, vpns[~found])
+            if write and not (
+                bool(w_arr[miss_pos].all()) and bool(hit_w[found].all())
+            ):
+                fast = False
+            if user and not (
+                bool(u_arr[miss_pos].all()) and bool(hit_u[found].all())
+            ):
+                fast = False
+        if fast:
+            return self._commit_fast(
+                pid, vpns, offsets, found, hit_pfns, need, frame_arr, w_arr, u_arr,
+                use_tlb, user,
+            )
+        return self._commit_ordered(
+            cr3, vas, vpns, offsets, walked, pid, write, user, use_tlb
+        )
+
+    def _commit_fast(
+        self,
+        pid: int,
+        vpns: np.ndarray,
+        offsets: np.ndarray,
+        found: np.ndarray,
+        hit_pfns: np.ndarray,
+        need: np.ndarray,
+        frame_arr: np.ndarray,
+        w_arr: np.ndarray,
+        u_arr: np.ndarray,
+        use_tlb: bool,
+        user: bool,
+    ) -> np.ndarray:
+        """Vectorized commit for a fault-free, eviction-free batch."""
+        n = int(vpns.size)
+        frames = np.empty(n, dtype=np.int64)
+        if use_tlb:
+            frames[found] = hit_pfns[found] << PAGE_SHIFT
+        miss_mask = ~found
+        miss_pos = np.searchsorted(need, vpns[miss_mask])
+        frames[miss_mask] = frame_arr[miss_pos]
+        physical = frames | offsets
+        miss_indices = np.flatnonzero(miss_mask)
+        if use_tlb:
+            # First access of each distinct missing vpn is the true miss
+            # (walk + insert); later accesses of it hit the fresh entry.
+            _, first_of = np.unique(vpns[miss_indices], return_index=True)
+            true_miss = miss_indices[np.sort(first_of)]
+            walks = int(true_miss.size)
+            hits = n - walks
+            tlb = self._tlb
+            if hits:
+                tlb.hits += hits
+                obs.inc("tlb.hits", amount=float(hits))
+            if walks:
+                tlb.misses += walks
+                obs.inc("tlb.misses", amount=float(walks))
+            need_pos = np.searchsorted(need, vpns[true_miss])
+            tlb.commit_many(
+                pid,
+                vpns,
+                vpns[true_miss],
+                frame_arr[need_pos] >> PAGE_SHIFT,
+                w_arr[need_pos],
+                u_arr[need_pos],
+            )
+            notify_frames = frames[true_miss]
+        else:
+            walks = n
+            notify_frames = frames
+        if walks:
+            self.walk_count += walks
+            obs.inc("mmu.walks", amount=float(walks))
+        if sanitize.enabled():
+            for frame in notify_frames:
+                sanitize.notify(
+                    "mmu.translate", mmu=self, pid=pid,
+                    pfn=int(frame) >> PAGE_SHIFT, user=user,
+                )
+        return physical
+
+    def _commit_ordered(
+        self,
+        cr3: int,
+        vas: np.ndarray,
+        vpns: np.ndarray,
+        offsets: np.ndarray,
+        walked: Dict[int, tuple],
+        pid: int,
+        write: bool,
+        user: bool,
+        use_tlb: bool,
+    ) -> np.ndarray:
+        """Per-access commit with pre-walked results (faults, permission
+        violations, or possible evictions): replays the exact scalar
+        counter/TLB/raise sequence."""
+        n = int(vas.size)
+        physical = np.empty(n, dtype=np.int64)
+        tlb = self._tlb
+        for i in range(n):
+            va = int(vas[i])
+            vpn = int(vpns[i])
+            offset = int(offsets[i])
+            if use_tlb:
+                cached = tlb.lookup(pid, vpn)
+                if cached is not None:
+                    pfn, writable, user_ok = cached
+                    self._check_permissions(va, writable, user_ok, write, user)
+                    physical[i] = (pfn << PAGE_SHIFT) | offset
+                    continue
+            res = walked.get(vpn)
+            if res is None:
+                # Evicted mid-batch and re-missed: walk now (walk() does
+                # its own walk/obs accounting).
+                result = self.walk(cr3, va)
+                writable = all(step.entry.writable for step in result.steps)
+                user_ok = all(step.entry.user for step in result.steps)
+                self._check_permissions(va, writable, user_ok, write, user)
+                if use_tlb:
+                    tlb.insert(
+                        pid, vpn, result.physical_address >> PAGE_SHIFT,
+                        writable, user_ok,
+                    )
+                sanitize.notify(
+                    "mmu.translate", mmu=self, pid=pid,
+                    pfn=result.physical_address >> PAGE_SHIFT, user=user,
+                )
+                physical[i] = result.physical_address
+                continue
+            self.walk_count += 1
+            obs.inc("mmu.walks")
+            if res[0] == "not_present":
+                obs.inc("mmu.faults", kind="not_present")
+                raise PageFaultError(
+                    f"non-present level-{res[1]} entry for VA {va:#x}", va
+                )
+            if res[0] == "bus_error":
+                obs.inc("mmu.faults", kind="bus_error")
+                raise PageFaultError(
+                    f"bus error: level-{res[1]} table at {res[2]:#x} outside "
+                    f"physical memory (VA {va:#x})",
+                    va,
+                ) from None
+            _, frame_pa, writable, user_ok = res
+            self._check_permissions(va, writable, user_ok, write, user)
+            if use_tlb:
+                tlb.insert(pid, vpn, frame_pa >> PAGE_SHIFT, writable, user_ok)
+            sanitize.notify(
+                "mmu.translate", mmu=self, pid=pid,
+                pfn=frame_pa >> PAGE_SHIFT, user=user,
+            )
+            physical[i] = frame_pa | offset
+        return physical
+
+    def _walk_many(self, cr3: int, vpns: np.ndarray) -> Dict[int, tuple]:
+        """Walk each distinct VPN once, deferring all fault accounting.
+
+        Returns a map ``vpn -> ("ok", frame_pa, writable, user_ok)`` or
+        ``("not_present", level)`` or ``("bus_error", level, table_base)``.
+        No counters or obs metrics move here: the commit loops charge
+        walks and faults per access, exactly as scalar walks would.
+        """
+        dram = self._dram
+        total_bytes = dram.geometry.total_bytes
+        results: Dict[int, tuple] = {}
+        vpn_a = np.asarray(vpns, dtype=np.int64)
+        if vpn_a.size == 0:
+            return results
+        table_a = np.full(vpn_a.size, int(cr3), dtype=np.int64)
+        w_a = np.ones(vpn_a.size, dtype=bool)
+        u_a = np.ones(vpn_a.size, dtype=bool)
+        pfn_field = (1 << (52 - PAGE_SHIFT)) - 1
+        use_views = self._pt_cache_enabled
+        for position, level in enumerate(range(NUM_LEVELS, 0, -1)):
+            if vpn_a.size == 0:
+                break
+            shift = BITS_PER_LEVEL * (NUM_LEVELS - 1 - position)
+            idx = (vpn_a >> shift) & (ENTRIES_PER_TABLE - 1)
+            addrs = table_a + idx * 8
+            bad = (table_a < 0) | (addrs < 0) | (addrs + 8 > total_bytes)
+            entries = np.zeros(vpn_a.size, dtype=np.uint64)
+            readable = ~bad
+            if readable.any():
+                for base in np.unique(table_a[readable]):
+                    sel = readable & (table_a == base)
+                    view = self._table_view(int(base)) if use_views else None
+                    if view is not None:
+                        entries[sel] = view[idx[sel]]
+                        dram.read_count += int(np.count_nonzero(sel))
+                    else:
+                        for j in np.flatnonzero(sel):
+                            try:
+                                entries[j] = dram.read_u64(int(addrs[j]))
+                            except AddressError:
+                                bad[j] = True
+            for j in np.flatnonzero(bad):
+                results[int(vpn_a[j])] = ("bus_error", level, int(table_a[j]))
+            present = ((entries & np.uint64(0x1)) != 0) & ~bad
+            for j in np.flatnonzero(~present & ~bad):
+                results[int(vpn_a[j])] = ("not_present", level)
+            w_a = w_a & ((entries & np.uint64(0x2)) != 0)
+            u_a = u_a & ((entries & np.uint64(0x4)) != 0)
+            pfn = (
+                (entries >> np.uint64(PAGE_SHIFT)) & np.uint64(pfn_field)
+            ).astype(np.int64)
+            if level in (3, 2):
+                huge = present & ((entries & np.uint64(0x80)) != 0)
+                if huge.any():
+                    huge_shift = PAGE_SHIFT + BITS_PER_LEVEL * (level - 1)
+                    mask = (1 << huge_shift) - 1
+                    base_pa = (pfn[huge] << PAGE_SHIFT) & ~mask
+                    frame_pa = base_pa | ((vpn_a[huge] << PAGE_SHIFT) & mask)
+                    w_h = w_a[huge]
+                    u_h = u_a[huge]
+                    for j_rel, j in enumerate(np.flatnonzero(huge)):
+                        results[int(vpn_a[j])] = (
+                            "ok", int(frame_pa[j_rel]), bool(w_h[j_rel]), bool(u_h[j_rel]),
+                        )
+                cont = present & ~huge
+            elif level == 1:
+                for j in np.flatnonzero(present):
+                    results[int(vpn_a[j])] = (
+                        "ok", int(pfn[j]) << PAGE_SHIFT, bool(w_a[j]), bool(u_a[j]),
+                    )
+                cont = np.zeros(vpn_a.size, dtype=bool)
+            else:
+                cont = present
+            vpn_a = vpn_a[cont]
+            table_a = pfn[cont] << PAGE_SHIFT
+            w_a = w_a[cont]
+            u_a = u_a[cont]
+        return results
+
     # -- memory access through translation ----------------------------------
     def load(
         self, cr3: int, virtual_address: int, length: int, pid: int = 0, user: bool = True
@@ -251,6 +561,78 @@ class Mmu:
             raise PageFaultError(
                 f"bus error writing PA {physical:#x}", virtual_address
             ) from None
+
+    def load_many(
+        self,
+        cr3: int,
+        virtual_addresses: "np.ndarray | List[int]",
+        length: int,
+        pid: int = 0,
+        user: bool = True,
+        slow_reference: bool = False,
+    ) -> List[bytes]:
+        """Batched :meth:`load`: one translation pass, then row reads.
+
+        Equivalent to a per-address ``load`` loop (same results, counters,
+        and faults); degrades to the scalar loop when ``slow_reference``
+        is set or the fault plane is armed.
+        """
+        vas = np.asarray(virtual_addresses, dtype=np.int64)
+        if slow_reference or self._dram.fault_plane_armed:
+            return [
+                self.load(cr3, int(va), length, pid=pid, user=user) for va in vas
+            ]
+        physical = self.translate_many(cr3, vas, pid=pid, write=False, user=user)
+        try:
+            return self._dram.read_many(physical, length)
+        except AddressError:
+            # read_many's scalar fallback raised at the first out-of-range
+            # element (after counting the prior reads, like a scalar loop);
+            # re-identify it to name the faulting virtual address.
+            total = self._dram.geometry.total_bytes
+            bad = int(
+                np.flatnonzero((physical < 0) | (physical + length > total))[0]
+            )
+            raise PageFaultError(
+                f"bus error reading PA {int(physical[bad]):#x}", int(vas[bad])
+            ) from None
+
+    def store_many(
+        self,
+        cr3: int,
+        virtual_addresses: "np.ndarray | List[int]",
+        data: "List[bytes] | bytes",
+        pid: int = 0,
+        user: bool = True,
+        slow_reference: bool = False,
+    ) -> None:
+        """Batched :meth:`store`: one translation pass, then row writes.
+
+        ``data`` is either one payload per address or a single payload
+        written at every address. The batch must target data pages only —
+        a store that rewrites a page table consulted by a *later* address
+        in the same batch would diverge from the scalar loop, which
+        re-walks after every store. Degrades to the scalar loop when
+        ``slow_reference`` is set or the fault plane is armed.
+        """
+        vas = np.asarray(virtual_addresses, dtype=np.int64)
+        payloads: List[bytes]
+        if isinstance(data, (bytes, bytearray)):
+            payloads = [bytes(data)] * int(vas.size)
+        else:
+            payloads = list(data)
+        if slow_reference or self._dram.fault_plane_armed:
+            for i in range(int(vas.size)):
+                self.store(cr3, int(vas[i]), payloads[i], pid=pid, user=user)
+            return
+        physical = self.translate_many(cr3, vas, pid=pid, write=True, user=user)
+        for i in range(int(vas.size)):
+            try:
+                self._dram.write(int(physical[i]), payloads[i])
+            except AddressError:
+                raise PageFaultError(
+                    f"bus error writing PA {int(physical[i]):#x}", int(vas[i])
+                ) from None
 
     @staticmethod
     def _check_permissions(

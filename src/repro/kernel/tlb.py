@@ -4,15 +4,27 @@ A small model of the TLB with explicit flushing. The hammer loop in
 RowHammer attacks must flush translations so every access re-reads the
 PTE from DRAM (Section 5, step (2)); the perf harness counts hits and
 misses to model translation overhead.
+
+Storage is a set of parallel numpy slot arrays (key -> slot dict plus
+pid/vpn/pfn/flag/stamp columns) rather than an ``OrderedDict``: recency
+is a monotonic access stamp per slot, so LRU eviction is an ``argmin``
+over the stamp column and the batched MMU pipeline can probe many VPNs
+against the columns in one vectorized pass. The scalar ``lookup`` /
+``insert`` / ``flush`` semantics (and their obs counters) are unchanged
+from the OrderedDict implementation.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro import faults, obs
 from repro.errors import ConfigurationError
+
+_FLAG_WRITABLE = 1
+_FLAG_USER = 2
 
 
 class Tlb:
@@ -22,10 +34,21 @@ class Tlb:
         if capacity <= 0:
             raise ConfigurationError("capacity must be positive")
         self._capacity = capacity
-        self._entries: "OrderedDict[Tuple[int, int], Tuple[int, bool, bool]]" = OrderedDict()
+        self._slot_of: Dict[Tuple[int, int], int] = {}
+        self._key_of: List[Optional[Tuple[int, int]]] = [None] * capacity
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._pids = np.zeros(capacity, dtype=np.int64)
+        self._vpns = np.zeros(capacity, dtype=np.int64)
+        self._pfns = np.zeros(capacity, dtype=np.int64)
+        self._flag_bits = np.zeros(capacity, dtype=np.uint8)
+        # Access stamp per slot; -1 marks an empty slot. Eviction picks the
+        # occupied slot with the smallest stamp (exact LRU).
+        self._stamps = np.full(capacity, -1, dtype=np.int64)
+        self._clock = 0
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        self.evictions = 0
 
     @property
     def capacity(self) -> int:
@@ -34,36 +57,53 @@ class Tlb:
 
     def lookup(self, pid: int, vpn: int) -> Optional[Tuple[int, bool, bool]]:
         """Cached (pfn, writable, user) for a virtual page, if any."""
-        key = (pid, vpn)
-        entry = self._entries.get(key)
-        if entry is None:
+        slot = self._slot_of.get((pid, vpn))
+        if slot is None:
             self.misses += 1
             obs.inc("tlb.misses")
             return None
-        self._entries.move_to_end(key)
+        self._clock += 1
+        self._stamps[slot] = self._clock
         self.hits += 1
         obs.inc("tlb.hits")
-        return entry
+        flag_bits = int(self._flag_bits[slot])
+        return (
+            int(self._pfns[slot]),
+            bool(flag_bits & _FLAG_WRITABLE),
+            bool(flag_bits & _FLAG_USER),
+        )
 
     def insert(self, pid: int, vpn: int, pfn: int, writable: bool, user: bool) -> None:
         """Cache a translation, evicting LRU when full."""
         key = (pid, vpn)
-        self._entries[key] = (pfn, writable, user)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+        slot = self._slot_of.get(key)
+        if slot is None:
+            slot = self._allocate_slot()
+            self._slot_of[key] = slot
+            self._key_of[slot] = key
+        self._pids[slot] = pid
+        self._vpns[slot] = vpn
+        self._pfns[slot] = pfn
+        self._flag_bits[slot] = (_FLAG_WRITABLE if writable else 0) | (
+            _FLAG_USER if user else 0
+        )
+        self._clock += 1
+        self._stamps[slot] = self._clock
 
     def flush(self) -> None:
         """Drop every cached translation (the attacker's clflush/remap)."""
-        self._entries.clear()
+        self._slot_of.clear()
+        self._key_of = [None] * self._capacity
+        self._free = list(range(self._capacity - 1, -1, -1))
+        self._stamps[:] = -1
         self.flushes += 1
         obs.inc("tlb.flushes", scope="full")
 
     def flush_pid(self, pid: int) -> None:
         """Drop one address space's translations (context switch)."""
-        stale = [key for key in self._entries if key[0] == pid]
+        stale = [key for key in self._slot_of if key[0] == pid]
         for key in stale:
-            del self._entries[key]
+            self._drop(key)
         self.flushes += 1
         obs.inc("tlb.flushes", scope="pid")
 
@@ -77,12 +117,121 @@ class Tlb:
             "tlb.invalidate", tlb=self, pid=pid, vpn=vpn
         ):
             return
-        self._entries.pop((pid, vpn), None)
+        if (pid, vpn) in self._slot_of:
+            self._drop((pid, vpn))
+
+    # -- batched pipeline support ------------------------------------------
+    def probe_many(
+        self, pid: int, vpns: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Side-effect-free vectorized probe of many VPNs for one pid.
+
+        Returns ``(found, pfn, writable, user)`` arrays aligned with
+        ``vpns``. No counters, stamps, or obs metrics move: the batched
+        MMU pipeline replays per-access hit/miss accounting itself in
+        access order at commit time.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        found = np.zeros(vpns.size, dtype=bool)
+        pfn = np.zeros(vpns.size, dtype=np.int64)
+        writable = np.zeros(vpns.size, dtype=bool)
+        user = np.zeros(vpns.size, dtype=bool)
+        slots = np.flatnonzero((self._stamps >= 0) & (self._pids == pid))
+        if slots.size == 0 or vpns.size == 0:
+            return found, pfn, writable, user
+        order = np.argsort(self._vpns[slots])
+        slots = slots[order]
+        cached_vpns = self._vpns[slots]
+        pos = np.minimum(
+            np.searchsorted(cached_vpns, vpns), cached_vpns.size - 1
+        )
+        found[:] = cached_vpns[pos] == vpns
+        hit_slots = slots[pos]
+        pfn[found] = self._pfns[hit_slots[found]]
+        flag_bits = self._flag_bits[hit_slots[found]]
+        writable[found] = (flag_bits & _FLAG_WRITABLE) != 0
+        user[found] = (flag_bits & _FLAG_USER) != 0
+        return found, pfn, writable, user
+
+    def commit_many(
+        self,
+        pid: int,
+        vpns: np.ndarray,
+        new_vpns: np.ndarray,
+        new_pfns: np.ndarray,
+        new_writable: np.ndarray,
+        new_user: np.ndarray,
+    ) -> None:
+        """Apply an eviction-free batch of accesses in one vectorized pass.
+
+        ``vpns`` is every access in order (hits and first-occurrence
+        misses interleaved); ``new_*`` are the distinct translations to
+        insert. Slots come off the free list — the caller must have
+        checked ``size + len(new_vpns) <= capacity`` so no eviction can
+        occur — and every access re-stamps its slot in access order, so
+        the final LRU order is identical to a scalar lookup/insert loop.
+        Counters and obs metrics are not touched: the batched MMU commit
+        applies the aggregate hit/miss accounting itself.
+        """
+        vpns = np.asarray(vpns, dtype=np.int64)
+        new_vpns = np.asarray(new_vpns, dtype=np.int64)
+        if new_vpns.size:
+            new_pfns = np.asarray(new_pfns, dtype=np.int64)
+            new_writable = np.asarray(new_writable, dtype=bool)
+            new_user = np.asarray(new_user, dtype=bool)
+            slots = np.array(
+                [self._free.pop() for _ in range(new_vpns.size)], dtype=np.int64
+            )
+            self._pids[slots] = pid
+            self._vpns[slots] = new_vpns
+            self._pfns[slots] = new_pfns
+            self._flag_bits[slots] = (
+                np.where(new_writable, _FLAG_WRITABLE, 0)
+                | np.where(new_user, _FLAG_USER, 0)
+            ).astype(np.uint8)
+            # Provisional stamp marks the slots occupied; the access pass
+            # below overwrites it (every new key is also an access).
+            self._stamps[slots] = self._clock
+            for i in range(new_vpns.size):
+                key = (pid, int(new_vpns[i]))
+                self._slot_of[key] = int(slots[i])
+                self._key_of[int(slots[i])] = key
+        if vpns.size == 0:
+            return
+        occupied = np.flatnonzero((self._stamps >= 0) & (self._pids == pid))
+        order = np.argsort(self._vpns[occupied])
+        occupied = occupied[order]
+        pos = np.searchsorted(self._vpns[occupied], vpns)
+        slot_per_access = occupied[pos]
+        # Fancy assignment applies in order: a slot's final stamp is its
+        # last access position, matching the scalar loop.
+        self._stamps[slot_per_access] = self._clock + 1 + np.arange(
+            vpns.size, dtype=np.int64
+        )
+        self._clock += vpns.size
+
+    # -- internals ----------------------------------------------------------
+    def _allocate_slot(self) -> int:
+        if self._free:
+            return self._free.pop()
+        slot = int(np.argmin(self._stamps))
+        old_key = self._key_of[slot]
+        if old_key is not None:
+            del self._slot_of[old_key]
+        self.evictions += 1
+        obs.inc("tlb.evictions")
+        return slot
+
+    def _drop(self, key: Tuple[int, int]) -> None:
+        slot = self._slot_of.pop(key)
+        self._key_of[slot] = None
+        self._stamps[slot] = -1
+        self._free.append(slot)
 
     @property
     def size(self) -> int:
         """Currently cached translations."""
-        return len(self._entries)
+        return len(self._slot_of)
 
     @property
     def hit_rate(self) -> float:

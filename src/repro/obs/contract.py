@@ -52,6 +52,7 @@ METRICS: Dict[str, str] = {
     "tlb.hits": "counter",
     "tlb.misses": "counter",
     "tlb.flushes": "counter",
+    "tlb.evictions": "counter",
     "mmu.walks": "counter",
     "mmu.faults": "counter",
     # Attacks

@@ -15,6 +15,18 @@ speedups are apples-to-apples on the *same machine in the same run*:
     Serial probabilistic-attack trials via the campaign fan-out target
     (throughput signal for Monte-Carlo scaling; deterministic, so its
     ops/s is comparable across commits on the same hardware).
+``walk_batch``
+    TLB-on translation sweeps through :meth:`~repro.kernel.mmu.Mmu.
+    translate_many` vs the same-seed scalar ``slow_reference`` loop,
+    with identical physical-address vectors asserted.
+``spray_batch``
+    Spray-style setup + verify (map/fault a region per mapping, then
+    re-read every page) through :meth:`~repro.kernel.kernel.Kernel.
+    mmap_touch_many` / :meth:`~repro.kernel.mmu.Mmu.load_many` vs the
+    per-page reference loops; identical frames and bytes asserted.
+``snapshot_warm_start``
+    Per-segment setup cost: cold boot + spray vs attaching
+    copy-on-write to a :class:`~repro.perf.snapshot.SimulatorSnapshot`.
 
 ``run_bench_suite`` returns a JSON-ready report; ``write_bench_report``
 persists it (``BENCH_hotpath.json``), and ``check_baseline`` compares
@@ -112,11 +124,10 @@ def _walk_world(pt_cache: bool) -> tuple:
     addresses: List[int] = []
     for region in range(8):
         base = WORKLOAD_BASE + region * (64 * PAGE_SIZE)
-        vma = kernel.mmap(process, 16 * PAGE_SIZE, address=base)
-        for page in range(16):
-            address = vma.start + page * PAGE_SIZE
-            kernel.touch(process, address, write=True)
-            addresses.append(address)
+        vma, _ = kernel.mmap_touch_many(
+            process, 16 * PAGE_SIZE, address=base, write=True
+        )
+        addresses.extend(vma.start + page * PAGE_SIZE for page in range(16))
     return kernel, process, addresses
 
 
@@ -124,12 +135,12 @@ def _time_walks(pt_cache: bool, passes: int) -> tuple:
     kernel, process, addresses = _walk_world(pt_cache)
     mmu = kernel.mmu
     for address in addresses:  # warmup pass: populate PT views / decode cache
-        mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)
+        mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)  # repro-lint: ignore[RL008] — the measured per-walk loop is the benchmark
     start = time.perf_counter()
     walks = 0
     for _ in range(passes):
         for address in addresses:
-            mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)
+            mmu.translate(process.cr3, address, pid=process.pid, use_tlb=False)  # repro-lint: ignore[RL008] — the measured per-walk loop is the benchmark
             walks += 1
     return time.perf_counter() - start, walks
 
@@ -147,6 +158,125 @@ def bench_walk_heavy(quick: bool = False) -> Dict[str, Any]:
         "ops_per_s": walks / elapsed if elapsed else 0.0,
         "reference_elapsed_s": ref_elapsed,
         "speedup": ref_elapsed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_walk_batch(quick: bool = False) -> Dict[str, Any]:
+    """Vectorized ``translate_many`` sweeps vs the scalar reference loop.
+
+    Both sides run TLB-on over the same warm working set; the batched
+    pass must return bit-identical physical addresses.
+    """
+    import numpy as np
+
+    passes = 10 if quick else 60
+    kernel = make_perf_kernel(cta=False, total_bytes=64 * MIB)
+    process = kernel.create_process()
+    addresses: List[int] = []
+    for region in range(16):
+        base = WORKLOAD_BASE + region * (128 * PAGE_SIZE)
+        vma, _ = kernel.mmap_touch_many(
+            process, 64 * PAGE_SIZE, address=base, write=True
+        )
+        addresses.extend(vma.start + page * PAGE_SIZE for page in range(64))
+    vas = np.asarray(addresses, dtype=np.int64)
+    mmu = kernel.mmu
+    mmu.translate_many(process.cr3, vas, pid=process.pid)  # warmup: fill TLB
+    start = time.perf_counter()
+    for _ in range(passes):
+        batched = mmu.translate_many(process.cr3, vas, pid=process.pid)
+    elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(passes):
+        reference = mmu.translate_many(
+            process.cr3, vas, pid=process.pid, slow_reference=True
+        )
+    ref_elapsed = time.perf_counter() - start
+    if not np.array_equal(batched, reference):
+        raise ReproError("walk_batch mismatch: batched != scalar addresses")
+    walks = passes * len(addresses)
+    return {
+        "ops": walks,
+        "elapsed_s": elapsed,
+        "ops_per_s": walks / elapsed if elapsed else 0.0,
+        "reference_elapsed_s": ref_elapsed,
+        "speedup": ref_elapsed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_spray_batch(quick: bool = False) -> Dict[str, Any]:
+    """Spray-verify sweeps: batched ``load_many`` vs the per-VA loop.
+
+    Models the hot loop of the probabilistic attack — re-reading every
+    sprayed page each round to check for flips. The spray itself (mapped
+    through ``mmap_touch_many``) runs once, untimed; both verify sides
+    must return identical page contents.
+    """
+    import numpy as np
+
+    rounds = 4 if quick else 20
+    kernel = make_perf_kernel(cta=False, total_bytes=64 * MIB)
+    process = kernel.create_process()
+    checked: List[int] = []
+    for index in range(16):
+        base = WORKLOAD_BASE + index * (64 * PAGE_SIZE)
+        vma, _ = kernel.mmap_touch_many(
+            process, 32 * PAGE_SIZE, address=base, write=True
+        )
+        checked.extend(vma.start + page * PAGE_SIZE for page in range(32))
+    vas = np.asarray(checked, dtype=np.int64)
+    mmu = kernel.mmu
+    mmu.load_many(process.cr3, vas, 64, pid=process.pid)  # warmup: fill TLB
+    start = time.perf_counter()
+    for _ in range(rounds):
+        batched = list(mmu.load_many(process.cr3, vas, 64, pid=process.pid))
+    elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        reference = list(
+            mmu.load_many(
+                process.cr3, vas, 64, pid=process.pid, slow_reference=True
+            )
+        )
+    ref_elapsed = time.perf_counter() - start
+    if batched != reference:
+        raise ReproError("spray_batch mismatch: batched != scalar contents")
+    ops = rounds * len(checked)
+    return {
+        "ops": ops,
+        "elapsed_s": elapsed,
+        "ops_per_s": ops / elapsed if elapsed else 0.0,
+        "reference_elapsed_s": ref_elapsed,
+        "speedup": ref_elapsed / elapsed if elapsed else 0.0,
+    }
+
+
+def bench_snapshot_warm_start(quick: bool = False) -> Dict[str, Any]:
+    """Per-segment setup: cold boot + spray vs copy-on-write attach."""
+    from repro.perf.parallel import capture_trial_snapshot, probabilistic_trial
+    from repro.perf.snapshot import SimulatorSnapshot
+
+    setups = 2 if quick else 6
+    start = time.perf_counter()
+    for index in range(setups):
+        probabilistic_trial(index, seed=7 + index, max_rounds=0)
+    cold_elapsed = time.perf_counter() - start
+    snapshot = capture_trial_snapshot()
+    try:
+        start = time.perf_counter()
+        for index in range(setups):
+            probabilistic_trial(
+                index, seed=7 + index, max_rounds=0, snapshot=snapshot.name
+            )
+        warm_elapsed = time.perf_counter() - start
+    finally:
+        snapshot.release()
+    return {
+        "ops": setups,
+        "elapsed_s": warm_elapsed,
+        "ops_per_s": setups / warm_elapsed if warm_elapsed else 0.0,
+        "reference_elapsed_s": cold_elapsed,
+        "speedup": cold_elapsed / warm_elapsed if warm_elapsed else 0.0,
     }
 
 
@@ -181,6 +311,9 @@ def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
         results = {
             "hammer_heavy": bench_hammer_heavy(quick=quick),
             "walk_heavy": bench_walk_heavy(quick=quick),
+            "walk_batch": bench_walk_batch(quick=quick),
+            "spray_batch": bench_spray_batch(quick=quick),
+            "snapshot_warm_start": bench_snapshot_warm_start(quick=quick),
             "campaign": bench_campaign(quick=quick),
         }
     finally:

@@ -57,6 +57,7 @@ __all__ = [
     "qualified_name",
     "resolve_qualified",
     "run_campaign_parallel",
+    "capture_trial_snapshot",
     "probabilistic_trial",
     "run_probabilistic_trials",
 ]
@@ -268,6 +269,55 @@ def run_campaign_parallel(
     )
 
 
+def _trial_kernel(total_bytes: int, row_bytes: int) -> Kernel:
+    """The stock kernel every probabilistic trial runs against."""
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=row_bytes,
+            num_banks=2,
+            cell_interleave_rows=32,
+        )
+    )
+
+
+def capture_trial_snapshot(
+    total_bytes: int = 16 * MIB,
+    row_bytes: int = 16 * 1024,
+    spray_mappings: int = 16,
+):
+    """Freeze a booted + sprayed trial world for warm-started trials.
+
+    The spray (:meth:`ProbabilisticPteAttack.prepare`) consumes no hammer
+    randomness, so it is identical for every trial seed — exactly the
+    setup work :func:`probabilistic_trial` otherwise repeats per segment.
+    Returns a :class:`~repro.perf.snapshot.SimulatorSnapshot` whose extra
+    state carries the attacker pid and the sprayed/checked address lists.
+    """
+    from repro.attacks.probabilistic import ProbabilisticPteAttack
+    from repro.perf.snapshot import SimulatorSnapshot
+
+    def extra_fn(kernel: Kernel) -> Dict[str, Any]:
+        # The hammer is unused during prepare(); trials build their own,
+        # seeded per segment, against the materialized module.
+        attack = ProbabilisticPteAttack(
+            kernel=kernel,
+            hammer=RowHammerModel(kernel.module, seed=0),
+            timing=AttackTimingModel(),
+        )
+        attacker = kernel.create_process()
+        attack.prepare(attacker, spray_mappings=spray_mappings)
+        return {
+            "pid": attacker.pid,
+            "sprayed_vas": list(attack.sprayed_vas),
+            "checked_vas": list(attack.checked_vas),
+        }
+
+    return SimulatorSnapshot.capture(
+        lambda: _trial_kernel(total_bytes, row_bytes), extra_fn
+    )
+
+
 def probabilistic_trial(
     index: int,
     seed: int,
@@ -277,6 +327,7 @@ def probabilistic_trial(
     max_rounds: int = 1,
     p_vulnerable: float = 3e-2,
     p_with_leak: float = 0.5,
+    snapshot: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One self-contained probabilistic-attack trial (picklable target).
 
@@ -284,31 +335,44 @@ def probabilistic_trial(
     runs one Drammer-style spray; the result dict is JSON-checkpointable.
     ``index`` is accepted for the segment-fn signature but the trial's
     stream depends only on ``seed``.
+
+    ``snapshot`` names a shared-memory world from
+    :func:`capture_trial_snapshot` (captured with the same kwargs): the
+    trial then attaches copy-on-write instead of replaying boot + spray,
+    merging the captured obs state so reports, checkpoints, and metric
+    totals stay byte-identical to a cold trial.
     """
     del index
-    kernel = Kernel(
-        KernelConfig(
-            total_bytes=total_bytes,
-            row_bytes=row_bytes,
-            num_banks=2,
-            cell_interleave_rows=32,
-        )
-    )
-    hammer = RowHammerModel(
-        kernel.module,
-        stats=FlipStatistics(p_vulnerable=p_vulnerable, p_with_leak=p_with_leak),
-        seed=derive_seed(seed, "hammer"),
-    )
     from repro.attacks.probabilistic import ProbabilisticPteAttack
 
-    attack = ProbabilisticPteAttack(
-        kernel=kernel, hammer=hammer, timing=AttackTimingModel()
-    )
-    result = attack.run(
-        kernel.create_process(),
-        spray_mappings=spray_mappings,
-        max_rounds=max_rounds,
-    )
+    stats = FlipStatistics(p_vulnerable=p_vulnerable, p_with_leak=p_with_leak)
+    hammer_seed = derive_seed(seed, "hammer")
+    if snapshot is not None:
+        from repro.perf.snapshot import SimulatorSnapshot
+
+        kernel, extra = SimulatorSnapshot.attach_cached(snapshot).materialize()
+        attacker = kernel.processes[extra["pid"]]
+        attack = ProbabilisticPteAttack(
+            kernel=kernel,
+            hammer=RowHammerModel(kernel.module, stats=stats, seed=hammer_seed),
+            timing=AttackTimingModel(),
+            sprayed_vas=list(extra["sprayed_vas"]),
+            checked_vas=list(extra["checked_vas"]),
+        )
+        result = attack.execute(attacker, max_rounds=max_rounds)
+    else:
+        kernel = _trial_kernel(total_bytes, row_bytes)
+        hammer = RowHammerModel(
+            kernel.module, stats=stats, seed=hammer_seed
+        )
+        attack = ProbabilisticPteAttack(
+            kernel=kernel, hammer=hammer, timing=AttackTimingModel()
+        )
+        result = attack.run(
+            kernel.create_process(),
+            spray_mappings=spray_mappings,
+            max_rounds=max_rounds,
+        )
     return {
         "outcome": result.outcome.value,
         "hammer_rounds": result.hammer_rounds,
@@ -325,6 +389,7 @@ def run_probabilistic_trials(
     checkpoint_path: Optional[Union[str, Path]] = None,
     budget: Optional[CampaignBudget] = None,
     resume: bool = False,
+    warm_start: bool = False,
     **trial_kwargs: Any,
 ) -> CampaignReport:
     """Run ``trials`` independent probabilistic-attack trials.
@@ -333,33 +398,54 @@ def run_probabilistic_trials(
     behaviour); ``workers > 1`` fans out with
     :func:`run_campaign_parallel`. Both produce identical reports,
     checkpoints and obs totals for the same seed.
+
+    ``warm_start`` captures one boot + spray world up front
+    (:func:`capture_trial_snapshot`) and has every trial attach to it
+    copy-on-write instead of replaying setup. The snapshot name travels
+    in the segment kwargs only — never in ``config`` — so checkpoint
+    files stay byte-identical to cold runs.
     """
     config = {"trials": int(trials), **{k: trial_kwargs[k] for k in sorted(trial_kwargs)}}
-    if workers <= 1:
-        from repro.faults.campaign import CampaignRunner
+    snapshot = None
+    run_kwargs = dict(trial_kwargs)
+    if warm_start:
+        snapshot = capture_trial_snapshot(
+            **{
+                k: trial_kwargs[k]
+                for k in ("total_bytes", "row_bytes", "spray_mappings")
+                if k in trial_kwargs
+            }
+        )
+        run_kwargs["snapshot"] = snapshot.name
+    try:
+        if workers <= 1:
+            from repro.faults.campaign import CampaignRunner
 
-        def segment_fn(index: int, segment_seed: int, attempt: int) -> Dict[str, Any]:
-            return probabilistic_trial(index, segment_seed, **trial_kwargs)
+            def segment_fn(index: int, segment_seed: int, attempt: int) -> Dict[str, Any]:
+                return probabilistic_trial(index, segment_seed, **run_kwargs)
 
-        runner = CampaignRunner(
+            runner = CampaignRunner(
+                name="probabilistic-trials",
+                segment_fn=segment_fn,
+                num_segments=trials,
+                seed=seed,
+                config=config,
+                budget=budget,
+                checkpoint_path=checkpoint_path,
+            )
+            return runner.run(resume=resume)
+        return run_campaign_parallel(
             name="probabilistic-trials",
-            segment_fn=segment_fn,
+            target="repro.perf.parallel:probabilistic_trial",
             num_segments=trials,
             seed=seed,
+            kwargs=run_kwargs,
             config=config,
-            budget=budget,
+            workers=workers,
             checkpoint_path=checkpoint_path,
+            budget=budget,
+            resume=resume,
         )
-        return runner.run(resume=resume)
-    return run_campaign_parallel(
-        name="probabilistic-trials",
-        target="repro.perf.parallel:probabilistic_trial",
-        num_segments=trials,
-        seed=seed,
-        kwargs=dict(trial_kwargs),
-        config=config,
-        workers=workers,
-        checkpoint_path=checkpoint_path,
-        budget=budget,
-        resume=resume,
-    )
+    finally:
+        if snapshot is not None:
+            snapshot.release()

@@ -14,6 +14,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro import obs
 from repro.errors import ConfigurationError, OutOfMemoryError
 from repro.kernel.cta import CtaConfig
@@ -85,41 +87,71 @@ def make_perf_kernel(cta: bool, total_bytes: int = 64 * MIB) -> Kernel:
     return Kernel(config)
 
 
+def _page_vas(vma, num_pages: int) -> np.ndarray:
+    """The VA of each of the first ``num_pages`` pages of a VMA."""
+    return vma.start + PAGE_SIZE * np.arange(num_pages, dtype=np.int64)
+
+
 def run_workload(
-    kernel: Kernel, profile: WorkloadProfile, process=None
+    kernel: Kernel, profile: WorkloadProfile, process=None,
+    slow_reference: bool = False,
 ) -> PerfResult:
-    """Execute one workload iteration; returns timing and counters."""
+    """Execute one workload iteration; returns timing and counters.
+
+    The map/fault, access-sweep, and churn phases run through the batched
+    VM pipeline (:meth:`Kernel.mmap_touch_many`, :meth:`Mmu.load_many`);
+    ``slow_reference`` (or an armed fault plane, which the batched entry
+    points detect themselves) selects the per-page reference loops.
+    """
     if process is None:
         process = kernel.create_process()
     allocs_before = kernel.stats.page_allocs
     pte_before = kernel.stats.pte_allocs
     faults_before = kernel.stats.demand_faults
     obs_before = obs.get_registry().snapshot()
+    scalar = slow_reference or kernel.module.fault_plane_armed
 
     start = time.perf_counter()
     regions = []
     # Phase 1: map and fault in the working set.
     for region in range(profile.mapped_regions):
         base = WORKLOAD_BASE + region * REGION_STRIDE
-        vma = kernel.mmap(
-            process, profile.pages_per_region * PAGE_SIZE, address=base
-        )
+        length = profile.pages_per_region * PAGE_SIZE
+        if scalar:
+            vma = kernel.mmap(process, length, address=base)
+            for page in range(profile.pages_per_region):
+                kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)  # repro-lint: ignore[RL008] — slow_reference path
+        else:
+            vma, _ = kernel.mmap_touch_many(
+                process, length, address=base, write=True
+            )
         regions.append(vma)
-        for page in range(profile.pages_per_region):
-            kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)
     # Phase 2: access sweeps (translation pressure).
     for _ in range(profile.access_passes):
         for vma in regions:
-            for page in range(profile.pages_per_region):
-                kernel.read_virtual(process, vma.start + page * PAGE_SIZE, 8)
+            if scalar:
+                for page in range(profile.pages_per_region):
+                    kernel.read_virtual(process, vma.start + page * PAGE_SIZE, 8)  # repro-lint: ignore[RL008] — slow_reference path
+            else:
+                kernel.mmu.load_many(
+                    process.cr3,
+                    _page_vas(vma, profile.pages_per_region),
+                    8,
+                    pid=process.pid,
+                )
     # Phase 3: map/unmap churn (allocator pressure).
     churn_base = WORKLOAD_BASE + profile.mapped_regions * REGION_STRIDE
     for cycle in range(profile.map_unmap_cycles):
         base = churn_base + (cycle % 8) * REGION_STRIDE
         try:
-            vma = kernel.mmap(process, 4 * PAGE_SIZE, address=base)
-            for page in range(4):
-                kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)
+            if scalar:
+                vma = kernel.mmap(process, 4 * PAGE_SIZE, address=base)
+                for page in range(4):
+                    kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)  # repro-lint: ignore[RL008] — slow_reference path
+            else:
+                vma, _ = kernel.mmap_touch_many(
+                    process, 4 * PAGE_SIZE, address=base, write=True
+                )
             kernel.munmap(process, vma)
         except OutOfMemoryError:
             break

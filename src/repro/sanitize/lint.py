@@ -31,6 +31,13 @@ RL007    hot-path vectorization: :mod:`repro.dram.rowhammer` must not call
          primitives (``read_bits`` / ``apply_bit_flips``) and aggregate the
          counter updates (the sanctioned scalar reference path carries
          per-line suppressions)
+RL008    batched virtual memory: modules under ``attacks/`` and ``perf/``
+         must not call per-address ``translate`` / ``load`` / ``store`` /
+         ``touch`` inside a loop — use the batched pipeline
+         (:meth:`~repro.kernel.mmu.Mmu.translate_many` / ``load_many`` /
+         ``store_many``, :meth:`~repro.kernel.kernel.Kernel.touch_many` /
+         ``mmap_touch_many``); the armed-fault-plane and
+         ``slow_reference`` scalar paths carry per-line suppressions
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -55,6 +62,7 @@ RULES: Dict[str, str] = {
     "RL005": "obs metric/trace names must match the frozen contract",
     "RL006": "repro.faults must stay deterministic (no ambient entropy/clock)",
     "RL007": "no per-bit read_bit/write_bit/obs.inc loops in repro.dram.rowhammer",
+    "RL008": "no per-address translate/load/store/touch loops in attacks/ and perf/",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -62,6 +70,9 @@ _RL006_FORBIDDEN_IMPORTS = ("secrets", "uuid")
 
 #: Per-element DRAM accessors RL007 forbids inside loops in rowhammer.py.
 _RL007_SCALAR_ACCESSORS = ("read_bit", "write_bit")
+
+#: Per-address VM accessors RL008 forbids inside loops in attacks/ and perf/.
+_RL008_SCALAR_ACCESSORS = ("translate", "load", "store", "touch")
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -122,12 +133,14 @@ class _FileLinter(ast.NodeVisitor):
         check_rng: bool,
         check_fault_determinism: bool = False,
         check_hot_loops: bool = False,
+        check_batched_vm: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
         self.check_rng = check_rng
         self.check_fault_determinism = check_fault_determinism
         self.check_hot_loops = check_hot_loops
+        self.check_batched_vm = check_batched_vm
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -278,6 +291,8 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl006_call(node, func)
         if self.check_hot_loops and self._loop_depth > 0:
             self._check_rl007_call(node, func)
+        if self.check_batched_vm and self._loop_depth > 0:
+            self._check_rl008_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -338,6 +353,19 @@ class _FileLinter(ast.NodeVisitor):
                 "one increment per (direction, cell) bucket",
             )
 
+    def _check_rl008_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL008: per-address VM calls inside a loop on an attack/perf path."""
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _RL008_SCALAR_ACCESSORS:
+            self._add(
+                "RL008",
+                node,
+                f"per-address {func.attr}() inside a loop; use the batched "
+                "VM pipeline (translate_many / load_many / store_many / "
+                "touch_many / mmap_touch_many)",
+            )
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -394,19 +422,24 @@ def lint_source(
     Returns ``(findings, attack_classes)``; the attack classes feed the
     cross-file RL004 check in :func:`run_lint`. ``path`` determines the
     RL001 exemption (``rng.py`` is the sanctioned numpy.random user),
-    RL006 activation (modules under a ``faults`` package directory), and
-    RL007 activation (``rowhammer.py`` — the vectorized hot path).
+    RL006 activation (modules under a ``faults`` package directory),
+    RL007 activation (``rowhammer.py`` — the vectorized hot path), and
+    RL008 activation (modules under ``attacks`` or ``perf`` package
+    directories — the batched-VM consumers).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
+    parts = Path(path).parts
     check_rng = Path(path).name != "rng.py"
-    check_fault_determinism = "faults" in Path(path).parts
+    check_fault_determinism = "faults" in parts
     check_hot_loops = Path(path).name == "rowhammer.py"
+    check_batched_vm = "attacks" in parts or "perf" in parts
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
         check_fault_determinism=check_fault_determinism,
         check_hot_loops=check_hot_loops,
+        check_batched_vm=check_batched_vm,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

@@ -253,7 +253,10 @@ class TestBenchSuite:
 
     def test_suite_report_shape_and_baseline_gate(self, tmp_path):
         report = run_bench_suite(quick=True)
-        assert set(report["results"]) == {"hammer_heavy", "walk_heavy", "campaign"}
+        assert set(report["results"]) == {
+            "hammer_heavy", "walk_heavy", "walk_batch", "spray_batch",
+            "snapshot_warm_start", "campaign",
+        }
         passing = {
             case: {"ops_per_s": result["ops_per_s"] / 2}
             for case, result in report["results"].items()

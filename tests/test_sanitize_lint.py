@@ -262,6 +262,56 @@ class TestRL007HotLoops:
         assert self._rules_at(src, path="src/repro/dram/module.py") == []
 
 
+class TestRL008BatchedVm:
+    ATTACK_PATH = "src/repro/attacks/templating.py"
+    PERF_PATH = "src/repro/perf/workloads.py"
+
+    def _rules_at(self, source, path=ATTACK_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_translate_in_loop_flagged(self):
+        src = "for va in vas:\n    pa = mmu.translate(cr3, va)\n"
+        assert self._rules_at(src) == ["RL008"]
+
+    def test_load_in_while_flagged(self):
+        src = "while pending:\n    data = mmu.load(cr3, va, 64)\n"
+        assert self._rules_at(src) == ["RL008"]
+
+    def test_store_in_comprehension_flagged(self):
+        src = "[mmu.store(cr3, va, b'x') for va in vas]\n"
+        assert self._rules_at(src) == ["RL008"]
+
+    def test_touch_in_loop_flagged_in_perf(self):
+        src = "for va in vas:\n    kernel.touch(proc, va)\n"
+        assert self._rules_at(src, path=self.PERF_PATH) == ["RL008"]
+
+    def test_batched_calls_in_loops_are_clean(self):
+        src = (
+            "for batch in batches:\n"
+            "    pas = mmu.translate_many(cr3, batch)\n"
+            "    rows = mmu.load_many(cr3, batch, 64)\n"
+            "    kernel.touch_many(proc, batch)\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_scalar_calls_outside_loops_are_clean(self):
+        src = "pa = mmu.translate(cr3, va)\nkernel.touch(proc, va)\n"
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "for va in vas:\n"
+            "    pa = mmu.translate(cr3, va)"
+            "  # repro-lint: ignore[RL008] — armed-plane reference path\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_attacks_and_perf(self):
+        src = "for va in vas:\n    pa = mmu.translate(cr3, va)\n"
+        assert self._rules_at(src, path="src/repro/kernel/kernel.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -270,6 +320,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+            "RL008",
         }
 
     def test_syntax_error_propagates(self):

@@ -1,0 +1,192 @@
+"""Zero-copy snapshot warm-start: capture / materialize semantics and the
+byte-identity contract for warm-started campaigns.
+
+A snapshot freezes a booted simulator world (DRAM rows in shared memory
+plus a compact pickle of kernel / allocator / obs state). Warm-started
+campaigns must be *indistinguishable* from cold-boot runs: identical
+reports, identical obs totals, identical checkpoint bytes — the snapshot
+only moves the boot cost out of the per-segment loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs, sanitize
+from repro.errors import ReproError
+from repro.perf.parallel import (
+    capture_trial_snapshot,
+    run_probabilistic_trials,
+)
+from repro.perf.snapshot import SimulatorSnapshot
+from repro.units import MIB, PAGE_SIZE
+
+from .conftest import make_stock_kernel
+
+
+def _seeded_world():
+    kernel = make_stock_kernel(total_bytes=16 * MIB)
+    process = kernel.create_process()
+    vma, pas = kernel.mmap_touch_many(process, 8 * PAGE_SIZE, write=True)
+    kernel.mmu.store(process.cr3, vma.start, b"warm-start", pid=process.pid)
+    return kernel, {"pid": process.pid, "va": vma.start, "pas": pas}
+
+
+class TestSnapshotRoundtrip:
+    def test_materialized_world_matches_source(self):
+        snapshot = SimulatorSnapshot.capture(
+            lambda: _seeded_world()[0],
+        )
+        try:
+            kernel, extra = snapshot.materialize()
+            assert extra is None
+            # The same factory, run cold, must agree with the thawed world.
+            cold, info = _seeded_world()
+            assert kernel.module.read_count == cold.module.read_count
+            assert kernel.stats.demand_faults == cold.stats.demand_faults
+            process = kernel.processes[info["pid"]]
+            assert kernel.mmu.load(
+                process.cr3, info["va"], 10, pid=process.pid
+            ) == b"warm-start"
+        finally:
+            snapshot.release()
+
+    def test_extra_fn_state_travels_with_snapshot(self):
+        snapshot = SimulatorSnapshot.capture(
+            lambda: _seeded_world()[0],
+            lambda kernel: {"pids": sorted(kernel.processes)},
+        )
+        try:
+            kernel, extra = snapshot.materialize()
+            assert extra == {"pids": sorted(kernel.processes)}
+        finally:
+            snapshot.release()
+
+    def test_materializations_are_independent(self):
+        """Copy-on-write: a write in one thawed world must not leak into a
+        second world thawed from the same snapshot."""
+        snapshot = SimulatorSnapshot.capture(lambda: _seeded_world()[0])
+        try:
+            first, _ = snapshot.materialize()
+            second, _ = snapshot.materialize()
+            pid = sorted(first.processes)[-1]
+            proc_a = first.processes[pid]
+            proc_b = second.processes[pid]
+            va = next(v.start for v in proc_a.vmas)
+            first.mmu.store(proc_a.cr3, va, b"DIVERGED!!", pid=proc_a.pid)
+            assert first.mmu.load(proc_a.cr3, va, 10, pid=proc_a.pid) == b"DIVERGED!!"
+            assert second.mmu.load(
+                proc_b.cr3, va, 10, pid=proc_b.pid
+            ) == b"warm-start"
+        finally:
+            snapshot.release()
+
+    def test_boot_obs_replays_into_consumer_registry(self):
+        snapshot = SimulatorSnapshot.capture(lambda: _seeded_world()[0])
+        try:
+            obs.set_registry(obs.Registry())
+            snapshot.materialize()
+            warm = obs.get_registry().export_state()
+
+            obs.set_registry(obs.Registry())
+            _seeded_world()
+            cold = obs.get_registry().export_state()
+            assert warm == cold
+        finally:
+            snapshot.release()
+
+    def test_attach_cached_in_owner_process_reuses_handle(self):
+        snapshot = SimulatorSnapshot.capture(lambda: _seeded_world()[0])
+        try:
+            assert SimulatorSnapshot.attach_cached(snapshot.name) is snapshot
+        finally:
+            snapshot.release()
+
+    def test_release_is_idempotent(self):
+        snapshot = SimulatorSnapshot.capture(lambda: _seeded_world()[0])
+        snapshot.release()
+        snapshot.release()
+        with pytest.raises(ReproError):
+            snapshot.materialize()
+
+
+def _trials_state(tmp_path, tag, *, workers, warm_start):
+    obs.set_registry(obs.Registry())
+    sanitize.reset()
+    faults.uninstall()
+    checkpoint = tmp_path / f"trials-{tag}.json"
+    report = run_probabilistic_trials(
+        3,
+        seed=23,
+        workers=workers,
+        checkpoint_path=checkpoint,
+        warm_start=warm_start,
+        spray_mappings=6,
+        max_rounds=1,
+    )
+    return (
+        report.to_dict(),
+        obs.get_registry().export_state(),
+        checkpoint.read_bytes(),
+    )
+
+
+class TestWarmStartIdentity:
+    def test_warm_trials_equal_cold_serial(self, tmp_path):
+        cold = _trials_state(tmp_path, "cold", workers=1, warm_start=False)
+        warm = _trials_state(tmp_path, "warm", workers=1, warm_start=True)
+        assert warm[0] == cold[0]  # CampaignReport
+        assert warm[1] == cold[1]  # obs registry state
+        assert warm[2] == cold[2]  # checkpoint bytes
+
+    def test_warm_trials_equal_cold_parallel(self, tmp_path):
+        cold = _trials_state(tmp_path, "cold-p", workers=2, warm_start=False)
+        warm = _trials_state(tmp_path, "warm-p", workers=2, warm_start=True)
+        assert warm == cold
+
+    def test_warm_chaos_equals_cold(self, tmp_path):
+        from repro.faults.scenarios import run_chaos_campaign
+
+        def run(tag, warm_start):
+            obs.set_registry(obs.Registry())
+            sanitize.reset()
+            faults.uninstall()
+            checkpoint = tmp_path / f"chaos-{tag}.json"
+            report = run_chaos_campaign(
+                5,
+                num_segments=3,
+                smoke=True,
+                checkpoint_path=checkpoint,
+                warm_start=warm_start,
+            )
+            return (
+                report.to_dict(),
+                obs.get_registry().export_state(),
+                checkpoint.read_bytes(),
+            )
+
+        assert run("warm", True) == run("cold", False)
+
+    def test_snapshot_name_stays_out_of_checkpoint(self, tmp_path):
+        """Warm-start plumbing must not leak into durable artifacts: the
+        checkpoint would otherwise differ from a cold run byte-for-byte."""
+        _, _, checkpoint = _trials_state(
+            tmp_path, "leak", workers=1, warm_start=True
+        )
+        assert b"snapshot" not in checkpoint
+        assert b"repro-snap" not in checkpoint
+
+
+class TestTrialSnapshotHelper:
+    def test_capture_trial_snapshot_serves_prepared_attack(self):
+        snapshot = capture_trial_snapshot(spray_mappings=6)
+        try:
+            kernel, extra = snapshot.materialize()
+            assert set(extra) == {"pid", "sprayed_vas", "checked_vas"}
+            attacker = kernel.processes[extra["pid"]]
+            assert len(extra["sprayed_vas"]) == 6
+            # Every sprayed mapping must already be demand-faulted.
+            for va in extra["checked_vas"]:
+                kernel.mmu.translate(attacker.cr3, va, pid=attacker.pid)
+        finally:
+            snapshot.release()
