@@ -35,6 +35,13 @@ from repro.errors import AttackError
 from repro.kernel.kernel import Kernel
 from repro.kernel.pagetable import PageTableEntry
 from repro.kernel.process import Process
+from repro.payload import (
+    PayloadContext,
+    PayloadProgram,
+    compile_program,
+    hammer_sweep,
+    iter_steps,
+)
 from repro.units import PAGE_SHIFT, PTE_SIZE
 
 
@@ -66,6 +73,8 @@ class CtaBruteForceAttack:
     hammer: RowHammerModel
     timing: AttackTimingModel = AttackTimingModel()
     observations: List[PointerObservation] = field(default_factory=list)
+    #: Hammer programs this instance compiled and executed, in order.
+    executed_payloads: List[PayloadProgram] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.kernel.cta_enabled:
@@ -87,6 +96,14 @@ class CtaBruteForceAttack:
             result.detail = "ZONE_PTP is empty"
             return self._finish(result)
 
+        # The ZONE_PTP sweep is one compiled payload, re-executed per
+        # target page; the TLB flush per burst is attack bookkeeping
+        # between its pending steps.
+        program = hammer_sweep("algorithm1-ptp-sweep", ptp_rows)
+        self.executed_payloads.append(program)
+        compiled = compile_program(program)
+        context = PayloadContext(hammer=self.hammer)
+
         for target_page in range(max_target_pages):
             # Step (1): fill ZONE_PTP with PTEs pointing at one physical page.
             spray = spray_page_tables(
@@ -96,8 +113,8 @@ class CtaBruteForceAttack:
             before = self._snapshot_ptes(attacker)
 
             # Steps (2)+(3): hammer each ZONE_PTP row, then check PTEs.
-            for row in ptp_rows:
-                outcome = self.hammer.hammer(row)
+            for burst in iter_steps(compiled, context):
+                outcome = burst.perform()
                 result.hammer_rounds += 1
                 result.flips_induced += outcome.flip_count
                 result.modeled_time_s += self.timing.hammer_row_s

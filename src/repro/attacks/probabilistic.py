@@ -37,6 +37,13 @@ from repro.errors import OutOfMemoryError
 from repro.kernel.kernel import Kernel
 from repro.kernel.page import PageUse
 from repro.kernel.process import Process
+from repro.payload import (
+    PayloadContext,
+    PayloadProgram,
+    compile_program,
+    hammer_sweep,
+    iter_steps,
+)
 from repro.units import PAGE_SIZE
 
 
@@ -51,6 +58,8 @@ class ProbabilisticPteAttack:
     #: All attacker-mapped single pages (sprayed + interleaved anonymous);
     #: the self-reference scan covers every one of them.
     checked_vas: List[int] = field(default_factory=list)
+    #: Hammer programs this instance compiled and executed, in order.
+    executed_payloads: List[PayloadProgram] = field(default_factory=list)
 
     def run(
         self,
@@ -113,11 +122,17 @@ class ProbabilisticPteAttack:
 
         # Hammer one row, then immediately check and (if lucky) escalate —
         # the Project Zero loop. Checking after every row keeps collateral
-        # damage to the rest of the paging tree from masking a hit.
+        # damage to the rest of the paging tree from masking a hit. The
+        # sweep itself is a compiled payload; the per-burst check/escalate
+        # bookkeeping interleaves between its pending steps.
+        program = hammer_sweep("probabilistic-hammer", victim_rows)
+        self.executed_payloads.append(program)
+        compiled = compile_program(program)
+        context = PayloadContext(hammer=self.hammer)
         result = AttackResult(outcome=AttackOutcome.BUDGET_EXHAUSTED)
         for _ in range(max_rounds):
-            for row in victim_rows:
-                outcome = self.hammer.hammer(row)
+            for burst in iter_steps(compiled, context):
+                outcome = burst.perform()
                 result.hammer_rounds += 1
                 result.flips_induced += outcome.flip_count
                 result.modeled_time_s += self.timing.hammer_row_s

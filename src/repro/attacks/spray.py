@@ -12,12 +12,19 @@ hammer step tries to corrupt.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro import obs
 from repro.errors import OutOfMemoryError, PageFaultError, ProcessError
 from repro.kernel.kernel import Kernel
 from repro.kernel.process import MappedFile, Process
+from repro.payload import (
+    PayloadContext,
+    PayloadProgram,
+    compile_program,
+    iter_steps,
+    touch_sweep,
+)
 from repro.units import MIB, PAGE_SIZE
 
 
@@ -36,6 +43,8 @@ class SprayResult:
     mapped_vas: List[int] = field(default_factory=list)
     page_tables_created: int = 0
     stopped_by_oom: bool = False
+    #: The touch program the spray executed (None when nothing was planned).
+    payload: Optional[PayloadProgram] = None
 
     @property
     def num_mappings(self) -> int:
@@ -68,27 +77,35 @@ def spray_page_tables(
     """
     pt_before = len(kernel.page_table_pfns(attacker.pid))
     result = SprayResult(file=kernel.create_file(file_bytes))
-    for index in range(num_mappings):
-        va = SPRAY_BASE + index * PT_COVERAGE
-        try:
-            vma = kernel.mmap(
-                kernel.processes[attacker.pid],
-                length=file_bytes,
-                writable=True,
-                backing=result.file,
-                address=va,
-            )
-            kernel.touch(attacker, vma.start, write=False)  # repro-lint: ignore[RL008] — one touch per mapping with per-mapping fault tolerance
-        except OutOfMemoryError:
-            result.stopped_by_oom = True
-            break
-        except (PageFaultError, ProcessError):
-            # Earlier hammering corrupted the paging subtree (or a prior
-            # run left a stale VMA) for this region; a real attacker's
-            # access would just crash here — skip the mapping.
-            continue
-        result.mapped_vas.append(va)
-        obs.inc("attack.spray_mappings")
+    # The touch sequence is a payload: one demand-fault read per planned
+    # 2 MiB-aligned address. The mmap that backs each touch is attack
+    # bookkeeping performed just before the pending access, with the same
+    # per-mapping fault tolerance the hand loop had.
+    planned = [SPRAY_BASE + index * PT_COVERAGE for index in range(num_mappings)]
+    if planned:
+        result.payload = touch_sweep("spray-touch", planned)
+        context = PayloadContext(kernel=kernel, process=attacker)
+        for pending in iter_steps(compile_program(result.payload), context):
+            va = pending.address
+            try:
+                kernel.mmap(
+                    kernel.processes[attacker.pid],
+                    length=file_bytes,
+                    writable=True,
+                    backing=result.file,
+                    address=va,
+                )
+                pending.perform()
+            except OutOfMemoryError:
+                result.stopped_by_oom = True
+                break
+            except (PageFaultError, ProcessError):
+                # Earlier hammering corrupted the paging subtree (or a prior
+                # run left a stale VMA) for this region; a real attacker's
+                # access would just crash here — skip the mapping.
+                continue
+            result.mapped_vas.append(va)
+            obs.inc("attack.spray_mappings")
     result.page_tables_created = len(kernel.page_table_pfns(attacker.pid)) - pt_before
     obs.trace(
         "attack.spray",

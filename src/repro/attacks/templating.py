@@ -35,6 +35,14 @@ from repro.errors import OutOfMemoryError
 from repro.kernel.kernel import Kernel
 from repro.kernel.pagetable import PageTableEntry
 from repro.kernel.process import Process
+from repro.payload import (
+    PayloadContext,
+    PayloadProgram,
+    compile_program,
+    hammer_sweep,
+    iter_steps,
+    single_burst,
+)
 from repro.units import PAGE_SHIFT, PAGE_SIZE, PTE_SIZE
 
 
@@ -70,6 +78,8 @@ class TemplatingAttack:
     kernel: Kernel
     hammer: RowHammerModel
     timing: AttackTimingModel = AttackTimingModel()
+    #: Hammer programs this instance compiled and executed, in order.
+    executed_payloads: List[PayloadProgram] = field(default_factory=list)
 
     def run(
         self,
@@ -97,10 +107,18 @@ class TemplatingAttack:
             victim_va = self._massage_phase(attacker, template)
             if victim_va is None:
                 continue
-            replay = self.hammer.hammer(template.aggressor_row)
-            result.hammer_rounds += 1
-            result.flips_induced += replay.flip_count
-            result.modeled_time_s += self.timing.hammer_row_s
+            replay_program = single_burst(
+                "templating-replay", template.aggressor_row
+            )
+            self.executed_payloads.append(replay_program)
+            replay_context = PayloadContext(hammer=self.hammer)
+            for burst in iter_steps(
+                compile_program(replay_program), replay_context
+            ):
+                replay = burst.perform()
+                result.hammer_rounds += 1
+                result.flips_induced += replay.flip_count
+                result.modeled_time_s += self.timing.hammer_row_s
             self.kernel.tlb.flush()
             references = find_self_references(self.kernel, attacker, [victim_va])
             if references:
@@ -195,10 +213,16 @@ class TemplatingAttack:
         kernel = self.kernel
         geometry = kernel.module.geometry
         templates: List[FlipTemplate] = []
-        for row in sorted(owned_rows):
-            # Fill victim row candidates with a known pattern, then hammer
-            # both neighbors (the attacker templates rows *it owns*).
-            outcome = self.hammer.hammer(row)
+        if not owned_rows:
+            return templates
+        # The attacker templates rows *it owns*: one burst per owned row,
+        # collecting which bits flipped and in which direction.
+        program = hammer_sweep("templating-template", sorted(owned_rows))
+        self.executed_payloads.append(program)
+        context = PayloadContext(hammer=self.hammer)
+        for burst in iter_steps(compile_program(program), context):
+            outcome = burst.perform()
+            row = burst.row
             result.hammer_rounds += 1
             result.modeled_time_s += self.timing.hammer_row_s
             for flip in outcome.flips:

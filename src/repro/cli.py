@@ -12,7 +12,9 @@ Usage::
     python -m repro capacity        # Section 6.2 capacity accounting
     python -m repro headline        # abstract's headline numbers
     python -m repro stats --trace 5 # demo attack + observability dump
-    python -m repro lint            # static contract checks (RL001..RL007)
+    python -m repro lint            # static contract checks (RL001..RL009)
+    python -m repro payload validate p.json          # check a payload program
+    python -m repro payload run --builtin sweep      # execute one on a demo world
     python -m repro check --sanitize# attack demo under runtime sanitizers
     python -m repro chaos --smoke   # fault-injection campaign (deterministic)
     python -m repro chaos --smoke --workers 4        # same results, fanned out
@@ -317,6 +319,97 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _payload_world(seed: int):
+    """A small seeded DRAM world for standalone payload execution."""
+    from repro.dram.cells import CellTypeMap
+    from repro.dram.geometry import DramGeometry
+    from repro.dram.module import DramModule
+    from repro.dram.refresh import RefreshScheduler
+    from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+    from repro.payload import PayloadContext
+    from repro.units import MIB
+
+    geometry = DramGeometry(total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2)
+    module = DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=8))
+    for row in range(64):
+        module.fill_row(row, 0xFF)
+    hammer = RowHammerModel(
+        module,
+        FlipStatistics(p_vulnerable=2e-3, p_with_leak=0.9),
+        seed=seed,
+    )
+    refresh = RefreshScheduler(total_rows=geometry.total_rows)
+    return PayloadContext(hammer=hammer, module=module, refresh=refresh)
+
+
+def _load_payload(args: argparse.Namespace):
+    """The program named by --builtin or read from the positional file."""
+    from pathlib import Path
+
+    from repro.errors import PayloadError
+    from repro.payload import PayloadProgram, builtin_payload, validate_program
+
+    if args.builtin:
+        return builtin_payload(args.builtin)
+    if not args.file:
+        raise PayloadError("give a payload file or --builtin NAME")
+    text = Path(args.file).read_text(encoding="utf-8")
+    return validate_program(PayloadProgram.from_json(text))
+
+
+def _cmd_payload_run(args: argparse.Namespace) -> int:
+    """Execute one payload on a self-contained demo world."""
+    import json
+
+    from repro.payload import run, slow_reference
+
+    program = _load_payload(args)
+    context = _payload_world(args.seed)
+    executor = slow_reference if args.slow_reference else run
+    result = executor(program, context)
+    if args.json:
+        print(json.dumps(
+            {
+                "name": result.name,
+                "digest": result.digest,
+                "bursts": result.bursts,
+                "activations": result.activations,
+                "reads": result.reads,
+                "writes": result.writes,
+                "nop_cycles": result.nop_cycles,
+                "flips_induced": result.flips_induced,
+                "read_digest": result.read_digest,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    mode = "slow-reference" if args.slow_reference else "compiled"
+    print(f"payload {result.name} ({result.digest}) executed [{mode}]")
+    print(f"  bursts          {result.bursts}")
+    print(f"  activations     {result.activations}")
+    print(f"  reads / writes  {result.reads} / {result.writes}")
+    print(f"  flips induced   {result.flips_induced}")
+    if result.reads:
+        print(f"  read digest     {result.read_digest}")
+    return 0
+
+
+def _cmd_payload_validate(args: argparse.Namespace) -> int:
+    """Parse, validate, and compile a payload; report its shape."""
+    from repro.payload import compile_program
+
+    program = _load_payload(args)
+    compiled = compile_program(program)
+    print(
+        f"payload {program.name} ({program.digest()}) is valid: "
+        f"{len(compiled.steps)} compiled step(s), "
+        f"{compiled.total_activations} activation(s), "
+        f"{compiled.total_accesses} access(es)"
+    )
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the attack demo end-to-end, optionally under runtime sanitizers.
 
@@ -562,6 +655,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     lint.add_argument("--json", action="store_true", help="emit findings as JSON")
     lint.set_defaults(func=_cmd_lint)
+    payload = subparsers.add_parser(
+        "payload", help="validate or execute declarative hammer payloads"
+    )
+    payload_sub = payload.add_subparsers(dest="payload_command", required=True)
+    payload_run = payload_sub.add_parser(
+        "run", help="execute a payload on a self-contained demo DRAM world"
+    )
+    payload_run.add_argument(
+        "file", nargs="?", default=None,
+        help="payload program as JSON (omit with --builtin)",
+    )
+    payload_run.add_argument(
+        "--builtin", default=None, metavar="NAME",
+        help="run a builtin demo payload (sweep, aligned, readback)",
+    )
+    payload_run.add_argument("--seed", type=_seed, default=1)
+    payload_run.add_argument(
+        "--slow-reference", action="store_true",
+        help="execute via the interpreter oracle instead of the compiler",
+    )
+    payload_run.add_argument("--json", action="store_true", help="emit the result as JSON")
+    payload_run.set_defaults(func=_cmd_payload_run)
+    payload_validate = payload_sub.add_parser(
+        "validate", help="parse, validate, and compile a payload program"
+    )
+    payload_validate.add_argument(
+        "file", nargs="?", default=None,
+        help="payload program as JSON (omit with --builtin)",
+    )
+    payload_validate.add_argument(
+        "--builtin", default=None, metavar="NAME",
+        help="validate a builtin demo payload",
+    )
+    payload_validate.set_defaults(func=_cmd_payload_validate)
     check = subparsers.add_parser(
         "check", help="run the attack demo under runtime invariant sanitizers"
     )

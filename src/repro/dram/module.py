@@ -224,6 +224,38 @@ class DramModule:
             backing[offset : offset + chunk] = view[cursor : cursor + chunk]
             cursor += chunk
 
+    def write_many(self, addresses: "np.ndarray", data: bytes) -> None:
+        """Write ``data`` at every physical address, in order.
+
+        Equivalent to calling :meth:`write` per address (same contents
+        and ``write_count`` accounting); the bounds check and row
+        arithmetic are paid once for the batch. Falls back to the scalar
+        loop when any address is out of bounds or a write straddles a
+        row (the scalar path raises at the right element with the right
+        prior counts).
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        n = int(addrs.size)
+        length = len(data)
+        total = self._geometry.total_bytes
+        row_bytes = self._geometry.row_bytes
+        if (
+            n == 0
+            or bool(np.any(addrs < 0))
+            or bool(np.any(addrs + length > total))
+            or bool(np.any(addrs % row_bytes + length > row_bytes))
+        ):
+            for address in addrs:
+                self.write(int(address), data)
+            return
+        self.write_count += n
+        rows = addrs // row_bytes
+        offsets = addrs - rows * row_bytes
+        view = np.frombuffer(data, dtype=np.uint8)
+        for row, offset in zip(rows.tolist(), offsets.tolist()):
+            backing = self._row_array(row)
+            backing[offset : offset + length] = view
+
     # -- word access ----------------------------------------------------------
     def read_u64(self, address: int) -> int:
         """Read a little-endian 64-bit word (one PTE) at ``address``."""

@@ -75,6 +75,16 @@ class AttackError(ReproError):
     """An attack harness was misused or hit an unexpected state."""
 
 
+class PayloadError(ReproError):
+    """A hammer-payload program is malformed or cannot be executed.
+
+    Raised by the :mod:`repro.payload` validator (IR invariant broken),
+    compiler (program lowers to more steps than the budget allows), and
+    executors (a step needs a context piece — hammer, kernel, module —
+    that the caller did not supply).
+    """
+
+
 class DefenseError(ReproError):
     """A defense was configured or engaged incorrectly."""
 

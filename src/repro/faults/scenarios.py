@@ -142,6 +142,7 @@ def _probabilistic_segment(
         "stalled_rows_overdue": len(refresh.overdue_rows()),
         "sanitizer_checks": suite.checks,
         "sanitizer_violations": suite.violations,
+        "payloads": [p.digest() for p in attack.executed_payloads],
     }
 
 
@@ -190,6 +191,7 @@ def _algorithm1_segment(
         "pointer_observations": len(attack.observations),
         "sanitizer_checks": suite.checks,
         "sanitizer_violations": suite.violations,
+        "payloads": [p.digest() for p in attack.executed_payloads],
     }
 
 

@@ -62,6 +62,9 @@ METRICS: Dict[str, str] = {
     "attack.escalation_probes": "counter",
     "attack.escalations_achieved": "counter",
     "attack.pointer_observations": "counter",
+    # Payload DSL
+    "payload.compiles": "counter",
+    "payload.executions": "counter",
     # Sanitizers
     "sanitize.checks": "counter",
     "sanitize.violations": "counter",
@@ -85,6 +88,7 @@ TRACE_EVENTS: FrozenSet[str] = frozenset(
         "kernel.pte_alloc",
         "attack.spray",
         "attack.escalation",
+        "payload.execute",
         "sanitize.violation",
         "faults.inject",
         "kernel.downgrade",

@@ -1,0 +1,92 @@
+"""Declarative hammer payloads: IR, validator, compiler, executors.
+
+A payload is data — named address lists plus ACT/PRE/READ/WRITE/NOP
+instructions with loop counts and refresh-phase alignment — validated
+against IR invariants, lowered to the batched DRAM/MMU primitives, and
+executable three ways (batched :func:`run`, attack-facing
+:func:`iter_steps`, oracle :func:`slow_reference`). See
+:mod:`repro.payload.ir` for the grammar and
+:mod:`repro.payload.executor` for the equivalence contract.
+"""
+
+from repro.payload.compiler import (
+    MAX_COMPILED_STEPS,
+    Burst,
+    CompiledPayload,
+    ReadBatch,
+    WriteBatch,
+    compile_program,
+)
+from repro.payload.executor import (
+    PayloadContext,
+    PayloadResult,
+    PendingBurst,
+    PendingRead,
+    PendingWrite,
+    align_refresh,
+    iter_steps,
+    run,
+    slow_reference,
+)
+from repro.payload.ir import (
+    MAX_ACCESS_BYTES,
+    MAX_LOOP_DEPTH,
+    SPACES,
+    Act,
+    AddressList,
+    Loop,
+    Nop,
+    PayloadProgram,
+    Pre,
+    Read,
+    RefreshAlign,
+    Write,
+    validate_program,
+)
+from repro.payload.programs import (
+    BUILTIN_PAYLOADS,
+    DEFAULT_ACTIVATIONS,
+    builtin_payload,
+    hammer_sweep,
+    read_sweep,
+    single_burst,
+    touch_sweep,
+)
+
+__all__ = [
+    "Act",
+    "AddressList",
+    "Burst",
+    "BUILTIN_PAYLOADS",
+    "CompiledPayload",
+    "DEFAULT_ACTIVATIONS",
+    "Loop",
+    "MAX_ACCESS_BYTES",
+    "MAX_COMPILED_STEPS",
+    "MAX_LOOP_DEPTH",
+    "Nop",
+    "PayloadContext",
+    "PayloadProgram",
+    "PayloadResult",
+    "PendingBurst",
+    "PendingRead",
+    "PendingWrite",
+    "Pre",
+    "Read",
+    "ReadBatch",
+    "RefreshAlign",
+    "SPACES",
+    "Write",
+    "WriteBatch",
+    "align_refresh",
+    "builtin_payload",
+    "compile_program",
+    "hammer_sweep",
+    "iter_steps",
+    "read_sweep",
+    "run",
+    "single_burst",
+    "slow_reference",
+    "touch_sweep",
+    "validate_program",
+]

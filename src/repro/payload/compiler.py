@@ -1,0 +1,230 @@
+"""Lower validated payload programs to flat batched steps.
+
+The compiler turns the tree-shaped IR into a short list of three step
+kinds that map 1:1 onto the batched primitives from the DRAM and MMU
+layers:
+
+``Burst(row, activations)``
+    A maximal run of back-to-back activations of one row — one
+    :meth:`~repro.dram.rowhammer.RowHammerModel.hammer` call with the
+    run length as the ``activations`` argument. PRE and NOP are
+    transparent to burst formation; an ACT of a *different* row or any
+    READ/WRITE flushes the open burst.
+``ReadBatch(space, addresses, length, write)``
+    Consecutive reads over one space, merged across instructions —
+    lowered to :meth:`~repro.dram.module.DramModule.read_many` or
+    :meth:`~repro.kernel.kernel.Kernel.touch_many`.
+``WriteBatch(addresses, data)``
+    Consecutive writes of one pattern, lowered to
+    :meth:`~repro.dram.module.DramModule.write_many`.
+
+Loops whose body collapses to a single Burst are compiled by
+multiplying the activation count — ``Loop(2_000_000, (ACT row, PRE))``
+becomes ``Burst(row, 2_000_000)`` without unrolling. Any other loop is
+unrolled with merging, guarded by :data:`MAX_COMPILED_STEPS` so a
+pathological program fails fast instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.errors import PayloadError
+from repro.payload.ir import (
+    Act,
+    Instruction,
+    Loop,
+    Nop,
+    PayloadProgram,
+    Pre,
+    Read,
+    Write,
+    validate_program,
+)
+
+#: Hard ceiling on the flattened step count after unrolling and merging.
+MAX_COMPILED_STEPS = 65536
+
+#: Ceiling on unrolled READ/WRITE accesses inside one loop (keeps a
+#: pathological merge-into-one-batch loop from allocating unbounded tuples).
+MAX_COMPILED_ACCESSES = 1 << 20
+
+
+@dataclass(frozen=True)
+class Burst:
+    """``activations`` back-to-back activations of one row."""
+
+    row: int
+    activations: int
+
+
+@dataclass(frozen=True)
+class ReadBatch:
+    """Ordered reads over one address space."""
+
+    space: str  # "physical" or "virtual"
+    addresses: Tuple[int, ...]
+    length: int
+    write: bool = False
+
+
+@dataclass(frozen=True)
+class WriteBatch:
+    """Ordered writes of one pattern over physical addresses."""
+
+    addresses: Tuple[int, ...]
+    data: bytes
+
+
+Step = Union[Burst, ReadBatch, WriteBatch]
+
+
+@dataclass
+class CompiledPayload:
+    """The lowering result: flat steps plus symbolic accounting."""
+
+    program: PayloadProgram
+    steps: Tuple[Step, ...]
+    nop_cycles: int = 0
+
+    @property
+    def total_activations(self) -> int:
+        return sum(s.activations for s in self.steps if isinstance(s, Burst))
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(
+            len(s.addresses)
+            for s in self.steps
+            if isinstance(s, (ReadBatch, WriteBatch))
+        )
+
+
+class _Lowering:
+    """Mutable lowering state: step list plus the open burst, if any."""
+
+    def __init__(self) -> None:
+        self.steps: List[Step] = []
+        self.open_row: int = -1
+        self.open_acts: int = 0
+        self.nop_cycles: int = 0
+
+    def flush(self) -> None:
+        if self.open_acts:
+            self._push(Burst(self.open_row, self.open_acts))
+            self.open_row, self.open_acts = -1, 0
+
+    def act(self, row: int) -> None:
+        if self.open_acts and self.open_row != row:
+            self.flush()
+        self.open_row = row
+        self.open_acts += 1
+
+    def read(self, space: str, addresses: Tuple[int, ...], length: int, write: bool) -> None:
+        self.flush()
+        last = self.steps[-1] if self.steps else None
+        if (
+            isinstance(last, ReadBatch)
+            and last.space == space
+            and last.length == length
+            and last.write == write
+        ):
+            self.steps[-1] = ReadBatch(
+                space, last.addresses + addresses, length, write
+            )
+        else:
+            self._push(ReadBatch(space, addresses, length, write))
+
+    def write(self, addresses: Tuple[int, ...], data: bytes) -> None:
+        self.flush()
+        last = self.steps[-1] if self.steps else None
+        if isinstance(last, WriteBatch) and last.data == data:
+            self.steps[-1] = WriteBatch(last.addresses + addresses, data)
+        else:
+            self._push(WriteBatch(addresses, data))
+
+    def _push(self, step: Step) -> None:
+        if len(self.steps) >= MAX_COMPILED_STEPS:
+            raise PayloadError(
+                f"compiled payload exceeds {MAX_COMPILED_STEPS} steps; "
+                "restructure loops so iterations merge into bursts"
+            )
+        self.steps.append(step)
+
+
+def compile_program(program: PayloadProgram) -> CompiledPayload:
+    """Validate and lower ``program``; raises PayloadError on overflow."""
+    validate_program(program)
+    state = _Lowering()
+    _lower_body(program, program.body, state)
+    state.flush()
+    return CompiledPayload(
+        program=program, steps=tuple(state.steps), nop_cycles=state.nop_cycles
+    )
+
+
+def _lower_body(
+    program: PayloadProgram, body: Tuple[Instruction, ...], state: _Lowering
+) -> None:
+    for ins in body:
+        if isinstance(ins, Act):
+            state.act(program.lists[ins.list].addresses[ins.index])
+        elif isinstance(ins, Pre):
+            pass  # transparent: bursts close on row change or access
+        elif isinstance(ins, Read):
+            lst = program.lists[ins.list]
+            if lst.addresses:
+                state.read(lst.space, lst.addresses, ins.length, ins.write)
+        elif isinstance(ins, Write):
+            lst = program.lists[ins.list]
+            if lst.addresses:
+                state.write(lst.addresses, ins.pattern)
+        elif isinstance(ins, Nop):
+            state.nop_cycles += ins.cycles
+        elif isinstance(ins, Loop):
+            _lower_loop(program, ins, state)
+        else:  # pragma: no cover - validator rejects unknown instructions
+            raise PayloadError(f"unknown instruction {ins!r}")
+
+
+def _lower_loop(program: PayloadProgram, loop: Loop, state: _Lowering) -> None:
+    if loop.count == 0:
+        return
+    # Lower one iteration into a scratch state to see what it produces.
+    scratch = _Lowering()
+    _lower_body(program, loop.body, scratch)
+    body_nops = scratch.nop_cycles
+    scratch.flush()
+
+    if len(scratch.steps) == 1 and isinstance(scratch.steps[0], Burst):
+        # The whole iteration is one burst of one row: multiply the
+        # activation count instead of unrolling — the hammer_sweep fast
+        # path. Merge with an already-open burst of the same row.
+        burst = scratch.steps[0]
+        if state.open_acts and state.open_row != burst.row:
+            state.flush()
+        state.open_row = burst.row
+        state.open_acts += burst.activations * loop.count
+        state.nop_cycles += body_nops * loop.count
+        return
+
+    # General case: unroll with merging. Fail fast on the iteration x
+    # step product before allocating anything; _push enforces the same
+    # budget authoritatively as steps accumulate.
+    iter_accesses = sum(
+        len(s.addresses)
+        for s in scratch.steps
+        if isinstance(s, (ReadBatch, WriteBatch))
+    )
+    if (
+        loop.count * len(scratch.steps) > MAX_COMPILED_STEPS
+        or loop.count * iter_accesses > MAX_COMPILED_ACCESSES
+    ):
+        raise PayloadError(
+            f"loop of {loop.count} iterations x {len(scratch.steps)} steps "
+            f"({iter_accesses} accesses) cannot fit the compile budget; "
+            "restructure so iterations merge into bursts"
+        )
+    for _ in range(loop.count):
+        _lower_body(program, loop.body, state)

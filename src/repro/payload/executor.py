@@ -1,0 +1,389 @@
+"""Execute payloads: batched runner, step iterator, and slow reference.
+
+Three execution surfaces share one semantics:
+
+:func:`run`
+    The production path. Lowers the program (if not already compiled)
+    and drives the *batched* primitives — one
+    :meth:`~repro.dram.rowhammer.RowHammerModel.hammer` call per burst,
+    :meth:`~repro.dram.module.DramModule.read_many` /
+    :meth:`~repro.kernel.kernel.Kernel.touch_many` /
+    :meth:`~repro.dram.module.DramModule.write_many` per batch. Emits
+    ``payload.*`` observability.
+
+:func:`iter_steps`
+    A generator over *pending* scalar operations for callers that need
+    to interleave their own bookkeeping between accesses (the rewritten
+    attacks). Performs no operation until the caller invokes
+    :meth:`PendingBurst.perform` — and emits **no** payload
+    observability, so an attack's obs stream is byte-identical to a
+    hand-written loop.
+
+:func:`slow_reference`
+    An independent tree-walking interpreter over the *uncompiled* IR,
+    with its own burst aggregation. It never touches the compiler, so
+    agreement between :func:`run` and :func:`slow_reference` checks the
+    whole lowering pipeline. It is a test oracle with an operation
+    budget, not a production executor.
+
+The equivalence contract: for any valid program, :func:`run` and
+:func:`slow_reference` against identically-seeded worlds produce the
+same flips, the same read bytes, the same observability snapshot, and
+the same trace stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.errors import PayloadError
+from repro.payload.compiler import (
+    Burst,
+    CompiledPayload,
+    ReadBatch,
+    WriteBatch,
+    compile_program,
+)
+from repro.payload.ir import (
+    Act,
+    Loop,
+    Nop,
+    PayloadProgram,
+    Pre,
+    Read,
+    RefreshAlign,
+    Write,
+    validate_program,
+)
+
+#: Primitive-operation budget for :func:`slow_reference`. It exists to
+#: keep the oracle honest — a fuzz case that would take minutes fails
+#: loudly instead. Bound loop counts in generated payloads accordingly.
+SLOW_REFERENCE_OP_BUDGET = 200_000
+
+
+@dataclass
+class PayloadContext:
+    """Everything a payload may touch. Missing pieces raise lazily.
+
+    ``module`` defaults to ``hammer``'s module or ``kernel``'s module so
+    most callers pass only the objects they already hold.
+    """
+
+    hammer: Optional[object] = None
+    kernel: Optional[object] = None
+    module: Optional[object] = None
+    process: Optional[object] = None
+    refresh: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.module is None and self.kernel is not None:
+            self.module = getattr(self.kernel, "module", None)
+        if self.module is None and self.hammer is not None:
+            self.module = getattr(self.hammer, "module", None)
+
+    def require(self, name: str, why: str):
+        value = getattr(self, name)
+        if value is None:
+            raise PayloadError(f"payload context lacks {name!r}: {why}")
+        return value
+
+
+@dataclass
+class PayloadResult:
+    """What one execution did, for reports and differential assertions."""
+
+    name: str
+    digest: str
+    bursts: int = 0
+    activations: int = 0
+    reads: int = 0
+    writes: int = 0
+    nop_cycles: int = 0
+    flips_induced: int = 0
+    outcomes: List[object] = field(default_factory=list)
+    _read_hash: object = field(
+        default_factory=hashlib.sha256, repr=False, compare=False
+    )
+
+    @property
+    def read_digest(self) -> str:
+        """Digest over all bytes/PFNs read, for data-equality checks."""
+        return self._read_hash.hexdigest()[:16]
+
+    def _absorb_bytes(self, data: bytes) -> None:
+        self._read_hash.update(data)
+
+    def _absorb_int(self, value: int) -> None:
+        self._read_hash.update(value.to_bytes(8, "little", signed=False))
+
+
+# -- pending scalar steps (the attack-facing surface) -----------------------
+@dataclass
+class PendingBurst:
+    """One hammer call, not yet performed."""
+
+    row: int
+    activations: int
+    _ctx: PayloadContext
+
+    def perform(self):
+        hammer = self._ctx.require("hammer", "a burst needs a RowHammerModel")
+        return hammer.hammer(self.row, activations=self.activations)
+
+
+@dataclass
+class PendingRead:
+    """One read (physical) or demand-fault touch (virtual), not yet performed."""
+
+    space: str
+    address: int
+    length: int
+    write: bool
+    _ctx: PayloadContext
+
+    def perform(self):
+        if self.space == "physical":
+            module = self._ctx.require("module", "a physical read needs a DramModule")
+            return module.read(self.address, self.length)
+        kernel = self._ctx.require("kernel", "a virtual read needs a Kernel")
+        process = self._ctx.require("process", "a virtual read needs a process")
+        return kernel.touch(process, self.address, write=self.write)
+
+
+@dataclass
+class PendingWrite:
+    """One physical write, not yet performed."""
+
+    address: int
+    data: bytes
+    _ctx: PayloadContext
+
+    def perform(self) -> None:
+        module = self._ctx.require("module", "a write needs a DramModule")
+        module.write(self.address, self.data)
+
+
+PendingStep = Union[PendingBurst, PendingRead, PendingWrite]
+
+
+def iter_steps(
+    compiled: CompiledPayload, ctx: PayloadContext
+) -> Iterator[PendingStep]:
+    """Yield pending scalar operations in program order.
+
+    Bursts come through whole (one pending per hammer call); read and
+    write batches are unrolled to one pending per address so callers can
+    interleave bookkeeping at access granularity. Emits no payload
+    observability — the caller owns the obs stream.
+    """
+    for step in compiled.steps:
+        if isinstance(step, Burst):
+            yield PendingBurst(step.row, step.activations, ctx)
+        elif isinstance(step, ReadBatch):
+            for address in step.addresses:
+                yield PendingRead(step.space, address, step.length, step.write, ctx)
+        elif isinstance(step, WriteBatch):
+            for address in step.addresses:
+                yield PendingWrite(address, step.data, ctx)
+        else:  # pragma: no cover - compiler emits only the three kinds
+            raise PayloadError(f"unknown compiled step {step!r}")
+
+
+# -- refresh alignment ------------------------------------------------------
+def align_refresh(ctx: PayloadContext, align: Optional[RefreshAlign]) -> None:
+    """Advance the context's refresh scheduler to the requested phase.
+
+    The target is the earliest time ``t >= now`` whose refresh-interval
+    index satisfies ``index % modulus == phase``. A context without a
+    scheduler ignores alignment (pure DRAM payloads, unit tests).
+    """
+    if align is None or ctx.refresh is None:
+        return
+    scheduler = ctx.refresh
+    interval = scheduler.interval_s
+    epoch = int(scheduler.now // interval)
+    offset = (align.phase - epoch) % align.modulus
+    if offset == 0 and scheduler.now % interval == 0:
+        return
+    if offset == 0:
+        offset = align.modulus
+    target = (epoch + offset) * interval
+    scheduler.advance(target - scheduler.now)
+
+
+# -- batched production executor --------------------------------------------
+def run(
+    payload: Union[PayloadProgram, CompiledPayload], ctx: PayloadContext
+) -> PayloadResult:
+    """Execute a payload through the batched primitives.
+
+    Accepts either a program (compiled here, counted as a
+    ``payload.compiles``) or a pre-compiled payload. Emits one
+    ``payload.executions`` increment and one ``payload.execute`` trace
+    event summarizing the run.
+    """
+    if isinstance(payload, CompiledPayload):
+        compiled = payload
+    else:
+        compiled = compile_program(payload)
+        obs.inc("payload.compiles")
+    program = compiled.program
+    result = PayloadResult(name=program.name, digest=program.digest())
+    result.nop_cycles = compiled.nop_cycles
+    align_refresh(ctx, program.refresh_align)
+    for step in compiled.steps:
+        if isinstance(step, Burst):
+            hammer = ctx.require("hammer", "a burst needs a RowHammerModel")
+            outcome = hammer.hammer(step.row, activations=step.activations)
+            result.bursts += 1
+            result.activations += step.activations
+            result.flips_induced += outcome.flip_count
+            result.outcomes.append(outcome)
+        elif isinstance(step, ReadBatch):
+            if step.space == "physical":
+                module = ctx.require(
+                    "module", "a physical read needs a DramModule"
+                )
+                for data in module.read_many(list(step.addresses), step.length):
+                    result._absorb_bytes(data)
+            else:
+                kernel = ctx.require("kernel", "a virtual read needs a Kernel")
+                process = ctx.require("process", "a virtual read needs a process")
+                for pfn in kernel.touch_many(
+                    process, list(step.addresses), write=step.write
+                ):
+                    result._absorb_int(int(pfn))
+            result.reads += len(step.addresses)
+        else:
+            module = ctx.require("module", "a write needs a DramModule")
+            module.write_many(list(step.addresses), step.data)
+            result.writes += len(step.addresses)
+    obs.inc("payload.executions")
+    obs.trace(
+        "payload.execute",
+        payload=program.name,
+        digest=result.digest,
+        bursts=result.bursts,
+        activations=result.activations,
+        reads=result.reads,
+        writes=result.writes,
+        flips=result.flips_induced,
+    )
+    return result
+
+
+# -- slow reference interpreter ---------------------------------------------
+class _Interpreter:
+    """Tree-walking reference executor with its own burst aggregation."""
+
+    def __init__(self, program: PayloadProgram, ctx: PayloadContext):
+        self.program = program
+        self.ctx = ctx
+        self.result = PayloadResult(name=program.name, digest=program.digest())
+        self.pending_row = -1
+        self.pending_acts = 0
+        self.ops = 0
+
+    def charge(self, count: int = 1) -> None:
+        self.ops += count
+        if self.ops > SLOW_REFERENCE_OP_BUDGET:
+            raise PayloadError(
+                f"slow_reference exceeded its {SLOW_REFERENCE_OP_BUDGET}-op "
+                "budget; it is a test oracle — bound loop counts or use run()"
+            )
+
+    def flush(self) -> None:
+        if not self.pending_acts:
+            return
+        hammer = self.ctx.require("hammer", "a burst needs a RowHammerModel")
+        outcome = hammer.hammer(self.pending_row, activations=self.pending_acts)
+        self.result.bursts += 1
+        self.result.activations += self.pending_acts
+        self.result.flips_induced += outcome.flip_count
+        self.result.outcomes.append(outcome)
+        self.pending_row, self.pending_acts = -1, 0
+
+    def execute(self, body) -> None:
+        for ins in body:
+            self.charge()
+            if isinstance(ins, Act):
+                row = self.program.lists[ins.list].addresses[ins.index]
+                if self.pending_acts and self.pending_row != row:
+                    self.flush()
+                self.pending_row = row
+                self.pending_acts += 1
+            elif isinstance(ins, Pre):
+                pass  # transparent to burst aggregation
+            elif isinstance(ins, Read):
+                lst = self.program.lists[ins.list]
+                if not lst.addresses:
+                    continue  # empty access: no-op, burst stays open
+                self.flush()
+                self.charge(len(lst.addresses))
+                for address in lst.addresses:
+                    if lst.space == "physical":
+                        module = self.ctx.require(
+                            "module", "a physical read needs a DramModule"
+                        )
+                        self.result._absorb_bytes(module.read(address, ins.length))
+                    else:
+                        kernel = self.ctx.require(
+                            "kernel", "a virtual read needs a Kernel"
+                        )
+                        process = self.ctx.require(
+                            "process", "a virtual read needs a process"
+                        )
+                        pfn = kernel.touch(process, address, write=ins.write)
+                        self.result._absorb_int(int(pfn))
+                    self.result.reads += 1
+            elif isinstance(ins, Write):
+                lst = self.program.lists[ins.list]
+                if not lst.addresses:
+                    continue  # empty access: no-op, burst stays open
+                self.flush()
+                self.charge(len(lst.addresses))
+                module = self.ctx.require("module", "a write needs a DramModule")
+                for address in lst.addresses:
+                    module.write(address, ins.pattern)
+                    self.result.writes += 1
+            elif isinstance(ins, Nop):
+                self.result.nop_cycles += ins.cycles
+            elif isinstance(ins, Loop):
+                # Iterations charge through their body's instructions
+                # (the validator rejects empty bodies, so no free spin).
+                for _ in range(ins.count):
+                    self.execute(ins.body)
+            else:  # pragma: no cover - validator rejects unknown instructions
+                raise PayloadError(f"unknown instruction {ins!r}")
+
+
+def slow_reference(program: PayloadProgram, ctx: PayloadContext) -> PayloadResult:
+    """Interpret ``program`` directly over the IR tree (test oracle).
+
+    Emits the same ``payload.*`` observability as validate-compile-run
+    via :func:`run`, so differential tests can compare whole registry
+    snapshots without filtering.
+    """
+    validate_program(program)
+    obs.inc("payload.compiles")
+    interp = _Interpreter(program, ctx)
+    align_refresh(ctx, program.refresh_align)
+    interp.execute(program.body)
+    interp.flush()
+    result = interp.result
+    obs.inc("payload.executions")
+    obs.trace(
+        "payload.execute",
+        payload=program.name,
+        digest=result.digest,
+        bursts=result.bursts,
+        activations=result.activations,
+        reads=result.reads,
+        writes=result.writes,
+        flips=result.flips_induced,
+    )
+    return result

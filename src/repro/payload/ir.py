@@ -1,0 +1,394 @@
+"""The hammer-payload IR: a tiny declarative program over address lists.
+
+A :class:`PayloadProgram` is pure data — named address lists plus a body
+of ACT/PRE/READ/WRITE/NOP instructions with loop counts and optional
+refresh-phase alignment, the same shape the litex rowhammer-tester
+lineage compiles row lists into. Programs are validated against the IR
+invariants (:func:`validate_program`), lowered by
+:mod:`repro.payload.compiler`, and executed by
+:mod:`repro.payload.executor`.
+
+Address lists carry a *space*:
+
+``row``
+    DRAM row numbers — the only space ``ACT`` accepts.
+``physical``
+    Byte addresses into the :class:`~repro.dram.module.DramModule` —
+    what ``READ``/``WRITE`` operate on directly.
+``virtual``
+    Attacker virtual addresses; a ``READ`` over a virtual list is a
+    demand-fault access (:meth:`~repro.kernel.kernel.Kernel.touch`),
+    which is how the spray step expresses "touch one page per mapping".
+
+The ACT/PRE discipline mirrors the DRAM command stream: an ``ACT`` is
+only legal when no row is open (every activation needs a precharge
+before the next), enforced by an abstract walk over the body — loop
+bodies are walked twice so a row left open at the end of one iteration
+is caught activating at the start of the next.
+
+Programs serialise to JSON (stable key order) and back; the digest of
+the canonical form identifies a payload in campaign reports and golden
+files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import PayloadError
+
+#: Address-list spaces the IR understands.
+SPACES = ("row", "physical", "virtual")
+
+#: Maximum Loop nesting depth the validator accepts.
+MAX_LOOP_DEPTH = 8
+
+#: Bounds on one READ/WRITE access size (bytes).
+MAX_ACCESS_BYTES = 4096
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.\-]*$")
+
+
+@dataclass(frozen=True)
+class Act:
+    """Activate one address of a named ``row``-space list."""
+
+    list: str
+    index: int = 0
+
+
+@dataclass(frozen=True)
+class Pre:
+    """Precharge: close the currently open row (legal any time)."""
+
+
+@dataclass(frozen=True)
+class Read:
+    """Read every address of a list, in order.
+
+    ``length`` bytes per address for ``physical`` lists; for ``virtual``
+    lists the read is a demand-fault access (``length`` is ignored) and
+    ``write`` selects the fault's access mode.
+    """
+
+    list: str
+    length: int = 8
+    write: bool = False
+
+
+@dataclass(frozen=True)
+class Write:
+    """Write ``pattern`` at every address of a ``physical`` list."""
+
+    list: str
+    pattern: bytes = b"\xff"
+
+
+@dataclass(frozen=True)
+class Nop:
+    """Idle for ``cycles`` cycles (pure accounting; keeps bursts open)."""
+
+    cycles: int = 1
+
+
+@dataclass(frozen=True)
+class Loop:
+    """Repeat ``body`` ``count`` times (count 0 skips the body)."""
+
+    count: int
+    body: Tuple["Instruction", ...]
+
+
+Instruction = Union[Act, Pre, Read, Write, Nop, Loop]
+
+
+@dataclass(frozen=True)
+class RefreshAlign:
+    """Start execution when ``refresh_epoch % modulus == phase``.
+
+    The litex tester's ``--payload-refresh`` alignment: executors advance
+    the context's :class:`~repro.dram.refresh.RefreshScheduler` to the
+    next refresh interval whose index satisfies the congruence before
+    running the body. A context without a scheduler ignores it.
+    """
+
+    modulus: int
+    phase: int = 0
+
+
+@dataclass(frozen=True)
+class AddressList:
+    """One named operand list: a tuple of addresses in one space."""
+
+    addresses: Tuple[int, ...]
+    space: str = "row"
+
+
+@dataclass(frozen=True)
+class PayloadProgram:
+    """A complete payload: name, operand lists, body, refresh alignment."""
+
+    name: str
+    lists: Mapping[str, AddressList] = field(default_factory=dict)
+    body: Tuple[Instruction, ...] = ()
+    refresh_align: Optional[RefreshAlign] = None
+
+    # -- serialisation ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "lists": {
+                name: {"space": lst.space, "addresses": list(lst.addresses)}
+                for name, lst in sorted(self.lists.items())
+            },
+            "body": [_instruction_to_list(ins) for ins in self.body],
+            "refresh_align": (
+                None
+                if self.refresh_align is None
+                else {
+                    "modulus": self.refresh_align.modulus,
+                    "phase": self.refresh_align.phase,
+                }
+            ),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Stable JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def digest(self) -> str:
+        """Short content digest of the canonical JSON form."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PayloadProgram":
+        """Parse a :meth:`to_dict` representation; raises PayloadError."""
+        if not isinstance(data, Mapping):
+            raise PayloadError("payload document must be a JSON object")
+        try:
+            name = data["name"]
+            raw_lists = data.get("lists", {})
+            raw_body = data["body"]
+        except KeyError as exc:
+            raise PayloadError(f"payload document missing key {exc}") from None
+        if not isinstance(raw_lists, Mapping) or not isinstance(raw_body, list):
+            raise PayloadError("payload 'lists' must be an object and 'body' a list")
+        lists: Dict[str, AddressList] = {}
+        for list_name, entry in raw_lists.items():
+            if not isinstance(entry, Mapping):
+                raise PayloadError(f"list {list_name!r} must be an object")
+            addresses = entry.get("addresses")
+            if not isinstance(addresses, list):
+                raise PayloadError(f"list {list_name!r} needs an 'addresses' array")
+            lists[list_name] = AddressList(
+                addresses=tuple(int(a) for a in addresses),
+                space=str(entry.get("space", "row")),
+            )
+        body = tuple(_instruction_from_list(item) for item in raw_body)
+        align = data.get("refresh_align")
+        refresh_align = None
+        if align is not None:
+            if not isinstance(align, Mapping) or "modulus" not in align:
+                raise PayloadError("refresh_align must carry a 'modulus'")
+            refresh_align = RefreshAlign(
+                modulus=int(align["modulus"]), phase=int(align.get("phase", 0))
+            )
+        return cls(
+            name=str(name), lists=lists, body=body, refresh_align=refresh_align
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PayloadProgram":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PayloadError(f"payload is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+
+def _instruction_to_list(ins: Instruction) -> list:
+    if isinstance(ins, Act):
+        return ["act", ins.list, ins.index]
+    if isinstance(ins, Pre):
+        return ["pre"]
+    if isinstance(ins, Read):
+        return ["read", ins.list, ins.length, ins.write]
+    if isinstance(ins, Write):
+        return ["write", ins.list, ins.pattern.hex()]
+    if isinstance(ins, Nop):
+        return ["nop", ins.cycles]
+    if isinstance(ins, Loop):
+        return ["loop", ins.count, [_instruction_to_list(i) for i in ins.body]]
+    raise PayloadError(f"unknown instruction {ins!r}")
+
+
+def _instruction_from_list(item: Any) -> Instruction:
+    if not isinstance(item, list) or not item:
+        raise PayloadError(f"instruction {item!r} must be a non-empty array")
+    op = item[0]
+    try:
+        if op == "act":
+            return Act(list=str(item[1]), index=int(item[2]) if len(item) > 2 else 0)
+        if op == "pre":
+            return Pre()
+        if op == "read":
+            return Read(
+                list=str(item[1]),
+                length=int(item[2]) if len(item) > 2 else 8,
+                write=bool(item[3]) if len(item) > 3 else False,
+            )
+        if op == "write":
+            return Write(list=str(item[1]), pattern=bytes.fromhex(str(item[2])))
+        if op == "nop":
+            return Nop(cycles=int(item[1]) if len(item) > 1 else 1)
+        if op == "loop":
+            if len(item) < 3 or not isinstance(item[2], list):
+                raise PayloadError("loop instruction needs [\"loop\", count, body]")
+            return Loop(
+                count=int(item[1]),
+                body=tuple(_instruction_from_list(i) for i in item[2]),
+            )
+    except (IndexError, ValueError) as exc:
+        raise PayloadError(f"malformed {op!r} instruction {item!r}: {exc}") from None
+    raise PayloadError(f"unknown payload opcode {op!r}")
+
+
+# -- validation -------------------------------------------------------------
+def validate_program(program: PayloadProgram) -> PayloadProgram:
+    """Enforce every IR invariant; returns the program for chaining.
+
+    Raises :class:`~repro.errors.PayloadError` on the first violation:
+    bad names, unknown/misspaced list references, out-of-range indices,
+    ACT while a row is open (including across loop iterations), a body
+    that ends with a row still open, and malformed loop/refresh fields.
+    """
+    if not _NAME_RE.match(program.name or ""):
+        raise PayloadError(f"payload name {program.name!r} is not a valid identifier")
+    for list_name, lst in program.lists.items():
+        if not _NAME_RE.match(list_name):
+            raise PayloadError(f"list name {list_name!r} is not a valid identifier")
+        if lst.space not in SPACES:
+            raise PayloadError(
+                f"list {list_name!r} has unknown space {lst.space!r} "
+                f"(expected one of {', '.join(SPACES)})"
+            )
+        for address in lst.addresses:
+            if not isinstance(address, int) or address < 0:
+                raise PayloadError(
+                    f"list {list_name!r} holds invalid address {address!r}"
+                )
+    if not program.body:
+        raise PayloadError(f"payload {program.name!r} has an empty body")
+    open_row = _validate_body(program, program.body, depth=0, open_row=False)
+    if open_row:
+        raise PayloadError(
+            f"payload {program.name!r} ends with a row open; close with PRE"
+        )
+    align = program.refresh_align
+    if align is not None:
+        if align.modulus < 1:
+            raise PayloadError(f"refresh modulus {align.modulus} must be >= 1")
+        if not 0 <= align.phase < align.modulus:
+            raise PayloadError(
+                f"refresh phase {align.phase} outside [0, {align.modulus})"
+            )
+    return program
+
+
+def _validate_body(
+    program: PayloadProgram,
+    body: Tuple[Instruction, ...],
+    depth: int,
+    open_row: bool,
+) -> bool:
+    """Walk ``body`` checking invariants; returns the openness state after."""
+    if depth > MAX_LOOP_DEPTH:
+        raise PayloadError(
+            f"payload {program.name!r} nests loops deeper than {MAX_LOOP_DEPTH}"
+        )
+    for ins in body:
+        if isinstance(ins, Act):
+            lst = _resolve_list(program, ins.list)
+            if lst.space != "row":
+                raise PayloadError(
+                    f"ACT targets {ins.list!r} ({lst.space}); ACT needs a row list"
+                )
+            if not 0 <= ins.index < len(lst.addresses):
+                raise PayloadError(
+                    f"ACT index {ins.index} outside list {ins.list!r} "
+                    f"(len {len(lst.addresses)})"
+                )
+            if open_row:
+                raise PayloadError(
+                    f"ACT on {ins.list!r}[{ins.index}] while a row is open; "
+                    "precharge (PRE) first"
+                )
+            open_row = True
+        elif isinstance(ins, Pre):
+            open_row = False
+        elif isinstance(ins, Read):
+            lst = _resolve_list(program, ins.list)
+            if lst.space == "row":
+                raise PayloadError(
+                    f"READ targets row list {ins.list!r}; use a physical or "
+                    "virtual list"
+                )
+            if not 1 <= ins.length <= MAX_ACCESS_BYTES:
+                raise PayloadError(
+                    f"READ length {ins.length} outside [1, {MAX_ACCESS_BYTES}]"
+                )
+            if ins.write and lst.space != "virtual":
+                raise PayloadError(
+                    f"READ write=True on {lst.space} list {ins.list!r}; "
+                    "write-mode reads are demand faults over virtual lists"
+                )
+        elif isinstance(ins, Write):
+            lst = _resolve_list(program, ins.list)
+            if lst.space != "physical":
+                raise PayloadError(
+                    f"WRITE targets {ins.list!r} ({lst.space}); WRITE needs a "
+                    "physical list"
+                )
+            if not 1 <= len(ins.pattern) <= MAX_ACCESS_BYTES:
+                raise PayloadError(
+                    f"WRITE pattern of {len(ins.pattern)} bytes outside "
+                    f"[1, {MAX_ACCESS_BYTES}]"
+                )
+        elif isinstance(ins, Nop):
+            if ins.cycles < 0:
+                raise PayloadError(f"NOP cycles {ins.cycles} must be >= 0")
+        elif isinstance(ins, Loop):
+            if ins.count < 0:
+                raise PayloadError(f"loop count {ins.count} must be >= 0")
+            if not ins.body:
+                raise PayloadError("loop body must not be empty")
+            if ins.count > 0:
+                after_once = _validate_body(program, ins.body, depth + 1, open_row)
+                if ins.count > 1:
+                    # Second walk catches a row left open at the end of one
+                    # iteration activating again at the start of the next.
+                    after_once = _validate_body(
+                        program, ins.body, depth + 1, after_once
+                    )
+                open_row = after_once
+        else:
+            raise PayloadError(f"unknown instruction {ins!r}")
+    return open_row
+
+
+def _resolve_list(program: PayloadProgram, name: str) -> AddressList:
+    lst = program.lists.get(name)
+    if lst is None:
+        raise PayloadError(
+            f"payload {program.name!r} references unknown list {name!r}"
+        )
+    return lst

@@ -1,0 +1,146 @@
+"""Stock payload builders: the programs the attacks and CLI execute.
+
+Each builder returns a validated :class:`~repro.payload.ir.PayloadProgram`.
+The attack rewrites compose these — a hammer phase is a
+:func:`hammer_sweep`, a spray touch phase is a :func:`touch_sweep` — so
+the registry attacks are payload *data* plus bookkeeping, not bespoke
+loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.errors import PayloadError
+from repro.payload.ir import (
+    Act,
+    AddressList,
+    Loop,
+    PayloadProgram,
+    Pre,
+    Read,
+    RefreshAlign,
+    validate_program,
+)
+
+#: Default activation count per hammered row (matches
+#: :meth:`~repro.dram.rowhammer.RowHammerModel.hammer`'s default).
+DEFAULT_ACTIVATIONS = 2_000_000
+
+
+def single_burst(
+    name: str, row: int, activations: int = DEFAULT_ACTIVATIONS
+) -> PayloadProgram:
+    """One row hammered with ``activations`` back-to-back activations."""
+    return hammer_sweep(name, [row], activations=activations)
+
+
+def hammer_sweep(
+    name: str,
+    rows: Sequence[int],
+    activations: int = DEFAULT_ACTIVATIONS,
+    refresh_align: "RefreshAlign | None" = None,
+) -> PayloadProgram:
+    """Hammer each row in order: ``Loop(activations, ACT row; PRE)`` per row.
+
+    Compiles to one :class:`~repro.payload.compiler.Burst` per row —
+    exactly one hammer call per row with the full activation count, the
+    shape every hand-written attack loop used.
+    """
+    if not rows:
+        raise PayloadError(f"hammer_sweep {name!r} needs at least one row")
+    body = tuple(
+        Loop(activations, (Act("rows", index), Pre()))
+        for index in range(len(rows))
+    )
+    program = PayloadProgram(
+        name=name,
+        lists={"rows": AddressList(tuple(int(r) for r in rows), space="row")},
+        body=body,
+        refresh_align=refresh_align,
+    )
+    return validate_program(program)
+
+
+def touch_sweep(
+    name: str, virtual_addresses: Sequence[int], write: bool = False
+) -> PayloadProgram:
+    """Demand-fault one access per virtual address, in order."""
+    if not virtual_addresses:
+        raise PayloadError(f"touch_sweep {name!r} needs at least one address")
+    program = PayloadProgram(
+        name=name,
+        lists={
+            "vas": AddressList(
+                tuple(int(v) for v in virtual_addresses), space="virtual"
+            )
+        },
+        body=(Read("vas", write=write),),
+    )
+    return validate_program(program)
+
+
+def read_sweep(
+    name: str, addresses: Sequence[int], length: int = 8
+) -> PayloadProgram:
+    """Read ``length`` bytes at each physical address, in order."""
+    if not addresses:
+        raise PayloadError(f"read_sweep {name!r} needs at least one address")
+    program = PayloadProgram(
+        name=name,
+        lists={
+            "addrs": AddressList(
+                tuple(int(a) for a in addresses), space="physical"
+            )
+        },
+        body=(Read("addrs", length=length),),
+    )
+    return validate_program(program)
+
+
+# -- builtin demos (CLI `repro payload run --builtin NAME`) -----------------
+def _demo_sweep() -> PayloadProgram:
+    return hammer_sweep("demo-sweep", rows=[8, 12, 16], activations=25_000)
+
+
+def _demo_aligned() -> PayloadProgram:
+    return hammer_sweep(
+        "demo-aligned",
+        rows=[8, 12],
+        activations=25_000,
+        refresh_align=RefreshAlign(modulus=4, phase=1),
+    )
+
+
+def _demo_readback() -> PayloadProgram:
+    program = PayloadProgram(
+        name="demo-readback",
+        lists={
+            "rows": AddressList((8,), space="row"),
+            "victims": AddressList((7 * 16 * 1024, 9 * 16 * 1024), space="physical"),
+        },
+        body=(
+            Loop(25_000, (Act("rows", 0), Pre())),
+            Read("victims", length=64),
+        ),
+    )
+    return validate_program(program)
+
+
+BUILTIN_PAYLOADS: Dict[str, object] = {
+    "sweep": _demo_sweep,
+    "aligned": _demo_aligned,
+    "readback": _demo_readback,
+}
+
+
+def builtin_payload(name: str) -> PayloadProgram:
+    """Look up a builtin demo payload by name."""
+    try:
+        builder = BUILTIN_PAYLOADS[name]
+    except KeyError:
+        raise PayloadError(
+            f"unknown builtin payload {name!r} "
+            f"(choose from {', '.join(sorted(BUILTIN_PAYLOADS))})"
+        ) from None
+    return builder()

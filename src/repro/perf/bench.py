@@ -303,6 +303,58 @@ def bench_campaign(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def bench_payload_compiled(quick: bool = False) -> Dict[str, Any]:
+    """Compiled payload execution vs the slow_reference interpreter.
+
+    Runs one hammer-sweep program both ways against identically seeded
+    worlds and requires identical flips — the payload equivalence
+    contract, priced. ``ops`` counts executed bursts on the compiled
+    path.
+    """
+    from repro import payload
+
+    rows = list(range(8, 24 if quick else 56))
+    activations = 500
+    program = payload.hammer_sweep(
+        "bench-sweep", rows, activations=activations
+    )
+    compiled = payload.compile_program(program)
+
+    # Warm both worlds identically (first-touch vulnerable-bit sampling
+    # and the initial flip flood) so the timed region measures execution,
+    # not shared one-time costs — and both consume the same randomness.
+    model = _hammer_world(False, seed=17)
+    reference_model = _hammer_world(False, seed=17)
+    warmup = payload.hammer_sweep("bench-warmup", rows, activations=1)
+    payload.run(warmup, payload.PayloadContext(hammer=model))
+    payload.run(warmup, payload.PayloadContext(hammer=reference_model))
+
+    start = time.perf_counter()
+    fast = payload.run(compiled, payload.PayloadContext(hammer=model))
+    elapsed = time.perf_counter() - start
+
+    ref_start = time.perf_counter()
+    slow = payload.slow_reference(
+        program, payload.PayloadContext(hammer=reference_model)
+    )
+    ref_elapsed = time.perf_counter() - ref_start
+
+    if fast.flips_induced != slow.flips_induced:
+        raise ReproError(
+            f"payload bench mismatch: compiled induced {fast.flips_induced} "
+            f"flips, slow_reference {slow.flips_induced} — equivalence is "
+            "broken"
+        )
+    return {
+        "ops": fast.bursts,
+        "elapsed_s": elapsed,
+        "ops_per_s": fast.bursts / elapsed if elapsed else 0.0,
+        "reference_elapsed_s": ref_elapsed,
+        "speedup": ref_elapsed / elapsed if elapsed else 0.0,
+        "flips": fast.flips_induced,
+    }
+
+
 def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
     """Run every case against a fresh registry; returns the report dict."""
     previous = obs.get_registry()
@@ -315,6 +367,7 @@ def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
             "spray_batch": bench_spray_batch(quick=quick),
             "snapshot_warm_start": bench_snapshot_warm_start(quick=quick),
             "campaign": bench_campaign(quick=quick),
+            "payload_compiled": bench_payload_compiled(quick=quick),
         }
     finally:
         obs.set_registry(previous)

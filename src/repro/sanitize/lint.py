@@ -38,6 +38,11 @@ RL008    batched virtual memory: modules under ``attacks/`` and ``perf/``
          ``store_many``, :meth:`~repro.kernel.kernel.Kernel.touch_many` /
          ``mmap_touch_many``); the armed-fault-plane and
          ``slow_reference`` scalar paths carry per-line suppressions
+RL009    payload-compiled attacks: modules under ``attacks/`` must not call
+         ``hammer`` / ``hammer_double_sided`` directly — hammer phases are
+         declared as :mod:`repro.payload` programs, compiled, and consumed
+         through ``iter_steps`` so the differential harness covers every
+         attack's access pattern
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -63,6 +68,7 @@ RULES: Dict[str, str] = {
     "RL006": "repro.faults must stay deterministic (no ambient entropy/clock)",
     "RL007": "no per-bit read_bit/write_bit/obs.inc loops in repro.dram.rowhammer",
     "RL008": "no per-address translate/load/store/touch loops in attacks/ and perf/",
+    "RL009": "attacks/ must hammer via compiled repro.payload programs",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -73,6 +79,9 @@ _RL007_SCALAR_ACCESSORS = ("read_bit", "write_bit")
 
 #: Per-address VM accessors RL008 forbids inside loops in attacks/ and perf/.
 _RL008_SCALAR_ACCESSORS = ("translate", "load", "store", "touch")
+
+#: Direct hammer entry points RL009 forbids anywhere in attacks/.
+_RL009_HAMMER_CALLS = ("hammer", "hammer_double_sided")
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -134,6 +143,7 @@ class _FileLinter(ast.NodeVisitor):
         check_fault_determinism: bool = False,
         check_hot_loops: bool = False,
         check_batched_vm: bool = False,
+        check_payload_compiled: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
@@ -141,6 +151,7 @@ class _FileLinter(ast.NodeVisitor):
         self.check_fault_determinism = check_fault_determinism
         self.check_hot_loops = check_hot_loops
         self.check_batched_vm = check_batched_vm
+        self.check_payload_compiled = check_payload_compiled
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -293,6 +304,8 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl007_call(node, func)
         if self.check_batched_vm and self._loop_depth > 0:
             self._check_rl008_call(node, func)
+        if self.check_payload_compiled:
+            self._check_rl009_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -366,6 +379,19 @@ class _FileLinter(ast.NodeVisitor):
                 "touch_many / mmap_touch_many)",
             )
 
+    def _check_rl009_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL009: direct hammer calls in an attack module (any depth)."""
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _RL009_HAMMER_CALLS:
+            self._add(
+                "RL009",
+                node,
+                f"direct {func.attr}() in an attack module; declare the "
+                "hammer phase as a repro.payload program and consume it "
+                "through iter_steps",
+            )
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -423,9 +449,10 @@ def lint_source(
     cross-file RL004 check in :func:`run_lint`. ``path`` determines the
     RL001 exemption (``rng.py`` is the sanctioned numpy.random user),
     RL006 activation (modules under a ``faults`` package directory),
-    RL007 activation (``rowhammer.py`` — the vectorized hot path), and
+    RL007 activation (``rowhammer.py`` — the vectorized hot path),
     RL008 activation (modules under ``attacks`` or ``perf`` package
-    directories — the batched-VM consumers).
+    directories — the batched-VM consumers), and RL009 activation
+    (modules under ``attacks`` — the payload-compiled consumers).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
@@ -434,12 +461,14 @@ def lint_source(
     check_fault_determinism = "faults" in parts
     check_hot_loops = Path(path).name == "rowhammer.py"
     check_batched_vm = "attacks" in parts or "perf" in parts
+    check_payload_compiled = "attacks" in parts
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
         check_fault_determinism=check_fault_determinism,
         check_hot_loops=check_hot_loops,
         check_batched_vm=check_batched_vm,
+        check_payload_compiled=check_payload_compiled,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

@@ -7,21 +7,44 @@ the paper's full-scale parameters directly.
 
 from __future__ import annotations
 
+import os
+from typing import NamedTuple, Optional
+
 import pytest
 
 from repro import faults, obs, sanitize
 from repro.dram.cells import CellType, CellTypeMap
 from repro.dram.geometry import DramGeometry
 from repro.dram.module import DramModule
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
 from repro.kernel.cta import CtaConfig
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.units import MIB
+
+try:  # hypothesis is a test-only dependency; profiles load when present
+    from hypothesis import settings as _hyp_settings
+
+    _hyp_settings.register_profile(
+        "ci", max_examples=200, derandomize=True, deadline=None
+    )
+    _hyp_settings.register_profile("dev", max_examples=25, deadline=None)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis always present in CI
+    pass
 
 
 SMALL_TOTAL = 8 * MIB
 SMALL_ROW = 16 * 1024
 SMALL_BANKS = 2
 SMALL_PERIOD = 8
+
+#: Flip statistics the live attack tests share (one definition, not one
+#: copy per test module). AGGRESSIVE makes the probabilistic attack win
+#: in few rounds; MODERATE suits templating; TRUE_CELL_FAITHFUL is the
+#: paper's near-ideal true-cell regime for Algorithm 1.
+AGGRESSIVE = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5)
+MODERATE = FlipStatistics(p_vulnerable=1e-3, p_with_leak=0.5)
+TRUE_CELL_FAITHFUL = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.998)
 
 
 @pytest.fixture(autouse=True)
@@ -123,3 +146,44 @@ def stock_kernel() -> Kernel:
 def cta_kernel() -> Kernel:
     """CTA kernel fixture."""
     return make_cta_kernel()
+
+
+class BootedWorld(NamedTuple):
+    """A kernel, an optional hammer model, and an attacker process."""
+
+    kernel: Kernel
+    hammer: Optional[RowHammerModel]
+    attacker: object
+
+
+@pytest.fixture
+def booted_world():
+    """Factory for the attack tests' world boot, shared across modules.
+
+    ``boot("stock", stats=AGGRESSIVE, seed=0)`` builds the kernel,
+    the seeded hammer model (when ``stats`` is given), and an attacker
+    process — the setup every live attack test used to hand-roll.
+    Kernel kwargs (``ptp_bytes``, ``multilevel``, ...) pass through to
+    :func:`make_cta_kernel` / :func:`make_stock_kernel`.
+    """
+
+    def boot(
+        kind: str = "stock",
+        stats: Optional[FlipStatistics] = None,
+        seed: int = 0,
+        **kernel_kwargs,
+    ) -> BootedWorld:
+        if kind == "stock":
+            kernel = make_stock_kernel(**kernel_kwargs)
+        elif kind == "cta":
+            kernel = make_cta_kernel(**kernel_kwargs)
+        else:
+            raise ValueError(f"unknown world kind {kind!r}")
+        hammer = (
+            RowHammerModel(kernel.module, stats, seed=seed)
+            if stats is not None
+            else None
+        )
+        return BootedWorld(kernel, hammer, kernel.create_process())
+
+    return boot

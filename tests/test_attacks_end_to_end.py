@@ -20,67 +20,55 @@ from repro.attacks import (
     TemplatingAttack,
 )
 from repro.attacks.registry import KNOWN_ATTACKS, modeled_attacks, pte_attacks
-from repro.dram.rowhammer import FlipStatistics, RowHammerModel
 from repro.errors import AttackError
 from repro.units import MIB
 
-from tests.conftest import make_cta_kernel, make_stock_kernel
-
-AGGRESSIVE = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.5)
-MODERATE = FlipStatistics(p_vulnerable=1e-3, p_with_leak=0.5)
-TRUE_CELL_FAITHFUL = FlipStatistics(p_vulnerable=3e-2, p_with_leak=0.998)
+from tests.conftest import AGGRESSIVE, MODERATE, TRUE_CELL_FAITHFUL
 
 
 @pytest.mark.slow
 class TestProbabilisticAttack:
-    def test_succeeds_on_stock_kernel(self):
-        kernel = make_stock_kernel()
-        hammer = RowHammerModel(kernel.module, AGGRESSIVE, seed=0)
-        attacker = kernel.create_process()
-        result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
-            attacker, spray_mappings=96, max_rounds=3
-        )
+    def test_succeeds_on_stock_kernel(self, booted_world):
+        world = booted_world("stock", stats=AGGRESSIVE, seed=0)
+        result = ProbabilisticPteAttack(
+            kernel=world.kernel, hammer=world.hammer
+        ).run(world.attacker, spray_mappings=96, max_rounds=3)
         assert result.outcome is AttackOutcome.SUCCESS
-        assert result.escalated_pid == attacker.pid
+        assert result.escalated_pid == world.attacker.pid
         assert result.flips_induced > 0
 
-    def test_blocked_on_cta_kernel(self):
-        kernel = make_cta_kernel()
-        hammer = RowHammerModel(kernel.module, AGGRESSIVE, seed=0)
-        attacker = kernel.create_process()
-        result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
-            attacker, spray_mappings=96, max_rounds=3
-        )
+    def test_blocked_on_cta_kernel(self, booted_world):
+        world = booted_world("cta", stats=AGGRESSIVE, seed=0)
+        result = ProbabilisticPteAttack(
+            kernel=world.kernel, hammer=world.hammer
+        ).run(world.attacker, spray_mappings=96, max_rounds=3)
         assert result.outcome is AttackOutcome.BLOCKED
 
-    def test_success_across_seeds(self):
+    def test_success_across_seeds(self, booted_world):
         wins = 0
         for seed in range(3):
-            kernel = make_stock_kernel()
-            hammer = RowHammerModel(kernel.module, AGGRESSIVE, seed=seed)
-            result = ProbabilisticPteAttack(kernel=kernel, hammer=hammer).run(
-                kernel.create_process(), spray_mappings=96, max_rounds=3
-            )
+            world = booted_world("stock", stats=AGGRESSIVE, seed=seed)
+            result = ProbabilisticPteAttack(
+                kernel=world.kernel, hammer=world.hammer
+            ).run(world.attacker, spray_mappings=96, max_rounds=3)
             wins += result.succeeded
         assert wins == 3
 
 
 @pytest.mark.slow
 class TestTemplatingAttack:
-    def test_succeeds_on_stock_kernel(self):
-        kernel = make_stock_kernel()
-        hammer = RowHammerModel(kernel.module, MODERATE, seed=1)
-        result = TemplatingAttack(kernel=kernel, hammer=hammer).run(
-            kernel.create_process(), template_buffer_bytes=2 * MIB,
+    def test_succeeds_on_stock_kernel(self, booted_world):
+        world = booted_world("stock", stats=MODERATE, seed=1)
+        result = TemplatingAttack(kernel=world.kernel, hammer=world.hammer).run(
+            world.attacker, template_buffer_bytes=2 * MIB,
             max_massage_attempts=128,
         )
         assert result.outcome is AttackOutcome.SUCCESS
 
-    def test_blocked_on_cta_kernel(self):
-        kernel = make_cta_kernel()
-        hammer = RowHammerModel(kernel.module, MODERATE, seed=1)
-        result = TemplatingAttack(kernel=kernel, hammer=hammer).run(
-            kernel.create_process(), template_buffer_bytes=2 * MIB,
+    def test_blocked_on_cta_kernel(self, booted_world):
+        world = booted_world("cta", stats=MODERATE, seed=1)
+        result = TemplatingAttack(kernel=world.kernel, hammer=world.hammer).run(
+            world.attacker, template_buffer_bytes=2 * MIB,
             max_massage_attempts=128,
         )
         assert result.outcome is AttackOutcome.BLOCKED
@@ -88,19 +76,19 @@ class TestTemplatingAttack:
 
 @pytest.mark.slow
 class TestAlgorithm1:
-    def test_requires_cta_kernel(self):
-        kernel = make_stock_kernel()
-        hammer = RowHammerModel(kernel.module, TRUE_CELL_FAITHFUL, seed=1)
+    def test_requires_cta_kernel(self, booted_world):
+        world = booted_world("stock", stats=TRUE_CELL_FAITHFUL, seed=1)
         with pytest.raises(AttackError):
-            CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+            CtaBruteForceAttack(kernel=world.kernel, hammer=world.hammer)
 
-    def test_never_succeeds_and_pointers_monotonic(self):
+    def test_never_succeeds_and_pointers_monotonic(self, booted_world):
         # Multi-level zones (Section 7) close the intermediate-entry
         # channel; see tests/test_theorem.py for the single-zone finding.
-        kernel = make_cta_kernel(multilevel=True)
-        hammer = RowHammerModel(kernel.module, TRUE_CELL_FAITHFUL, seed=1)
-        attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
-        result = attack.run(kernel.create_process(), max_target_pages=3)
+        world = booted_world(
+            "cta", stats=TRUE_CELL_FAITHFUL, seed=1, multilevel=True
+        )
+        attack = CtaBruteForceAttack(kernel=world.kernel, hammer=world.hammer)
+        result = attack.run(world.attacker, max_target_pages=3)
         assert result.outcome is not AttackOutcome.SUCCESS
         assert result.flips_induced > 0, "ZONE_PTP rows must actually take flips"
         assert attack.observations, "corrupted PTEs must be observed"
@@ -110,10 +98,9 @@ class TestAlgorithm1:
         assert monotonic / len(attack.observations) >= 0.9
         assert len(attack.observations) - monotonic <= 2
 
-    def test_full_sweep_time_scales_with_memory(self):
-        kernel = make_cta_kernel()
-        hammer = RowHammerModel(kernel.module, TRUE_CELL_FAITHFUL, seed=1)
-        attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+    def test_full_sweep_time_scales_with_memory(self, booted_world):
+        world = booted_world("cta", stats=TRUE_CELL_FAITHFUL, seed=1)
+        attack = CtaBruteForceAttack(kernel=world.kernel, hammer=world.hammer)
         assert attack.full_sweep_modeled_time_s() > 0
 
 

@@ -7,8 +7,6 @@ from repro.attacks.timing import AttackTimingModel
 from repro.errors import AnalysisError
 from repro.units import GIB, MIB, SECONDS_PER_DAY
 
-from tests.conftest import make_cta_kernel, make_stock_kernel
-
 
 class TestTimingModel:
     def test_paper_constants(self):
@@ -59,35 +57,33 @@ class TestTimingModel:
 
 
 class TestSpray:
-    def test_spray_creates_one_pt_per_mapping(self):
-        kernel = make_stock_kernel()
-        attacker = kernel.create_process()
-        result = spray_page_tables(kernel, attacker, num_mappings=16)
+    def test_spray_creates_one_pt_per_mapping(self, booted_world):
+        world = booted_world("stock")
+        result = spray_page_tables(world.kernel, world.attacker, num_mappings=16)
         assert result.num_mappings == 16
         # 16 last-level PTs plus upper-level tables.
         assert result.page_tables_created >= 16
         assert not result.stopped_by_oom
 
-    def test_sprayed_mappings_share_one_frame(self):
-        kernel = make_stock_kernel()
-        attacker = kernel.create_process()
-        result = spray_page_tables(kernel, attacker, num_mappings=8)
-        addresses = {kernel.touch(attacker, va) for va in result.mapped_vas}
+    def test_sprayed_mappings_share_one_frame(self, booted_world):
+        world = booted_world("stock")
+        result = spray_page_tables(world.kernel, world.attacker, num_mappings=8)
+        addresses = {
+            world.kernel.touch(world.attacker, va) for va in result.mapped_vas
+        }
         assert len(addresses) == 1
 
-    def test_mappings_at_2mib_stride(self):
-        kernel = make_stock_kernel()
-        attacker = kernel.create_process()
-        result = spray_page_tables(kernel, attacker, num_mappings=4)
+    def test_mappings_at_2mib_stride(self, booted_world):
+        world = booted_world("stock")
+        result = spray_page_tables(world.kernel, world.attacker, num_mappings=4)
         deltas = {
             b - a for a, b in zip(result.mapped_vas, result.mapped_vas[1:])
         }
         assert deltas == {PT_COVERAGE}
 
-    def test_spray_bounded_by_cta_zone(self):
-        kernel = make_cta_kernel(ptp_bytes=256 * 1024)  # 64 PTP frames
-        attacker = kernel.create_process()
-        result = spray_page_tables(kernel, attacker, num_mappings=500)
+    def test_spray_bounded_by_cta_zone(self, booted_world):
+        world = booted_world("cta", ptp_bytes=256 * 1024)  # 64 PTP frames
+        result = spray_page_tables(world.kernel, world.attacker, num_mappings=500)
         assert result.stopped_by_oom
         assert result.page_tables_created <= 64
-        kernel.verify_cta_rules()
+        world.kernel.verify_cta_rules()

@@ -63,6 +63,59 @@ class TestLintCommand:
         assert "RL003" in output
 
 
+class TestPayloadCommands:
+    def test_validate_builtin(self, capsys):
+        assert main(["payload", "validate", "--builtin", "sweep"]) == 0
+        output = capsys.readouterr().out
+        assert "demo-sweep" in output
+        assert "is valid" in output
+
+    def test_validate_file(self, tmp_path, capsys):
+        from repro.payload import hammer_sweep
+
+        path = tmp_path / "p.json"
+        path.write_text(
+            hammer_sweep("file-sweep", [4], activations=100).to_json(),
+            encoding="utf-8",
+        )
+        assert main(["payload", "validate", str(path)]) == 0
+        assert "file-sweep" in capsys.readouterr().out
+
+    def test_run_builtin(self, capsys):
+        assert main(["payload", "run", "--builtin", "sweep", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "executed [compiled]" in output
+        assert "bursts" in output
+
+    def test_run_json_slow_reference_matches_compiled(self, capsys):
+        import json
+
+        argv = ["payload", "run", "--builtin", "readback", "--seed", "3", "--json"]
+        assert main(argv) == 0
+        compiled = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--slow-reference"]) == 0
+        reference = json.loads(capsys.readouterr().out)
+        assert compiled == reference
+        assert compiled["bursts"] == 1
+        assert compiled["reads"] == 2
+
+    def test_unknown_builtin_exits_2(self, capsys):
+        assert main(["payload", "run", "--builtin", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.count("\n") == 1
+
+    def test_missing_payload_argument_exits_2(self, capsys):
+        assert main(["payload", "run"]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_invalid_payload_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}', encoding="utf-8")
+        assert main(["payload", "validate", str(path)]) == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+
 class TestErrorExitContract:
     """Invalid input exits 2 with one clean ``repro: error:`` line."""
 

@@ -1,0 +1,405 @@
+"""Payload IR, validator, compiler, and executor unit tests."""
+
+import pytest
+
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import PayloadError
+from repro.payload import (
+    Act,
+    AddressList,
+    Burst,
+    CompiledPayload,
+    Loop,
+    MAX_COMPILED_STEPS,
+    MAX_LOOP_DEPTH,
+    Nop,
+    PayloadContext,
+    PayloadProgram,
+    Pre,
+    Read,
+    ReadBatch,
+    RefreshAlign,
+    Write,
+    WriteBatch,
+    align_refresh,
+    builtin_payload,
+    compile_program,
+    hammer_sweep,
+    iter_steps,
+    read_sweep,
+    run,
+    single_burst,
+    slow_reference,
+    touch_sweep,
+    validate_program,
+)
+from repro.units import MIB
+
+
+def program(body, lists=None, name="t", refresh_align=None):
+    return PayloadProgram(
+        name=name,
+        lists=lists if lists is not None else {"rows": AddressList((3, 5, 7))},
+        body=tuple(body),
+        refresh_align=refresh_align,
+    )
+
+
+def small_hammer_context(seed=0):
+    geometry = DramGeometry(total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2)
+    module_map = CellTypeMap.interleaved(geometry, period_rows=8)
+    from repro.dram.module import DramModule
+
+    module = DramModule(geometry, module_map)
+    hammer = RowHammerModel(
+        module, FlipStatistics(p_vulnerable=2e-3, p_with_leak=0.9), seed=seed
+    )
+    return PayloadContext(hammer=hammer)
+
+
+class TestValidator:
+    def test_valid_sweep_passes(self):
+        validate_program(program([Loop(10, (Act("rows"), Pre()))]))
+
+    def test_bad_payload_name(self):
+        with pytest.raises(PayloadError, match="valid identifier"):
+            validate_program(program([Pre()], name="bad name!"))
+
+    def test_bad_list_name(self):
+        with pytest.raises(PayloadError, match="valid identifier"):
+            validate_program(
+                program([Pre()], lists={"no spaces": AddressList((1,))})
+            )
+
+    def test_unknown_space(self):
+        with pytest.raises(PayloadError, match="unknown space"):
+            validate_program(
+                program([Pre()], lists={"x": AddressList((1,), space="bank")})
+            )
+
+    def test_negative_address(self):
+        with pytest.raises(PayloadError, match="invalid address"):
+            validate_program(program([Pre()], lists={"x": AddressList((-1,))}))
+
+    def test_empty_body(self):
+        with pytest.raises(PayloadError, match="empty body"):
+            validate_program(program([]))
+
+    def test_unknown_list_reference(self):
+        with pytest.raises(PayloadError, match="unknown list"):
+            validate_program(program([Act("missing"), Pre()]))
+
+    def test_act_index_out_of_range(self):
+        with pytest.raises(PayloadError, match="outside list"):
+            validate_program(program([Act("rows", 3), Pre()]))
+
+    def test_act_needs_row_space(self):
+        with pytest.raises(PayloadError, match="needs a row list"):
+            validate_program(
+                program(
+                    [Act("p"), Pre()],
+                    lists={"p": AddressList((0,), space="physical")},
+                )
+            )
+
+    def test_act_while_open(self):
+        with pytest.raises(PayloadError, match="while a row is open"):
+            validate_program(program([Act("rows"), Act("rows", 1), Pre()]))
+
+    def test_act_while_open_across_loop_iterations(self):
+        # Iteration N leaves the row open; iteration N+1's ACT must trip.
+        with pytest.raises(PayloadError, match="while a row is open"):
+            validate_program(program([Loop(2, (Act("rows"),)), Pre()]))
+
+    def test_single_iteration_loop_may_leave_row_open(self):
+        validate_program(program([Loop(1, (Act("rows"),)), Pre()]))
+
+    def test_body_must_end_precharged(self):
+        with pytest.raises(PayloadError, match="ends with a row open"):
+            validate_program(program([Act("rows")]))
+
+    def test_read_rejects_row_list(self):
+        with pytest.raises(PayloadError, match="row list"):
+            validate_program(program([Read("rows")]))
+
+    def test_read_length_bounds(self):
+        lists = {"p": AddressList((0,), space="physical")}
+        with pytest.raises(PayloadError, match="length"):
+            validate_program(program([Read("p", length=0)], lists=lists))
+        with pytest.raises(PayloadError, match="length"):
+            validate_program(program([Read("p", length=5000)], lists=lists))
+
+    def test_write_mode_read_needs_virtual(self):
+        with pytest.raises(PayloadError, match="demand faults"):
+            validate_program(
+                program(
+                    [Read("p", write=True)],
+                    lists={"p": AddressList((0,), space="physical")},
+                )
+            )
+
+    def test_write_needs_physical(self):
+        with pytest.raises(PayloadError, match="needs a\\s+physical list"):
+            validate_program(
+                program(
+                    [Write("v")], lists={"v": AddressList((0,), space="virtual")}
+                )
+            )
+
+    def test_write_pattern_bounds(self):
+        lists = {"p": AddressList((0,), space="physical")}
+        with pytest.raises(PayloadError, match="pattern"):
+            validate_program(program([Write("p", pattern=b"")], lists=lists))
+
+    def test_negative_nop(self):
+        with pytest.raises(PayloadError, match="NOP"):
+            validate_program(program([Nop(-1)]))
+
+    def test_negative_loop_count(self):
+        with pytest.raises(PayloadError, match="loop count"):
+            validate_program(program([Loop(-1, (Pre(),))]))
+
+    def test_empty_loop_body(self):
+        with pytest.raises(PayloadError, match="loop body"):
+            validate_program(program([Loop(3, ())]))
+
+    def test_loop_depth_cap(self):
+        body = (Pre(),)
+        for _ in range(MAX_LOOP_DEPTH + 1):
+            body = (Loop(1, body),)
+        with pytest.raises(PayloadError, match="deeper"):
+            validate_program(program(body))
+
+    def test_refresh_align_bounds(self):
+        with pytest.raises(PayloadError, match="modulus"):
+            validate_program(
+                program([Pre()], refresh_align=RefreshAlign(modulus=0))
+            )
+        with pytest.raises(PayloadError, match="phase"):
+            validate_program(
+                program([Pre()], refresh_align=RefreshAlign(modulus=2, phase=2))
+            )
+
+
+class TestCompiler:
+    def test_sweep_compiles_to_one_burst_per_row(self):
+        compiled = compile_program(hammer_sweep("s", [3, 5, 7], activations=100))
+        assert compiled.steps == (
+            Burst(3, 100),
+            Burst(5, 100),
+            Burst(7, 100),
+        )
+        assert compiled.total_activations == 300
+
+    def test_loop_shortcut_does_not_unroll(self):
+        # 2M iterations must compile instantly to a single multiplied burst.
+        compiled = compile_program(single_burst("b", 9))
+        assert compiled.steps == (Burst(9, 2_000_000),)
+
+    def test_adjacent_same_row_bursts_merge(self):
+        compiled = compile_program(
+            program(
+                [
+                    Loop(10, (Act("rows"), Pre())),
+                    Nop(5),
+                    Loop(20, (Act("rows"), Pre())),
+                ]
+            )
+        )
+        assert compiled.steps == (Burst(3, 30),)
+        assert compiled.nop_cycles == 5
+
+    def test_row_change_flushes_burst(self):
+        compiled = compile_program(
+            program([Act("rows", 0), Pre(), Act("rows", 1), Pre()])
+        )
+        assert compiled.steps == (Burst(3, 1), Burst(5, 1))
+
+    def test_read_flushes_burst_and_batches_merge(self):
+        lists = {
+            "rows": AddressList((3,)),
+            "a": AddressList((0, 8), space="physical"),
+            "b": AddressList((16,), space="physical"),
+        }
+        compiled = compile_program(
+            program(
+                [Act("rows"), Pre(), Read("a", length=8), Read("b", length=8)],
+                lists=lists,
+            )
+        )
+        assert compiled.steps == (
+            Burst(3, 1),
+            ReadBatch("physical", (0, 8, 16), 8, False),
+        )
+
+    def test_mismatched_reads_do_not_merge(self):
+        lists = {
+            "a": AddressList((0,), space="physical"),
+            "b": AddressList((8,), space="physical"),
+        }
+        compiled = compile_program(
+            program([Read("a", length=8), Read("b", length=16)], lists=lists)
+        )
+        assert len(compiled.steps) == 2
+
+    def test_write_batches_merge_on_same_pattern(self):
+        lists = {
+            "a": AddressList((0,), space="physical"),
+            "b": AddressList((8,), space="physical"),
+        }
+        compiled = compile_program(
+            program([Write("a"), Write("b")], lists=lists)
+        )
+        assert compiled.steps == (WriteBatch((0, 8), b"\xff"),)
+
+    def test_empty_list_access_is_invisible(self):
+        # An empty READ must not flush the burst: the two loops still merge.
+        lists = {"rows": AddressList((3,)), "none": AddressList((), space="physical")}
+        compiled = compile_program(
+            program(
+                [
+                    Loop(5, (Act("rows"), Pre())),
+                    Read("none"),
+                    Loop(5, (Act("rows"), Pre())),
+                ],
+                lists=lists,
+            )
+        )
+        assert compiled.steps == (Burst(3, 10),)
+
+    def test_zero_count_loop_is_skipped(self):
+        compiled = compile_program(
+            program([Loop(0, (Act("rows"), Pre())), Pre()])
+        )
+        assert compiled.steps == ()
+
+    def test_step_budget_fails_fast(self):
+        # Each iteration produces two unmergeable bursts, so the loop
+        # cannot collapse and must trip the budget before unrolling.
+        with pytest.raises(PayloadError, match="budget"):
+            compile_program(
+                program(
+                    [
+                        Loop(
+                            MAX_COMPILED_STEPS,
+                            (Act("rows", 0), Pre(), Act("rows", 1), Pre()),
+                        )
+                    ]
+                )
+            )
+
+    def test_nop_accumulates_through_loops(self):
+        compiled = compile_program(program([Loop(7, (Nop(3), Pre()))]))
+        assert compiled.nop_cycles == 21
+
+
+class TestSerialization:
+    def test_round_trip_all_instructions(self):
+        p = program(
+            [
+                Loop(4, (Act("rows", 1), Pre(), Nop(2))),
+                Read("vas", write=True),
+                Read("phys", length=64),
+                Write("phys", pattern=b"\xa5\x5a"),
+            ],
+            lists={
+                "rows": AddressList((3, 5)),
+                "vas": AddressList((4096,), space="virtual"),
+                "phys": AddressList((0, 8), space="physical"),
+            },
+            refresh_align=RefreshAlign(modulus=4, phase=1),
+        )
+        validate_program(p)
+        restored = PayloadProgram.from_json(p.to_json())
+        assert restored == p
+        assert restored.digest() == p.digest()
+
+    def test_digest_is_stable_and_content_sensitive(self):
+        a = hammer_sweep("x", [3, 5], activations=10)
+        b = hammer_sweep("x", [3, 5], activations=10)
+        c = hammer_sweep("x", [3, 7], activations=10)
+        assert a.digest() == b.digest()
+        assert a.digest() != c.digest()
+        assert len(a.digest()) == 16
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(PayloadError, match="valid JSON"):
+            PayloadProgram.from_json("{nope")
+        with pytest.raises(PayloadError, match="missing key"):
+            PayloadProgram.from_json('{"name": "x"}')
+        with pytest.raises(PayloadError, match="opcode"):
+            PayloadProgram.from_json(
+                '{"name": "x", "lists": {}, "body": [["halt"]]}'
+            )
+
+    def test_builtin_payloads_validate_and_round_trip(self):
+        for name in ("sweep", "aligned", "readback"):
+            p = builtin_payload(name)
+            assert PayloadProgram.from_json(p.to_json()) == p
+
+    def test_unknown_builtin(self):
+        with pytest.raises(PayloadError, match="unknown builtin"):
+            builtin_payload("nope")
+
+
+class TestExecutor:
+    def test_run_requires_hammer_for_bursts(self):
+        with pytest.raises(PayloadError, match="hammer"):
+            run(hammer_sweep("s", [3], activations=1), PayloadContext())
+
+    def test_read_requires_module(self):
+        with pytest.raises(PayloadError, match="module"):
+            run(read_sweep("r", [0]), PayloadContext())
+
+    def test_virtual_read_requires_kernel_and_process(self):
+        with pytest.raises(PayloadError, match="kernel"):
+            run(touch_sweep("t", [4096]), PayloadContext())
+
+    def test_run_counts_and_flips(self):
+        ctx = small_hammer_context()
+        result = run(hammer_sweep("s", [8, 12], activations=50_000), ctx)
+        assert result.bursts == 2
+        assert result.activations == 100_000
+        assert result.flips_induced == sum(o.flip_count for o in result.outcomes)
+
+    def test_iter_steps_yields_pendings_in_order(self):
+        ctx = small_hammer_context()
+        compiled = compile_program(hammer_sweep("s", [8, 12], activations=10))
+        steps = list(iter_steps(compiled, ctx))
+        assert [(s.row, s.activations) for s in steps] == [(8, 10), (12, 10)]
+        outcome = steps[0].perform()
+        assert outcome.aggressor_row == 8
+        assert outcome.activations == 10
+
+    def test_slow_reference_budget(self):
+        # 150k Act+Pre instruction charges fit; 300k do not.
+        ctx = small_hammer_context()
+        slow_reference(hammer_sweep("ok", [8], activations=75_000), ctx)
+        with pytest.raises(PayloadError, match="budget"):
+            slow_reference(
+                hammer_sweep("big", [8], activations=150_000),
+                small_hammer_context(),
+            )
+
+    def test_align_refresh_advances_to_phase(self):
+        scheduler = RefreshScheduler(total_rows=512)
+        ctx = PayloadContext(refresh=scheduler)
+        align_refresh(ctx, RefreshAlign(modulus=4, phase=1))
+        epoch = int(scheduler.now // scheduler.interval_s)
+        assert epoch % 4 == 1
+        assert scheduler.now == epoch * scheduler.interval_s
+
+    def test_align_refresh_noop_cases(self):
+        scheduler = RefreshScheduler(total_rows=512)
+        align_refresh(PayloadContext(refresh=scheduler), None)
+        assert scheduler.now == 0.0
+        # Phase 0 at t=0 is already satisfied.
+        align_refresh(
+            PayloadContext(refresh=scheduler), RefreshAlign(modulus=4, phase=0)
+        )
+        assert scheduler.now == 0.0
+        # No scheduler: alignment is ignored entirely.
+        align_refresh(PayloadContext(), RefreshAlign(modulus=4, phase=2))

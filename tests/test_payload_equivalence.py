@@ -1,0 +1,248 @@
+"""Differential equivalence: compiled payloads vs hand-written twins.
+
+Each registry attack now declares its hammer/touch phase as a payload
+program. These tests pin the equivalence contract per attack, seeded:
+
+- the program an attack records, executed through the batched
+  :func:`repro.payload.run` path, induces exactly the flips a
+  hand-written loop (the pre-DSL implementation, preserved here as the
+  *twin*) induces on an identically-seeded world;
+- the batched path and the :func:`repro.payload.slow_reference`
+  interpreter agree on flips, counters, observability snapshot, and
+  trace stream;
+- the payload-driven spray produces the same result *and the same obs
+  stream* as the hand loop it replaced.
+"""
+
+import pytest
+
+from repro import obs
+from repro.attacks import (
+    CtaBruteForceAttack,
+    ProbabilisticPteAttack,
+    TemplatingAttack,
+)
+from repro.attacks.spray import PT_COVERAGE, SPRAY_BASE, spray_page_tables
+from repro.dram.rowhammer import RowHammerModel
+from repro.errors import OutOfMemoryError, PageFaultError, ProcessError
+from repro.payload import (
+    PayloadContext,
+    compile_program,
+    hammer_sweep,
+    run,
+    slow_reference,
+)
+from repro.units import MIB, PAGE_SIZE
+
+from tests.conftest import (
+    AGGRESSIVE,
+    MODERATE,
+    TRUE_CELL_FAITHFUL,
+    make_cta_kernel,
+    make_stock_kernel,
+)
+
+
+def capture_obs(fn):
+    """Run ``fn`` under a fresh registry; return (result, snapshot, trace)."""
+    registry = obs.Registry()
+    obs.set_registry(registry)
+    result = fn()
+    return result, registry.snapshot(), [e.format() for e in registry.trace]
+
+
+def twin_hammers(make_kernel, stats, seed):
+    """Two identically-seeded worlds: one per execution path."""
+
+    def boot():
+        kernel = make_kernel()
+        return RowHammerModel(kernel.module, stats, seed=seed)
+
+    return boot(), boot()
+
+
+def hand_hammer_twin(hammer, program):
+    """The pre-DSL hammer loop: one hammer call per row, in order."""
+    rows = program.lists["rows"].addresses
+    outcomes = [hammer.hammer(row) for row in rows]
+    return outcomes
+
+
+def assert_program_matches_hand_loop(program, make_kernel, stats, seed):
+    payload_hammer, twin_hammer = twin_hammers(make_kernel, stats, seed)
+    result = run(program, PayloadContext(hammer=payload_hammer))
+    outcomes = hand_hammer_twin(twin_hammer, program)
+    assert result.bursts == len(outcomes)
+    assert result.flips_induced == sum(o.flip_count for o in outcomes)
+    assert [(o.aggressor_row, o.activations) for o in result.outcomes] == [
+        (o.aggressor_row, o.activations) for o in outcomes
+    ]
+    assert [o.flips for o in result.outcomes] == [o.flips for o in outcomes]
+
+
+def small_twin(program):
+    """Rebuild a recorded sweep with activations the oracle budget allows."""
+    rows = program.lists["rows"].addresses
+    # Each activation costs the interpreter ~3 charged ops (loop entry,
+    # ACT, PRE); keep the whole program well under the op budget.
+    activations = max(1, 50_000 // max(1, len(rows)))
+    return hammer_sweep(program.name, rows, activations=activations)
+
+
+def assert_run_matches_slow_reference(program, make_kernel, stats, seed):
+    fast_hammer, slow_hammer = twin_hammers(make_kernel, stats, seed)
+    fast, fast_snap, fast_trace = capture_obs(
+        lambda: run(program, PayloadContext(hammer=fast_hammer))
+    )
+    slow, slow_snap, slow_trace = capture_obs(
+        lambda: slow_reference(program, PayloadContext(hammer=slow_hammer))
+    )
+    assert fast.flips_induced == slow.flips_induced
+    assert (fast.bursts, fast.activations) == (slow.bursts, slow.activations)
+    assert fast.read_digest == slow.read_digest
+    assert fast_snap == slow_snap
+    assert fast_trace == slow_trace
+
+
+@pytest.mark.slow
+class TestAlgorithm1Equivalence:
+    def make_world(self):
+        kernel = make_cta_kernel(multilevel=True)
+        return kernel, RowHammerModel(kernel.module, TRUE_CELL_FAITHFUL, seed=1)
+
+    def recorded_program(self):
+        kernel, hammer = self.make_world()
+        attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+        attack.run(kernel.create_process(), max_target_pages=1)
+        assert attack.executed_payloads, "attack must record its hammer program"
+        return attack.executed_payloads[0]
+
+    def test_recorded_payload_matches_hand_loop(self):
+        program = self.recorded_program()
+        assert_program_matches_hand_loop(
+            program,
+            lambda: make_cta_kernel(multilevel=True),
+            TRUE_CELL_FAITHFUL,
+            seed=1,
+        )
+
+    def test_small_twin_matches_slow_reference(self):
+        assert_run_matches_slow_reference(
+            small_twin(self.recorded_program()),
+            lambda: make_cta_kernel(multilevel=True),
+            TRUE_CELL_FAITHFUL,
+            seed=1,
+        )
+
+
+@pytest.mark.slow
+class TestProbabilisticEquivalence:
+    def recorded_program(self):
+        kernel = make_stock_kernel()
+        hammer = RowHammerModel(kernel.module, AGGRESSIVE, seed=0)
+        attack = ProbabilisticPteAttack(kernel=kernel, hammer=hammer)
+        attack.run(kernel.create_process(), spray_mappings=96, max_rounds=3)
+        assert attack.executed_payloads
+        return attack.executed_payloads[0]
+
+    def test_recorded_payload_matches_hand_loop(self):
+        assert_program_matches_hand_loop(
+            self.recorded_program(), make_stock_kernel, AGGRESSIVE, seed=0
+        )
+
+    def test_small_twin_matches_slow_reference(self):
+        assert_run_matches_slow_reference(
+            small_twin(self.recorded_program()),
+            make_stock_kernel,
+            AGGRESSIVE,
+            seed=0,
+        )
+
+
+@pytest.mark.slow
+class TestTemplatingEquivalence:
+    def recorded_programs(self):
+        kernel = make_stock_kernel()
+        hammer = RowHammerModel(kernel.module, MODERATE, seed=1)
+        attack = TemplatingAttack(kernel=kernel, hammer=hammer)
+        attack.run(
+            kernel.create_process(),
+            template_buffer_bytes=2 * MIB,
+            max_massage_attempts=128,
+        )
+        assert attack.executed_payloads
+        return attack.executed_payloads
+
+    def test_template_sweep_matches_hand_loop(self):
+        assert_program_matches_hand_loop(
+            self.recorded_programs()[0], make_stock_kernel, MODERATE, seed=1
+        )
+
+    def test_replay_program_is_single_burst(self):
+        programs = self.recorded_programs()
+        replays = [p for p in programs if p.name == "templating-replay"]
+        assert replays, "a successful run replays at least one template"
+        for replay in replays:
+            compiled = compile_program(replay)
+            assert len(compiled.steps) == 1
+
+
+@pytest.mark.slow
+class TestSprayEquivalence:
+    def hand_spray_twin(self, kernel, attacker, num_mappings):
+        """The pre-DSL spray loop, preserved verbatim as the oracle."""
+        pt_before = len(kernel.page_table_pfns(attacker.pid))
+        file = kernel.create_file(PAGE_SIZE)
+        mapped_vas = []
+        stopped_by_oom = False
+        for index in range(num_mappings):
+            va = SPRAY_BASE + index * PT_COVERAGE
+            try:
+                kernel.mmap(
+                    kernel.processes[attacker.pid],
+                    length=PAGE_SIZE,
+                    writable=True,
+                    backing=file,
+                    address=va,
+                )
+                kernel.touch(attacker, va)
+            except OutOfMemoryError:
+                stopped_by_oom = True
+                break
+            except (PageFaultError, ProcessError):
+                continue
+            mapped_vas.append(va)
+            obs.inc("attack.spray_mappings")
+        page_tables = len(kernel.page_table_pfns(attacker.pid)) - pt_before
+        obs.trace(
+            "attack.spray",
+            mappings=len(mapped_vas),
+            page_tables=page_tables,
+            oom=stopped_by_oom,
+        )
+        return mapped_vas, page_tables, stopped_by_oom
+
+    def check(self, make_kernel, num_mappings):
+        def payload_path():
+            kernel = make_kernel()
+            attacker = kernel.create_process()
+            return spray_page_tables(kernel, attacker, num_mappings=num_mappings)
+
+        def hand_path():
+            kernel = make_kernel()
+            attacker = kernel.create_process()
+            return self.hand_spray_twin(kernel, attacker, num_mappings)
+
+        result, snap, trace = capture_obs(payload_path)
+        (vas, page_tables, oom), twin_snap, twin_trace = capture_obs(hand_path)
+        assert result.mapped_vas == vas
+        assert result.page_tables_created == page_tables
+        assert result.stopped_by_oom == oom
+        assert snap == twin_snap, "payload spray must not change the obs stream"
+        assert trace == twin_trace
+
+    def test_stock_spray_matches_hand_loop(self):
+        self.check(make_stock_kernel, num_mappings=16)
+
+    def test_oom_bounded_spray_matches_hand_loop(self):
+        self.check(lambda: make_cta_kernel(ptp_bytes=256 * 1024), num_mappings=500)

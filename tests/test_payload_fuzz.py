@@ -1,0 +1,261 @@
+"""Property-based payload fuzzing: compiled vs reference, always equal.
+
+Hypothesis generates payload programs over a small DRAM world and
+asserts the core contract from :mod:`repro.payload.executor`: for any
+valid program, :func:`repro.payload.run` (validate -> compile -> batched
+primitives) and :func:`repro.payload.slow_reference` (tree-walking
+interpreter, no compiler) produce the same flips, the same read bytes,
+the same counters, the same observability snapshot, and the same trace
+stream — with the fault-injection plane disarmed *and* armed.
+
+Profiles come from ``tests/conftest.py``: CI runs 200 derandomized
+examples per property (``HYPOTHESIS_PROFILE=ci``), local runs 25.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro import faults, obs, sanitize
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.payload import (
+    Act,
+    AddressList,
+    Loop,
+    Nop,
+    PayloadContext,
+    PayloadProgram,
+    Pre,
+    Read,
+    RefreshAlign,
+    Write,
+    run,
+    slow_reference,
+    validate_program,
+)
+from repro.units import MIB, PAGE_SIZE
+
+from tests.conftest import make_stock_kernel
+
+TOTAL_BYTES = 8 * MIB
+ROW_BYTES = 16 * 1024
+NUM_ROWS = TOTAL_BYTES // ROW_BYTES  # 512
+
+#: Virtual base for the pre-mapped fuzz region (32 pages).
+FUZZ_VA_BASE = 0x0000_5000_0000
+FUZZ_VA_PAGES = 32
+
+
+# -- worlds -----------------------------------------------------------------
+def dram_world(seed):
+    geometry = DramGeometry(
+        total_bytes=TOTAL_BYTES, row_bytes=ROW_BYTES, num_banks=2
+    )
+    module = DramModule(geometry, CellTypeMap.interleaved(geometry, period_rows=8))
+    hammer = RowHammerModel(
+        module, FlipStatistics(p_vulnerable=2e-2, p_with_leak=0.9), seed=seed
+    )
+    return PayloadContext(
+        hammer=hammer, refresh=RefreshScheduler(total_rows=NUM_ROWS)
+    )
+
+
+def kernel_world(seed):
+    kernel = make_stock_kernel()
+    hammer = RowHammerModel(
+        kernel.module,
+        FlipStatistics(p_vulnerable=2e-2, p_with_leak=0.9),
+        seed=seed,
+    )
+    process = kernel.create_process()
+    kernel.mmap(
+        process,
+        length=FUZZ_VA_PAGES * PAGE_SIZE,
+        writable=True,
+        address=FUZZ_VA_BASE,
+    )
+    return PayloadContext(hammer=hammer, kernel=kernel, process=process)
+
+
+# -- execution harness ------------------------------------------------------
+def execute(path, program, make_world, seed, fault_spec=None):
+    """Run one path under fresh obs/fault state; return all observables."""
+    registry = obs.Registry()
+    obs.set_registry(registry)
+    sanitize.set_suite(sanitize.SanitizerSuite())
+    plane = faults.FaultPlane(seed=seed + 1)
+    faults.set_plane(plane)
+    ctx = make_world(seed)
+    if fault_spec is not None:
+        plane.add(fault_spec, kernel=ctx.kernel)
+        plane.arm()
+    result = path(program, ctx)
+    return {
+        "flips": result.flips_induced,
+        "bursts": result.bursts,
+        "activations": result.activations,
+        "reads": result.reads,
+        "writes": result.writes,
+        "nop_cycles": result.nop_cycles,
+        "read_digest": result.read_digest,
+        "outcome_rows": [o.aggressor_row for o in result.outcomes],
+        "outcome_flips": [o.flips for o in result.outcomes],
+        "injected": plane.injected,
+        "violations": sanitize.get_suite().violations,
+        "snapshot": registry.snapshot(),
+        "trace": [event.format() for event in registry.trace],
+    }
+
+
+def assert_equivalent(program, make_world, seed, fault_spec=None):
+    fast = execute(run, program, make_world, seed, fault_spec)
+    slow = execute(slow_reference, program, make_world, seed, fault_spec)
+    assert fast == slow
+    assert fast["violations"] == 0
+
+
+# -- strategies -------------------------------------------------------------
+def refresh_aligns():
+    return st.one_of(
+        st.none(),
+        st.integers(min_value=1, max_value=6).flatmap(
+            lambda m: st.builds(
+                RefreshAlign,
+                modulus=st.just(m),
+                phase=st.integers(min_value=0, max_value=m - 1),
+            )
+        ),
+    )
+
+
+@st.composite
+def hammer_programs(draw, spaces=("physical",)):
+    """A valid program over row bursts, accesses, nops, and loops.
+
+    Generated bodies always close their row (ACT ... PRE pairs), so
+    every program passes the validator by construction; a final
+    ``validate_program`` in the property double-checks the strategies.
+    """
+    rows = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=NUM_ROWS - 1),
+                min_size=1,
+                max_size=6,
+            )
+        )
+    )
+    phys = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=TOTAL_BYTES - 64),
+                min_size=0,
+                max_size=8,
+            )
+        )
+    )
+    vas = tuple(
+        FUZZ_VA_BASE + page * PAGE_SIZE
+        for page in draw(
+            st.lists(
+                st.integers(min_value=0, max_value=FUZZ_VA_PAGES - 1),
+                min_size=0,
+                max_size=8,
+            )
+        )
+    )
+    lists = {
+        "rows": AddressList(rows, space="row"),
+        "phys": AddressList(phys, space="physical"),
+        "vas": AddressList(vas, space="virtual"),
+    }
+
+    def segment():
+        kind = draw(
+            st.sampled_from(("burst", "act", "read", "write", "nop", *spaces))
+        )
+        if kind == "burst":
+            index = draw(st.integers(min_value=0, max_value=len(rows) - 1))
+            count = draw(st.integers(min_value=0, max_value=200))
+            return [Loop(count, (Act("rows", index), Pre()))]
+        if kind == "act":
+            index = draw(st.integers(min_value=0, max_value=len(rows) - 1))
+            return [
+                Act("rows", index),
+                Nop(draw(st.integers(min_value=0, max_value=3))),
+                Pre(),
+            ]
+        if kind == "read" or kind == "physical":
+            return [Read("phys", length=draw(st.sampled_from((1, 8, 64))))]
+        if kind == "virtual":
+            return [Read("vas", write=draw(st.booleans()))]
+        if kind == "write":
+            return [
+                Write(
+                    "phys",
+                    pattern=draw(st.binary(min_size=1, max_size=8)),
+                )
+            ]
+        return [Nop(draw(st.integers(min_value=0, max_value=10)))]
+
+    body = []
+    for _ in range(draw(st.integers(min_value=1, max_value=6))):
+        if draw(st.booleans()):
+            body.extend(segment())
+        else:
+            # A nested loop over a couple of segments: exercises the
+            # compiler's unroll-with-merging path, not just the single
+            # burst shortcut.
+            inner = []
+            for _ in range(draw(st.integers(min_value=1, max_value=2))):
+                inner.extend(segment())
+            body.append(
+                Loop(draw(st.integers(min_value=0, max_value=3)), tuple(inner))
+            )
+    program = PayloadProgram(
+        name="fuzz",
+        lists=lists,
+        body=tuple(body),
+        refresh_align=draw(refresh_aligns()),
+    )
+    return validate_program(program)
+
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# -- properties -------------------------------------------------------------
+class TestDisarmedEquivalence:
+    @given(program=hammer_programs(), seed=seeds)
+    def test_dram_world(self, program, seed):
+        assert_equivalent(program, dram_world, seed)
+
+    @given(program=hammer_programs(spaces=("physical", "virtual")), seed=seeds)
+    def test_kernel_world(self, program, seed):
+        assert_equivalent(program, kernel_world, seed)
+
+
+class TestArmedEquivalence:
+    @given(program=hammer_programs(), seed=seeds)
+    def test_ecc_miscorrect_armed(self, program, seed):
+        assert_equivalent(
+            program,
+            dram_world,
+            seed,
+            fault_spec="ecc-miscorrect:p=0.3,max=4",
+        )
+
+    @given(program=hammer_programs(spaces=("physical", "virtual")), seed=seeds)
+    def test_kernel_world_armed(self, program, seed):
+        assert_equivalent(
+            program,
+            kernel_world,
+            seed,
+            fault_spec="ecc-miscorrect:p=0.3,max=4",
+        )

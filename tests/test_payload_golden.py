@@ -1,0 +1,150 @@
+"""Golden-replay regression: committed payloads and obs-stream digests.
+
+``tests/data/payloads/`` holds one serialized payload per registry
+attack, captured from the canonical seeded scenarios. These tests pin
+two things:
+
+- **payload stability** — a fresh seeded run of each attack records a
+  program identical to the committed golden (same canonical JSON, same
+  digest), so any change to how attacks build their payloads is loud;
+- **obs-stream stability** — the full observability digest (metrics
+  snapshot plus formatted trace) of each seeded scenario matches the
+  value captured from the pre-DSL hand-loop implementation, proving the
+  payload rewrite is byte-identical end to end.
+
+Regenerating goldens after an *intentional* semantic change: run the
+scenario, write ``attack.executed_payloads[0].to_json()`` over the
+golden file, and update the digest constants below with the values from
+a fresh capture.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.attacks import (
+    AttackOutcome,
+    CtaBruteForceAttack,
+    ProbabilisticPteAttack,
+    TemplatingAttack,
+)
+from repro.attacks.spray import spray_page_tables
+from repro.dram.rowhammer import RowHammerModel
+from repro.payload import PayloadProgram, validate_program
+from repro.units import MIB
+
+from tests.conftest import (
+    AGGRESSIVE,
+    MODERATE,
+    TRUE_CELL_FAITHFUL,
+    make_cta_kernel,
+    make_stock_kernel,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "payloads"
+
+#: Obs-stream digests of the seeded scenarios, captured from the
+#: pre-payload-DSL implementation. The rewrite must not move them.
+OBS_DIGESTS = {
+    "probabilistic": "deee9a680500f0a9f4b2efd40829652c3c97a051266d3e50b1a51d99208fda81",
+    "templating": "e9acec159b75c6c4df0e51a702fc9b358aebfbeebe478e462340ac9dd0a4129a",
+    "algorithm1": "5621e644cf2da8bef692495e9a0c06262eac28770c3bed8c4061dac153e19ae4",
+    "spray": "a4844c3b5b9e90398474cdcd0cfdaa13d6c79fd382566129ae72e28e8e234666",
+}
+
+
+def obs_digest(registry) -> str:
+    document = {
+        "metrics": registry.snapshot(),
+        "trace": [event.format() for event in registry.trace],
+    }
+    return hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def golden(name: str) -> PayloadProgram:
+    text = (GOLDEN_DIR / f"{name}.json").read_text()
+    return validate_program(PayloadProgram.from_json(text))
+
+
+def run_probabilistic():
+    kernel = make_stock_kernel()
+    hammer = RowHammerModel(kernel.module, AGGRESSIVE, seed=0)
+    attack = ProbabilisticPteAttack(kernel=kernel, hammer=hammer)
+    result = attack.run(kernel.create_process(), spray_mappings=96, max_rounds=3)
+    return attack.executed_payloads[0], result
+
+
+def run_templating():
+    kernel = make_stock_kernel()
+    hammer = RowHammerModel(kernel.module, MODERATE, seed=1)
+    attack = TemplatingAttack(kernel=kernel, hammer=hammer)
+    result = attack.run(
+        kernel.create_process(),
+        template_buffer_bytes=2 * MIB,
+        max_massage_attempts=128,
+    )
+    return attack.executed_payloads[0], result
+
+
+def run_algorithm1():
+    kernel = make_cta_kernel(multilevel=True)
+    hammer = RowHammerModel(kernel.module, TRUE_CELL_FAITHFUL, seed=1)
+    attack = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+    result = attack.run(kernel.create_process(), max_target_pages=3)
+    return attack.executed_payloads[0], result
+
+
+def run_spray():
+    kernel = make_stock_kernel()
+    result = spray_page_tables(kernel, kernel.create_process(), num_mappings=16)
+    return result.payload, result
+
+
+SCENARIOS = {
+    "probabilistic": run_probabilistic,
+    "templating": run_templating,
+    "algorithm1": run_algorithm1,
+    "spray": run_spray,
+}
+
+
+class TestGoldenPayloads:
+    def test_goldens_exist_for_every_scenario(self):
+        committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+        assert committed == set(SCENARIOS)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_goldens_validate_and_round_trip(self, name):
+        program = golden(name)
+        assert PayloadProgram.from_json(program.to_json()) == program
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_seeded_run_reproduces_golden_payload(self, name):
+        recorded, _ = SCENARIOS[name]()
+        expected = golden(name)
+        assert recorded == expected
+        assert recorded.digest() == expected.digest()
+        assert recorded.to_json() == expected.to_json()
+
+
+@pytest.mark.slow
+class TestGoldenObsStreams:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_obs_stream_matches_pre_rewrite_capture(self, name):
+        registry = obs.Registry()
+        obs.set_registry(registry)
+        SCENARIOS[name]()
+        assert obs_digest(registry) == OBS_DIGESTS[name]
+
+    def test_scenario_outcomes_still_hold(self):
+        # Belt and braces alongside the digests: the headline results.
+        _, prob = SCENARIOS["probabilistic"]()
+        assert prob.outcome is AttackOutcome.SUCCESS
+        _, spray = SCENARIOS["spray"]()
+        assert spray.num_mappings == 16 and not spray.stopped_by_oom

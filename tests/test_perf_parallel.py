@@ -255,7 +255,7 @@ class TestBenchSuite:
         report = run_bench_suite(quick=True)
         assert set(report["results"]) == {
             "hammer_heavy", "walk_heavy", "walk_batch", "spray_batch",
-            "snapshot_warm_start", "campaign",
+            "snapshot_warm_start", "campaign", "payload_compiled",
         }
         passing = {
             case: {"ops_per_s": result["ops_per_s"] / 2}

@@ -312,6 +312,45 @@ class TestRL008BatchedVm:
         assert self._rules_at(src, path="src/repro/kernel/kernel.py") == []
 
 
+class TestRL009PayloadCompiled:
+    ATTACK_PATH = "src/repro/attacks/templating.py"
+
+    def _rules_at(self, source, path=ATTACK_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_direct_hammer_flagged(self):
+        src = "outcome = hammer.hammer(row)\n"
+        assert self._rules_at(src) == ["RL009"]
+
+    def test_direct_hammer_in_loop_flagged(self):
+        src = "for row in rows:\n    self.hammer.hammer(row)\n"
+        assert self._rules_at(src) == ["RL009"]
+
+    def test_double_sided_flagged(self):
+        src = "hammer.hammer_double_sided(victim)\n"
+        assert self._rules_at(src) == ["RL009"]
+
+    def test_payload_consumption_is_clean(self):
+        src = (
+            "for burst in iter_steps(compile_program(program), context):\n"
+            "    outcome = burst.perform()\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "outcome = hammer.hammer(row)"
+            "  # repro-lint: ignore[RL009] — calibration probe\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_attacks(self):
+        src = "outcome = hammer.hammer(row)\n"
+        assert self._rules_at(src, path="src/repro/dram/rowhammer.py") == []
+        assert self._rules_at(src, path="src/repro/perf/bench.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -320,7 +359,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008",
+            "RL008", "RL009",
         }
 
     def test_syntax_error_propagates(self):
