@@ -222,6 +222,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         kernel.mmu.translate_many(sweeper.cr3, sweep_vas, pid=sweeper.pid)
     kernel.munmap(sweeper, vma)
 
+    # Static-verifier pass so the verify.* contract counters surface in
+    # the table: one config model-check plus one payload verification.
+    from repro.payload import builtin_payload
+    from repro.verify import (
+        AddressSpaceModel,
+        named_config,
+        verify_config,
+        verify_payload,
+    )
+    cta_config = named_config("cta")
+    verify_config(cta_config, subject="cta")
+    verify_payload(
+        builtin_payload("sweep"), AddressSpaceModel.from_config(cta_config)
+    )
+
     registry = obs.get_registry()
     if args.json:
         print(registry.to_json())
@@ -408,6 +423,69 @@ def _cmd_payload_validate(args: argparse.Namespace) -> int:
         f"{compiled.total_accesses} access(es)"
     )
     return 0
+
+
+def _print_verdict_report(report, args: argparse.Namespace) -> int:
+    """Render a verification report; map the overall verdict to an exit.
+
+    Exit 0 for SAFE (and UNKNOWN without ``--strict``), 1 for UNSAFE —
+    with the witness printed — and UNKNOWN under ``--strict``. Malformed
+    input never reaches here: it raises and exits 2 through the main
+    error handler.
+    """
+    from repro.verify import Verdict
+
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    if report.overall is Verdict.UNSAFE:
+        return 1
+    if report.overall is Verdict.UNKNOWN and args.strict:
+        return 1
+    return 0
+
+
+def _cmd_verify_payload(args: argparse.Namespace) -> int:
+    """Statically verify a payload program against a named config.
+
+    The payload is parsed but deliberately *not* pre-validated: the
+    ACT/PRE discipline is one of the verdicts, not an input error.
+    """
+    from pathlib import Path
+
+    from repro.errors import PayloadError
+    from repro.payload import PayloadProgram, builtin_payload
+    from repro.verify import (
+        DEFAULT_FLIP_THRESHOLD,
+        AddressSpaceModel,
+        named_config,
+        verify_payload,
+    )
+
+    if args.builtin:
+        program = builtin_payload(args.builtin)
+    elif args.file:
+        text = Path(args.file).read_text(encoding="utf-8")
+        program = PayloadProgram.from_json(text)
+    else:
+        raise PayloadError("give a payload file or --builtin NAME")
+    model = AddressSpaceModel.from_config(named_config(args.config))
+    threshold = (
+        args.threshold if args.threshold is not None else DEFAULT_FLIP_THRESHOLD
+    )
+    report = verify_payload(
+        program, model, threshold=threshold, subject=program.name
+    )
+    return _print_verdict_report(report, args)
+
+
+def _cmd_verify_config(args: argparse.Namespace) -> int:
+    """Model-check a named kernel configuration's CTA layout."""
+    from repro.verify import named_config, verify_config
+
+    report = verify_config(named_config(args.config), subject=args.config)
+    return _print_verdict_report(report, args)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -668,7 +746,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     payload_run.add_argument(
         "--builtin", default=None, metavar="NAME",
-        help="run a builtin demo payload (sweep, aligned, readback)",
+        help="run a builtin demo payload (sweep, aligned, readback, template)",
     )
     payload_run.add_argument("--seed", type=_seed, default=1)
     payload_run.add_argument(
@@ -689,6 +767,54 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="validate a builtin demo payload",
     )
     payload_validate.set_defaults(func=_cmd_payload_validate)
+    verify = subparsers.add_parser(
+        "verify", help="statically verify payloads and CTA configurations"
+    )
+    verify_sub = verify.add_subparsers(dest="verify_command", required=True)
+    verify_payload = verify_sub.add_parser(
+        "payload", help="abstract-interpret a payload against a config"
+    )
+    verify_payload.add_argument(
+        "file", nargs="?", default=None,
+        help="payload program as JSON (omit with --builtin)",
+    )
+    verify_payload.add_argument(
+        "--builtin", default=None, metavar="NAME",
+        help="verify a builtin demo payload (sweep, aligned, readback, template)",
+    )
+    verify_payload.add_argument(
+        "--config", default="cta", metavar="NAME",
+        help="named config providing the address-space model "
+        "(stock, cta, cta-multilevel, cta-anticell; default: %(default)s)",
+    )
+    verify_payload.add_argument(
+        "--threshold", type=int, default=None,
+        help="per-window flip threshold (default: the model's)",
+    )
+    verify_payload.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    verify_payload.add_argument(
+        "--strict", action="store_true",
+        help="treat UNKNOWN verdicts as failures (exit 1)",
+    )
+    verify_payload.set_defaults(func=_cmd_verify_payload)
+    verify_config = verify_sub.add_parser(
+        "config", help="model-check a kernel configuration's CTA layout"
+    )
+    verify_config.add_argument(
+        "--config", default="cta", metavar="NAME",
+        help="named config to check "
+        "(stock, cta, cta-multilevel, cta-anticell; default: %(default)s)",
+    )
+    verify_config.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    verify_config.add_argument(
+        "--strict", action="store_true",
+        help="treat UNKNOWN verdicts as failures (exit 1)",
+    )
+    verify_config.set_defaults(func=_cmd_verify_config)
     check = subparsers.add_parser(
         "check", help="run the attack demo under runtime invariant sanitizers"
     )

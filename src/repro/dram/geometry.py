@@ -115,6 +115,22 @@ class DramGeometry:
         global_row = location.bank * self.rows_per_bank + location.row
         return global_row * self.row_bytes + location.column
 
+    def rows_of_byte_range(self, start: int, end: int) -> range:
+        """Global rows overlapping the byte range ``[start, end)``.
+
+        ``end`` is exclusive and clamped to the module, so zone spans
+        that round up past the last row stay in bounds; an empty range
+        yields no rows.
+        """
+        if start < 0:
+            raise AddressError(f"range start {start:#x} is negative")
+        end = min(end, self.total_bytes)
+        if end <= start:
+            return range(0)
+        first = start // self.row_bytes
+        last = (end - 1) // self.row_bytes
+        return range(first, last + 1)
+
     def bank_of_row(self, row: int) -> int:
         """Bank that global row ``row`` belongs to."""
         if not 0 <= row < self.total_rows:

@@ -95,6 +95,17 @@ def _segment_kernel(snapshot: Optional[str], factory) -> Kernel:
     return kernel
 
 
+def _segment_verdicts(payloads, kernel) -> list:
+    """Static verify verdicts for a segment's executed payloads.
+
+    Plain JSON dicts (segments cross process boundaries under the
+    parallel runner); deduplicated by digest inside the summary helper.
+    """
+    from repro.verify import payload_verdict_summary
+
+    return payload_verdict_summary(payloads, kernel)
+
+
 def _probabilistic_segment(
     seed: int, smoke: bool, snapshot: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -143,6 +154,7 @@ def _probabilistic_segment(
         "sanitizer_checks": suite.checks,
         "sanitizer_violations": suite.violations,
         "payloads": [p.digest() for p in attack.executed_payloads],
+        "payload_verdicts": _segment_verdicts(attack.executed_payloads, kernel),
     }
 
 
@@ -192,6 +204,7 @@ def _algorithm1_segment(
         "sanitizer_checks": suite.checks,
         "sanitizer_violations": suite.violations,
         "payloads": [p.digest() for p in attack.executed_payloads],
+        "payload_verdicts": _segment_verdicts(attack.executed_payloads, kernel),
     }
 
 

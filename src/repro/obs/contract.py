@@ -78,6 +78,12 @@ METRICS: Dict[str, str] = {
     # Campaign runner
     "campaign.segments": "counter",
     "campaign.retries": "counter",
+    # Static verifier
+    "verify.payload_checks": "counter",
+    "verify.config_checks": "counter",
+    # Soundness canary: a dynamic observation escaped the static bounds.
+    # Tests assert this stays zero; any non-zero value is a verifier bug.
+    "verify.unsound": "counter",
 }
 
 #: Names allowed as the first argument of ``obs.trace``.

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Any, Iterator, List, Optional, Tuple, Union
 
 from repro import obs
 from repro.errors import PayloadError
@@ -85,7 +85,7 @@ class PayloadContext:
         if self.module is None and self.hammer is not None:
             self.module = getattr(self.hammer, "module", None)
 
-    def require(self, name: str, why: str):
+    def require(self, name: str, why: str) -> Any:
         value = getattr(self, name)
         if value is None:
             raise PayloadError(f"payload context lacks {name!r}: {why}")
@@ -130,7 +130,7 @@ class PendingBurst:
     activations: int
     _ctx: PayloadContext
 
-    def perform(self):
+    def perform(self) -> Any:
         hammer = self._ctx.require("hammer", "a burst needs a RowHammerModel")
         return hammer.hammer(self.row, activations=self.activations)
 
@@ -145,7 +145,7 @@ class PendingRead:
     write: bool
     _ctx: PayloadContext
 
-    def perform(self):
+    def perform(self) -> Any:
         if self.space == "physical":
             module = self._ctx.require("module", "a physical read needs a DramModule")
             return module.read(self.address, self.length)
@@ -280,7 +280,7 @@ def run(
 class _Interpreter:
     """Tree-walking reference executor with its own burst aggregation."""
 
-    def __init__(self, program: PayloadProgram, ctx: PayloadContext):
+    def __init__(self, program: PayloadProgram, ctx: PayloadContext) -> None:
         self.program = program
         self.ctx = ctx
         self.result = PayloadResult(name=program.name, digest=program.digest())

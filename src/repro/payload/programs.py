@@ -20,6 +20,7 @@ from repro.payload.ir import (
     Pre,
     Read,
     RefreshAlign,
+    Write,
     validate_program,
 )
 
@@ -127,10 +128,34 @@ def _demo_readback() -> PayloadProgram:
     return validate_program(program)
 
 
+def _demo_template() -> PayloadProgram:
+    """Write a known pattern, hammer, read the victims back.
+
+    The classic fill-hammer-verify template from the rowhammer-tester
+    lineage, expressed in the IR: seed both victim rows with 0xFF, hammer
+    the aggressor between them, then read the victims back so a
+    differential caller can diff against the written pattern.
+    """
+    program = PayloadProgram(
+        name="demo-template",
+        lists={
+            "rows": AddressList((8,), space="row"),
+            "victims": AddressList((7 * 16 * 1024, 9 * 16 * 1024), space="physical"),
+        },
+        body=(
+            Write("victims", pattern=b"\xff" * 64),
+            Loop(25_000, (Act("rows", 0), Pre())),
+            Read("victims", length=64),
+        ),
+    )
+    return validate_program(program)
+
+
 BUILTIN_PAYLOADS: Dict[str, object] = {
     "sweep": _demo_sweep,
     "aligned": _demo_aligned,
     "readback": _demo_readback,
+    "template": _demo_template,
 }
 
 

@@ -43,6 +43,11 @@ RL009    payload-compiled attacks: modules under ``attacks/`` must not call
          declared as :mod:`repro.payload` programs, compiled, and consumed
          through ``iter_steps`` so the differential harness covers every
          attack's access pattern
+RL010    validated payloads: modules under ``attacks/`` must not construct
+         ``PayloadProgram`` directly — wrap the constructor in
+         ``validate_program(...)`` or build through the
+         :mod:`repro.payload.programs` helpers (which validate), so no
+         attack can execute a program the IR invariants never saw
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -69,6 +74,7 @@ RULES: Dict[str, str] = {
     "RL007": "no per-bit read_bit/write_bit/obs.inc loops in repro.dram.rowhammer",
     "RL008": "no per-address translate/load/store/touch loops in attacks/ and perf/",
     "RL009": "attacks/ must hammer via compiled repro.payload programs",
+    "RL010": "attacks/ must validate PayloadPrograms (validate_program/helpers)",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -82,6 +88,12 @@ _RL008_SCALAR_ACCESSORS = ("translate", "load", "store", "touch")
 
 #: Direct hammer entry points RL009 forbids anywhere in attacks/.
 _RL009_HAMMER_CALLS = ("hammer", "hammer_double_sided")
+
+#: Constructor RL010 requires to flow through validate_program in attacks/.
+_RL010_PAYLOAD_CTOR = "PayloadProgram"
+
+#: Call names RL010 accepts as validating wrappers.
+_RL010_VALIDATORS = ("validate_program",)
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -133,7 +145,7 @@ def _ignores_by_line(source: str) -> Dict[int, Optional[Set[str]]]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Applies the per-file rules (RL001/02/03/05/06) to one module."""
+    """Applies the per-file rules (RL001-03, RL05-10) to one module."""
 
     def __init__(
         self,
@@ -144,6 +156,7 @@ class _FileLinter(ast.NodeVisitor):
         check_hot_loops: bool = False,
         check_batched_vm: bool = False,
         check_payload_compiled: bool = False,
+        check_payload_validated: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
@@ -152,11 +165,15 @@ class _FileLinter(ast.NodeVisitor):
         self.check_hot_loops = check_hot_loops
         self.check_batched_vm = check_batched_vm
         self.check_payload_compiled = check_payload_compiled
+        self.check_payload_validated = check_payload_validated
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
         #: Current loop nesting depth (for/while/comprehensions), for RL007.
         self._loop_depth = 0
+        #: ``PayloadProgram(...)`` call nodes wrapped in validate_program
+        #: (sanctioned for RL010; outer calls visit before their args).
+        self._sanctioned_payload_ctors: Set[int] = set()
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
         self.findings.append(
@@ -306,6 +323,8 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl008_call(node, func)
         if self.check_payload_compiled:
             self._check_rl009_call(node, func)
+        if self.check_payload_validated:
+            self._check_rl010_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -392,6 +411,46 @@ class _FileLinter(ast.NodeVisitor):
                 "through iter_steps",
             )
 
+    def _check_rl010_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL010: unvalidated PayloadProgram construction in attacks/.
+
+        An outer ``validate_program(PayloadProgram(...))`` sanctions its
+        direct constructor arguments — the visitor reaches the wrapper
+        before descending into the arguments, so the sanction lands
+        first. Programs built via the :mod:`repro.payload.programs`
+        helpers never trip the rule (the helpers validate internally and
+        no constructor appears at the call site).
+        """
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _RL010_VALIDATORS:
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Call)
+                    and isinstance(
+                        arg.func, (ast.Name, ast.Attribute)
+                    )
+                    and (
+                        arg.func.id
+                        if isinstance(arg.func, ast.Name)
+                        else arg.func.attr
+                    )
+                    == _RL010_PAYLOAD_CTOR
+                ):
+                    self._sanctioned_payload_ctors.add(id(arg))
+            return
+        if name == _RL010_PAYLOAD_CTOR and id(node) not in self._sanctioned_payload_ctors:
+            self._add(
+                "RL010",
+                node,
+                "PayloadProgram constructed without validation in an attack "
+                "module; wrap it in validate_program(...) or build via the "
+                "repro.payload.programs helpers",
+            )
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -451,8 +510,9 @@ def lint_source(
     RL006 activation (modules under a ``faults`` package directory),
     RL007 activation (``rowhammer.py`` — the vectorized hot path),
     RL008 activation (modules under ``attacks`` or ``perf`` package
-    directories — the batched-VM consumers), and RL009 activation
-    (modules under ``attacks`` — the payload-compiled consumers).
+    directories — the batched-VM consumers), and RL009/RL010 activation
+    (modules under ``attacks`` — the payload-compiled, payload-validated
+    consumers).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
@@ -462,6 +522,7 @@ def lint_source(
     check_hot_loops = Path(path).name == "rowhammer.py"
     check_batched_vm = "attacks" in parts or "perf" in parts
     check_payload_compiled = "attacks" in parts
+    check_payload_validated = "attacks" in parts
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
@@ -469,6 +530,7 @@ def lint_source(
         check_hot_loops=check_hot_loops,
         check_batched_vm=check_batched_vm,
         check_payload_compiled=check_payload_compiled,
+        check_payload_validated=check_payload_validated,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

@@ -1,0 +1,77 @@
+"""Static verification: payload abstract interpretation + CTA model checking.
+
+Two engines share one verdict/witness format (:mod:`repro.verify.verdict`):
+
+:mod:`repro.verify.payload`
+    A sound abstract interpreter over :mod:`repro.payload.ir` programs.
+    Its domains are row *sets* (which physical rows each named address
+    list can ACT, with virtual lists resolved through a config-derived
+    address-space abstraction) and per-row activation-count *intervals*
+    segmented by refresh-phase alignment. From those it derives payload
+    verdicts: "cannot activate any row adjacent to ZONE_PTP", "peak
+    activations per 64 ms refresh window below the flip threshold",
+    "ACT/PRE discipline holds on all loop paths".
+
+:mod:`repro.verify.config`
+    A model checker over a ``KernelConfig`` x ``DramGeometry`` layout:
+    Rule 1/2 zone containment, true-cell monotonic-pointer orientation,
+    and the No-Self-Reference property over *all* reachable page-table
+    placements under a single monotonic (1 -> 0, submask) pointer
+    corruption — statically reproducing what :mod:`repro.sanitize` can
+    only catch at runtime, including the single-zone level-confusion
+    counterexample.
+
+The soundness contract (checked by the hypothesis differential suite in
+``tests/test_verify_soundness_fuzz.py`` via :mod:`repro.verify.observe`):
+for any valid payload, the dynamically observed per-row activation
+counts and touched row sets are contained in the static bounds, with the
+fault plane armed and disarmed. A containment breach increments the
+``verify.unsound`` canary counter, which tests assert is zero.
+"""
+
+from repro.verify.config import (
+    NAMED_CONFIGS,
+    StaticLayout,
+    named_config,
+    verify_config,
+)
+from repro.verify.observe import ObservedBehavior, check_containment, observe_payload
+from repro.verify.payload import (
+    DEFAULT_FLIP_THRESHOLD,
+    WINDOW_ACT_CAPACITY,
+    AddressSpaceModel,
+    PayloadAnalysis,
+    analyze_payload,
+    verify_payload,
+)
+from repro.verify.prefilter import (
+    BatchReport,
+    execute_batch,
+    is_provably_harmless,
+    payload_verdict_summary,
+)
+from repro.verify.verdict import CheckResult, VerificationReport, Verdict, Witness
+
+__all__ = [
+    "AddressSpaceModel",
+    "BatchReport",
+    "CheckResult",
+    "DEFAULT_FLIP_THRESHOLD",
+    "NAMED_CONFIGS",
+    "ObservedBehavior",
+    "PayloadAnalysis",
+    "StaticLayout",
+    "Verdict",
+    "VerificationReport",
+    "WINDOW_ACT_CAPACITY",
+    "Witness",
+    "analyze_payload",
+    "check_containment",
+    "execute_batch",
+    "is_provably_harmless",
+    "named_config",
+    "observe_payload",
+    "payload_verdict_summary",
+    "verify_config",
+    "verify_payload",
+]

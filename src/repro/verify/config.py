@@ -1,0 +1,654 @@
+"""CTA layout model checker: Rule 1/2, monotonic orientation, NSR.
+
+:class:`StaticLayout` reconstructs the zone layout a
+``KernelConfig`` would boot into — the same recipe as
+``Kernel._build_layout`` but without booting (the ground-truth cell map
+stands in for the boot-time profiler, which infers exactly that map on
+these interleaved modules). :func:`verify_config` then runs four checks:
+
+``rule1-containment``
+    Every PTP allocation request (``GFP_PTP``, per level) is served from
+    ``ZONE_PTP`` sub-zones above the low water mark only — no fallback.
+``rule2-containment``
+    No ordinary zonelist ever reaches a PTP zone, every PTP sub-zone
+    lies above the mark, and anti-cell gaps are unzoned holes.
+``monotonic-orientation``
+    Every row backing ZONE_PTP is a true-cell row, so PTE frame pointers
+    stored there flip 1 -> 0 only (monotonically downward).
+``no-self-reference``
+    The structural theorem, checked exhaustively over *all* reachable
+    page-table placements: under at most one monotonic pointer
+    corruption per walk path, no page-table walk can interpret a genuine
+    page table of level >= 2 as a last-level page table. Reaching that
+    state is the paper's self-reference window — the "leaf" entries the
+    MMU then reads are page-table pointers, i.e. a user-visible PTE
+    mapping page-table memory.
+
+The corruption model: a RowHammer flip corrupts at most one entry along
+a walk path; in true-cells flips are 1 -> 0, so the corrupted pointer
+value is a *strict submask* of the original (see
+:mod:`repro.verify.domain`). Because a submask is never larger than the
+original, corrupted leaf pointers stay below the low water mark (the
+paper's indicator-bit theorem falls out as value monotonicity), and in
+the multilevel layout — level-L zones strictly above level-(L-1) zones —
+a corrupted pointer can only land at a level *below* the one the walk
+expects, so the actual level never exceeds the interpreted level and the
+violating state is unreachable. A single-zone ZONE_PTP hosts every level
+at every pfn, so one downward flip in a PD entry lands on a pfn that may
+host another PD: level confusion, the counterexample PR 2's runtime
+sanitizer observes dynamically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro import obs
+from repro.dram.cells import CellType, CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.errors import AnalysisError, ConfigurationError
+from repro.kernel.cta import CtaConfig, CtaPolicy
+from repro.kernel.gfp import GFP_KERNEL, GFP_PTP, GFP_USER, GfpFlags
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.kernel.pagetable import NUM_LEVELS
+from repro.kernel.zones import MemoryZone, ZoneId, ZoneLayout
+from repro.units import MIB, PAGE_SHIFT, PAGE_SIZE
+from repro.verify.domain import strict_submask_witness
+from repro.verify.verdict import CheckResult, VerificationReport, Verdict, Witness
+
+#: Exhaustive-enumeration bound for the NSR placement sweep. Layouts
+#: whose per-level host ranges exceed this many pages get an UNKNOWN
+#: verdict instead of a partial answer (the UNKNOWN policy: never guess).
+MAX_ENUMERATED_PFNS = 1 << 16
+
+#: Page-table level names for witness narration (index = level).
+_LEVEL_NAMES = {1: "PT", 2: "PD", 3: "PDPT", 4: "PML4"}
+
+
+@dataclass(frozen=True)
+class StaticLayout:
+    """The statically reconstructed layout of one kernel configuration."""
+
+    config: KernelConfig
+    geometry: DramGeometry
+    cell_map: CellTypeMap
+    layout: ZoneLayout
+    policy: Optional[CtaPolicy] = None
+    name: str = ""
+
+    @classmethod
+    def from_config(cls, config: KernelConfig, name: str = "") -> "StaticLayout":
+        """Plan the layout ``Kernel.__init__`` would boot, without booting.
+
+        Mirrors ``Kernel._build_layout`` with the ground-truth cell map in
+        place of the boot-time profiler (whose inferred map matches it on
+        the interleaved modules this simulator builds).
+        """
+        geometry = DramGeometry(
+            total_bytes=config.total_bytes,
+            row_bytes=config.row_bytes,
+            num_banks=config.num_banks,
+        )
+        cell_map = CellTypeMap.interleaved(
+            geometry, period_rows=config.cell_interleave_rows
+        )
+        if config.cta is None:
+            if config.arch == "x86_32":
+                layout = ZoneLayout.x86_32(geometry.total_bytes)
+            else:
+                layout = ZoneLayout.x86_64(geometry.total_bytes)
+            return cls(config, geometry, cell_map, layout, policy=None, name=name)
+        policy = CtaPolicy(cell_map, config.cta)
+        subzones = policy.build_subzones()
+        ptp_span = geometry.total_bytes - policy.low_water_mark
+        if config.arch == "x86_32":
+            base = ZoneLayout.x86_32(geometry.total_bytes, ptp_bytes=ptp_span)
+            zones = [z for z in base.zones if z.zone_id is not ZoneId.PTP]
+            layout = ZoneLayout(list(zones) + subzones, base.total_pages)
+        else:
+            layout = ZoneLayout.x86_64(
+                geometry.total_bytes, ptp_bytes=ptp_span, ptp_subzones=subzones
+            )
+        return cls(config, geometry, cell_map, layout, policy=policy, name=name)
+
+    @classmethod
+    def from_kernel(cls, kernel: Kernel, name: str = "") -> "StaticLayout":
+        """The layout a *booted* kernel actually runs (profiled policy)."""
+        return cls(
+            config=kernel.config,
+            geometry=kernel.module.geometry,
+            cell_map=kernel.module.cell_map,
+            layout=kernel.layout,
+            policy=kernel.cta_policy,
+            name=name,
+        )
+
+    # -- row views ---------------------------------------------------------
+    def _rows_of_pfn_range(self, start_pfn: int, end_pfn: int) -> FrozenSet[int]:
+        return frozenset(
+            self.geometry.rows_of_byte_range(
+                start_pfn * PAGE_SIZE, end_pfn * PAGE_SIZE
+            )
+        )
+
+    def ptp_rows(self) -> FrozenSet[int]:
+        """Rows backing any ZONE_PTP sub-zone."""
+        rows: FrozenSet[int] = frozenset()
+        for zone in self.layout.zones_of(ZoneId.PTP):
+            rows |= self._rows_of_pfn_range(zone.start_pfn, zone.end_pfn)
+        return rows
+
+    def user_rows(self) -> FrozenSet[int]:
+        """Rows an ordinary (non-PTP) allocation can land in (Rule 2)."""
+        rows: FrozenSet[int] = frozenset()
+        for zone in self.layout.zones:
+            if zone.zone_id is not ZoneId.PTP:
+                rows |= self._rows_of_pfn_range(zone.start_pfn, zone.end_pfn)
+        return rows
+
+    def describe(self) -> Dict[str, Any]:
+        """Layout facts for report consumers."""
+        mark = self.layout.low_water_mark_pfn
+        return {
+            "total_pages": self.layout.total_pages,
+            "low_water_mark_pfn": mark,
+            "ptp_pages": sum(
+                z.num_pages for z in self.layout.zones_of(ZoneId.PTP)
+            ),
+            "zones": [
+                {
+                    "name": z.name,
+                    "start_pfn": z.start_pfn,
+                    "end_pfn": z.end_pfn,
+                    "pt_level": z.pt_level,
+                }
+                for z in self.layout.zones
+            ],
+        }
+
+
+# -- named configurations (CLI / golden verdicts) ---------------------------
+def _stock_config() -> KernelConfig:
+    return KernelConfig(
+        total_bytes=32 * MIB,
+        row_bytes=16 * 1024,
+        num_banks=2,
+        cell_interleave_rows=32,
+    )
+
+
+def _cta_config(**cta_kwargs: Any) -> KernelConfig:
+    return KernelConfig(
+        total_bytes=32 * MIB,
+        row_bytes=16 * 1024,
+        num_banks=2,
+        cell_interleave_rows=32,
+        cta=CtaConfig(ptp_bytes=2 * MIB, **cta_kwargs),
+    )
+
+
+#: Named configurations ``repro verify`` accepts. ``cta`` is single-zone
+#: CTA (the default deployment), ``cta-multilevel`` the Section 7
+#: per-level scheme, ``cta-anticell`` the low-water-mark-only ablation.
+NAMED_CONFIGS: Dict[str, Any] = {
+    "stock": _stock_config,
+    "cta": lambda: _cta_config(),
+    "cta-multilevel": lambda: _cta_config(multilevel=True),
+    "cta-anticell": lambda: _cta_config(cell_aware=False),
+}
+
+
+def named_config(name: str) -> KernelConfig:
+    """Look up a named verification configuration."""
+    try:
+        builder = NAMED_CONFIGS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown config {name!r} "
+            f"(choose from {', '.join(sorted(NAMED_CONFIGS))})"
+        ) from None
+    return builder()
+
+
+# -- the checks -------------------------------------------------------------
+def _hosted_levels(zone: MemoryZone) -> Tuple[int, ...]:
+    """Page-table levels a PTP (sub-)zone may host."""
+    if zone.pt_level == 0:
+        return tuple(range(1, NUM_LEVELS + 1))
+    return (zone.pt_level,)
+
+
+def _check_rule1(view: StaticLayout) -> CheckResult:
+    """Rule 1: PTP requests are served from ZONE_PTP only, per level."""
+    layout = view.layout
+    mark = layout.low_water_mark_pfn
+    if mark is None:
+        normal = [z for z in layout.zones if z.zone_id is not ZoneId.PTP]
+        sample = normal[-1]
+        return CheckResult(
+            check="rule1-containment",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                "layout has no ZONE_PTP: page-table allocations fall back to "
+                "ordinary zones beside attacker-reachable memory"
+            ),
+            witness=Witness(
+                summary=(
+                    f"pte_alloc_one served from {sample.name} "
+                    f"(pfns [{sample.start_pfn}, {sample.end_pfn}))"
+                ),
+                steps=(
+                    {
+                        "event": "allocation",
+                        "zone": sample.name,
+                        "start_pfn": sample.start_pfn,
+                        "end_pfn": sample.end_pfn,
+                    },
+                ),
+            ),
+        )
+    for level in range(1, NUM_LEVELS + 1):
+        zonelist = layout.zonelist_for(GFP_PTP, pt_level=level)
+        if not zonelist:
+            return CheckResult(
+                check="rule1-containment",
+                verdict=Verdict.UNSAFE,
+                detail=f"no PTP zone serves page-table level {level}",
+                witness=Witness(
+                    summary=f"GFP_PTP zonelist for level {level} is empty"
+                ),
+            )
+        for zone in zonelist:
+            if zone.zone_id is not ZoneId.PTP or zone.start_pfn < mark:
+                return CheckResult(
+                    check="rule1-containment",
+                    verdict=Verdict.UNSAFE,
+                    detail=(
+                        f"PTP request for level {level} can be served from "
+                        f"{zone.name} below the low water mark"
+                    ),
+                    witness=Witness(
+                        summary=f"{zone.name} in the GFP_PTP zonelist",
+                        steps=(
+                            {
+                                "event": "fallback",
+                                "zone": zone.name,
+                                "start_pfn": zone.start_pfn,
+                                "low_water_mark_pfn": mark,
+                            },
+                        ),
+                    ),
+                )
+    return CheckResult(
+        check="rule1-containment",
+        verdict=Verdict.SAFE,
+        detail=(
+            "every GFP_PTP zonelist (all levels) contains only ZONE_PTP "
+            f"sub-zones at or above the low water mark (pfn {mark})"
+        ),
+    )
+
+
+def _check_rule2(view: StaticLayout) -> CheckResult:
+    """Rule 2: ordinary allocations never reach ZONE_PTP; gaps are holes."""
+    layout = view.layout
+    mark = layout.low_water_mark_pfn
+    if mark is None:
+        shared = layout.zones[-1]
+        return CheckResult(
+            check="rule2-containment",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                "layout has no ZONE_PTP: user data and page tables share "
+                "the ordinary zones"
+            ),
+            witness=Witness(
+                summary=(
+                    f"user pages and page tables co-resident in {shared.name}"
+                ),
+                steps=(
+                    {
+                        "event": "co-residency",
+                        "zone": shared.name,
+                        "start_pfn": shared.start_pfn,
+                        "end_pfn": shared.end_pfn,
+                    },
+                ),
+            ),
+        )
+    ordinary_flags = (
+        GFP_USER,
+        GFP_KERNEL,
+        GfpFlags.KERNEL | GfpFlags.DMA32,
+        GfpFlags.KERNEL | GfpFlags.DMA,
+    )
+    for flags in ordinary_flags:
+        for zone in layout.zonelist_for(flags):
+            if zone.zone_id is ZoneId.PTP:
+                return CheckResult(
+                    check="rule2-containment",
+                    verdict=Verdict.UNSAFE,
+                    detail=f"ordinary zonelist ({flags}) reaches {zone.name}",
+                    witness=Witness(
+                        summary=f"{zone.name} reachable by non-PTP allocation"
+                    ),
+                )
+    for zone in layout.zones_of(ZoneId.PTP):
+        if zone.start_pfn < mark:
+            return CheckResult(
+                check="rule2-containment",
+                verdict=Verdict.UNSAFE,
+                detail=f"PTP sub-zone {zone.name} dips below the mark",
+                witness=Witness(
+                    summary=f"{zone.name} starts at pfn {zone.start_pfn} < {mark}"
+                ),
+            )
+    if view.policy is not None:
+        for start, end in view.policy.anti_cell_ranges:
+            probe = start >> PAGE_SHIFT
+            zone = layout.zone_of_pfn(probe)
+            if zone is not None:
+                return CheckResult(
+                    check="rule2-containment",
+                    verdict=Verdict.UNSAFE,
+                    detail=(
+                        f"anti-cell gap pfn {probe} is allocatable from "
+                        f"{zone.name}; invalid capacity must stay unzoned"
+                    ),
+                    witness=Witness(
+                        summary=f"anti-cell pfn {probe} inside {zone.name}"
+                    ),
+                )
+    return CheckResult(
+        check="rule2-containment",
+        verdict=Verdict.SAFE,
+        detail=(
+            "no ordinary zonelist reaches ZONE_PTP; all PTP sub-zones lie "
+            "above the mark and anti-cell gaps are unzoned holes"
+        ),
+    )
+
+
+def _check_monotonic(view: StaticLayout) -> CheckResult:
+    """True-cell orientation of every row backing ZONE_PTP."""
+    if view.policy is None:
+        return CheckResult(
+            check="monotonic-orientation",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                "no CTA policy: page tables land in arbitrary rows, where "
+                "anti-cell flips move frame pointers upward"
+            ),
+            witness=Witness(
+                summary="page-table frames allocatable in anti-cell rows"
+            ),
+        )
+    row_bytes = view.geometry.row_bytes
+    for start, end in view.policy.true_cell_ranges:
+        for row in range(start // row_bytes, (end + row_bytes - 1) // row_bytes):
+            if view.cell_map.type_of_row(row) is not CellType.TRUE:
+                pfn = (row * row_bytes) >> PAGE_SHIFT
+                return CheckResult(
+                    check="monotonic-orientation",
+                    verdict=Verdict.UNSAFE,
+                    detail=(
+                        f"ZONE_PTP row {row} is anti-cell: a flip there sets "
+                        "pointer bits (0 -> 1), breaking monotonicity"
+                    ),
+                    witness=Witness(
+                        summary=f"anti-cell row {row} backs PTP pfn {pfn}",
+                        steps=(
+                            {
+                                "event": "orientation",
+                                "row": row,
+                                "cell_type": "anti",
+                                "pfn": pfn,
+                            },
+                        ),
+                    ),
+                )
+    return CheckResult(
+        check="monotonic-orientation",
+        verdict=Verdict.SAFE,
+        detail=(
+            "every ZONE_PTP row is true-cell: stored frame pointers can only "
+            "flip 1 -> 0 (monotonically downward)"
+        ),
+    )
+
+
+def _host_ranges(view: StaticLayout) -> Dict[int, List[Tuple[int, int]]]:
+    """Per-level pfn ranges where a genuine table of that level may live."""
+    hosts: Dict[int, List[Tuple[int, int]]] = {
+        level: [] for level in range(1, NUM_LEVELS + 1)
+    }
+    for zone in view.layout.zones_of(ZoneId.PTP):
+        for level in _hosted_levels(zone):
+            hosts[level].append((zone.start_pfn, zone.end_pfn))
+    return hosts
+
+
+def _levels_hosting_pfn(view: StaticLayout, pfn: int) -> Tuple[int, ...]:
+    """Levels a landing pfn may genuinely host (empty = not a PTP pfn)."""
+    zone = view.layout.zone_of_pfn(pfn)
+    if zone is None or zone.zone_id is not ZoneId.PTP:
+        return ()
+    return _hosted_levels(zone)
+
+
+def _check_no_self_reference(view: StaticLayout) -> CheckResult:
+    """The NSR model check over all reachable placements.
+
+    Walk states are (interpreted level I, actual occupant); uncorrupted
+    descent keeps I == actual. With at most one monotonic corruption per
+    path, the reachable post-corruption states from (s, s) are
+    (s-1, B) for every level B that some strict submask of some genuine
+    level-(s-1) pointer may host. The violating state — a genuine table
+    of level >= 2 interpreted at level 1 — is reachable iff some
+    corruption lands at B >= s: subsequent uncorrupted descent then
+    reads a level-(B - s + 2) table as the leaf PT. Leaf-pointer
+    corruption (s == 1) is structurally safe under monotonicity: a
+    submask is never larger than the original, so a below-mark pointer
+    stays below the mark (the indicator-bit theorem).
+    """
+    layout = view.layout
+    mark = layout.low_water_mark_pfn
+    if mark is None:
+        return CheckResult(
+            check="no-self-reference",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                "no ZONE_PTP: page tables share zones (and anti-cell rows) "
+                "with attacker memory, so a single upward flip can point a "
+                "PTE at another page-table frame"
+            ),
+            witness=Witness(
+                summary=(
+                    "PTE and page-table frames co-resident in ordinary zones; "
+                    "bidirectional flips reach page-table pfns"
+                ),
+                steps=(
+                    {
+                        "event": "corruption",
+                        "direction": "0 -> 1 (anti-cell)",
+                        "effect": "leaf PTE redirected onto a page-table frame",
+                    },
+                ),
+            ),
+        )
+    monotonic = _check_monotonic(view)
+    if monotonic.verdict is not Verdict.SAFE:
+        # Bidirectional corruption inside ZONE_PTP: an upward flip in any
+        # leaf PTE below the mark can re-enter the PTP region directly.
+        ptp_zone = layout.zones_of(ZoneId.PTP)[-1]
+        target = ptp_zone.start_pfn
+        return CheckResult(
+            check="no-self-reference",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                "ZONE_PTP includes anti-cell rows, so pointer corruption is "
+                "bidirectional: an upward flip lifts a below-mark leaf PTE "
+                "into the PTP region — a PTE pointing at page-table memory"
+            ),
+            witness=Witness(
+                summary=(
+                    f"0 -> 1 flip raises a leaf PTE to pfn {target} inside "
+                    f"{ptp_zone.name}"
+                ),
+                steps=(
+                    {
+                        "event": "corruption",
+                        "direction": "0 -> 1 (anti-cell)",
+                        "landing_pfn": target,
+                        "landing_zone": ptp_zone.name,
+                    },
+                ),
+            ),
+        )
+    hosts = _host_ranges(view)
+    enumerated = sum(
+        end - start for ranges in hosts.values() for start, end in ranges
+    )
+    if enumerated > MAX_ENUMERATED_PFNS:
+        return CheckResult(
+            check="no-self-reference",
+            verdict=Verdict.UNKNOWN,
+            detail=(
+                f"placement space of {enumerated} pfns exceeds the "
+                f"exhaustive-enumeration bound ({MAX_ENUMERATED_PFNS}); "
+                "refusing to answer partially"
+            ),
+        )
+    # Corruption at interpreted level s (2..NUM_LEVELS): the walk holds a
+    # genuine level-s table whose entries point at level-(s-1) tables.
+    # Prefer s == 2 (PD entry) so the emitted counterexample matches the
+    # runtime sanitizer's level-confusion narrative.
+    for s in range(2, NUM_LEVELS + 1):
+        for start, end in hosts[s - 1]:
+            for p in range(start, end):
+                landing = _violating_landing(view, p, minimum_level=s)
+                if landing is None:
+                    continue
+                bit, landed, hosted = landing
+                confused = hosted - s + 2
+                return CheckResult(
+                    check="no-self-reference",
+                    verdict=Verdict.UNSAFE,
+                    detail=(
+                        "single-zone ZONE_PTP hosts every level at every "
+                        "pfn: one monotonic flip in a "
+                        f"{_LEVEL_NAMES[s]} entry redirects it onto a pfn "
+                        f"that may host a level-{hosted} table; the walk "
+                        "reads it one level down, and a genuine "
+                        f"{_LEVEL_NAMES[confused]} of level {confused} is "
+                        "interpreted as the leaf PT — its page-table "
+                        "pointers become user-visible PTEs"
+                    ),
+                    witness=_nsr_witness(s, p, bit, landed, hosted),
+                )
+    detail = (
+        "per-level PTP zones are strictly ordered (level L above level "
+        "L-1) and pointers are monotonic, so a corrupted pointer only "
+        "lands at levels below the one the walk expects: the actual "
+        "table level never exceeds the interpreted level, and no walk "
+        "reads a level >= 2 table as the leaf PT; corrupted leaf "
+        "pointers stay below the low water mark (submasks never grow — "
+        "the indicator-bit theorem)"
+        if any(z.pt_level for z in layout.zones_of(ZoneId.PTP))
+        else
+        "no strict submask of any reachable page-table pointer lands on "
+        "a pfn hosting a same-or-higher-level table, so level confusion "
+        "is unreachable and corrupted leaf pointers stay below the mark"
+    )
+    return CheckResult(
+        check="no-self-reference",
+        verdict=Verdict.SAFE,
+        detail=detail,
+    )
+
+
+def _violating_landing(
+    view: StaticLayout, pointer: int, minimum_level: int
+) -> Optional[Tuple[int, int, int]]:
+    """A strict-submask landing of ``pointer`` hostable at >= ``minimum_level``.
+
+    Returns ``(cleared_bit, landing_pfn, hosted_level)`` or ``None``.
+    """
+    for zone in view.layout.zones_of(ZoneId.PTP):
+        hostable = [lv for lv in _hosted_levels(zone) if lv >= minimum_level]
+        if not hostable:
+            continue
+        found = strict_submask_witness(
+            pointer, zone.start_pfn, zone.end_pfn - 1
+        )
+        if found is not None:
+            bit, landed = found
+            return (bit, landed, min(hostable))
+    return None
+
+
+def _nsr_witness(s: int, pointer: int, bit: int, landed: int, hosted: int) -> Witness:
+    """The concrete level-confusion counterexample trace."""
+    confused = hosted - s + 2
+    return Witness(
+        summary=(
+            f"level-{s} ({_LEVEL_NAMES[s]}) entry -> pfn {pointer:#x}; "
+            f"1 -> 0 flip clears bit {bit} -> pfn {landed:#x}, hostable as a "
+            f"level-{hosted} table; walk confuses it for level {s - 1} and "
+            f"reads a genuine {_LEVEL_NAMES[confused]} as the leaf PT"
+        ),
+        steps=(
+            {
+                "event": "walk",
+                "interpreted_level": s,
+                "occupant": f"level-{s} table ({_LEVEL_NAMES[s]})",
+                "entry_target_pfn": pointer,
+            },
+            {
+                "event": "corruption",
+                "direction": "1 -> 0 (true-cell, monotonic)",
+                "cleared_bit": bit,
+                "source_pfn": pointer,
+                "landing_pfn": landed,
+            },
+            {
+                "event": "level-confusion",
+                "interpreted_level": s - 1,
+                "occupant": f"level-{hosted} table",
+            },
+            {
+                "event": "violation",
+                "interpreted_level": 1,
+                "occupant": f"level-{confused} table ({_LEVEL_NAMES[confused]})",
+                "effect": "page-table pointers exposed as leaf PTEs",
+            },
+        ),
+    )
+
+
+def verify_config(
+    config: KernelConfig,
+    subject: str = "",
+    view: Optional[StaticLayout] = None,
+) -> VerificationReport:
+    """Model-check a kernel configuration's CTA layout.
+
+    ``view`` short-circuits layout reconstruction for callers that hold a
+    booted kernel (``StaticLayout.from_kernel``).
+    """
+    if view is None:
+        view = StaticLayout.from_config(config, name=subject)
+    checks = (
+        _check_rule1(view),
+        _check_rule2(view),
+        _check_monotonic(view),
+        _check_no_self_reference(view),
+    )
+    obs.inc("verify.config_checks", len(checks))
+    return VerificationReport(
+        engine="config",
+        subject=subject or view.name or "kernel-config",
+        checks=checks,
+        facts=view.describe(),
+    )

@@ -1,0 +1,184 @@
+"""Abstract domains shared by the two verification engines.
+
+- :class:`Interval` — integer intervals for per-row activation counts
+  (join/add/scale, the usual lattice operations).
+- :class:`RowSet` — a finite set of concrete rows plus a "may touch any
+  user row" top element, for touched-row abstraction where virtual lists
+  resolve through the config's address-space model.
+- Submask arithmetic (:func:`max_submask_le`, :func:`has_submask_in`,
+  :func:`has_strict_submask_in`) — the reachability primitive of the
+  No-Self-Reference model checker. A *monotonic* RowHammer corruption of
+  a true-cell pointer can only clear bits (1 -> 0), so the reachable
+  corrupted values of a pointer ``p`` are exactly the submasks of ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[lo, hi]`` (the count abstraction)."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise AnalysisError(f"empty interval [{self.lo}, {self.hi}]")
+
+    @classmethod
+    def point(cls, value: int) -> "Interval":
+        """The singleton interval ``[value, value]``."""
+        return cls(value, value)
+
+    def add(self, other: "Interval") -> "Interval":
+        """Sequential composition: counts add."""
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def scale(self, count: int) -> "Interval":
+        """A loop executing the body exactly ``count`` times."""
+        return Interval(self.lo * count, self.hi * count)
+
+    def join(self, other: "Interval") -> "Interval":
+        """Least upper bound (union hull) of two intervals."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def contains(self, value: int) -> bool:
+        """Whether a concrete count lies in the interval."""
+        return self.lo <= value <= self.hi
+
+    def to_list(self) -> List[int]:
+        """JSON rendering: ``[lo, hi]``."""
+        return [self.lo, self.hi]
+
+
+ZERO = Interval(0, 0)
+
+
+def add_counts(
+    left: Dict[int, Interval], right: Dict[int, Interval]
+) -> Dict[int, Interval]:
+    """Pointwise sequential composition of per-row count maps."""
+    result = dict(left)
+    for row, interval in right.items():
+        existing = result.get(row)
+        result[row] = interval if existing is None else existing.add(interval)
+    return result
+
+
+def scale_counts(counts: Dict[int, Interval], count: int) -> Dict[int, Interval]:
+    """Scale every row's count interval by a loop count."""
+    return {row: interval.scale(count) for row, interval in counts.items()}
+
+
+@dataclass(frozen=True)
+class RowSet:
+    """Touched-row abstraction: concrete rows, plus an any-user-row top.
+
+    ``user_top`` set means the payload may additionally touch *any* row
+    an ordinary (non-PTP) allocation can land in — how virtual-address
+    accesses are abstracted, since demand paging picks frames from the
+    ordinary zonelists (Rule 2 keeps them out of ZONE_PTP).
+    """
+
+    rows: FrozenSet[int] = frozenset()
+    user_top: bool = False
+
+    def union(self, other: "RowSet") -> "RowSet":
+        """Join of two touched-row abstractions."""
+        return RowSet(self.rows | other.rows, self.user_top or other.user_top)
+
+    def with_rows(self, rows: FrozenSet[int]) -> "RowSet":
+        """Add concrete rows."""
+        return RowSet(self.rows | rows, self.user_top)
+
+    def contains(self, row: int, user_rows: FrozenSet[int]) -> bool:
+        """Whether a concrete touched row is covered by the abstraction."""
+        if row in self.rows:
+            return True
+        return self.user_top and row in user_rows
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON rendering."""
+        return {"rows": sorted(self.rows), "user_top": self.user_top}
+
+
+# -- submask (monotonic-corruption) arithmetic ------------------------------
+def max_submask_le(value: int, bound: int) -> Optional[int]:
+    """The largest submask of ``value`` that is ``<= bound``.
+
+    A submask ``m`` of ``value`` satisfies ``m & value == m`` — the
+    reachable set of a monotonic 1 -> 0 corruption. Greedy from the high
+    bit: include each set bit of ``value`` iff doing so stays ``<=
+    bound``. Returns ``None`` when no submask qualifies (only when
+    ``bound < 0``, since 0 is a submask of everything).
+    """
+    if bound < 0:
+        return None
+    result = 0
+    for bit in reversed(range(max(value.bit_length(), 1))):
+        mask = 1 << bit
+        if value & mask and result | mask <= bound:
+            result |= mask
+    return result
+
+
+def has_submask_in(value: int, lo: int, hi: int) -> bool:
+    """Whether any submask of ``value`` lies in ``[lo, hi]`` (inclusive).
+
+    Holds iff the largest submask ``<= hi`` is still ``>= lo`` — the
+    greedy maximum dominates every other in-bound submask.
+    """
+    if lo > hi:
+        return False
+    best = max_submask_le(value, hi)
+    return best is not None and best >= lo
+
+
+def has_strict_submask_in(value: int, lo: int, hi: int) -> bool:
+    """Whether a *strict* submask of ``value`` (>= one bit cleared) lies
+    in ``[lo, hi]``.
+
+    Every strict submask of ``value`` is a submask of ``value`` with one
+    particular set bit cleared, so it suffices to test each single-bit
+    clearing with :func:`has_submask_in`.
+    """
+    bit = 0
+    remaining = value
+    while remaining:
+        if remaining & 1 and has_submask_in(value & ~(1 << bit), lo, hi):
+            return True
+        remaining >>= 1
+        bit += 1
+    return False
+
+
+def strict_submask_witness(
+    value: int, lo: int, hi: int
+) -> Optional[Tuple[int, int]]:
+    """A concrete ``(cleared_bit, landing_value)`` for
+    :func:`has_strict_submask_in`, or ``None``.
+
+    Prefers the single-bit-flip witness (exactly one bit cleared) when
+    one exists — the physically cheapest corruption — falling back to
+    the greedy multi-bit submask.
+    """
+    candidates: List[Tuple[int, int]] = []
+    bit = 0
+    remaining = value
+    while remaining:
+        if remaining & 1:
+            single = value & ~(1 << bit)
+            if lo <= single <= hi:
+                return (bit, single)
+            best = max_submask_le(single, hi)
+            if best is not None and best >= lo:
+                candidates.append((bit, best))
+        remaining >>= 1
+        bit += 1
+    return candidates[0] if candidates else None

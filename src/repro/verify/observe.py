@@ -1,0 +1,141 @@
+"""Dynamic observation harness backing the soundness contract.
+
+:func:`observe_payload` replays a payload through the executor's
+:func:`~repro.payload.executor.iter_steps` surface, recording what the
+run *actually* did — per-row activation counts and the set of rows
+touched by any access — while performing every operation for real
+(flips and all), so observations are taken under the same dynamics the
+production path sees.
+
+:func:`check_containment` then compares an :class:`ObservedBehavior`
+against a static :class:`~repro.verify.payload.PayloadAnalysis`:
+
+- every observed per-row activation count must lie inside the static
+  interval, and every observed touched row must be covered by the
+  touched-row abstraction (soundness: the abstraction over-approximates
+  reality);
+- conversely, every row the analysis claims is definitely activated
+  (``lo > 0``) must be observed (the IR's loop counts are constants, so
+  the activation abstraction is exact — a miss in either direction is a
+  bug).
+
+Any breach increments the ``verify.unsound`` canary counter, which the
+test suite asserts is zero; the hypothesis differential suite in
+``tests/test_verify_soundness_fuzz.py`` drives this with the fault
+plane armed and disarmed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from repro import obs
+from repro.payload.compiler import compile_program
+from repro.payload.executor import (
+    PayloadContext,
+    PendingBurst,
+    PendingRead,
+    PendingWrite,
+    align_refresh,
+    iter_steps,
+)
+from repro.payload.ir import PayloadProgram
+from repro.verify.payload import AddressSpaceModel, PayloadAnalysis
+
+
+@dataclass
+class ObservedBehavior:
+    """What one dynamic run of a payload actually did."""
+
+    acts: Dict[int, int] = field(default_factory=dict)
+    touched: Set[int] = field(default_factory=set)
+    flips: int = 0
+
+    def touched_rows(self) -> FrozenSet[int]:
+        """The observed touched-row set (activations included)."""
+        return frozenset(self.touched) | frozenset(self.acts)
+
+
+def observe_payload(
+    program: PayloadProgram, ctx: PayloadContext
+) -> ObservedBehavior:
+    """Execute ``program`` step-by-step, recording its concrete behaviour.
+
+    Every operation is performed for real through the context; the
+    recording sits between :func:`iter_steps` and ``perform()`` so the
+    observed counts are exactly what the batched path would issue.
+    """
+    module = ctx.require("module", "observation needs a DramModule for row math")
+    geometry = module.geometry
+    observed = ObservedBehavior()
+    compiled = compile_program(program)
+    align_refresh(ctx, program.refresh_align)
+    for step in iter_steps(compiled, ctx):
+        if isinstance(step, PendingBurst):
+            outcome = step.perform()
+            observed.acts[step.row] = (
+                observed.acts.get(step.row, 0) + step.activations
+            )
+            observed.touched.add(step.row)
+            observed.flips += outcome.flip_count
+        elif isinstance(step, PendingRead):
+            result = step.perform()
+            if step.space == "physical":
+                first = geometry.row_of_address(step.address)
+                last = geometry.row_of_address(
+                    step.address + max(step.length, 1) - 1
+                )
+                observed.touched.update(range(first, last + 1))
+            else:
+                # Kernel.touch returns the translated physical address.
+                observed.touched.add(geometry.row_of_address(int(result)))
+        elif isinstance(step, PendingWrite):
+            step.perform()
+            first = geometry.row_of_address(step.address)
+            last = geometry.row_of_address(
+                step.address + max(len(step.data), 1) - 1
+            )
+            observed.touched.update(range(first, last + 1))
+    return observed
+
+
+def check_containment(
+    analysis: PayloadAnalysis,
+    observed: ObservedBehavior,
+    model: AddressSpaceModel,
+) -> List[str]:
+    """Verify the static bounds contain the observed behaviour.
+
+    Returns a list of human-readable soundness problems (empty means the
+    contract holds) and increments the ``verify.unsound`` canary once
+    per problem found.
+    """
+    problems: List[str] = []
+    for row, count in observed.acts.items():
+        interval = analysis.acts.get(row)
+        if interval is None:
+            problems.append(
+                f"row {row} activated {count} times but absent from the "
+                "static activation map"
+            )
+        elif not interval.contains(count):
+            problems.append(
+                f"row {row} activated {count} times, outside static bound "
+                f"[{interval.lo}, {interval.hi}]"
+            )
+    for row, interval in analysis.acts.items():
+        if interval.lo > 0 and row not in observed.acts:
+            problems.append(
+                f"static analysis requires >= {interval.lo} activations of "
+                f"row {row}, but none were observed (exactness breach)"
+            )
+    for row in sorted(observed.touched_rows()):
+        if not analysis.touched.contains(row, model.user_rows):
+            problems.append(
+                f"row {row} touched dynamically but outside the static "
+                "touched-row abstraction"
+            )
+    if problems:
+        obs.inc("verify.unsound", len(problems))
+    return problems

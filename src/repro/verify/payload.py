@@ -1,0 +1,575 @@
+"""Sound abstract interpretation over :mod:`repro.payload.ir` programs.
+
+The interpreter runs the payload body once, symbolically, computing:
+
+- a **row-set domain**: which physical rows each named address list can
+  touch, with virtual lists resolved through a config-derived
+  :class:`AddressSpaceModel` (demand paging serves virtual pages from
+  the ordinary zonelists, so a virtual access abstracts to "any user
+  row" — Rule 2 keeps those out of ZONE_PTP);
+- a **per-row activation-count interval domain**: how many times each
+  row can be activated, composed sequentially (add), through loops
+  (scale by the constant count), and segmented by refresh-phase
+  alignment when the whole program fits in one refresh window;
+- a **window-peak bound**: the maximum activations of each row inside
+  any 64 ms refresh window, using a cycle cost model (ACT = one tRC,
+  NOP = its cycle count, accesses = one cycle each) — a loop longer
+  than the window cannot land all its activations in one window, which
+  is exactly the defence TRR/SoftTRR-style mitigations rely on.
+
+Because loop counts in the IR are constants, the activation abstraction
+is *exact*: the soundness suite checks containment in both directions.
+The simulator's dynamic semantics disturb memory only through
+``hammer()`` (READ/WRITE never flip bits), so burst rows and their
+per-row counts are the complete aggressor surface.
+
+From the analysis, :func:`verify_payload` derives three checks:
+
+``act-pre-discipline``
+    The ACT/PRE protocol holds on all loop paths (loop bodies walked
+    twice, so a row left open across an iteration boundary is caught).
+``ptp-adjacency``
+    No activatable row is inside ZONE_PTP or blast-radius adjacent
+    (same bank, +/- 1 row) to a ZONE_PTP row — the payload provably
+    cannot hammer page tables.
+``flip-threshold``
+    Every row's peak activations per refresh window stay below the
+    geometry's flip threshold. This is a *model-level* claim about
+    activation counts, not a guarantee about probabilistic flips; it is
+    deliberately outside the dynamic-containment soundness contract.
+
+Structural defects (unknown list names, wrong address space, indices
+out of range) raise :class:`~repro.errors.PayloadError` — they are
+malformed input (CLI exit 2), not verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.dram.geometry import DramGeometry
+from repro.errors import PayloadError
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.payload.ir import (
+    MAX_LOOP_DEPTH,
+    Act,
+    Instruction,
+    Loop,
+    Nop,
+    PayloadProgram,
+    Pre,
+    Read,
+    Write,
+)
+from repro.verify.config import StaticLayout
+from repro.verify.domain import Interval, RowSet, add_counts, scale_counts
+from repro.verify.verdict import CheckResult, VerificationReport, Verdict, Witness
+
+#: One refresh window (the JEDEC 64 ms retention interval), seconds.
+REFRESH_WINDOW_S = 0.064
+
+#: One ACT/PRE cycle (row cycle time tRC ~ 45 ns), seconds.
+TRC_S = 45e-9
+
+#: Activation capacity of one refresh window — no row can be activated
+#: more often than once per tRC, so this also caps every window peak.
+WINDOW_ACT_CAPACITY = int(REFRESH_WINDOW_S / TRC_S)
+
+#: Default per-window activation threshold below which no flip is
+#: possible in the model (a conservative HCfirst for DDR3/DDR4-era
+#: parts; real thresholds are per-geometry).
+DEFAULT_FLIP_THRESHOLD = 50_000
+
+
+@dataclass(frozen=True)
+class AddressSpaceModel:
+    """Config-derived abstraction of the address spaces a payload sees.
+
+    ``ptp_rows`` are the rows backing ZONE_PTP (the protected target);
+    ``user_rows`` are rows an ordinary allocation can land in — the
+    resolution of the virtual space under Rule 2.
+    """
+
+    geometry: DramGeometry
+    ptp_rows: FrozenSet[int] = frozenset()
+    user_rows: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def from_layout(cls, view: StaticLayout) -> "AddressSpaceModel":
+        """Derive the model from a statically reconstructed layout."""
+        return cls(
+            geometry=view.geometry,
+            ptp_rows=view.ptp_rows(),
+            user_rows=view.user_rows(),
+        )
+
+    @classmethod
+    def from_config(cls, config: KernelConfig) -> "AddressSpaceModel":
+        """Derive the model from a kernel configuration (no boot)."""
+        return cls.from_layout(StaticLayout.from_config(config))
+
+    @classmethod
+    def from_kernel(cls, kernel: Kernel) -> "AddressSpaceModel":
+        """Derive the model from a booted kernel's actual layout."""
+        return cls.from_layout(StaticLayout.from_kernel(kernel))
+
+    @classmethod
+    def from_geometry(cls, geometry: DramGeometry) -> "AddressSpaceModel":
+        """A kernel-less module: no ZONE_PTP, every row user-reachable."""
+        return cls(
+            geometry=geometry,
+            ptp_rows=frozenset(),
+            user_rows=frozenset(range(geometry.total_rows)),
+        )
+
+
+@dataclass(frozen=True)
+class PayloadAnalysis:
+    """The abstract-interpretation result for one payload program.
+
+    ``acts`` maps each activatable physical row to its activation-count
+    interval for the whole run; ``window_peaks`` bounds each row's
+    activations inside any one refresh window; ``origins`` names the
+    address list (and index) that first activates each row, for witness
+    traces; ``touched`` is the touched-row abstraction across all
+    instruction kinds.
+    """
+
+    program: PayloadProgram
+    acts: Mapping[int, Interval]
+    window_peaks: Mapping[int, int]
+    origins: Mapping[int, Tuple[str, int]]
+    touched: RowSet
+    total_cycles: int
+    phase: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (rendered into report facts)."""
+        return {
+            "rows": {
+                str(row): {
+                    "acts": self.acts[row].to_list(),
+                    "window_peak": self.window_peaks[row],
+                }
+                for row in sorted(self.acts)
+            },
+            "touched": self.touched.to_dict(),
+            "total_cycles": self.total_cycles,
+            "phase": self.phase,
+        }
+
+
+@dataclass(frozen=True)
+class _Summary:
+    """Compositional body summary (one per sub-tree of the payload)."""
+
+    cycles: int = 0
+    acts: Dict[int, Interval] = None  # type: ignore[assignment]
+    peaks: Dict[int, int] = None  # type: ignore[assignment]
+    rows: FrozenSet[int] = frozenset()
+    virtual: bool = False
+
+    def __post_init__(self) -> None:
+        if self.acts is None:
+            object.__setattr__(self, "acts", {})
+        if self.peaks is None:
+            object.__setattr__(self, "peaks", {})
+
+
+def _seq(left: _Summary, right: _Summary) -> _Summary:
+    """Sequential composition of two body summaries."""
+    acts = add_counts(left.acts, right.acts)
+    peaks: Dict[int, int] = {}
+    for row, interval in acts.items():
+        combined = left.peaks.get(row, 0) + right.peaks.get(row, 0)
+        peaks[row] = min(interval.hi, combined)
+    return _Summary(
+        cycles=left.cycles + right.cycles,
+        acts=acts,
+        peaks=peaks,
+        rows=left.rows | right.rows,
+        virtual=left.virtual or right.virtual,
+    )
+
+
+def _loop(body: _Summary, count: int) -> _Summary:
+    """A loop executing ``body`` exactly ``count`` times.
+
+    The window-peak bound: at most ``W // cycles + 2`` iterations can
+    intersect one refresh window (full iterations plus the two partial
+    ones at the edges), each contributing at most the body's total.
+    """
+    acts = scale_counts(body.acts, count)
+    window_iters = min(count, WINDOW_ACT_CAPACITY // max(body.cycles, 1) + 2)
+    peaks = {
+        row: min(interval.hi, window_iters * body.acts[row].hi)
+        for row, interval in acts.items()
+    }
+    return _Summary(
+        cycles=body.cycles * count,
+        acts=acts,
+        peaks=peaks,
+        rows=body.rows,
+        virtual=body.virtual,
+    )
+
+
+def _resolve_act_row(
+    program: PayloadProgram, model: AddressSpaceModel, ins: Act
+) -> int:
+    entry = program.lists.get(ins.list)
+    if entry is None:
+        raise PayloadError(f"ACT references unknown list {ins.list!r}")
+    if entry.space != "row":
+        raise PayloadError(
+            f"ACT list {ins.list!r} is {entry.space}-space; ACT needs rows"
+        )
+    if not 0 <= ins.index < len(entry.addresses):
+        raise PayloadError(
+            f"ACT index {ins.index} outside list {ins.list!r} "
+            f"({len(entry.addresses)} entries)"
+        )
+    row = entry.addresses[ins.index]
+    if not 0 <= row < model.geometry.total_rows:
+        raise PayloadError(
+            f"row {row} outside geometry ({model.geometry.total_rows} rows)"
+        )
+    return row
+
+
+def _access_rows(
+    model: AddressSpaceModel, addresses: Tuple[int, ...], length: int
+) -> FrozenSet[int]:
+    """Rows a physical READ/WRITE of ``length`` bytes per address spans."""
+    geometry = model.geometry
+    span = max(length, 1)
+    rows: set = set()
+    for address in addresses:
+        geometry.check_address(address)
+        geometry.check_address(address + span - 1)
+        rows.update(
+            range(
+                geometry.row_of_address(address),
+                geometry.row_of_address(address + span - 1) + 1,
+            )
+        )
+    return frozenset(rows)
+
+
+def _summarize(
+    program: PayloadProgram,
+    model: AddressSpaceModel,
+    body: Tuple[Instruction, ...],
+    origins: Dict[int, Tuple[str, int]],
+    depth: int = 0,
+) -> _Summary:
+    if depth > MAX_LOOP_DEPTH:
+        raise PayloadError(f"loop nesting exceeds {MAX_LOOP_DEPTH}")
+    summary = _Summary()
+    for ins in body:
+        if isinstance(ins, Act):
+            row = _resolve_act_row(program, model, ins)
+            origins.setdefault(row, (ins.list, ins.index))
+            step = _Summary(
+                cycles=1,
+                acts={row: Interval.point(1)},
+                peaks={row: 1},
+                rows=frozenset((row,)),
+            )
+        elif isinstance(ins, Pre):
+            step = _Summary()
+        elif isinstance(ins, Nop):
+            if ins.cycles < 0:
+                raise PayloadError(f"NOP cycles must be >= 0, got {ins.cycles}")
+            step = _Summary(cycles=ins.cycles)
+        elif isinstance(ins, Read):
+            entry = program.lists.get(ins.list)
+            if entry is None:
+                raise PayloadError(f"READ references unknown list {ins.list!r}")
+            if entry.space == "virtual":
+                step = _Summary(cycles=len(entry.addresses), virtual=True)
+            elif entry.space == "physical":
+                if ins.write:
+                    raise PayloadError(
+                        "READ write=True needs a virtual list, "
+                        f"{ins.list!r} is physical"
+                    )
+                step = _Summary(
+                    cycles=len(entry.addresses),
+                    rows=_access_rows(model, entry.addresses, ins.length),
+                )
+            else:
+                raise PayloadError(
+                    f"READ list {ins.list!r} is row-space; "
+                    "READ needs physical or virtual addresses"
+                )
+        elif isinstance(ins, Write):
+            entry = program.lists.get(ins.list)
+            if entry is None:
+                raise PayloadError(f"WRITE references unknown list {ins.list!r}")
+            if entry.space != "physical":
+                raise PayloadError(
+                    f"WRITE list {ins.list!r} is {entry.space}-space; "
+                    "WRITE needs physical addresses"
+                )
+            if not ins.pattern:
+                raise PayloadError("WRITE pattern must be non-empty")
+            step = _Summary(
+                cycles=len(entry.addresses),
+                rows=_access_rows(model, entry.addresses, len(ins.pattern)),
+            )
+        elif isinstance(ins, Loop):
+            if ins.count < 0:
+                raise PayloadError(f"loop count must be >= 0, got {ins.count}")
+            if ins.count == 0:
+                continue
+            inner = _summarize(program, model, ins.body, origins, depth + 1)
+            step = _loop(inner, ins.count)
+        else:
+            raise PayloadError(f"unknown instruction {ins!r}")
+        summary = _seq(summary, step)
+    return summary
+
+
+def analyze_payload(
+    program: PayloadProgram, model: AddressSpaceModel
+) -> PayloadAnalysis:
+    """Abstractly interpret ``program`` against ``model``.
+
+    Raises :class:`~repro.errors.PayloadError` on structural defects;
+    never executes the payload.
+    """
+    origins: Dict[int, Tuple[str, int]] = {}
+    summary = _summarize(program, model, program.body, origins)
+    peaks = {
+        row: min(peak, WINDOW_ACT_CAPACITY)
+        for row, peak in summary.peaks.items()
+    }
+    align = program.refresh_align
+    if align is not None and summary.cycles <= WINDOW_ACT_CAPACITY:
+        phase = f"phase {align.phase} (mod {align.modulus})"
+    else:
+        phase = "any-phase"
+    return PayloadAnalysis(
+        program=program,
+        acts=dict(summary.acts),
+        window_peaks=peaks,
+        origins=dict(origins),
+        touched=RowSet(rows=summary.rows | frozenset(summary.acts), user_top=summary.virtual),
+        total_cycles=summary.cycles,
+        phase=phase,
+    )
+
+
+# -- the three payload checks -----------------------------------------------
+def _walk_discipline(
+    body: Tuple[Instruction, ...],
+    path: str,
+    state: List[Optional[str]],
+    depth: int = 0,
+) -> Optional[Witness]:
+    """The ACT/PRE walk; ``state[0]`` is where the open row was ACTed."""
+    if depth > MAX_LOOP_DEPTH:
+        raise PayloadError(f"loop nesting exceeds {MAX_LOOP_DEPTH}")
+    for position, ins in enumerate(body):
+        here = f"{path}[{position}]"
+        if isinstance(ins, Act):
+            if state[0] is not None:
+                return Witness(
+                    summary=(
+                        f"ACT at {here} while the row opened at {state[0]} "
+                        "is still open (missing PRE)"
+                    ),
+                    steps=(
+                        {"event": "act", "path": state[0], "state": "row open"},
+                        {"event": "act", "path": here, "state": "violation"},
+                    ),
+                )
+            state[0] = here
+        elif isinstance(ins, Pre):
+            state[0] = None
+        elif isinstance(ins, Loop):
+            # Walk the body twice (count permitting) so a row left open
+            # across an iteration boundary is caught.
+            passes = min(ins.count, 2)
+            for iteration in range(passes):
+                witness = _walk_discipline(
+                    ins.body, f"{here}.loop", state, depth + 1
+                )
+                if witness is not None:
+                    return witness
+    return None
+
+
+def _check_discipline(program: PayloadProgram) -> CheckResult:
+    state: List[Optional[str]] = [None]
+    witness = _walk_discipline(program.body, "body", state)
+    if witness is not None:
+        return CheckResult(
+            check="act-pre-discipline",
+            verdict=Verdict.UNSAFE,
+            detail="an ACT can fire while another row is still open",
+            witness=witness,
+        )
+    if state[0] is not None:
+        return CheckResult(
+            check="act-pre-discipline",
+            verdict=Verdict.UNSAFE,
+            detail="the program ends with a row still open (missing PRE)",
+            witness=Witness(
+                summary=f"row opened at {state[0]} is never precharged",
+                steps=({"event": "act", "path": state[0], "state": "row open at exit"},),
+            ),
+        )
+    return CheckResult(
+        check="act-pre-discipline",
+        verdict=Verdict.SAFE,
+        detail=(
+            "every ACT fires with the bank precharged and the program "
+            "ends closed, on all loop paths"
+        ),
+    )
+
+
+def _check_adjacency(
+    analysis: PayloadAnalysis, model: AddressSpaceModel
+) -> CheckResult:
+    if not model.ptp_rows:
+        return CheckResult(
+            check="ptp-adjacency",
+            verdict=Verdict.SAFE,
+            detail=(
+                "vacuously safe: the layout has no ZONE_PTP rows (note this "
+                "also means page tables are unprotected — see the config "
+                "engine's verdicts)"
+            ),
+        )
+    geometry = model.geometry
+    for row in sorted(analysis.acts):
+        if analysis.acts[row].hi <= 0:
+            continue
+        victims = [row] if row in model.ptp_rows else []
+        victims += [n for n in geometry.neighbors(row) if n in model.ptp_rows]
+        if victims:
+            origin_list, origin_index = analysis.origins.get(row, ("?", 0))
+            victim = victims[0]
+            relation = "inside ZONE_PTP" if victim == row else "adjacent to ZONE_PTP"
+            return CheckResult(
+                check="ptp-adjacency",
+                verdict=Verdict.UNSAFE,
+                detail=(
+                    f"row {row} (ACTed via list {origin_list!r}[{origin_index}]) "
+                    f"is {relation}: activations there can disturb "
+                    f"page-table row {victim}"
+                ),
+                witness=Witness(
+                    summary=(
+                        f"aggressor row {row} -> ZONE_PTP victim row {victim} "
+                        f"(up to {analysis.acts[row].hi} activations)"
+                    ),
+                    steps=(
+                        {
+                            "event": "aggressor",
+                            "row": row,
+                            "list": origin_list,
+                            "index": origin_index,
+                            "activations_hi": analysis.acts[row].hi,
+                        },
+                        {
+                            "event": "victim",
+                            "row": victim,
+                            "zone": "ZONE_PTP",
+                            "relation": relation,
+                        },
+                    ),
+                ),
+            )
+    return CheckResult(
+        check="ptp-adjacency",
+        verdict=Verdict.SAFE,
+        detail=(
+            "no activatable row lies inside or blast-radius adjacent to "
+            "ZONE_PTP: the payload cannot hammer page-table rows"
+        ),
+    )
+
+
+def _check_flip_threshold(
+    analysis: PayloadAnalysis, threshold: int
+) -> CheckResult:
+    worst_row: Optional[int] = None
+    worst_peak = -1
+    for row, peak in analysis.window_peaks.items():
+        if peak > worst_peak:
+            worst_row, worst_peak = row, peak
+    if worst_row is not None and worst_peak >= threshold:
+        return CheckResult(
+            check="flip-threshold",
+            verdict=Verdict.UNSAFE,
+            detail=(
+                f"row {worst_row} can see {worst_peak} activations inside "
+                f"one {int(REFRESH_WINDOW_S * 1000)} ms refresh window, at "
+                f"or above the flip threshold ({threshold})"
+            ),
+            witness=Witness(
+                summary=(
+                    f"window peak {worst_peak} >= threshold {threshold} "
+                    f"on row {worst_row}"
+                ),
+                steps=(
+                    {
+                        "event": "window-peak",
+                        "row": worst_row,
+                        "activations": worst_peak,
+                        "threshold": threshold,
+                        "window_ms": int(REFRESH_WINDOW_S * 1000),
+                    },
+                ),
+            ),
+        )
+    peak_note = (
+        f"worst row peaks at {worst_peak} activations"
+        if worst_row is not None
+        else "the payload performs no activations"
+    )
+    return CheckResult(
+        check="flip-threshold",
+        verdict=Verdict.SAFE,
+        detail=(
+            f"every row stays below the flip threshold ({threshold}) in "
+            f"every refresh window; {peak_note}"
+        ),
+    )
+
+
+def verify_payload(
+    program: PayloadProgram,
+    model: AddressSpaceModel,
+    threshold: int = DEFAULT_FLIP_THRESHOLD,
+    subject: str = "",
+) -> VerificationReport:
+    """Run all payload checks against the address-space model.
+
+    Raises :class:`~repro.errors.PayloadError` for structurally malformed
+    programs (the CLI's exit-2 path); verdicts are reserved for
+    well-formed programs whose *behaviour* is at issue.
+    """
+    analysis = analyze_payload(program, model)
+    checks = (
+        _check_discipline(program),
+        _check_adjacency(analysis, model),
+        _check_flip_threshold(analysis, threshold),
+    )
+    obs.inc("verify.payload_checks", len(checks))
+    facts: Dict[str, Any] = dict(analysis.to_dict())
+    facts["digest"] = program.digest()
+    facts["window_act_capacity"] = WINDOW_ACT_CAPACITY
+    facts["flip_threshold"] = threshold
+    return VerificationReport(
+        engine="payload",
+        subject=subject or f"{program.name} ({program.digest()})",
+        checks=checks,
+        facts=facts,
+    )

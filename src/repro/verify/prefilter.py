@@ -1,0 +1,165 @@
+"""Campaign-facing verification: verdict summaries and pre-filtering.
+
+``repro chaos`` records a per-payload verdict summary in each segment
+report (:func:`payload_verdict_summary`), and batch runners can skip
+*provably harmless* payloads entirely (:func:`execute_batch` with
+``prefilter=True``).
+
+"Provably harmless" is a purely structural property of the compiled
+payload: it contains no bursts, no writes, and no virtual accesses —
+only physical reads and idle cycles, none of which can change simulator
+state (reads never flip bits and fault nothing in). Skipping such a
+payload therefore cannot change any downstream result, and
+:class:`BatchReport` is designed so the merged report is byte-identical
+between a prefiltered and an unfiltered run: merged totals count only
+state-changing work (activations, bursts, flips, writes — a harmless
+payload contributes zero to each), and per-payload entries carry only
+static facts (digest, name, harmlessness, verdict). Observability
+counters (``payload.executions`` etc.) *do* differ — the filter's whole
+point is to not execute — which is why they are not part of the report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import PayloadError
+from repro.kernel.kernel import Kernel
+from repro.payload.compiler import Burst, ReadBatch, WriteBatch, compile_program
+from repro.payload.executor import PayloadContext, PayloadResult, run
+from repro.payload.ir import PayloadProgram
+from repro.verify.payload import (
+    DEFAULT_FLIP_THRESHOLD,
+    AddressSpaceModel,
+    verify_payload,
+)
+
+
+def is_provably_harmless(program: PayloadProgram) -> bool:
+    """Whether the payload provably cannot change simulator state.
+
+    True iff the compiled form performs no activations, no writes, and
+    no virtual accesses — only physical reads and NOP cycles remain, and
+    neither mutates DRAM, page tables, or any kernel structure.
+    """
+    compiled = compile_program(program)
+    for step in compiled.steps:
+        if isinstance(step, (Burst, WriteBatch)):
+            return False
+        if isinstance(step, ReadBatch) and step.space != "physical":
+            return False
+    return True
+
+
+def _resolve_model(
+    source: Union[Kernel, AddressSpaceModel]
+) -> AddressSpaceModel:
+    if isinstance(source, AddressSpaceModel):
+        return source
+    return AddressSpaceModel.from_kernel(source)
+
+
+def payload_verdict_summary(
+    programs: Sequence[PayloadProgram],
+    source: Union[Kernel, AddressSpaceModel],
+    threshold: int = DEFAULT_FLIP_THRESHOLD,
+) -> List[Dict[str, Any]]:
+    """Static verdicts for a batch of payloads, one entry per digest.
+
+    Returns plain JSON-able dicts (campaign workers ship these across
+    process boundaries). Duplicate payloads — attacks re-execute the
+    same program every iteration — collapse to one entry, first-seen
+    order. A structurally malformed payload yields an ``error`` entry
+    instead of propagating (campaign reports must not die on one bad
+    payload).
+    """
+    model = _resolve_model(source)
+    entries: List[Dict[str, Any]] = []
+    seen: Dict[str, None] = {}
+    for program in programs:
+        digest = program.digest()
+        if digest in seen:
+            continue
+        seen[digest] = None
+        entry: Dict[str, Any] = {"digest": digest, "name": program.name}
+        try:
+            report = verify_payload(program, model, threshold=threshold)
+            entry["harmless"] = is_provably_harmless(program)
+            entry["overall"] = report.overall.value
+            entry["unsafe_checks"] = sorted(
+                c.check for c in report.unsafe_checks()
+            )
+        except PayloadError as exc:
+            entry["error"] = str(exc)
+        entries.append(entry)
+    return entries
+
+
+@dataclass
+class BatchReport:
+    """Merged result of executing (or skipping) a batch of payloads."""
+
+    payloads: List[Dict[str, Any]] = field(default_factory=list)
+    merged: Dict[str, int] = field(
+        default_factory=lambda: {
+            "activations": 0,
+            "bursts": 0,
+            "flips": 0,
+            "writes": 0,
+        }
+    )
+
+    def absorb(self, result: PayloadResult) -> None:
+        """Fold one execution's state-changing work into the totals."""
+        self.merged["activations"] += result.activations
+        self.merged["bursts"] += result.bursts
+        self.merged["flips"] += result.flips_induced
+        self.merged["writes"] += result.writes
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; identical with and without prefiltering.
+
+        Only static per-payload facts and state-changing totals appear —
+        no skipped flags, no runtime statistics — so prefiltering
+        provably harmless payloads cannot perturb the bytes.
+        """
+        return {"merged": dict(self.merged), "payloads": list(self.payloads)}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Stable JSON rendering (the byte-identity surface)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def execute_batch(
+    programs: Sequence[PayloadProgram],
+    ctx: PayloadContext,
+    source: Union[Kernel, AddressSpaceModel],
+    prefilter: bool = False,
+    threshold: int = DEFAULT_FLIP_THRESHOLD,
+) -> BatchReport:
+    """Run a payload batch, optionally skipping provably harmless ones.
+
+    With ``prefilter=True``, payloads :func:`is_provably_harmless`
+    deems inert are never executed; the returned report is nonetheless
+    byte-identical (``to_json``) to the unfiltered run whenever those
+    payloads indeed cause no state change — which harmlessness proves.
+    """
+    model = _resolve_model(source)
+    report = BatchReport()
+    for program in programs:
+        harmless = is_provably_harmless(program)
+        verdict = verify_payload(program, model, threshold=threshold)
+        report.payloads.append(
+            {
+                "digest": program.digest(),
+                "name": program.name,
+                "harmless": harmless,
+                "overall": verdict.overall.value,
+            }
+        )
+        if prefilter and harmless:
+            continue
+        report.absorb(run(program, ctx))
+    return report

@@ -1,0 +1,169 @@
+"""The shared verdict/witness format both verification engines emit.
+
+A verification run produces a :class:`VerificationReport`: an ordered
+list of named checks, each :data:`SAFE`, :data:`UNSAFE`, or
+:data:`UNKNOWN`. ``UNSAFE`` checks carry a :class:`Witness` — a concrete
+trace (list of structured steps) demonstrating the violation, e.g. the
+single-zone level-confusion counterexample or the instruction path that
+activates a ZONE_PTP-adjacent row.
+
+Verdict semantics (the soundness contract):
+
+``SAFE``
+    The property holds for *every* behaviour in the abstraction — a
+    proof, not an observation. A SAFE verdict contradicted by a dynamic
+    run is a soundness bug (the ``verify.unsound`` canary).
+``UNSAFE``
+    A concrete counterexample exists *in the model*; the witness shows
+    it. The modelled behaviour may still be probabilistic at runtime
+    (a flip threshold crossed does not guarantee a flip).
+``UNKNOWN``
+    The abstraction cannot decide (e.g. a state space past the
+    exhaustive-enumeration bound). Never silently treated as SAFE;
+    ``--strict`` promotes it to a failure.
+
+Reports serialise to stable JSON (sorted keys) so golden files under
+``tests/data/verdicts/`` can be diffed byte-for-byte in CI.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+class Verdict(enum.Enum):
+    """Outcome of one static check."""
+
+    SAFE = "SAFE"
+    UNSAFE = "UNSAFE"
+    UNKNOWN = "UNKNOWN"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Severity order for aggregating checks into one overall verdict.
+_SEVERITY = {Verdict.SAFE: 0, Verdict.UNKNOWN: 1, Verdict.UNSAFE: 2}
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A concrete counterexample trace backing an UNSAFE verdict.
+
+    ``steps`` is an ordered list of structured events; each step is a
+    flat mapping of JSON-able values (ints, strings). ``summary`` is the
+    one-line human rendering the CLI prints.
+    """
+
+    summary: str
+    steps: Tuple[Mapping[str, Any], ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation with stable step ordering."""
+        return {
+            "summary": self.summary,
+            "steps": [dict(sorted(step.items())) for step in self.steps],
+        }
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One named check: verdict, explanation, optional witness."""
+
+    check: str
+    verdict: Verdict
+    detail: str
+    witness: Optional[Witness] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        data: Dict[str, Any] = {
+            "check": self.check,
+            "verdict": self.verdict.value,
+            "detail": self.detail,
+        }
+        data["witness"] = None if self.witness is None else self.witness.to_dict()
+        return data
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """All checks for one subject (a payload digest or a config name).
+
+    ``facts`` carries engine-specific derived data worth surfacing
+    (per-row activation bounds, zone counts, ...) — stable JSON, purely
+    informational, never part of the verdict aggregation.
+    """
+
+    engine: str
+    subject: str
+    checks: Tuple[CheckResult, ...]
+    facts: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def overall(self) -> Verdict:
+        """Worst verdict across all checks (SAFE < UNKNOWN < UNSAFE)."""
+        worst = Verdict.SAFE
+        for check in self.checks:
+            if _SEVERITY[check.verdict] > _SEVERITY[worst]:
+                worst = check.verdict
+        return worst
+
+    def unsafe_checks(self) -> List[CheckResult]:
+        """The checks that found a counterexample."""
+        return [c for c in self.checks if c.verdict is Verdict.UNSAFE]
+
+    def unknown_checks(self) -> List[CheckResult]:
+        """The checks the abstraction could not decide."""
+        return [c for c in self.checks if c.verdict is Verdict.UNKNOWN]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (stable ordering throughout)."""
+        return {
+            "engine": self.engine,
+            "subject": self.subject,
+            "overall": self.overall.value,
+            "checks": [c.to_dict() for c in self.checks],
+            "facts": _stable(self.facts),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Stable JSON rendering (the golden-file / ``--json`` format)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format_text(self) -> str:
+        """The CLI's human rendering: one line per check plus witnesses."""
+        lines = [f"{self.engine} verification of {self.subject}: {self.overall.value}"]
+        for check in self.checks:
+            lines.append(f"  [{check.verdict.value:7s}] {check.check}: {check.detail}")
+            if check.witness is not None:
+                lines.append(f"    witness: {check.witness.summary}")
+                for step in check.witness.steps:
+                    rendered = ", ".join(
+                        f"{key}={value}" for key, value in sorted(step.items())
+                    )
+                    lines.append(f"      - {rendered}")
+        return "\n".join(lines)
+
+
+def _stable(value: Any) -> Any:
+    """Recursively convert mappings/sequences into JSON-stable structures."""
+    if isinstance(value, Mapping):
+        return {str(k): _stable(v) for k, v in sorted(value.items(), key=lambda i: str(i[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_stable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_stable(v) for v in value)
+    return value
+
+
+def worst_of(verdicts: Sequence[Verdict]) -> Verdict:
+    """Aggregate verdicts by severity; empty input is SAFE (no checks failed)."""
+    worst = Verdict.SAFE
+    for verdict in verdicts:
+        if _SEVERITY[verdict] > _SEVERITY[worst]:
+            worst = verdict
+    return worst

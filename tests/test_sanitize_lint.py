@@ -351,6 +351,43 @@ class TestRL009PayloadCompiled:
         assert self._rules_at(src, path="src/repro/perf/bench.py") == []
 
 
+class TestRL010PayloadValidated:
+    ATTACK_PATH = "src/repro/attacks/templating.py"
+
+    def _rules_at(self, source, path=ATTACK_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_bare_constructor_flagged(self):
+        src = "program = PayloadProgram(name='x', lists={}, body=())\n"
+        assert self._rules_at(src) == ["RL010"]
+
+    def test_validated_constructor_is_clean(self):
+        src = (
+            "program = validate_program("
+            "PayloadProgram(name='x', lists={}, body=()))\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_helper_built_program_is_clean(self):
+        # Programs from repro.payload.programs helpers are validated at
+        # the source; no constructor appears, nothing to flag.
+        src = "program = builtin_payload('sweep')\n"
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "program = PayloadProgram(name='x', lists={}, body=())"
+            "  # repro-lint: ignore[RL010] — invalid-on-purpose fixture\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_attacks(self):
+        src = "program = PayloadProgram(name='x', lists={}, body=())\n"
+        assert self._rules_at(src, path="src/repro/payload/programs.py") == []
+        assert self._rules_at(src, path="tests/test_payload_dsl.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -359,7 +396,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009",
+            "RL008", "RL009", "RL010",
         }
 
     def test_syntax_error_propagates(self):

@@ -1,0 +1,129 @@
+"""The ``repro verify`` exit-code contract and the golden verdict files.
+
+Exit 0: proven SAFE (or UNKNOWN without ``--strict``). Exit 1: UNSAFE,
+with the witness printed. Exit 2: malformed input, one-line ``repro:
+error:`` on stderr — mirroring the rest of the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.payload import Act, AddressList, Loop, PayloadProgram, Pre
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "verdicts"
+
+
+def _unsafe_hammer_json():
+    program = PayloadProgram(
+        name="over-threshold",
+        lists={"rows": AddressList((8,), space="row")},
+        body=(Loop(2_000_000, (Act("rows", 0), Pre())),),
+    )
+    return program.to_json()
+
+
+class TestExitZeroSafe:
+    def test_config_multilevel(self, capsys):
+        assert main(["verify", "config", "--config", "cta-multilevel"]) == 0
+        out = capsys.readouterr().out
+        assert "SAFE" in out
+        assert "no-self-reference" in out
+
+    def test_builtin_payload(self, capsys):
+        assert main(["verify", "payload", "--builtin", "template"]) == 0
+        out = capsys.readouterr().out
+        assert "act-pre-discipline" in out
+        assert "UNSAFE" not in out
+
+    def test_strict_does_not_change_safe(self):
+        assert main(["verify", "payload", "--builtin", "sweep", "--strict"]) == 0
+
+
+class TestExitOneUnsafe:
+    def test_single_zone_config(self, capsys):
+        assert main(["verify", "config", "--config", "cta"]) == 1
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out
+        assert "witness:" in out  # the counterexample is printed
+        assert "1 -> 0" in out
+
+    def test_unsafe_payload_file(self, tmp_path, capsys):
+        payload = tmp_path / "hot.json"
+        payload.write_text(_unsafe_hammer_json(), encoding="utf-8")
+        assert main(["verify", "payload", str(payload), "--config", "cta"]) == 1
+        out = capsys.readouterr().out
+        assert "flip-threshold" in out
+        assert "witness:" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["verify", "config", "--config", "cta", "--json"]) == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["overall"] == "UNSAFE"
+
+
+class TestExitTwoMalformed:
+    def test_unknown_config(self, capsys):
+        assert main(["verify", "config", "--config", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "unknown config" in err
+
+    def test_unknown_builtin(self, capsys):
+        assert main(["verify", "payload", "--builtin", "nope"]) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_no_payload_given(self, capsys):
+        assert main(["verify", "payload"]) == 2
+        err = capsys.readouterr().err
+        assert "payload file or --builtin" in err
+
+    def test_structurally_bad_payload_file(self, tmp_path, capsys):
+        program = PayloadProgram(
+            name="bad",
+            lists={"rows": AddressList((1,), space="row")},
+            body=(Act("rows", 99), Pre()),  # index out of range
+        )
+        payload = tmp_path / "bad.json"
+        payload.write_text(program.to_json(), encoding="utf-8")
+        assert main(["verify", "payload", str(payload)]) == 2
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+
+class TestGoldenVerdicts:
+    """The committed verdict JSONs are what the CLI emits today; CI
+    diffs them on every run, these tests do the same offline."""
+
+    @pytest.mark.parametrize(
+        "name", ["sweep", "aligned", "readback", "template"]
+    )
+    def test_payload_goldens(self, name, capsys):
+        golden = (GOLDEN_DIR / f"payload_{name}_cta.json").read_text(
+            encoding="utf-8"
+        )
+        assert main(
+            ["verify", "payload", "--builtin", name, "--config", "cta", "--json"]
+        ) == 0
+        assert capsys.readouterr().out == golden
+
+    @pytest.mark.parametrize(
+        "config,exit_code",
+        [("cta-multilevel", 0), ("cta", 1)],
+    )
+    def test_config_goldens(self, config, exit_code, capsys):
+        golden = (GOLDEN_DIR / f"config_{config}.json").read_text(
+            encoding="utf-8"
+        )
+        assert main(
+            ["verify", "config", "--config", config, "--json"]
+        ) == exit_code
+        assert capsys.readouterr().out == golden
+
+
+class TestStatsSurfacing:
+    def test_verify_counters_in_stats(self, capsys):
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "verify.config_checks" in out
+        assert "verify.payload_checks" in out

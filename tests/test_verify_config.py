@@ -1,0 +1,166 @@
+"""The config model checker: Rule 1/2 containment, monotonic orientation,
+and the No-Self-Reference proof over all reachable page-table placements."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify import NAMED_CONFIGS, StaticLayout, named_config, verify_config
+from repro.verify.domain import (
+    Interval,
+    has_strict_submask_in,
+    has_submask_in,
+    max_submask_le,
+    strict_submask_witness,
+)
+from repro.verify.verdict import Verdict
+
+from tests.conftest import make_cta_kernel
+
+
+def _check(report, name):
+    matches = [c for c in report.checks if c.check == name]
+    assert len(matches) == 1, f"check {name!r} missing from {report.subject}"
+    return matches[0]
+
+
+CHECK_NAMES = (
+    "rule1-containment",
+    "rule2-containment",
+    "monotonic-orientation",
+    "no-self-reference",
+)
+
+
+class TestNamedConfigs:
+    def test_registry_names(self):
+        assert set(NAMED_CONFIGS) == {
+            "stock", "cta", "cta-multilevel", "cta-anticell",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown config"):
+            named_config("nope")
+
+    def test_report_runs_all_checks(self):
+        report = verify_config(named_config("cta"), subject="cta")
+        assert tuple(c.check for c in report.checks) == CHECK_NAMES
+
+
+class TestMultilevelProvenSafe:
+    """The paper's Section 7 layout: one PTP zone per level, NSR holds."""
+
+    def test_all_checks_safe(self):
+        report = verify_config(named_config("cta-multilevel"))
+        assert report.overall is Verdict.SAFE
+        for name in CHECK_NAMES:
+            assert _check(report, name).verdict is Verdict.SAFE
+
+    def test_nsr_is_a_proof_not_a_sample(self):
+        # The check enumerates every hosted pfn and every strict submask
+        # landing; SAFE here means no witness exists, not none was found
+        # in a sampled subset.
+        report = verify_config(named_config("cta-multilevel"))
+        nsr = _check(report, "no-self-reference")
+        assert nsr.verdict is Verdict.SAFE
+        assert nsr.witness is None
+
+
+class TestSingleZoneCounterexample:
+    """Single-zone CTA: the level-confusion channel PR 2's sanitizer sees
+    dynamically is emitted here as a static counterexample."""
+
+    def test_containment_and_orientation_hold(self):
+        report = verify_config(named_config("cta"))
+        assert _check(report, "rule1-containment").verdict is Verdict.SAFE
+        assert _check(report, "rule2-containment").verdict is Verdict.SAFE
+        assert _check(report, "monotonic-orientation").verdict is Verdict.SAFE
+
+    def test_nsr_unsafe_with_concrete_witness(self):
+        report = verify_config(named_config("cta"))
+        assert report.overall is Verdict.UNSAFE
+        nsr = _check(report, "no-self-reference")
+        assert nsr.verdict is Verdict.UNSAFE
+        witness = nsr.witness
+        assert witness is not None
+        events = [step["event"] for step in witness.steps]
+        assert events == ["walk", "corruption", "level-confusion", "violation"]
+        corruption = witness.steps[1]
+        # A single monotonic 1 -> 0 flip: landing is a strict submask.
+        assert corruption["direction"].startswith("1 -> 0")
+        source, landed = corruption["source_pfn"], corruption["landing_pfn"]
+        assert landed == source & ~(1 << corruption["cleared_bit"])
+        assert landed < source
+
+    def test_witness_lands_inside_ptp(self):
+        report = verify_config(named_config("cta"))
+        landed = _check(report, "no-self-reference").witness.steps[1][
+            "landing_pfn"
+        ]
+        mark = report.facts["low_water_mark_pfn"]
+        assert landed >= mark
+
+
+class TestDegradedConfigs:
+    def test_stock_fails_everything(self):
+        report = verify_config(named_config("stock"))
+        assert report.overall is Verdict.UNSAFE
+        for name in CHECK_NAMES:
+            assert _check(report, name).verdict is Verdict.UNSAFE
+
+    def test_anticell_breaks_orientation(self):
+        # cell_aware=False lets ZONE_PTP land on anti-cell rows, where
+        # pointers can flip 0 -> 1 (upward): monotonicity is gone and
+        # with it the NSR argument.
+        report = verify_config(named_config("cta-anticell"))
+        mono = _check(report, "monotonic-orientation")
+        assert mono.verdict is Verdict.UNSAFE
+        assert mono.witness is not None
+        assert _check(report, "no-self-reference").verdict is Verdict.UNSAFE
+
+
+class TestStaticLayout:
+    def test_from_kernel_matches_from_config(self):
+        kernel = make_cta_kernel()
+        live = StaticLayout.from_kernel(kernel)
+        modelled = StaticLayout.from_config(kernel.config)
+        assert live.ptp_rows() == modelled.ptp_rows()
+        assert live.describe() == modelled.describe()
+
+    def test_describe_facts(self):
+        facts = StaticLayout.from_config(named_config("cta")).describe()
+        assert facts["total_pages"] * 4096 == named_config("cta").total_bytes
+        assert any(z["name"].startswith("ZONE_PTP") for z in facts["zones"])
+
+
+class TestSubmaskDomain:
+    """The closed-form core of the NSR check."""
+
+    def test_max_submask_le(self):
+        assert max_submask_le(0b1011, 0b1011) == 0b1011
+        assert max_submask_le(0b1011, 0b1010) == 0b1010
+        assert max_submask_le(0b1011, 0b0111) == 0b0011
+        assert max_submask_le(0b1000, 0b0111) == 0  # 0 is always a submask
+        assert max_submask_le(0b1000, -1) is None
+
+    def test_has_submask_in(self):
+        assert has_submask_in(0b1010, 0b1000, 0b1010)
+        assert not has_submask_in(0b1000, 0b0001, 0b0111)
+
+    def test_strict_submask_excludes_value_itself(self):
+        assert not has_strict_submask_in(0b100, 0b100, 0b100)
+        assert has_strict_submask_in(0b101, 0b100, 0b100)
+
+    def test_witness_is_single_bit_when_possible(self):
+        found = strict_submask_witness(0b1011, 0b1001, 0b1011)
+        assert found is not None
+        bit, landing = found
+        assert landing == 0b1011 & ~(1 << bit)
+
+    def test_interval_ops(self):
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            Interval(lo=3, hi=2)
+        assert Interval.point(4).add(Interval(1, 2)).to_list() == [5, 6]
+        assert Interval(1, 2).scale(3).to_list() == [3, 6]
+        assert Interval(1, 2).join(Interval(5, 9)).contains(4)

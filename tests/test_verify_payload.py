@@ -1,0 +1,276 @@
+"""The payload abstract interpreter: SAFE proofs for the builtins, concrete
+witnesses for unsafe shapes, and exit-2 structural rejection."""
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.errors import PayloadError
+from repro.payload import (
+    Act,
+    AddressList,
+    Loop,
+    Nop,
+    PayloadProgram,
+    Pre,
+    Read,
+    RefreshAlign,
+    Write,
+    builtin_payload,
+)
+from repro.units import MIB
+from repro.verify import (
+    DEFAULT_FLIP_THRESHOLD,
+    WINDOW_ACT_CAPACITY,
+    AddressSpaceModel,
+    analyze_payload,
+    named_config,
+    verify_payload,
+)
+from repro.verify.verdict import Verdict
+
+CTA_MODEL = AddressSpaceModel.from_config(named_config("cta"))
+#: First ZONE_PTP row under the cta config (mark pfn 7168, 4 pages/row).
+PTP_FIRST_ROW = min(CTA_MODEL.ptp_rows)
+
+
+def _check(report, name):
+    matches = [c for c in report.checks if c.check == name]
+    assert len(matches) == 1
+    return matches[0]
+
+
+def _hammer(row, count, align=None):
+    """A minimal well-formed single-row hammer loop."""
+    return PayloadProgram(
+        name="probe",
+        lists={"rows": AddressList((row,), space="row")},
+        body=(Loop(count, (Act("rows", 0), Pre())),),
+        refresh_align=align,
+    )
+
+
+class TestBuiltinsProvenSafe:
+    @pytest.mark.parametrize(
+        "name", ["sweep", "aligned", "readback", "template"]
+    )
+    def test_builtin_safe_under_cta(self, name):
+        report = verify_payload(builtin_payload(name), CTA_MODEL)
+        assert report.overall is Verdict.SAFE
+        assert report.unsafe_checks() == []
+        assert report.unknown_checks() == []
+
+    def test_report_carries_analysis_facts(self):
+        report = verify_payload(builtin_payload("sweep"), CTA_MODEL)
+        assert report.facts["digest"] == builtin_payload("sweep").digest()
+        assert report.facts["flip_threshold"] == DEFAULT_FLIP_THRESHOLD
+        assert report.facts["window_act_capacity"] == WINDOW_ACT_CAPACITY
+
+
+class TestFlipThreshold:
+    def test_over_threshold_unsafe_with_window_witness(self):
+        report = verify_payload(_hammer(row=8, count=2_000_000), CTA_MODEL)
+        check = _check(report, "flip-threshold")
+        assert check.verdict is Verdict.UNSAFE
+        step = check.witness.steps[0]
+        assert step["event"] == "window-peak"
+        assert step["row"] == 8
+        # The single-row tight loop saturates the 64 ms window capacity.
+        assert step["activations"] == WINDOW_ACT_CAPACITY
+        assert step["activations"] >= DEFAULT_FLIP_THRESHOLD
+
+    def test_peak_is_window_bounded_not_total(self):
+        # 2M activations total, but a refresh window only fits
+        # WINDOW_ACT_CAPACITY of them: the peak must not be the total.
+        analysis = analyze_payload(_hammer(row=8, count=2_000_000), CTA_MODEL)
+        assert analysis.acts[8].lo == 2_000_000
+        assert analysis.window_peaks[8] == WINDOW_ACT_CAPACITY
+
+    def test_custom_threshold(self):
+        report = verify_payload(
+            _hammer(row=8, count=100), CTA_MODEL, threshold=50
+        )
+        assert _check(report, "flip-threshold").verdict is Verdict.UNSAFE
+
+
+class TestPtpAdjacency:
+    def test_row_adjacent_to_ptp_unsafe(self):
+        report = verify_payload(_hammer(PTP_FIRST_ROW - 1, count=10), CTA_MODEL)
+        check = _check(report, "ptp-adjacency")
+        assert check.verdict is Verdict.UNSAFE
+        aggressor, victim = check.witness.steps
+        assert aggressor["event"] == "aggressor"
+        assert aggressor["row"] == PTP_FIRST_ROW - 1
+        assert aggressor["list"] == "rows"
+        assert victim == {
+            "event": "victim",
+            "row": PTP_FIRST_ROW,
+            "zone": "ZONE_PTP",
+            "relation": "adjacent to ZONE_PTP",
+        }
+
+    def test_row_inside_ptp_unsafe(self):
+        report = verify_payload(_hammer(PTP_FIRST_ROW, count=10), CTA_MODEL)
+        check = _check(report, "ptp-adjacency")
+        assert check.verdict is Verdict.UNSAFE
+        assert "inside ZONE_PTP" in check.detail
+
+    def test_distant_row_safe(self):
+        report = verify_payload(_hammer(8, count=10), CTA_MODEL)
+        assert _check(report, "ptp-adjacency").verdict is Verdict.SAFE
+
+    def test_vacuous_without_ptp_rows(self):
+        stock = AddressSpaceModel.from_config(named_config("stock"))
+        assert not stock.ptp_rows
+        report = verify_payload(_hammer(8, count=10), stock)
+        check = _check(report, "ptp-adjacency")
+        assert check.verdict is Verdict.SAFE
+        assert "vacuously" in check.detail
+
+    def test_geometry_only_model(self):
+        geometry = DramGeometry(
+            total_bytes=8 * MIB, row_bytes=16 * 1024, num_banks=2
+        )
+        model = AddressSpaceModel.from_geometry(geometry)
+        report = verify_payload(_hammer(8, count=10), model)
+        assert report.overall is Verdict.SAFE
+
+
+class TestActPreDiscipline:
+    def test_act_while_open_unsafe(self):
+        program = PayloadProgram(
+            name="double-act",
+            lists={"rows": AddressList((1, 2), space="row")},
+            body=(Act("rows", 0), Act("rows", 1), Pre()),
+        )
+        check = _check(verify_payload(program, CTA_MODEL), "act-pre-discipline")
+        assert check.verdict is Verdict.UNSAFE
+        assert check.witness is not None
+        assert "body[1]" in check.witness.summary
+
+    def test_ends_open_unsafe(self):
+        program = PayloadProgram(
+            name="dangling",
+            lists={"rows": AddressList((1,), space="row")},
+            body=(Act("rows", 0),),
+        )
+        check = _check(verify_payload(program, CTA_MODEL), "act-pre-discipline")
+        assert check.verdict is Verdict.UNSAFE
+
+    def test_open_across_loop_boundary_unsafe(self):
+        # Each iteration opens without closing the previous: the second
+        # pass through the loop ACTs while the bank is still open.
+        program = PayloadProgram(
+            name="loop-open",
+            lists={"rows": AddressList((1,), space="row")},
+            body=(Loop(3, (Act("rows", 0),)), Pre()),
+        )
+        check = _check(verify_payload(program, CTA_MODEL), "act-pre-discipline")
+        assert check.verdict is Verdict.UNSAFE
+
+    def test_discipline_holds_on_builtins(self):
+        for name in ("sweep", "aligned", "readback", "template"):
+            report = verify_payload(builtin_payload(name), CTA_MODEL)
+            assert _check(report, "act-pre-discipline").verdict is Verdict.SAFE
+
+
+class TestStructuralRejection:
+    """Malformed programs raise PayloadError (the CLI's exit-2 path)
+    instead of earning a verdict."""
+
+    def _verify(self, program):
+        return verify_payload(program, CTA_MODEL)
+
+    def test_unknown_list(self):
+        program = PayloadProgram(
+            name="bad", lists={}, body=(Act("ghost", 0), Pre())
+        )
+        with pytest.raises(PayloadError):
+            self._verify(program)
+
+    def test_act_on_non_row_space(self):
+        program = PayloadProgram(
+            name="bad",
+            lists={"phys": AddressList((0,), space="physical")},
+            body=(Act("phys", 0), Pre()),
+        )
+        with pytest.raises(PayloadError):
+            self._verify(program)
+
+    def test_act_index_out_of_range(self):
+        program = PayloadProgram(
+            name="bad",
+            lists={"rows": AddressList((1,), space="row")},
+            body=(Act("rows", 5), Pre()),
+        )
+        with pytest.raises(PayloadError):
+            self._verify(program)
+
+    def test_row_outside_geometry(self):
+        with pytest.raises(PayloadError):
+            self._verify(_hammer(row=1 << 30, count=1))
+
+    def test_empty_write_pattern(self):
+        program = PayloadProgram(
+            name="bad",
+            lists={"phys": AddressList((0,), space="physical")},
+            body=(Write("phys", pattern=b""),),
+        )
+        with pytest.raises(PayloadError):
+            self._verify(program)
+
+
+class TestAnalysis:
+    def test_acts_are_exact_points(self):
+        # Loop counts are constants, so the interval domain degenerates
+        # to points: lo == hi for every row (the exactness the soundness
+        # suite relies on for its two-sided containment check).
+        analysis = analyze_payload(builtin_payload("sweep"), CTA_MODEL)
+        assert analysis.acts
+        for interval in analysis.acts.values():
+            assert interval.lo == interval.hi
+
+    def test_phase_label_with_alignment(self):
+        program = _hammer(8, count=10, align=RefreshAlign(modulus=4, phase=1))
+        analysis = analyze_payload(program, CTA_MODEL)
+        assert analysis.phase == "phase 1 (mod 4)"
+
+    def test_phase_any_without_alignment(self):
+        analysis = analyze_payload(_hammer(8, count=10), CTA_MODEL)
+        assert analysis.phase == "any-phase"
+
+    def test_long_program_loses_phase(self):
+        # Past one window's cycle capacity the alignment no longer pins
+        # the phase of later activations.
+        program = _hammer(
+            8, count=2 * WINDOW_ACT_CAPACITY, align=RefreshAlign(4, 1)
+        )
+        assert analyze_payload(program, CTA_MODEL).phase == "any-phase"
+
+    def test_touched_covers_reads_and_writes(self):
+        program = PayloadProgram(
+            name="touch",
+            lists={
+                "phys": AddressList((0, 64 * 1024), space="physical"),
+            },
+            body=(
+                Write("phys", pattern=b"\xaa"),
+                Read("phys", length=8),
+                Nop(3),
+            ),
+        )
+        analysis = analyze_payload(program, CTA_MODEL)
+        geometry = CTA_MODEL.geometry
+        for address in (0, 64 * 1024):
+            row = geometry.row_of_address(address)
+            assert analysis.touched.contains(row, CTA_MODEL.user_rows)
+        assert analysis.acts == {}
+
+    def test_to_dict_round_trips_to_json(self):
+        import json
+
+        report = verify_payload(builtin_payload("aligned"), CTA_MODEL)
+        parsed = json.loads(report.to_json())
+        assert parsed["overall"] == "SAFE"
+        assert [c["check"] for c in parsed["checks"]] == [
+            "act-pre-discipline", "ptp-adjacency", "flip-threshold",
+        ]

@@ -1,0 +1,149 @@
+"""Verdict-driven prefiltering: provably harmless payloads can be skipped
+without changing a batch report's bytes, and chaos campaign segments
+carry per-payload static verdicts."""
+
+from repro.dram.cells import CellTypeMap
+from repro.dram.geometry import DramGeometry
+from repro.dram.module import DramModule
+from repro.dram.refresh import RefreshScheduler
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.payload import (
+    Act,
+    AddressList,
+    Loop,
+    Nop,
+    PayloadContext,
+    PayloadProgram,
+    Pre,
+    Read,
+    Write,
+    validate_program,
+)
+from repro.units import MIB
+from repro.verify import (
+    AddressSpaceModel,
+    BatchReport,
+    execute_batch,
+    is_provably_harmless,
+    payload_verdict_summary,
+)
+
+TOTAL_BYTES = 8 * MIB
+ROW_BYTES = 16 * 1024
+GEOMETRY = DramGeometry(
+    total_bytes=TOTAL_BYTES, row_bytes=ROW_BYTES, num_banks=2
+)
+MODEL = AddressSpaceModel.from_geometry(GEOMETRY)
+
+
+def _world(seed):
+    module = DramModule(GEOMETRY, CellTypeMap.interleaved(GEOMETRY, period_rows=8))
+    hammer = RowHammerModel(
+        module, FlipStatistics(p_vulnerable=2e-2, p_with_leak=0.9), seed=seed
+    )
+    return PayloadContext(
+        hammer=hammer,
+        refresh=RefreshScheduler(total_rows=TOTAL_BYTES // ROW_BYTES),
+    )
+
+
+def _inert_probe():
+    return validate_program(
+        PayloadProgram(
+            name="probe",
+            lists={"phys": AddressList((0, 4096), space="physical")},
+            body=(Read("phys", length=64), Nop(10)),
+        )
+    )
+
+
+def _hammer_program(count=500):
+    return validate_program(
+        PayloadProgram(
+            name="hammer",
+            lists={"rows": AddressList((5, 9), space="row")},
+            body=(Loop(count, (Act("rows", 0), Pre(), Act("rows", 1), Pre())),),
+        )
+    )
+
+
+def _writer():
+    return validate_program(
+        PayloadProgram(
+            name="writer",
+            lists={"phys": AddressList((128,), space="physical")},
+            body=(Write("phys", pattern=b"\x00\xff"),),
+        )
+    )
+
+
+class TestHarmlessness:
+    def test_physical_read_only_is_harmless(self):
+        assert is_provably_harmless(_inert_probe())
+
+    def test_activations_are_harmful(self):
+        assert not is_provably_harmless(_hammer_program())
+
+    def test_writes_are_harmful(self):
+        assert not is_provably_harmless(_writer())
+
+
+class TestByteIdenticalPrefiltering:
+    def test_reports_match_exactly(self):
+        programs = [_inert_probe(), _hammer_program(), _writer(), _inert_probe()]
+        plain = execute_batch(programs, _world(7), MODEL, prefilter=False)
+        filtered = execute_batch(programs, _world(7), MODEL, prefilter=True)
+        assert filtered.to_json() == plain.to_json()
+
+    def test_harmful_payloads_still_run(self):
+        report = execute_batch([_hammer_program()], _world(7), MODEL, prefilter=True)
+        assert report.merged["activations"] == 1000
+        assert report.merged["bursts"] == 1000
+
+    def test_report_shape(self):
+        report = execute_batch([_inert_probe()], _world(7), MODEL)
+        entry = report.payloads[0]
+        assert set(entry) == {"digest", "name", "harmless", "overall"}
+        assert entry["harmless"] is True
+        assert set(report.to_dict()) == {"merged", "payloads"}
+
+    def test_empty_batch(self):
+        assert BatchReport().to_dict()["payloads"] == []
+
+
+class TestVerdictSummary:
+    def test_deduplicates_by_digest(self):
+        program = _hammer_program()
+        entries = payload_verdict_summary([program, program, _inert_probe()], MODEL)
+        assert [e["name"] for e in entries] == ["hammer", "probe"]
+
+    def test_entry_fields(self):
+        (entry,) = payload_verdict_summary([_inert_probe()], MODEL)
+        assert entry["digest"] == _inert_probe().digest()
+        assert entry["overall"] == "SAFE"
+        assert entry["unsafe_checks"] == []
+
+    def test_malformed_payload_becomes_error_entry(self):
+        bad = PayloadProgram(
+            name="bad",
+            lists={"rows": AddressList((1,), space="row")},
+            body=(Act("rows", 42), Pre()),
+        )
+        (entry,) = payload_verdict_summary([bad], MODEL)
+        assert entry["name"] == "bad"
+        assert "error" in entry
+        assert "overall" not in entry
+
+
+class TestCampaignIntegration:
+    def test_probabilistic_segment_records_verdicts(self):
+        from repro.faults.scenarios import run_chaos_segment
+
+        result = run_chaos_segment(0, seed=123, smoke=True)
+        assert result["kind"] == "probabilistic"
+        verdicts = result["payload_verdicts"]
+        assert verdicts, "segment executed payloads but recorded no verdicts"
+        digests = {v["digest"] for v in verdicts}
+        assert digests == set(result["payloads"])
+        for entry in verdicts:
+            assert entry["overall"] in {"SAFE", "UNSAFE", "UNKNOWN"}

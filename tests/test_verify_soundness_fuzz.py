@@ -1,0 +1,110 @@
+"""Soundness of the payload abstract interpreter, differentially.
+
+For every hypothesis-generated program the dynamic behaviour — per-row
+activation counts and the touched row set, recorded step-by-step through
+:func:`repro.verify.observe_payload` — must fall inside the static
+bounds of :func:`repro.verify.analyze_payload`, with the fault plane
+disarmed *and* armed. Any breach is a soundness bug: it shows up both as
+a :func:`check_containment` problem string and as a non-zero
+``verify.unsound`` canary counter, and either fails the property.
+
+Strategies and worlds are shared with ``tests/test_payload_fuzz.py``
+(CI: 200 derandomized examples per property)."""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given
+
+from repro import faults, obs, sanitize
+from repro.verify import (
+    AddressSpaceModel,
+    analyze_payload,
+    check_containment,
+    observe_payload,
+)
+
+from tests.test_payload_fuzz import (
+    dram_world,
+    hammer_programs,
+    kernel_world,
+    seeds,
+)
+
+FAULT_SPEC = "ecc-miscorrect:p=0.3,max=4"
+
+
+def _model_for(ctx):
+    if ctx.kernel is not None:
+        return AddressSpaceModel.from_kernel(ctx.kernel)
+    return AddressSpaceModel.from_geometry(ctx.module.geometry)
+
+
+def assert_sound(program, make_world, seed, fault_spec=None):
+    registry = obs.Registry()
+    obs.set_registry(registry)
+    sanitize.set_suite(sanitize.SanitizerSuite())
+    plane = faults.FaultPlane(seed=seed + 1)
+    faults.set_plane(plane)
+    ctx = make_world(seed)
+    if fault_spec is not None:
+        plane.add(fault_spec, kernel=ctx.kernel)
+        plane.arm()
+
+    model = _model_for(ctx)
+    analysis = analyze_payload(program, model)  # static, before any run
+    observed = observe_payload(program, ctx)  # the real execution
+
+    problems = check_containment(analysis, observed, model)
+    assert problems == []
+    assert registry.snapshot().get("verify.unsound", 0) == 0
+
+
+class TestDisarmedSoundness:
+    @given(program=hammer_programs(), seed=seeds)
+    def test_dram_world(self, program, seed):
+        assert_sound(program, dram_world, seed)
+
+    @given(program=hammer_programs(spaces=("physical", "virtual")), seed=seeds)
+    def test_kernel_world(self, program, seed):
+        assert_sound(program, kernel_world, seed)
+
+
+class TestArmedSoundness:
+    """Injected ECC faults change flip outcomes, never the activation or
+    touch footprint: the static bounds must still contain the run."""
+
+    @given(program=hammer_programs(), seed=seeds)
+    def test_dram_world_armed(self, program, seed):
+        assert_sound(program, dram_world, seed, fault_spec=FAULT_SPEC)
+
+    @given(program=hammer_programs(spaces=("physical", "virtual")), seed=seeds)
+    def test_kernel_world_armed(self, program, seed):
+        assert_sound(program, kernel_world, seed, fault_spec=FAULT_SPEC)
+
+
+class TestCanaryWiring:
+    def test_breach_trips_the_canary(self):
+        """An artificial bound violation must both report and count —
+        proving the suite would actually catch an unsound analyzer."""
+        registry = obs.Registry()
+        obs.set_registry(registry)
+        plane = faults.FaultPlane(seed=1)
+        faults.set_plane(plane)
+        ctx = dram_world(0)
+        model = _model_for(ctx)
+
+        from repro.payload import Act, AddressList, Loop, PayloadProgram, Pre
+
+        program = PayloadProgram(
+            name="canary",
+            lists={"rows": AddressList((5,), space="row")},
+            body=(Loop(10, (Act("rows", 0), Pre())),),
+        )
+        analysis = analyze_payload(program, model)
+        observed = observe_payload(program, ctx)
+        observed.acts[5] = 10**9  # forge an out-of-bound observation
+        problems = check_containment(analysis, observed, model)
+        assert problems
+        assert registry.snapshot().get("verify.unsound", 0) >= 1
