@@ -20,6 +20,8 @@ Usage::
     python -m repro chaos --smoke --workers 4        # same results, fanned out
     python -m repro bench --quick   # hot-path microbenchmarks
     python -m repro resume --checkpoint chaos.json   # continue a killed run
+    python -m repro serve --port 7341 --faults worker-crash:p=1,max=2
+    python -m repro submit --port 7341 --segments 4 --json  # vs --serial --json
 
 All errors raised by the simulator derive from
 :class:`repro.errors.ReproError`; the CLI catches the family at the top
@@ -236,6 +238,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     verify_payload(
         builtin_payload("sweep"), AddressSpaceModel.from_config(cta_config)
     )
+
+    # Campaign-service pass: a small deterministic overload scenario so
+    # the service.* contract counters (admitted / rejected / shed /
+    # worker_restarts / deadline_missed) surface in the table.
+    from repro.service import run_overload_demo
+
+    run_overload_demo(tenants=12, segments=1, seed=args.seed, workers=2)
 
     registry = obs.get_registry()
     if args.json:
@@ -683,6 +692,104 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived campaign service until a client sends drain.
+
+    Deterministic fault schedules (``--faults``) are installed before
+    the first request, so injected worker crashes / hangs / snapshot
+    corruption replay identically across invocations with one seed.
+    """
+    import asyncio
+
+    from repro import faults, obs
+    from repro.service import AdmissionPolicy, CampaignService
+    from repro.service.server import serve
+
+    obs.reset()
+    faults.reset()
+    if args.faults:
+        faults.install(args.faults, seed=args.seed)
+    policy = AdmissionPolicy(
+        max_active=args.max_active, tenant_cap=args.tenant_cap
+    )
+    service = CampaignService(
+        workers=args.workers,
+        policy=policy,
+        mode=args.mode,
+        max_requeues=args.max_requeues,
+        segment_timeout_s=args.segment_timeout,
+    )
+
+    def ready(port: int) -> None:
+        print(f"repro service listening on {args.host}:{port}", flush=True)
+
+    asyncio.run(serve(service, host=args.host, port=args.port, ready_cb=ready))
+    print("repro service drained; all admitted campaigns completed", flush=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one campaign to a running service (or run it serially).
+
+    ``--serial`` bypasses the service entirely and runs the identical
+    campaign through the serial engine — the reference a service
+    report must match byte-for-byte, which is exactly how the CI smoke
+    job uses it: ``repro submit --json`` vs ``repro submit --serial
+    --json`` must print identical bytes.
+    """
+    import json
+
+    from repro.service import CampaignRequest, submit_over_socket
+
+    request = CampaignRequest(
+        name=args.name,
+        target=args.target,
+        num_segments=args.segments,
+        seed=args.seed,
+        tenant=args.tenant,
+        priority=args.priority,
+        deadline_s=args.deadline,
+        max_retries=args.max_retries,
+        warm_start=args.warm_start,
+        kwargs=json.loads(args.kwargs),
+        config=json.loads(args.config),
+    )
+    if args.serial:
+        from repro import obs
+        from repro.perf.parallel import run_campaign_parallel
+
+        obs.reset()
+        report_dict = run_campaign_parallel(
+            name=request.name,
+            target=request.target,
+            num_segments=request.num_segments,
+            seed=request.seed,
+            kwargs=request.kwargs,
+            config=request.config,
+            workers=1,
+            max_retries=request.max_retries,
+        ).to_dict()
+    else:
+        report_dict, progress = submit_over_socket(
+            args.host, args.port, request, timeout_s=args.timeout
+        )
+        if not args.json:
+            for event in progress:
+                print(
+                    f"  progress: {event.get('completed')}/{event.get('total')}"
+                )
+    if args.json:
+        print(json.dumps(report_dict, indent=2, sort_keys=True))
+    else:
+        segments = report_dict["segments"]
+        print(
+            f"campaign {report_dict['name']} (seed {report_dict['seed']}): "
+            f"{segments['completed']} completed, {segments['failed']} failed, "
+            f"{segments['remaining']} remaining"
+        )
+    return 1 if report_dict["segments"]["failed"] else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -888,6 +995,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     resume.add_argument("--checkpoint", required=True, metavar="PATH")
     resume.add_argument("--json", action="store_true", help="emit the report as JSON")
     resume.set_defaults(func=_cmd_resume)
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived campaign service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral, printed when ready)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="supervised worker count")
+    serve.add_argument("--mode", choices=("inline", "process"), default="inline",
+                       help="segment execution mode (inline is deterministic)")
+    serve.add_argument("--max-requeues", type=int, default=2,
+                       help="re-enqueues per segment after worker deaths")
+    serve.add_argument("--segment-timeout", type=float, default=None,
+                       help="per-segment hang timeout in process mode (seconds)")
+    serve.add_argument("--max-active", type=int, default=64,
+                       help="admission cap on concurrent admitted requests")
+    serve.add_argument("--tenant-cap", type=int, default=4,
+                       help="admission cap per tenant")
+    serve.add_argument("--faults", action="append", default=[], metavar="SPEC",
+                       help="fault spec, e.g. worker-crash:p=1,max=2 (repeatable)")
+    serve.add_argument("--seed", type=_seed, default=0,
+                       help="seed for the injected fault schedules")
+    serve.set_defaults(func=_cmd_serve)
+    submit = subparsers.add_parser(
+        "submit", help="submit one campaign to a running service"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=0)
+    submit.add_argument("--name", default="cli-campaign")
+    submit.add_argument("--target",
+                        default="repro.perf.parallel:montecarlo_trial",
+                        help="'module:qualname' segment callable")
+    submit.add_argument("--segments", type=int, default=4)
+    submit.add_argument("--seed", type=_seed, default=0)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="relative deadline in seconds")
+    submit.add_argument("--max-retries", type=int, default=3)
+    submit.add_argument("--warm-start", action="store_true",
+                        help="attach segments to a library snapshot")
+    submit.add_argument("--kwargs", default="{}", metavar="JSON",
+                        help="segment kwargs as a JSON object")
+    submit.add_argument("--config", default="{}", metavar="JSON",
+                        help="campaign config as a JSON object")
+    submit.add_argument("--timeout", type=float, default=120.0,
+                        help="client-side socket timeout (seconds)")
+    submit.add_argument("--serial", action="store_true",
+                        help="run serially in-process (byte-identity reference)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    submit.set_defaults(func=_cmd_submit)
 
     try:
         args = parser.parse_args(argv)

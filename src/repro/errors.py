@@ -114,6 +114,57 @@ class TransientFaultError(FaultInjectionError):
         self.fault = fault
 
 
+class ServiceError(ReproError):
+    """Misuse or failure inside the long-lived campaign service."""
+
+
+class AdmissionError(ServiceError):
+    """The campaign service refused a request at the front door.
+
+    Typed rejection — never a hang or a crash. ``reason`` is a stable
+    machine-readable tag (``queue-full``, ``tenant-cap``, ``deadline``,
+    ``deadline-missed``, ``shed``, ``draining``) so clients and tests can
+    branch on the admission decision without parsing prose.
+    """
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class WorkerCrashError(TransientFaultError):
+    """A campaign worker died mid-segment (process death or injected).
+
+    Subclasses :class:`TransientFaultError` so every retry taxonomy that
+    already treats injected transients as retryable — the serial
+    :class:`~repro.faults.campaign.CampaignRunner`, the parallel engine,
+    and the service supervisor — classifies worker death the same way
+    instead of propagating a raw executor exception.
+    """
+
+
+class WorkerHangError(WorkerCrashError):
+    """A campaign worker stopped heartbeating (hang or injected stall).
+
+    Detected by the supervisor's per-segment timeout; handled like a
+    crash (kill, restart with backoff, re-enqueue the lost segment) but
+    attributed separately in restart accounting.
+    """
+
+
+class SnapshotCorruptError(ServiceError):
+    """A snapshot-library world failed to attach (corrupt or injected).
+
+    Each occurrence is a circuit-breaker strike against the snapshot
+    key; repeated strikes quarantine the snapshot and the service falls
+    back to cold-booting segment worlds.
+    """
+
+    def __init__(self, message: str, key: str = ""):
+        super().__init__(message)
+        self.key = key
+
+
 class SanitizerError(ReproError):
     """A runtime sanitizer detected a violated simulator invariant.
 

@@ -22,7 +22,11 @@ Hook events reaching the plane:
   ``kernel.page_alloc``, ``kernel.page_free``, ``dram.bit_flip``,
   ``rowhammer.hammer``, ``mmu.translate``, ``attack.campaign``;
 - fault-only pre-hooks (suppression points the sanitizers have no use
-  for): ``dram.read``, ``tlb.invalidate``, ``refresh.sweep``.
+  for): ``dram.read``, ``tlb.invalidate``, ``refresh.sweep``;
+- campaign-service hooks from :mod:`repro.service` (the supervisor
+  offers every segment dispatch and snapshot attach to the plane so
+  worker crashes, hangs, and snapshot corruption replay from a seed):
+  ``service.segment``, ``service.snapshot_attach``.
 
 Usage::
 

@@ -28,6 +28,18 @@ kind                hook event                effect when it fires
 ``ptp-exhaust``     ``kernel.page_alloc``     drains every free ZONE_PTP
                                               block into a held list (needs
                                               a ``kernel``)
+``worker-crash``    ``service.segment``       raises ``WorkerCrashError``;
+                                              the service supervisor treats
+                                              the worker as dead, restarts
+                                              it and re-enqueues the segment
+``worker-hang``     ``service.segment``       raises ``WorkerHangError``;
+                                              models a heartbeat/timeout
+                                              hang the supervisor must kill
+``snapshot-corrupt`` ``service.snapshot_attach`` raises ``SnapshotCorruptError``
+                                              for the attaching snapshot key
+                                              (optional ``target`` key
+                                              prefix); repeated strikes trip
+                                              the library's circuit breaker
 ==================  ========================  ================================
 
 Specs are parseable from compact strings (``kind:key=value,...``), e.g.
@@ -44,7 +56,10 @@ from repro.errors import (
     ConfigurationError,
     FaultInjectionError,
     OutOfMemoryError,
+    SnapshotCorruptError,
     TransientFaultError,
+    WorkerCrashError,
+    WorkerHangError,
 )
 from repro.kernel.page import PageUse
 from repro.kernel.zones import ZoneId
@@ -350,6 +365,69 @@ class PtpExhaustionInjector(FaultInjector):
         return released
 
 
+class WorkerCrashInjector(FaultInjector):
+    """A dying campaign worker: the dispatched segment never completes.
+
+    Raised *before* the segment executes, so nothing the lost worker
+    would have recorded leaks into the merged campaign state — exactly
+    like a real process death whose un-merged registry delta vanishes
+    with it. The supervisor classifies the error as retryable, restarts
+    the worker and re-enqueues the segment once.
+    """
+
+    kind = "worker-crash"
+    events = ("service.segment",)
+
+    def fire(self, event: str, ctx: Mapping[str, object]) -> bool:
+        index = int(ctx.get("index", -1))  # type: ignore[call-overload]
+        raise WorkerCrashError(
+            f"injected worker crash dispatching segment {index}",
+            fault=self.spec.name,
+        )
+
+
+class WorkerHangInjector(FaultInjector):
+    """A hung campaign worker: heartbeats stop, the segment stalls.
+
+    The supervisor's per-segment deadline converts the stall into a
+    :class:`WorkerHangError`; handling mirrors a crash (kill + restart +
+    re-enqueue) with separate ``reason=hang`` restart accounting.
+    """
+
+    kind = "worker-hang"
+    events = ("service.segment",)
+
+    def fire(self, event: str, ctx: Mapping[str, object]) -> bool:
+        index = int(ctx.get("index", -1))  # type: ignore[call-overload]
+        raise WorkerHangError(
+            f"injected worker hang on segment {index} (heartbeat deadline)",
+            fault=self.spec.name,
+        )
+
+
+class SnapshotCorruptInjector(FaultInjector):
+    """A corrupt snapshot-library world that fails to attach.
+
+    ``target`` narrows matching to snapshot keys with that prefix. Each
+    firing is one circuit-breaker strike against the key; the library
+    quarantines it after repeated strikes and falls back to cold boot.
+    """
+
+    kind = "snapshot-corrupt"
+    events = ("service.snapshot_attach",)
+
+    def matches(self, event: str, ctx: Mapping[str, object]) -> bool:
+        if not self.spec.target:
+            return True
+        return str(ctx.get("key", "")).startswith(self.spec.target)
+
+    def fire(self, event: str, ctx: Mapping[str, object]) -> bool:
+        key = str(ctx.get("key", "?"))
+        raise SnapshotCorruptError(
+            f"injected snapshot corruption attaching {key!r}", key=key
+        )
+
+
 #: kind string -> injector class (the registry ``FaultSpec`` validates against).
 KINDS: Dict[str, Type[FaultInjector]] = {
     cls.kind: cls
@@ -361,6 +439,9 @@ KINDS: Dict[str, Type[FaultInjector]] = {
         BuddyOomInjector,
         TlbStalenessInjector,
         PtpExhaustionInjector,
+        WorkerCrashInjector,
+        WorkerHangInjector,
+        SnapshotCorruptInjector,
     )
 }
 

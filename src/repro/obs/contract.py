@@ -78,6 +78,13 @@ METRICS: Dict[str, str] = {
     # Campaign runner
     "campaign.segments": "counter",
     "campaign.retries": "counter",
+    # Campaign service (admission control + worker supervision)
+    "service.admitted": "counter",
+    "service.rejected": "counter",
+    "service.shed": "counter",
+    "service.worker_restarts": "counter",
+    "service.snapshot_quarantined": "counter",
+    "service.deadline_missed": "counter",
     # Static verifier
     "verify.payload_checks": "counter",
     "verify.config_checks": "counter",
@@ -98,6 +105,7 @@ TRACE_EVENTS: FrozenSet[str] = frozenset(
         "sanitize.violation",
         "faults.inject",
         "kernel.downgrade",
+        "service.request",
     }
 )
 

@@ -33,7 +33,8 @@ types.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from importlib import import_module
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
@@ -41,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
 from repro import obs
 from repro.attacks.timing import AttackTimingModel
 from repro.dram.rowhammer import FlipStatistics, RowHammerModel
-from repro.errors import ConfigurationError, TransientFaultError
+from repro.errors import ConfigurationError, TransientFaultError, WorkerCrashError
 from repro.faults.campaign import (
     CampaignBudget,
     CampaignReport,
@@ -50,17 +51,24 @@ from repro.faults.campaign import (
 )
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.rng import DEFAULT_SEED, derive_seed
-from repro.units import MIB
+from repro.units import GIB, MIB
 
 __all__ = [
     "default_workers",
     "qualified_name",
     "resolve_qualified",
+    "run_segment_task",
+    "crashed_segment_outcome",
     "run_campaign_parallel",
     "capture_trial_snapshot",
     "probabilistic_trial",
+    "montecarlo_trial",
     "run_probabilistic_trials",
 ]
+
+#: Executor-level re-enqueues allowed per segment after worker deaths
+#: before the segment is recorded as terminally failed.
+DEFAULT_MAX_REQUEUES = 2
 
 
 def default_workers() -> int:
@@ -101,13 +109,19 @@ def resolve_qualified(reference: str) -> Any:
     return target
 
 
-def _run_segment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
+def run_segment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Run one segment in a worker (or inline) with an isolated registry.
 
     Mirrors ``CampaignRunner._run_segment``: same
     ``derive_seed(campaign_seed, index, attempt)`` streams, same
     completed/failed record shapes, same ``campaign.retries`` counting —
     so a merged parallel run is indistinguishable from a serial one.
+
+    Also the unit of work the campaign service's supervised workers
+    execute: the payload is a plain JSON-able dict, so it can cross a
+    process boundary, be re-enqueued after a worker death, and always
+    reproduce the same outcome (the seed contract depends only on
+    ``(seed, index, attempt)``, never on which worker ran it).
     """
     target = resolve_qualified(payload["target"])
     retryable: Tuple[Type[BaseException], ...] = tuple(
@@ -149,6 +163,84 @@ def _run_segment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
         "record": record,
         "obs_state": registry.export_state(),
     }
+
+
+#: Backwards-compatible alias (pre-service name).
+_run_segment_task = run_segment_task
+
+
+def crashed_segment_outcome(index: int, message: str) -> Dict[str, Any]:
+    """Terminal failed-segment outcome for a segment lost to worker death.
+
+    Shaped exactly like a :func:`run_segment_task` failure record so the
+    merge loop, checkpoints, and reports need no special case. The empty
+    obs delta reflects reality: the segment never ran to completion
+    anywhere, so it contributed no metrics.
+    """
+    return {
+        "index": index,
+        "ok": False,
+        "record": {
+            "attempts": 1,
+            "error": message,
+            "error_type": WorkerCrashError.__name__,
+        },
+        "obs_state": obs.Registry().export_state(),
+    }
+
+
+def _run_payloads_pooled(
+    payloads: List[Dict[str, Any]],
+    worker_count: int,
+    *,
+    campaign: str,
+    max_requeues: int = DEFAULT_MAX_REQUEUES,
+) -> Dict[int, Dict[str, Any]]:
+    """Fan payloads across a process pool, surviving worker death.
+
+    A worker process dying (OOM kill, segfault, ``os._exit`` in a
+    target) surfaces as :class:`BrokenProcessPool` on every in-flight
+    future. Instead of propagating that raw executor exception, this
+    classifies the death into the retryable taxonomy: the pool is
+    rebuilt (counted as ``service.worker_restarts``), segments without
+    an outcome are re-enqueued — the stateless seed contract guarantees
+    a re-run from attempt 0 is byte-identical — and a segment that
+    exhausts its requeue budget is recorded as a failed segment with
+    ``error_type: "WorkerCrashError"`` rather than crashing the run.
+    """
+    outcomes: Dict[int, Dict[str, Any]] = {}
+    requeues: Dict[int, int] = {}
+    pending = list(payloads)
+    while pending:
+        pool_size = min(worker_count, len(pending))
+        broken = False
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(run_segment_task, payload): payload for payload in pending
+            }
+            try:
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    outcomes[outcome["index"]] = outcome
+            except BrokenProcessPool:
+                broken = True
+        if not broken:
+            break
+        obs.inc("service.worker_restarts", campaign=campaign, scope="pool")
+        lost = [p for p in pending if p["index"] not in outcomes]
+        pending = []
+        for payload in lost:
+            index = payload["index"]
+            requeues[index] = requeues.get(index, 0) + 1
+            if requeues[index] > max_requeues:
+                outcomes[index] = crashed_segment_outcome(
+                    index,
+                    f"worker process died running segment {index} "
+                    f"({max_requeues} re-enqueues exhausted)",
+                )
+            else:
+                pending.append(payload)
+    return outcomes
 
 
 def run_campaign_parallel(
@@ -227,13 +319,12 @@ def run_campaign_parallel(
     if payloads:
         if worker_count <= 1:
             for payload in payloads:
-                outcome = _run_segment_task(payload)
+                outcome = run_segment_task(payload)
                 outcomes[outcome["index"]] = outcome
         else:
-            pool_size = min(worker_count, len(payloads))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                for outcome in pool.map(_run_segment_task, payloads):
-                    outcomes[outcome["index"]] = outcome
+            outcomes = _run_payloads_pooled(
+                payloads, worker_count, campaign=name
+            )
 
     registry = obs.get_registry()
     for index in sorted(outcomes):
@@ -378,6 +469,43 @@ def probabilistic_trial(
         "hammer_rounds": result.hammer_rounds,
         "flips": result.flips_induced,
         "ptes_checked": result.ptes_checked,
+        "faults": {},
+    }
+
+
+def montecarlo_trial(
+    index: int,
+    seed: int,
+    trials: int = 1,
+    total_bytes: int = 8 * GIB,
+    ptp_bytes: int = 32 * MIB,
+    p_vulnerable: float = 1e-4,
+    p_up: float = 0.5,
+) -> Dict[str, Any]:
+    """One analytical Monte-Carlo segment (cheap importable service target).
+
+    Wraps :func:`repro.analysis.montecarlo.simulate_exploitable_ptes` so
+    the campaign service has a fast, pure-computation workload for
+    overload and fault-injection scenarios: no kernel boot, no snapshot,
+    milliseconds per segment. The stream depends only on ``seed``;
+    ``index`` is accepted for the segment-fn signature.
+    """
+    del index
+    from repro.analysis.montecarlo import simulate_exploitable_ptes
+
+    result = simulate_exploitable_ptes(
+        total_bytes=total_bytes,
+        ptp_bytes=ptp_bytes,
+        p_vulnerable=p_vulnerable,
+        p_up=p_up,
+        trials=trials,
+        seed=seed,
+    )
+    return {
+        "trials": result.trials,
+        "num_ptes": result.num_ptes,
+        "exploitable_count": result.exploitable_count,
+        "expected_per_system": result.expected_per_system,
         "faults": {},
     }
 

@@ -48,6 +48,11 @@ RL010    validated payloads: modules under ``attacks/`` must not construct
          ``validate_program(...)`` or build through the
          :mod:`repro.payload.programs` helpers (which validate), so no
          attack can execute a program the IR invariants never saw
+RL011    supervised tasks: modules under ``service/`` must not call
+         ``asyncio.create_task`` / ``ensure_future`` directly — spawn
+         through :func:`repro.service.supervisor.spawn_supervised`, whose
+         done-callback records a task that dies with an unconsumed
+         exception instead of letting it vanish with the task object
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -75,6 +80,7 @@ RULES: Dict[str, str] = {
     "RL008": "no per-address translate/load/store/touch loops in attacks/ and perf/",
     "RL009": "attacks/ must hammer via compiled repro.payload programs",
     "RL010": "attacks/ must validate PayloadPrograms (validate_program/helpers)",
+    "RL011": "service/ must spawn tasks via spawn_supervised, not create_task",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -91,6 +97,9 @@ _RL009_HAMMER_CALLS = ("hammer", "hammer_double_sided")
 
 #: Constructor RL010 requires to flow through validate_program in attacks/.
 _RL010_PAYLOAD_CTOR = "PayloadProgram"
+
+#: Bare task spawners RL011 forbids in service/ (supervision bypass).
+_RL011_BARE_SPAWNERS = ("create_task", "ensure_future")
 
 #: Call names RL010 accepts as validating wrappers.
 _RL010_VALIDATORS = ("validate_program",)
@@ -157,6 +166,7 @@ class _FileLinter(ast.NodeVisitor):
         check_batched_vm: bool = False,
         check_payload_compiled: bool = False,
         check_payload_validated: bool = False,
+        check_supervised_tasks: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
@@ -166,6 +176,7 @@ class _FileLinter(ast.NodeVisitor):
         self.check_batched_vm = check_batched_vm
         self.check_payload_compiled = check_payload_compiled
         self.check_payload_validated = check_payload_validated
+        self.check_supervised_tasks = check_supervised_tasks
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -325,6 +336,8 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl009_call(node, func)
         if self.check_payload_validated:
             self._check_rl010_call(node, func)
+        if self.check_supervised_tasks:
+            self._check_rl011_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -451,6 +464,30 @@ class _FileLinter(ast.NodeVisitor):
                 "repro.payload.programs helpers",
             )
 
+    def _check_rl011_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL011: bare task spawns in the service package.
+
+        Catches both module-level spawns (``asyncio.create_task``,
+        ``asyncio.ensure_future``) and loop-object spawns
+        (``loop.create_task``): either way the task's eventual exception
+        is only observed if someone awaits it, which is exactly the
+        silent-death mode the supervisor exists to prevent. The single
+        sanctioned call lives inside ``spawn_supervised`` under a
+        per-line suppression.
+        """
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _RL011_BARE_SPAWNERS:
+            self._add(
+                "RL011",
+                node,
+                f"bare {name}() in repro.service; spawn through "
+                "spawn_supervised so a dying task is recorded, not lost",
+            )
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -510,9 +547,10 @@ def lint_source(
     RL006 activation (modules under a ``faults`` package directory),
     RL007 activation (``rowhammer.py`` — the vectorized hot path),
     RL008 activation (modules under ``attacks`` or ``perf`` package
-    directories — the batched-VM consumers), and RL009/RL010 activation
+    directories — the batched-VM consumers), RL009/RL010 activation
     (modules under ``attacks`` — the payload-compiled, payload-validated
-    consumers).
+    consumers), and RL011 activation (modules under ``service`` — the
+    supervised-task consumers).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
@@ -523,6 +561,7 @@ def lint_source(
     check_batched_vm = "attacks" in parts or "perf" in parts
     check_payload_compiled = "attacks" in parts
     check_payload_validated = "attacks" in parts
+    check_supervised_tasks = "service" in parts
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
@@ -531,6 +570,7 @@ def lint_source(
         check_batched_vm=check_batched_vm,
         check_payload_compiled=check_payload_compiled,
         check_payload_validated=check_payload_validated,
+        check_supervised_tasks=check_supervised_tasks,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

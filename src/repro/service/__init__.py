@@ -1,0 +1,66 @@
+"""repro.service — the long-lived, fault-tolerant campaign service.
+
+Turns one-shot campaign runs (:mod:`repro.faults.campaign`,
+:mod:`repro.perf.parallel`) into a supervised asyncio front-end that
+accepts concurrent tenant requests, admission-controls them at a
+bounded front door, schedules their segments onto persistent supervised
+workers pre-attached to a snapshot library, and survives worker
+crashes, hangs, and snapshot corruption — all without ever changing a
+report byte: the stateless seed contract ``derive_seed(campaign_seed,
+index, attempt)`` makes a re-run of a lost segment indistinguishable
+from the run that was lost.
+
+Layout:
+
+- :mod:`~repro.service.protocol` — requests + newline-JSON wire format
+  and the synchronous client (``repro submit``);
+- :mod:`~repro.service.admission` — bounded queue, per-tenant caps,
+  deadlines, priority shedding; every rejection a typed
+  :class:`~repro.errors.AdmissionError` with a ``reason`` tag;
+- :mod:`~repro.service.snapshot_library` — LRU-bounded
+  :class:`~repro.perf.snapshot.SimulatorSnapshot` cache with a
+  circuit breaker that quarantines suspect snapshots (cold-boot
+  fallback keeps results identical);
+- :mod:`~repro.service.supervisor` — the persistent worker pool:
+  crash/hang classification, restart with accounted backoff,
+  exactly-once re-enqueue of lost segments;
+- :mod:`~repro.service.server` — :class:`CampaignService` glue, the
+  socket server (``repro serve``), and the deterministic overload demo.
+
+Fault hooks: the supervisor offers ``service.segment`` before every
+dispatch and the library offers ``service.snapshot_attach`` before
+every attach, so the ``worker-crash`` / ``worker-hang`` /
+``snapshot-corrupt`` injector kinds drive every failure path in this
+package deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionTicket,
+    VirtualClock,
+)
+from repro.service.protocol import CampaignRequest, send_op, submit_over_socket
+from repro.service.server import CampaignService, run_overload_demo, serve
+from repro.service.snapshot_library import SnapshotLibrary, snapshot_key
+from repro.service.supervisor import SegmentJob, WorkerPool, spawn_supervised
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionTicket",
+    "CampaignRequest",
+    "CampaignService",
+    "SegmentJob",
+    "SnapshotLibrary",
+    "VirtualClock",
+    "WorkerPool",
+    "run_overload_demo",
+    "send_op",
+    "serve",
+    "snapshot_key",
+    "spawn_supervised",
+    "submit_over_socket",
+]

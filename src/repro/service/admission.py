@@ -1,0 +1,224 @@
+"""Admission control: the campaign service's bounded front door.
+
+Every overload outcome here is a *decision*, not an accident: a request
+is either admitted (and holds an :class:`AdmissionTicket` until its job
+finishes), rejected with a typed :class:`~repro.errors.AdmissionError`
+carrying a machine-readable ``reason`` tag, or admitted at the expense
+of a lower-priority queued request that gets shed. The server never
+queues unboundedly and never answers overload with a hang or a crash.
+
+Rejection reasons (stable contract, asserted by tests):
+
+==================  ====================================================
+``draining``        the service is shutting down; finish what's queued
+``deadline``        the relative deadline expired before admission
+``deadline-missed`` admitted, but the deadline passed before dispatch
+``tenant-cap``      the tenant already holds its concurrency cap
+``queue-full``      service at capacity and nothing cheaper to shed
+``shed``            was admitted, then evicted for a higher-priority
+                    arrival while still queued
+==================  ====================================================
+
+Time is injected (``time_source``) so deadline behaviour is driven by a
+:class:`VirtualClock` in tests instead of wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro import obs
+from repro.errors import AdmissionError, ConfigurationError
+from repro.service.protocol import CampaignRequest
+
+__all__ = ["AdmissionPolicy", "AdmissionTicket", "AdmissionController", "VirtualClock"]
+
+
+class VirtualClock:
+    """A deterministic, manually-advanced time source for tests/demos."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot advance time by {seconds}")
+        self._now += seconds
+        return self._now
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Capacity knobs for the front door."""
+
+    #: Max requests admitted-and-unfinished at once (queue + running).
+    max_active: int = 64
+    #: Max admitted-and-unfinished requests per tenant.
+    tenant_cap: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ConfigurationError(f"max_active {self.max_active} must be >= 1")
+        if self.tenant_cap < 1:
+            raise ConfigurationError(f"tenant_cap {self.tenant_cap} must be >= 1")
+
+
+class AdmissionTicket:
+    """One admitted request's slot; held until released or shed.
+
+    ``deadline_at`` is absolute (time-source domain); ``None`` means no
+    deadline. ``shed_fn`` is attached by the server after the job is
+    built — it must abandon the queued job and return True, or return
+    False when the job already started and can no longer be shed.
+    """
+
+    def __init__(
+        self,
+        request: CampaignRequest,
+        admitted_at: float,
+        sequence: int,
+    ):
+        self.request = request
+        self.admitted_at = admitted_at
+        self.sequence = sequence
+        self.deadline_at: Optional[float] = (
+            None
+            if request.deadline_s is None
+            else admitted_at + request.deadline_s
+        )
+        self.shed_fn: Optional[Callable[[], bool]] = None
+        self.released = False
+
+    def deadline_passed(self, now: float) -> bool:
+        """Whether the request's deadline has expired at ``now``."""
+        return self.deadline_at is not None and now > self.deadline_at
+
+    def try_shed(self) -> bool:
+        """Attempt to evict this ticket's queued job; True on success."""
+        if self.shed_fn is None:
+            return False
+        return self.shed_fn()
+
+
+class AdmissionController:
+    """Bounded-queue admission with per-tenant caps and priority shed."""
+
+    def __init__(
+        self,
+        policy: Optional[AdmissionPolicy] = None,
+        time_source: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or AdmissionPolicy()
+        self._clock = time_source
+        self._active: List[AdmissionTicket] = []
+        self._per_tenant: Dict[str, int] = {}
+        self._sequence = 0
+        self.draining = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def active_count(self) -> int:
+        """Admitted-and-unfinished requests right now."""
+        return len(self._active)
+
+    def tenant_active(self, tenant: str) -> int:
+        """Admitted-and-unfinished requests held by ``tenant``."""
+        return self._per_tenant.get(tenant, 0)
+
+    def now(self) -> float:
+        """Current time in the injected time source's domain."""
+        return self._clock()
+
+    # -- lifecycle ---------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted requests run to completion."""
+        self.draining = True
+
+    def admit(self, request: CampaignRequest) -> AdmissionTicket:
+        """Admit ``request`` or raise a typed, tagged rejection.
+
+        A full queue is survivable when a strictly lower-priority ticket
+        is still sheddable: it is evicted (counted as ``service.shed``,
+        its waiter failed with reason ``shed``) and the newcomer takes
+        the slot. Rejections are counted as ``service.rejected`` with
+        the reason label; the caller never sees a bare exception type
+        without a reason tag.
+        """
+        now = self._clock()
+        try:
+            if self.draining:
+                raise AdmissionError(
+                    "service is draining; not admitting new campaigns",
+                    reason="draining",
+                )
+            if request.deadline_s is not None and request.deadline_s <= 0:
+                raise AdmissionError(
+                    f"deadline_s {request.deadline_s} already expired",
+                    reason="deadline",
+                )
+            if self.tenant_active(request.tenant) >= self.policy.tenant_cap:
+                raise AdmissionError(
+                    f"tenant {request.tenant!r} holds its concurrency cap "
+                    f"({self.policy.tenant_cap})",
+                    reason="tenant-cap",
+                )
+            if len(self._active) >= self.policy.max_active:
+                if not self._shed_for(request):
+                    raise AdmissionError(
+                        f"service at capacity ({self.policy.max_active} active) "
+                        "and no lower-priority request to shed",
+                        reason="queue-full",
+                    )
+        except AdmissionError as exc:
+            obs.inc(
+                "service.rejected", tenant=request.tenant, reason=exc.reason
+            )
+            raise
+        self._sequence += 1
+        ticket = AdmissionTicket(request, admitted_at=now, sequence=self._sequence)
+        self._active.append(ticket)
+        self._per_tenant[request.tenant] = self.tenant_active(request.tenant) + 1
+        obs.inc("service.admitted", tenant=request.tenant)
+        return ticket
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return ``ticket``'s slot (idempotent)."""
+        if ticket.released:
+            return
+        ticket.released = True
+        if ticket in self._active:
+            self._active.remove(ticket)
+        tenant = ticket.request.tenant
+        remaining = self.tenant_active(tenant) - 1
+        if remaining > 0:
+            self._per_tenant[tenant] = remaining
+        else:
+            self._per_tenant.pop(tenant, None)
+
+    # -- internal ----------------------------------------------------------
+    def _shed_for(self, request: CampaignRequest) -> bool:
+        """Evict the cheapest sheddable ticket below ``request``'s priority."""
+        candidates = [
+            ticket
+            for ticket in self._active
+            if ticket.request.priority < request.priority
+        ]
+        # Cheapest first: lowest priority, newest admission breaks ties
+        # (the most recently queued low-priority work has lost the least).
+        candidates.sort(key=lambda t: (t.request.priority, -t.sequence))
+        for ticket in candidates:
+            if ticket.try_shed():
+                obs.inc(
+                    "service.shed",
+                    tenant=ticket.request.tenant,
+                    for_tenant=request.tenant,
+                )
+                self.release(ticket)
+                return True
+        return False

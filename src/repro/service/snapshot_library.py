@@ -1,0 +1,147 @@
+"""A supervised library of pre-captured simulator snapshots.
+
+The service keeps one :class:`~repro.perf.snapshot.SimulatorSnapshot`
+per (target, geometry) combination so segments warm-start instead of
+replaying boot + spray per trial (the PR 5 warm==cold equality proof is
+what makes this safe: an attached world produces byte-identical results
+to a cold boot, so warm-starting never changes a report).
+
+Two protections wrap the cache:
+
+- **LRU eviction** — at most ``capacity`` live shared-memory worlds;
+  acquiring an absent key beyond capacity releases the least recently
+  used snapshot first, so a long-lived server's shared-memory footprint
+  is bounded no matter how many geometries tenants submit.
+- **Circuit breaker** — every attach failure (injected via the
+  ``snapshot-corrupt`` fault kind or real) and every worker death
+  attributable to a snapshot is a *strike* against its key; at
+  ``quarantine_threshold`` strikes the key is quarantined: its world is
+  released, ``service.snapshot_quarantined`` increments once, and every
+  later acquire returns ``None`` — the cold-boot fallback — instead of
+  handing out a suspect world again.
+
+Acquire offers ``service.snapshot_attach`` to the fault plane before
+touching the cache, so corruption schedules replay deterministically
+from a seed like every other injected fault.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional
+
+from repro import faults, obs
+from repro.errors import ConfigurationError, SnapshotCorruptError
+
+__all__ = ["SnapshotLibrary", "snapshot_key", "snapshot_factory_for"]
+
+#: Target references whose segments accept ``snapshot=`` kwargs, mapped
+#: to a builder ``(kwargs) -> SimulatorSnapshot``. Extend in one place
+#: when a new warm-startable target lands.
+_GEOMETRY_KWARGS = ("total_bytes", "row_bytes", "spray_mappings")
+
+
+def _probabilistic_factory(kwargs: Dict[str, Any]):
+    from repro.perf.parallel import capture_trial_snapshot
+
+    return capture_trial_snapshot(
+        **{k: kwargs[k] for k in _GEOMETRY_KWARGS if k in kwargs}
+    )
+
+
+SNAPSHOT_FACTORIES: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "repro.perf.parallel:probabilistic_trial": _probabilistic_factory,
+}
+
+
+def snapshot_factory_for(target: str) -> Optional[Callable[[Dict[str, Any]], Any]]:
+    """The snapshot builder for ``target``, or None if not warm-startable."""
+    return SNAPSHOT_FACTORIES.get(target)
+
+
+def snapshot_key(target: str, kwargs: Dict[str, Any]) -> str:
+    """Stable cache key: target plus the geometry kwargs that shape it."""
+    parts = [target]
+    for name in _GEOMETRY_KWARGS:
+        if name in kwargs:
+            parts.append(f"{name}={kwargs[name]}")
+    return "|".join(parts)
+
+
+class SnapshotLibrary:
+    """LRU-bounded, circuit-broken snapshot cache (see module docstring)."""
+
+    def __init__(self, capacity: int = 4, quarantine_threshold: int = 2):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity {capacity} must be >= 1")
+        if quarantine_threshold < 1:
+            raise ConfigurationError(
+                f"quarantine_threshold {quarantine_threshold} must be >= 1"
+            )
+        self.capacity = capacity
+        self.quarantine_threshold = quarantine_threshold
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._strikes: Dict[str, int] = {}
+        self._quarantined: set = set()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def keys(self) -> tuple:
+        """Live snapshot keys, LRU first."""
+        return tuple(self._entries)
+
+    @property
+    def quarantined(self) -> frozenset:
+        """Keys the circuit breaker has taken out of service."""
+        return frozenset(self._quarantined)
+
+    def strikes(self, key: str) -> int:
+        """Breaker strikes recorded against ``key``."""
+        return self._strikes.get(key, 0)
+
+    # -- acquire / strike --------------------------------------------------
+    def acquire(
+        self, key: str, factory: Callable[[], Any]
+    ) -> Optional[str]:
+        """The shared-memory name for ``key``'s world, or None to cold-boot.
+
+        Offers the attach to the fault plane first; an injected (or
+        real) :class:`SnapshotCorruptError` is absorbed as a strike and
+        answered with the cold-boot fallback — the caller never sees the
+        corruption, only a slower, equally-correct path.
+        """
+        if key in self._quarantined:
+            return None
+        try:
+            faults.notify("service.snapshot_attach", key=key)
+        except SnapshotCorruptError:
+            self.strike(key)
+            return None
+        if key not in self._entries:
+            self._entries[key] = factory()
+            while len(self._entries) > self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                evicted.release()
+        else:
+            self._entries.move_to_end(key)
+        return self._entries[key].name
+
+    def strike(self, key: str) -> bool:
+        """Record one failure against ``key``; True if it quarantined."""
+        if key in self._quarantined:
+            return False
+        self._strikes[key] = self.strikes(key) + 1
+        if self._strikes[key] < self.quarantine_threshold:
+            return False
+        self._quarantined.add(key)
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry.release()
+        obs.inc("service.snapshot_quarantined", key=key)
+        return True
+
+    def close(self) -> None:
+        """Release every live world (server shutdown)."""
+        while self._entries:
+            _, entry = self._entries.popitem(last=False)
+            entry.release()

@@ -7,6 +7,8 @@ bytes. These tests are that proof.
 """
 
 import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -236,6 +238,78 @@ class TestParallelCampaigns:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+def crash_once_trial(index, seed, marker_dir=""):
+    """Segment 0 kills its worker process once, then succeeds on re-run.
+
+    The marker file survives the process death, so the re-enqueued
+    attempt (a fresh worker in a rebuilt pool) completes normally —
+    a real ``BrokenProcessPool``, not a simulated one.
+    """
+    marker = Path(marker_dir) / f"seg-{index}"
+    if index == 0 and not marker.exists():
+        marker.write_text("dying")
+        os._exit(17)
+    return {"index": index, "seed": seed, "faults": {}}
+
+
+def crash_always_trial(index, seed, marker_dir=""):
+    """Segment 0 kills every worker that ever dispatches it."""
+    del marker_dir
+    if index == 0:
+        os._exit(17)
+    return {"index": index, "seed": seed, "faults": {}}
+
+
+class TestWorkerDeathRecovery:
+    """A worker-process death is retryable taxonomy, not a raw
+    executor exception: the pool rebuilds, lost segments re-run from
+    the same derived seeds, and the merged report matches a death-free
+    serial run."""
+
+    def test_worker_death_classified_and_recovered(self, tmp_path):
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        kwargs = {"marker_dir": str(marker_dir)}
+        obs.set_registry(obs.Registry())
+        report = run_campaign_parallel(
+            name="crashy",
+            target="tests.test_perf_parallel:crash_once_trial",
+            num_segments=4,
+            seed=3,
+            kwargs=kwargs,
+            workers=2,
+        )
+        counters = obs.get_registry().snapshot()
+        assert len(report.completed) == 4
+        assert any(
+            name.startswith("service.worker_restarts") for name in counters
+        )
+        # Byte-identity: serial reference (marker pre-seeded, no death).
+        obs.set_registry(obs.Registry())
+        reference = run_campaign_parallel(
+            name="crashy",
+            target="tests.test_perf_parallel:crash_once_trial",
+            num_segments=4,
+            seed=3,
+            kwargs=kwargs,
+            workers=1,
+        )
+        assert report.to_dict() == reference.to_dict()
+
+    def test_requeue_budget_exhaustion_fails_segment_terminally(self, tmp_path):
+        obs.set_registry(obs.Registry())
+        report = run_campaign_parallel(
+            name="doomed",
+            target="tests.test_perf_parallel:crash_always_trial",
+            num_segments=3,
+            seed=3,
+            kwargs={"marker_dir": str(tmp_path)},
+            workers=2,
+        )
+        assert report.failed[0]["error_type"] == "WorkerCrashError"
+        assert sorted(report.completed) == [1, 2]
 
 
 class TestBenchSuite:

@@ -388,6 +388,39 @@ class TestRL010PayloadValidated:
         assert self._rules_at(src, path="tests/test_payload_dsl.py") == []
 
 
+class TestRL011SupervisedTasks:
+    SERVICE_PATH = "src/repro/service/server.py"
+
+    def _rules_at(self, source, path=SERVICE_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_bare_asyncio_create_task_flagged(self):
+        assert self._rules_at("task = asyncio.create_task(work())\n") == ["RL011"]
+
+    def test_loop_create_task_flagged(self):
+        assert self._rules_at("task = loop.create_task(work())\n") == ["RL011"]
+
+    def test_ensure_future_flagged(self):
+        assert self._rules_at("task = asyncio.ensure_future(work())\n") == ["RL011"]
+
+    def test_spawn_supervised_is_clean(self):
+        src = "task = spawn_supervised(work(), name='worker-0')\n"
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "task = asyncio.create_task(coro)"
+            "  # repro-lint: ignore[RL011]\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_service(self):
+        src = "task = asyncio.create_task(work())\n"
+        assert self._rules_at(src, path="src/repro/perf/parallel.py") == []
+        assert self._rules_at(src, path="tests/test_service.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -396,7 +429,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009", "RL010",
+            "RL008", "RL009", "RL010", "RL011",
         }
 
     def test_syntax_error_propagates(self):
