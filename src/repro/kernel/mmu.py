@@ -26,6 +26,7 @@ from repro.kernel.pagetable import (
     ENTRIES_PER_TABLE,
     NUM_LEVELS,
     PageTableEntry,
+    decode_entries,
     entry_address,
     split_virtual_address,
 )
@@ -193,7 +194,7 @@ class Mmu:
             index = indices[position]
             address = entry_address(table_base, index)
             try:
-                entry = PageTableEntry.decode(self.read_entry(table_base, index))
+                entry = PageTableEntry.decode(self.read_entry(table_base, index))  # repro-lint: ignore[RL012] — the scalar reference walk decodes per level by contract
             except AddressError:
                 # A corrupted upper-level entry pointed outside physical
                 # memory; hardware raises a machine check / bus error.
@@ -248,12 +249,18 @@ class Mmu:
 
         Observationally equivalent to calling :meth:`translate` per
         address in order — same results, TLB hit/miss/eviction state, obs
-        counters, and the same fault raised at the same access — but each
-        distinct page is walked at most once and results fan out over the
-        vector. Automatically degrades to the scalar loop when
-        ``slow_reference`` is set or the fault plane is armed, so
-        per-access fault schedules (``tlb-stale``, ``dram-read-error``)
-        replay exactly as in a scalar run.
+        counters, and the same fault raised at the same access — but after
+        the single TLB-probe pass every missing VPN advances through the
+        radix tree as one numpy frontier per level (:meth:`_walk_many`):
+        shared interior nodes are deduplicated and each level is gathered
+        with one batched DRAM read, so a thousand-page miss storm costs
+        four gathers, not four thousand entry reads. Automatically
+        degrades to the scalar loop when ``slow_reference`` is set or the
+        fault plane is armed, so per-access fault schedules
+        (``tlb-stale``, ``dram-read-error``) replay exactly as in a
+        scalar run. The frontier-only instrumentation
+        (``mmu.walk.frontier_batches``, ``mmu.walk.levels``,
+        ``dram.resident_rows``) is outside that equivalence contract.
 
         Stores in the same batch must not modify page tables consulted by
         later addresses (data pages only); the batched walk reads tables
@@ -459,12 +466,24 @@ class Mmu:
         return physical
 
     def _walk_many(self, cr3: int, vpns: np.ndarray) -> Dict[int, tuple]:
-        """Walk each distinct VPN once, deferring all fault accounting.
+        """Walk each distinct VPN once as a level-at-a-time numpy frontier.
+
+        Every missing VPN advances through the radix tree together: per
+        level the frontier's entry addresses are deduplicated (an interior
+        node shared by many VPNs is read exactly once no matter how wide
+        the fan-in), gathered with one batched
+        :meth:`~repro.dram.module.DramModule.read_u64_many`, decoded with
+        the vectorized :func:`~repro.kernel.pagetable.decode_entries`
+        batch decoder, and terminal outcomes scattered back per VPN.
 
         Returns a map ``vpn -> ("ok", frame_pa, writable, user_ok)`` or
         ``("not_present", level)`` or ``("bus_error", level, table_base)``.
-        No counters or obs metrics move here: the commit loops charge
-        walks and faults per access, exactly as scalar walks would.
+        No walk/fault counters or obs metrics of the equivalence contract
+        move here: the commit loops charge walks and faults per access,
+        exactly as scalar walks would. The walker's own instrumentation —
+        ``mmu.walk.frontier_batches``, ``mmu.walk.levels`` and the
+        ``dram.resident_rows`` gauge — is documented as outside that
+        contract (it only exists on the frontier path).
         """
         dram = self._dram
         total_bytes = dram.geometry.total_bytes
@@ -472,14 +491,15 @@ class Mmu:
         vpn_a = np.asarray(vpns, dtype=np.int64)
         if vpn_a.size == 0:
             return results
+        obs.inc("mmu.walk.frontier_batches")
         table_a = np.full(vpn_a.size, int(cr3), dtype=np.int64)
         w_a = np.ones(vpn_a.size, dtype=bool)
         u_a = np.ones(vpn_a.size, dtype=bool)
-        pfn_field = (1 << (52 - PAGE_SHIFT)) - 1
-        use_views = self._pt_cache_enabled
+        levels_walked = 0
         for position, level in enumerate(range(NUM_LEVELS, 0, -1)):
             if vpn_a.size == 0:
                 break
+            levels_walked += 1
             shift = BITS_PER_LEVEL * (NUM_LEVELS - 1 - position)
             idx = (vpn_a >> shift) & (ENTRIES_PER_TABLE - 1)
             addrs = table_a + idx * 8
@@ -487,47 +507,44 @@ class Mmu:
             entries = np.zeros(vpn_a.size, dtype=np.uint64)
             readable = ~bad
             if readable.any():
-                for base in np.unique(table_a[readable]):
-                    sel = readable & (table_a == base)
-                    view = self._table_view(int(base)) if use_views else None
-                    if view is not None:
-                        entries[sel] = view[idx[sel]]
-                        dram.read_count += int(np.count_nonzero(sel))
-                    else:
-                        for j in np.flatnonzero(sel):
-                            try:
-                                entries[j] = dram.read_u64(int(addrs[j]))
-                            except AddressError:
-                                bad[j] = True
-            for j in np.flatnonzero(bad):
-                results[int(vpn_a[j])] = ("bus_error", level, int(table_a[j]))
-            present = ((entries & np.uint64(0x1)) != 0) & ~bad
-            for j in np.flatnonzero(~present & ~bad):
-                results[int(vpn_a[j])] = ("not_present", level)
-            w_a = w_a & ((entries & np.uint64(0x2)) != 0)
-            u_a = u_a & ((entries & np.uint64(0x4)) != 0)
-            pfn = (
-                (entries >> np.uint64(PAGE_SHIFT)) & np.uint64(pfn_field)
-            ).astype(np.int64)
+                # Dedup shared interior nodes across the whole frontier,
+                # then one batched DRAM gather over the distinct entries.
+                uniq_addrs, inverse = np.unique(
+                    addrs[readable], return_inverse=True
+                )
+                entries[readable] = dram.read_u64_many(uniq_addrs)[inverse]
+            present, w_bit, u_bit, huge_bit, pfn = decode_entries(entries)
+            present &= readable
+            if bad.any():
+                for vpn, base in zip(vpn_a[bad].tolist(), table_a[bad].tolist()):
+                    results[vpn] = ("bus_error", level, base)
+            absent = ~present & readable
+            if absent.any():
+                for vpn in vpn_a[absent].tolist():
+                    results[vpn] = ("not_present", level)
+            w_a = w_a & w_bit
+            u_a = u_a & u_bit
             if level in (3, 2):
-                huge = present & ((entries & np.uint64(0x80)) != 0)
+                huge = present & huge_bit
                 if huge.any():
                     huge_shift = PAGE_SHIFT + BITS_PER_LEVEL * (level - 1)
                     mask = (1 << huge_shift) - 1
                     base_pa = (pfn[huge] << PAGE_SHIFT) & ~mask
                     frame_pa = base_pa | ((vpn_a[huge] << PAGE_SHIFT) & mask)
-                    w_h = w_a[huge]
-                    u_h = u_a[huge]
-                    for j_rel, j in enumerate(np.flatnonzero(huge)):
-                        results[int(vpn_a[j])] = (
-                            "ok", int(frame_pa[j_rel]), bool(w_h[j_rel]), bool(u_h[j_rel]),
-                        )
+                    for vpn, frame, w, u in zip(
+                        vpn_a[huge].tolist(), frame_pa.tolist(),
+                        w_a[huge].tolist(), u_a[huge].tolist(),
+                    ):
+                        results[vpn] = ("ok", frame, w, u)
                 cont = present & ~huge
             elif level == 1:
-                for j in np.flatnonzero(present):
-                    results[int(vpn_a[j])] = (
-                        "ok", int(pfn[j]) << PAGE_SHIFT, bool(w_a[j]), bool(u_a[j]),
-                    )
+                if present.any():
+                    frame_pa = pfn[present] << PAGE_SHIFT
+                    for vpn, frame, w, u in zip(
+                        vpn_a[present].tolist(), frame_pa.tolist(),
+                        w_a[present].tolist(), u_a[present].tolist(),
+                    ):
+                        results[vpn] = ("ok", frame, w, u)
                 cont = np.zeros(vpn_a.size, dtype=bool)
             else:
                 cont = present
@@ -535,6 +552,8 @@ class Mmu:
             table_a = pfn[cont] << PAGE_SHIFT
             w_a = w_a[cont]
             u_a = u_a[cont]
+        obs.inc("mmu.walk.levels", amount=float(levels_walked))
+        obs.set_gauge("dram.resident_rows", float(dram.resident_rows))
         return results
 
     # -- memory access through translation ----------------------------------

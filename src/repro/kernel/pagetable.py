@@ -27,6 +27,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Tuple
 
+import numpy as np
+
 from repro.errors import PageTableError
 from repro.units import PAGE_SHIFT
 
@@ -131,6 +133,38 @@ class PageTableEntry:
     def empty(cls) -> "PageTableEntry":
         """A non-present zero entry."""
         return cls(pfn=0, flags=PteFlags.NONE)
+
+
+#: Bit masks of the fields :func:`decode_entries` extracts, as u64 scalars
+#: (kept module-level so the frontier walker pays no per-call conversions).
+_PRESENT_U64 = np.uint64(int(PteFlags.PRESENT))
+_WRITABLE_U64 = np.uint64(int(PteFlags.WRITABLE))
+_USER_U64 = np.uint64(int(PteFlags.USER))
+_PAGE_SIZE_U64 = np.uint64(int(PteFlags.PAGE_SIZE))
+_PFN_MASK_U64 = np.uint64(_PFN_MASK)
+_PAGE_SHIFT_U64 = np.uint64(PAGE_SHIFT)
+
+
+def decode_entries(
+    raw: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :meth:`PageTableEntry.decode` over a raw u64 word vector.
+
+    Returns ``(present, writable, user, huge, pfn)`` arrays aligned with
+    ``raw`` — four boolean masks plus an int64 frame-number array — with
+    the exact bit semantics of the scalar decode: decoding never fails,
+    a corrupted word still yields *some* (pfn, flags) interpretation,
+    exactly as hardware would follow it. This is the frontier walker's
+    per-level decoder: one numpy pass per field instead of one dataclass
+    construction (or LRU hit) per entry.
+    """
+    words = np.asarray(raw, dtype=np.uint64)
+    present = (words & _PRESENT_U64) != 0
+    writable = (words & _WRITABLE_U64) != 0
+    user = (words & _USER_U64) != 0
+    huge = (words & _PAGE_SIZE_U64) != 0
+    pfn = ((words & _PFN_MASK_U64) >> _PAGE_SHIFT_U64).astype(np.int64)
+    return present, writable, user, huge, pfn
 
 
 @lru_cache(maxsize=65536)

@@ -136,8 +136,10 @@ class Tlb:
         pfn = np.zeros(vpns.size, dtype=np.int64)
         writable = np.zeros(vpns.size, dtype=bool)
         user = np.zeros(vpns.size, dtype=bool)
+        if vpns.size == 0 or not self._slot_of:
+            return found, pfn, writable, user
         slots = np.flatnonzero((self._stamps >= 0) & (self._pids == pid))
-        if slots.size == 0 or vpns.size == 0:
+        if slots.size == 0:
             return found, pfn, writable, user
         order = np.argsort(self._vpns[slots])
         slots = slots[order]
@@ -192,10 +194,14 @@ class Tlb:
             # Provisional stamp marks the slots occupied; the access pass
             # below overwrites it (every new key is also an access).
             self._stamps[slots] = self._clock
-            for i in range(new_vpns.size):
-                key = (pid, int(new_vpns[i]))
-                self._slot_of[key] = int(slots[i])
-                self._key_of[int(slots[i])] = key
+            # tolist() once, then plain-int dict inserts — per-element
+            # numpy scalar extraction dominated this loop at large batches.
+            slot_of = self._slot_of
+            key_of = self._key_of
+            for slot, vpn in zip(slots.tolist(), new_vpns.tolist()):
+                key = (pid, vpn)
+                slot_of[key] = slot
+                key_of[slot] = key
         if vpns.size == 0:
             return
         occupied = np.flatnonzero((self._stamps >= 0) & (self._pids == pid))

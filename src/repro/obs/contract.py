@@ -55,6 +55,12 @@ METRICS: Dict[str, str] = {
     "tlb.evictions": "counter",
     "mmu.walks": "counter",
     "mmu.faults": "counter",
+    # Frontier-walker instrumentation (fast path only — documented as
+    # outside the batched/scalar equivalence contract).
+    "mmu.walk.frontier_batches": "counter",
+    "mmu.walk.levels": "counter",
+    # DRAM sparse store
+    "dram.resident_rows": "gauge",
     # Attacks
     "attack.attempts": "counter",
     "attack.outcomes": "counter",

@@ -1,0 +1,155 @@
+"""Live simulation at the paper's hardware scale (multi-GB modules).
+
+The ASPLOS'19 prototypes are an 8 GiB i7-6700 desktop and a 128 GiB Xeon
+server; until the sparse DRAM store and the frontier walker landed, the
+live attack simulations ran only on scaled-down 16-64 MiB modules and
+multi-GB geometries were reachable solely through the closed-form timing
+model. This module boots a real :class:`~repro.kernel.kernel.Kernel` on a
+paper-scale geometry (128 KiB rows, N=512 cell interleave) and runs the
+*live* Algorithm 1 brute force plus the Drammer-style templating attack
+against it, reporting wall-clock plus residency so the bench suite can
+gate the whole path on a memory budget.
+
+Two properties make this affordable:
+
+- :class:`~repro.dram.module.DramModule` materializes rows on first
+  write only, so an idle multi-GB module costs a dict and whatever the
+  boot + attack actually touched (``resident_rows * row_bytes``), and
+- :class:`~repro.dram.cells.CellTypeMap` stores its layout procedurally,
+  so typing 65536 rows allocates nothing row-proportional.
+
+``profile_cells`` stays off: the boot-time cell profiler sweeps every row
+densely — the paper runs that once per module, offline (Section 2.2) —
+and it would materialize the whole module, defeating the sparse store.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.attacks.algorithm1 import CtaBruteForceAttack
+from repro.attacks.templating import TemplatingAttack
+from repro.dram.rowhammer import FlipStatistics, RowHammerModel
+from repro.errors import ConfigurationError
+from repro.kernel.cta import CtaConfig
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.units import DEFAULT_CELL_INTERLEAVE_ROWS, GIB, KIB, MIB
+
+__all__ = ["PaperScaleReport", "make_paperscale_kernel", "run_paperscale_campaign"]
+
+#: Smallest geometry this module accepts as "paper scale".
+MIN_TOTAL_BYTES = 2 * GIB
+
+#: The paper's row size (desktop and server prototypes both use 128 KiB).
+PAPER_ROW_BYTES = 128 * KIB
+
+
+@dataclass(frozen=True)
+class PaperScaleReport:
+    """Outcome and cost accounting of one paper-scale live campaign."""
+
+    total_bytes: int
+    boot_s: float
+    algorithm1_s: float
+    templating_s: float
+    hammer_rounds: int
+    flips_induced: int
+    pointer_observations: int
+    monotonic_observations: int
+    algorithm1_outcome: str
+    templating_outcome: str
+    #: What the *complete* Algorithm 1 sweep would cost on real hardware
+    #: (the closed-form Section 5 estimate the live run truncates).
+    full_sweep_modeled_s: float
+    resident_rows: int
+    resident_bytes: int
+
+    @property
+    def resident_fraction(self) -> float:
+        """Materialized bytes / simulated capacity (sparseness witness)."""
+        return self.resident_bytes / self.total_bytes if self.total_bytes else 0.0
+
+
+def make_paperscale_kernel(
+    total_bytes: int = MIN_TOTAL_BYTES,
+    ptp_bytes: int = 32 * MIB,
+    multilevel: bool = True,
+) -> Kernel:
+    """Boot a CTA kernel on a paper-scale module.
+
+    Uses the paper's 128 KiB rows and N=512 true/anti interleave, a
+    32 MiB ZONE_PTP (the common-case deployment size), and the Section 7
+    multi-level zones by default. ``profile_cells`` is forced off — see
+    the module docstring.
+    """
+    if total_bytes < MIN_TOTAL_BYTES:
+        raise ConfigurationError(
+            f"paper-scale boot wants >= {MIN_TOTAL_BYTES} bytes, got {total_bytes}"
+        )
+    config = KernelConfig(
+        total_bytes=total_bytes,
+        row_bytes=PAPER_ROW_BYTES,
+        num_banks=8,
+        cell_interleave_rows=DEFAULT_CELL_INTERLEAVE_ROWS,
+        cta=CtaConfig(ptp_bytes=ptp_bytes, multilevel=multilevel),
+        profile_cells=False,
+    )
+    return Kernel(config)
+
+
+def run_paperscale_campaign(
+    total_bytes: int = MIN_TOTAL_BYTES,
+    ptp_bytes: int = 32 * MIB,
+    seed: int = 20_260_808,
+    max_target_pages: int = 1,
+    spray_mappings: int = 24,
+    template_buffer_bytes: int = 1 * MIB,
+    stats: FlipStatistics = FlipStatistics(p_vulnerable=1e-4, p_with_leak=0.998),
+) -> PaperScaleReport:
+    """Boot a multi-GB world and run both live attacks against it.
+
+    Algorithm 1 runs truncated (``max_target_pages`` outer iterations —
+    the full sweep is priced separately by the timing model) but *live*:
+    every ZONE_PTP row is actually hammered through the payload pipeline
+    and every corrupted PTE pointer is observed. The templating attack
+    then runs its full template/massage/replay chain; under CTA it must
+    report ``blocked``.
+    """
+    start = time.perf_counter()
+    kernel = make_paperscale_kernel(total_bytes=total_bytes, ptp_bytes=ptp_bytes)
+    attacker = kernel.create_process()
+    hammer = RowHammerModel(kernel.module, stats, seed=seed)
+    boot_s = time.perf_counter() - start
+
+    algo = CtaBruteForceAttack(kernel=kernel, hammer=hammer)
+    start = time.perf_counter()
+    algo_result = algo.run(
+        attacker, max_target_pages=max_target_pages, spray_mappings=spray_mappings
+    )
+    algorithm1_s = time.perf_counter() - start
+
+    templating = TemplatingAttack(kernel=kernel, hammer=hammer)
+    start = time.perf_counter()
+    templating_result = templating.run(
+        attacker, template_buffer_bytes=template_buffer_bytes
+    )
+    templating_s = time.perf_counter() - start
+
+    monotonic = sum(1 for o in algo.observations if o.monotonic)
+    module = kernel.module
+    return PaperScaleReport(
+        total_bytes=total_bytes,
+        boot_s=boot_s,
+        algorithm1_s=algorithm1_s,
+        templating_s=templating_s,
+        hammer_rounds=algo_result.hammer_rounds + templating_result.hammer_rounds,
+        flips_induced=algo_result.flips_induced + templating_result.flips_induced,
+        pointer_observations=len(algo.observations),
+        monotonic_observations=monotonic,
+        algorithm1_outcome=algo_result.outcome.value,
+        templating_outcome=templating_result.outcome.value,
+        full_sweep_modeled_s=algo.full_sweep_modeled_time_s(),
+        resident_rows=module.resident_rows,
+        resident_bytes=module.resident_rows * module.geometry.row_bytes,
+    )

@@ -118,9 +118,17 @@ class SimulatorSnapshot:
         )
         _HEADER.pack_into(shm.buf, 0, len(payload))
         shm.buf[_HEADER.size : rows_offset] = payload
-        for row, (offset, length) in row_index.items():
-            start = rows_offset + offset
-            shm.buf[start : start + length] = rows[row].tobytes()
+        if cursor:
+            # One writable view over the row region; numpy slice-assigns
+            # each row straight from its backing array. The per-row
+            # tobytes() this replaces materialized an intermediate bytes
+            # object per row — real money at multi-GB resident sets.
+            region = np.frombuffer(
+                shm.buf, dtype=np.uint8, count=cursor, offset=rows_offset
+            )
+            for row, (offset, length) in row_index.items():
+                region[offset : offset + length] = rows[row]
+            del region  # drop the view so release() can close the mapping
         snapshot = cls(shm, owner=True)
         # Serial (in-process) warm starts resolve the name through
         # attach_cached too; give them the owner handle rather than a

@@ -53,6 +53,15 @@ RL011    supervised tasks: modules under ``service/`` must not call
          through :func:`repro.service.supervisor.spawn_supervised`, whose
          done-callback records a task that dies with an unconsumed
          exception instead of letting it vanish with the task object
+RL012    multi-GB sparsity: modules under ``dram/`` must not allocate numpy
+         arrays sized by ``total_rows`` (the sparse row store and the
+         procedural :class:`~repro.dram.cells.CellTypeMap` keep a multi-GB
+         module O(touched-rows); a dense geometry-proportional allocation
+         silently reintroduces the scale ceiling), and ``kernel/mmu.py``
+         must not call per-entry ``PageTableEntry.decode`` inside a loop —
+         each frontier level decodes as one vectorized
+         :func:`~repro.kernel.pagetable.decode_entries` batch (the
+         sanctioned ``slow_reference`` walk carries per-line suppressions)
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -81,6 +90,7 @@ RULES: Dict[str, str] = {
     "RL009": "attacks/ must hammer via compiled repro.payload programs",
     "RL010": "attacks/ must validate PayloadPrograms (validate_program/helpers)",
     "RL011": "service/ must spawn tasks via spawn_supervised, not create_task",
+    "RL012": "no total_rows-sized numpy allocations in dram/; no per-entry PTE decode loops in kernel/mmu.py",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -100,6 +110,9 @@ _RL010_PAYLOAD_CTOR = "PayloadProgram"
 
 #: Bare task spawners RL011 forbids in service/ (supervision bypass).
 _RL011_BARE_SPAWNERS = ("create_task", "ensure_future")
+
+#: numpy allocators RL012 refuses to see sized by ``total_rows`` in dram/.
+_RL012_NP_ALLOCATORS = ("zeros", "ones", "full", "empty", "arange")
 
 #: Call names RL010 accepts as validating wrappers.
 _RL010_VALIDATORS = ("validate_program",)
@@ -167,6 +180,8 @@ class _FileLinter(ast.NodeVisitor):
         check_payload_compiled: bool = False,
         check_payload_validated: bool = False,
         check_supervised_tasks: bool = False,
+        check_sparse_dram: bool = False,
+        check_frontier_decode: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
@@ -177,6 +192,8 @@ class _FileLinter(ast.NodeVisitor):
         self.check_payload_compiled = check_payload_compiled
         self.check_payload_validated = check_payload_validated
         self.check_supervised_tasks = check_supervised_tasks
+        self.check_sparse_dram = check_sparse_dram
+        self.check_frontier_decode = check_frontier_decode
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -338,6 +355,10 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl010_call(node, func)
         if self.check_supervised_tasks:
             self._check_rl011_call(node, func)
+        if self.check_sparse_dram:
+            self._check_rl012_allocation(node, func)
+        if self.check_frontier_decode and self._loop_depth > 0:
+            self._check_rl012_decode(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -488,6 +509,48 @@ class _FileLinter(ast.NodeVisitor):
                 "spawn_supervised so a dying task is recorded, not lost",
             )
 
+    def _check_rl012_allocation(self, node: ast.Call, func: ast.expr) -> None:
+        """RL012 (dram/): a numpy allocation sized by ``total_rows``.
+
+        Flags ``np.zeros/ones/full/empty/arange`` calls carrying
+        ``total_rows`` (as an attribute or a bare name) anywhere in an
+        argument subtree — the signature of a dense geometry-proportional
+        buffer that would defeat the sparse multi-GB representation.
+        Span-sized allocations (``np.arange(start, stop)``) never mention
+        ``total_rows`` in their arguments and pass untouched.
+        """
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RL012_NP_ALLOCATORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("np", "numpy")
+        ):
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(arg):
+                if (isinstance(sub, ast.Attribute) and sub.attr == "total_rows") or (
+                    isinstance(sub, ast.Name) and sub.id == "total_rows"
+                ):
+                    self._add(
+                        "RL012",
+                        node,
+                        f"np.{func.attr} sized by total_rows in dram/; the "
+                        "sparse store keeps multi-GB modules O(touched-rows) "
+                        "— evaluate procedurally or chunk over a bounded span",
+                    )
+                    return
+
+    def _check_rl012_decode(self, node: ast.Call, func: ast.expr) -> None:
+        """RL012 (kernel/mmu.py): per-entry PTE decode inside a loop."""
+        if isinstance(func, ast.Attribute) and func.attr == "decode":
+            self._add(
+                "RL012",
+                node,
+                "per-entry PageTableEntry.decode inside a loop in the MMU; "
+                "decode each frontier level as one decode_entries batch "
+                "(the scalar reference walk carries per-line suppressions)",
+            )
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -549,8 +612,10 @@ def lint_source(
     RL008 activation (modules under ``attacks`` or ``perf`` package
     directories — the batched-VM consumers), RL009/RL010 activation
     (modules under ``attacks`` — the payload-compiled, payload-validated
-    consumers), and RL011 activation (modules under ``service`` — the
-    supervised-task consumers).
+    consumers), RL011 activation (modules under ``service`` — the
+    supervised-task consumers), and RL012 activation (modules under
+    ``dram`` for the dense-allocation check, ``mmu.py`` for the
+    per-entry-decode check).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
@@ -562,6 +627,8 @@ def lint_source(
     check_payload_compiled = "attacks" in parts
     check_payload_validated = "attacks" in parts
     check_supervised_tasks = "service" in parts
+    check_sparse_dram = "dram" in parts
+    check_frontier_decode = Path(path).name == "mmu.py"
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
@@ -571,6 +638,8 @@ def lint_source(
         check_payload_compiled=check_payload_compiled,
         check_payload_validated=check_payload_validated,
         check_supervised_tasks=check_supervised_tasks,
+        check_sparse_dram=check_sparse_dram,
+        check_frontier_decode=check_frontier_decode,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

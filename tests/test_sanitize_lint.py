@@ -421,6 +421,94 @@ class TestRL011SupervisedTasks:
         assert self._rules_at(src, path="tests/test_service.py") == []
 
 
+class TestRL012SparseDram:
+    DRAM_PATH = "src/repro/dram/module.py"
+
+    def _rules_at(self, source, path=DRAM_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_zeros_over_total_rows_flagged(self):
+        src = "mask = np.zeros(geometry.total_rows, dtype=bool)\n"
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_arange_over_total_rows_flagged(self):
+        src = "rows = np.arange(self._geometry.total_rows)\n"
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_total_rows_in_keyword_flagged(self):
+        src = "buf = np.full(shape=module.total_rows, fill_value=0xFF)\n"
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_bare_total_rows_name_flagged(self):
+        src = "mask = np.empty(total_rows, dtype=bool)\n"
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_span_sized_allocation_is_clean(self):
+        src = "rows = np.arange(start_row, end_row, dtype=np.int64)\n"
+        assert self._rules_at(src) == []
+
+    def test_row_bytes_allocation_is_clean(self):
+        src = "row = np.full(self._geometry.row_bytes, fill, dtype=np.uint8)\n"
+        assert self._rules_at(src) == []
+
+    def test_non_numpy_callee_is_clean(self):
+        src = "regions = splitter.full(geometry.total_rows)\n"
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_under_dram(self):
+        src = "mask = np.zeros(geometry.total_rows, dtype=bool)\n"
+        assert self._rules_at(src, path="src/repro/kernel/kernel.py") == []
+        assert self._rules_at(src, path="tests/test_dram.py") == []
+
+
+class TestRL012FrontierDecode:
+    MMU_PATH = "src/repro/kernel/mmu.py"
+
+    def _rules_at(self, source, path=MMU_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_decode_in_loop_flagged(self):
+        src = """\
+        for level in levels:
+            entry = PageTableEntry.decode(word)
+        """
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_decode_in_while_flagged(self):
+        src = """\
+        while frontier:
+            entry = table.decode(word)
+        """
+        assert self._rules_at(src) == ["RL012"]
+
+    def test_decode_outside_loop_is_clean(self):
+        assert self._rules_at("entry = PageTableEntry.decode(word)\n") == []
+
+    def test_batched_decode_entries_is_clean(self):
+        src = """\
+        for level in levels:
+            entries = decode_entries(words)
+        """
+        assert self._rules_at(src) == []
+
+    def test_suppression_marker_honoured(self):
+        src = (
+            "for level in levels:\n"
+            "    entry = PageTableEntry.decode(word)"
+            "  # repro-lint: ignore[RL012]\n"
+        )
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_in_mmu(self):
+        src = """\
+        for level in levels:
+            entry = PageTableEntry.decode(word)
+        """
+        assert self._rules_at(src, path="src/repro/kernel/pagetable.py") == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -429,7 +517,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009", "RL010", "RL011",
+            "RL008", "RL009", "RL010", "RL011", "RL012",
         }
 
     def test_syntax_error_propagates(self):

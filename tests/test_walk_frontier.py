@@ -1,0 +1,368 @@
+"""Frontier page-table walker: equivalence, sharing, huge pages, scale.
+
+`Mmu.translate_many` advances every TLB-missing VPN through the radix
+tree as one numpy frontier per level (`Mmu._walk_many`). These tests pin
+the properties the bench suite relies on:
+
+- seeded observational equivalence with the scalar ``slow_reference``
+  walk, disarmed *and* with the fault plane armed (where the batched
+  entry point must auto-degrade so per-access fault schedules replay);
+- structure sharing: interior nodes fanned into by many VPNs are read
+  once per frontier, within and across processes;
+- huge-page short-circuits terminate the frontier at the PS-bit leaf
+  with the correct block offset;
+- the frontier-only instrumentation (``mmu.walk.frontier_batches``,
+  ``mmu.walk.levels``, ``dram.resident_rows``) fires on the batched path
+  only — it is documented as outside the equivalence contract;
+- the sparse multi-GB store snapshots and warm-starts at resident-set
+  cost, not geometry cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.errors import TransientFaultError
+from repro.faults.injectors import FaultSpec
+from repro.kernel.kernel import Kernel, KernelConfig
+from repro.perf.paperscale import make_paperscale_kernel
+from repro.perf.snapshot import SimulatorSnapshot
+from repro.units import GIB, MIB, PAGE_SIZE
+
+from .conftest import SMALL_BANKS, SMALL_ROW
+
+BASE = 0x0000_7100_0000
+HUGE_SPAN = PAGE_SIZE << 9  # 2 MiB
+
+
+def _kernel(total_bytes: int = 32 * MIB, tlb_capacity: int = 1536) -> Kernel:
+    return Kernel(
+        KernelConfig(
+            total_bytes=total_bytes,
+            row_bytes=SMALL_ROW,
+            num_banks=SMALL_BANKS,
+            cell_interleave_rows=32,
+            tlb_capacity=tlb_capacity,
+        )
+    )
+
+
+def _seeded_world(seed: int, regions: int = 6, max_pages: int = 12):
+    """A kernel whose mapped layout and access order derive from ``seed``.
+
+    Region bases spread across the VA space (distinct PD/PDPT fan-in per
+    seed), page counts vary, and the returned access vector is shuffled
+    with repeats — the shape that exercises dedup, scatter order, and
+    first-miss TLB accounting at once.
+    """
+    rng = np.random.default_rng(seed)
+    kernel = _kernel()
+    process = kernel.create_process()
+    vas = []
+    for region in range(regions):
+        base = BASE + int(rng.integers(0, 1 << 14)) * HUGE_SPAN
+        pages = int(rng.integers(1, max_pages + 1))
+        vma = kernel.mmap(process, pages * PAGE_SIZE, address=base + region * (1 << 30))
+        for page in range(pages):
+            va = vma.start + page * PAGE_SIZE
+            kernel.touch(process, va, write=True)
+            vas.append(va)
+    order = rng.integers(0, len(vas), size=2 * len(vas))
+    batch = np.asarray(vas, dtype=np.int64)[order]
+    return kernel, process, batch
+
+
+def _tlb_counts(kernel: Kernel):
+    tlb = kernel.tlb
+    return (tlb.hits, tlb.misses, tlb.evictions)
+
+
+#: Frontier-only instrumentation, outside the equivalence contract (the
+#: same strip tests/test_batched_vm.py and the payload suites apply).
+WALKER_INSTRUMENTATION = frozenset(
+    {"mmu.walk.frontier_batches", "mmu.walk.levels", "dram.resident_rows"}
+)
+
+
+def _strip_walker_instrumentation(state):
+    return {
+        family: (
+            {
+                name: data
+                for name, data in entries.items()
+                if name not in WALKER_INSTRUMENTATION
+            }
+            if isinstance(entries, dict)
+            else entries
+        )
+        for family, entries in state.items()
+    }
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("seed", [3, 17, 20260808])
+    def test_disarmed_matches_scalar_reference(self, seed):
+        previous = obs.get_registry()
+        try:
+            obs.set_registry(obs.Registry())
+            batched_k, bp, batch = _seeded_world(seed)
+            # Pass 1 bypasses the TLB (every VPN walks the frontier);
+            # pass 2 goes through it (probe + first-miss accounting).
+            cold = batched_k.mmu.translate_many(
+                bp.cr3, batch, pid=bp.pid, use_tlb=False
+            )
+            got = batched_k.mmu.translate_many(bp.cr3, batch, pid=bp.pid)
+            batched_state = obs.get_registry().export_state()
+
+            obs.set_registry(obs.Registry())
+            scalar_k, sp, scalar_batch = _seeded_world(seed)
+            scalar_cold = scalar_k.mmu.translate_many(
+                sp.cr3, scalar_batch, pid=sp.pid, use_tlb=False,
+                slow_reference=True,
+            )
+            want = scalar_k.mmu.translate_many(
+                sp.cr3, scalar_batch, pid=sp.pid, slow_reference=True
+            )
+            scalar_state = obs.get_registry().export_state()
+        finally:
+            obs.set_registry(previous)
+        assert np.array_equal(batch, scalar_batch)
+        assert np.array_equal(cold, scalar_cold)
+        assert np.array_equal(got, want)
+        assert _tlb_counts(batched_k) == _tlb_counts(scalar_k)
+        assert batched_k.mmu.walk_count == scalar_k.mmu.walk_count
+        assert (
+            _strip_walker_instrumentation(batched_state)
+            == _strip_walker_instrumentation(scalar_state)
+        )
+
+    @pytest.mark.parametrize("seed", [5, 91])
+    def test_armed_auto_degrades_to_scalar(self, seed):
+        """With per-access fault schedules armed, translate_many must pick
+        the scalar path, so the same seed replays the same firings as an
+        explicit slow_reference run."""
+
+        def run(slow_reference: bool):
+            kernel, process, batch = _seeded_world(seed, regions=3, max_pages=6)
+            plane = faults.install(
+                [FaultSpec("dram-read-error", probability=0.01, max_fires=4)],
+                seed=seed * 7 + 1,
+                kernel=kernel,
+            )
+            try:
+                results = []
+                for _ in range(3):
+                    # use_tlb=False forces entry reads each pass, so the
+                    # per-read schedule sees every DRAM access; a fired
+                    # injection must abort at the same access either way.
+                    try:
+                        results.append(
+                            kernel.mmu.translate_many(
+                                process.cr3, batch, pid=process.pid,
+                                use_tlb=False, slow_reference=slow_reference,
+                            ).tolist()
+                        )
+                    except TransientFaultError as exc:
+                        results.append(("fault", str(exc)))
+                counts = dict(plane.counts)
+            finally:
+                faults.uninstall()
+            return results, counts, _tlb_counts(kernel)
+
+        auto = run(slow_reference=False)
+        explicit = run(slow_reference=True)
+        assert auto == explicit
+        assert sum(auto[1].values()) > 0, "schedule never fired; test is vacuous"
+
+
+class TestSharedInteriorNodes:
+    def test_interior_entries_read_once_per_frontier(self):
+        """16 pages under one PT: the frontier reads PML4/PDPT/PD entries
+        once each plus 16 distinct PTEs — 19 entry reads, where the
+        scalar walk charges 4 per page (64)."""
+        kernel = _kernel()
+        process = kernel.create_process()
+        vma = kernel.mmap(process, 16 * PAGE_SIZE, address=BASE)
+        vas = vma.start + PAGE_SIZE * np.arange(16, dtype=np.int64)
+        for va in vas:
+            kernel.touch(process, int(va), write=True)
+        module = kernel.module
+
+        before = module.read_count
+        batched = kernel.mmu.translate_many(
+            process.cr3, vas, pid=process.pid, use_tlb=False
+        )
+        batched_reads = module.read_count - before
+
+        before = module.read_count
+        scalar = kernel.mmu.translate_many(
+            process.cr3, vas, pid=process.pid, use_tlb=False, slow_reference=True
+        )
+        scalar_reads = module.read_count - before
+
+        assert np.array_equal(batched, scalar)
+        assert batched_reads == 3 + 16
+        assert scalar_reads == 4 * 16
+
+    def test_sharing_holds_per_process_frontier(self):
+        """Two processes mapping the same VA range walk through disjoint
+        radix trees: each frontier dedups its own interior nodes and the
+        resolved frames differ (no cross-pid aliasing)."""
+        kernel = _kernel()
+        first = kernel.create_process()
+        second = kernel.create_process()
+        for process in (first, second):
+            vma = kernel.mmap(process, 8 * PAGE_SIZE, address=BASE)
+            for page in range(8):
+                kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)
+        vas = BASE + PAGE_SIZE * np.arange(8, dtype=np.int64)
+
+        frames = {}
+        for process in (first, second):
+            before = kernel.module.read_count
+            got = kernel.mmu.translate_many(
+                process.cr3, vas, pid=process.pid, use_tlb=False
+            )
+            assert kernel.module.read_count - before == 3 + 8
+            want = kernel.mmu.translate_many(
+                process.cr3, vas, pid=process.pid, use_tlb=False,
+                slow_reference=True,
+            )
+            assert np.array_equal(got, want)
+            frames[process.pid] = set((got >> 12).tolist())
+        assert frames[first.pid].isdisjoint(frames[second.pid])
+
+
+class TestHugePageShortCircuit:
+    def test_huge_leaf_matches_scalar_and_carries_block_offset(self):
+        kernel = _kernel()
+        process = kernel.create_process()
+        head_pfn = kernel.map_huge_page(process, BASE)
+        rng = np.random.default_rng(11)
+        offsets = np.sort(rng.integers(0, HUGE_SPAN, size=32))
+        vas = BASE + offsets.astype(np.int64)
+
+        got = kernel.mmu.translate_many(
+            process.cr3, vas, pid=process.pid, use_tlb=False
+        )
+        want = kernel.mmu.translate_many(
+            process.cr3, vas, pid=process.pid, use_tlb=False, slow_reference=True
+        )
+        assert np.array_equal(got, want)
+        # The 2 MiB block base plus the in-block offset, straight from the
+        # PS-bit leaf at level 2 — no PT level exists to descend into.
+        base_pa = (head_pfn << 12) & ~(HUGE_SPAN - 1)
+        assert np.array_equal(got, base_pa + offsets)
+
+    def test_mixed_batch_short_circuits_only_huge_vpns(self):
+        """A batch mixing a 2 MiB leaf with 4 KiB pages resolves each VPN
+        at its own depth; results and walk counts match the scalar loop."""
+        batched_k = _kernel()
+        scalar_k = _kernel()
+        batches = []
+        for kernel in (batched_k, scalar_k):
+            process = kernel.create_process()
+            kernel.map_huge_page(process, BASE)
+            vma = kernel.mmap(process, 6 * PAGE_SIZE, address=BASE + 8 * HUGE_SPAN)
+            for page in range(6):
+                kernel.touch(process, vma.start + page * PAGE_SIZE, write=True)
+            vas = np.concatenate(
+                [
+                    BASE + PAGE_SIZE * np.arange(4, dtype=np.int64),
+                    vma.start + PAGE_SIZE * np.arange(6, dtype=np.int64),
+                ]
+            )
+            batches.append((process, vas))
+        bp, bvas = batches[0]
+        sp, svas = batches[1]
+        got = batched_k.mmu.translate_many(bp.cr3, bvas, pid=bp.pid)
+        want = scalar_k.mmu.translate_many(
+            sp.cr3, svas, pid=sp.pid, slow_reference=True
+        )
+        assert np.array_equal(got, want)
+        assert _tlb_counts(batched_k) == _tlb_counts(scalar_k)
+        assert batched_k.mmu.walk_count == scalar_k.mmu.walk_count
+
+
+class TestFrontierInstrumentation:
+    def test_counters_fire_on_batched_path_only(self):
+        previous = obs.get_registry()
+        try:
+            obs.set_registry(obs.Registry())
+            kernel, process, batch = _seeded_world(23, regions=2, max_pages=4)
+            kernel.mmu.translate_many(
+                process.cr3, batch, pid=process.pid, use_tlb=False
+            )
+            snapshot = obs.get_registry().snapshot()
+            assert snapshot["mmu.walk.frontier_batches"] >= 1
+            assert snapshot["mmu.walk.levels"] > 0
+            # The gauge reports the module's live resident-row count as of
+            # the last frontier walk.
+            assert snapshot["dram.resident_rows"] == float(
+                kernel.module.resident_rows
+            )
+
+            obs.set_registry(obs.Registry())
+            kernel, process, batch = _seeded_world(23, regions=2, max_pages=4)
+            kernel.mmu.translate_many(
+                process.cr3, batch, pid=process.pid, use_tlb=False,
+                slow_reference=True,
+            )
+            names = set(obs.get_registry().snapshot())
+        finally:
+            obs.set_registry(previous)
+        assert not names & WALKER_INSTRUMENTATION
+
+
+class TestPaperScaleSnapshotRoundTrip:
+    def test_multigb_store_snapshots_at_resident_cost(self):
+        """A 2 GiB paper-scale kernel freezes into shared memory sized by
+        what boot actually touched, and the warm-started copy maps,
+        touches, and frontier-walks like the original."""
+        def factory():
+            kernel = make_paperscale_kernel(total_bytes=2 * GIB)
+            process = kernel.create_process()
+            vma = kernel.mmap(process, 16 * PAGE_SIZE, address=BASE)
+            kernel.touch_many(
+                process,
+                vma.start + PAGE_SIZE * np.arange(16, dtype=np.int64),
+                write=True,
+            )
+            return kernel
+
+        snapshot = SimulatorSnapshot.capture(factory)
+        try:
+            # Segment cost tracks the resident set, not the geometry.
+            assert snapshot._shm.size < 64 * MIB
+            kernel, extra = snapshot.materialize()
+            assert extra is None
+            module = kernel.module
+            assert module.geometry.total_bytes == 2 * GIB
+            assert 0 < module.resident_rows * module.geometry.row_bytes < 64 * MIB
+
+            # The captured mapping frontier-walks in the restored world.
+            process = next(iter(kernel.processes.values()))
+            vas = BASE + PAGE_SIZE * np.arange(16, dtype=np.int64)
+            got = kernel.mmu.translate_many(
+                process.cr3, vas, pid=process.pid, use_tlb=False
+            )
+            want = kernel.mmu.translate_many(
+                process.cr3, vas, pid=process.pid, use_tlb=False,
+                slow_reference=True,
+            )
+            assert np.array_equal(got, want)
+
+            # And the store stays sparse (and writable) past the restore:
+            # new demand faults materialize copy-on-write rows only.
+            vma = kernel.mmap(process, 8 * PAGE_SIZE, address=BASE + (1 << 30))
+            fresh = vma.start + PAGE_SIZE * np.arange(8, dtype=np.int64)
+            touched = kernel.touch_many(process, fresh, write=True)
+            redo = kernel.mmu.translate_many(
+                process.cr3, fresh, pid=process.pid, use_tlb=False
+            )
+            assert redo.tolist() == list(touched)
+            assert module.resident_rows * module.geometry.row_bytes < 64 * MIB
+        finally:
+            snapshot.release()
