@@ -18,10 +18,14 @@ Usage::
     python -m repro check --sanitize# attack demo under runtime sanitizers
     python -m repro chaos --smoke   # fault-injection campaign (deterministic)
     python -m repro chaos --smoke --workers 4        # same results, fanned out
+    python -m repro chaos --smoke --memo --memo-dir memo_cache  # cached re-runs
     python -m repro bench --quick   # hot-path microbenchmarks
     python -m repro resume --checkpoint chaos.json   # continue a killed run
     python -m repro serve --port 7341 --faults worker-crash:p=1,max=2
+    python -m repro serve --port 7341 --memo-dir memo_cache  # cross-tenant cache
     python -m repro submit --port 7341 --segments 4 --json  # vs --serial --json
+    python -m repro memo stats --dir memo_cache      # on-disk cache accounting
+    python -m repro memo gc --dir memo_cache --max-bytes 1000000
 
 All errors raised by the simulator derive from
 :class:`repro.errors.ReproError`; the CLI catches the family at the top
@@ -245,6 +249,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.service import run_overload_demo
 
     run_overload_demo(tenants=12, segments=1, seed=args.seed, workers=2)
+
+    # Segment-memoization pass: the same tiny campaign twice through one
+    # shared cache, so the memo.* contract counters (hits / misses /
+    # stores / bytes) surface in the table with real values.
+    from repro.perf.memo import SegmentMemo
+    from repro.perf.parallel import run_campaign_parallel
+
+    memo = SegmentMemo()
+    for _ in range(2):
+        run_campaign_parallel(
+            name="stats-memo-demo",
+            target="repro.perf.parallel:montecarlo_trial",
+            num_segments=2,
+            seed=args.seed,
+            kwargs={"total_bytes": 64 * 1024 * 1024, "ptp_bytes": 1024 * 1024},
+            workers=1,
+            memo=memo,
+        )
 
     registry = obs.get_registry()
     if args.json:
@@ -610,7 +632,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     Deterministic for a fixed seed: two identical invocations produce
     identical fault counts, segment results and metric tables. ``--smoke``
     shrinks each segment for CI; ``--max-segments`` stops early with a
-    resumable checkpoint.
+    resumable checkpoint. ``--memo`` (optionally with ``--memo-dir`` for
+    a cross-run on-disk tier) replays previously computed segments from
+    the content-addressed cache, byte-identically.
     """
     from repro import faults, obs, sanitize
     from repro.faults.campaign import CampaignBudget
@@ -622,6 +646,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     budget = None
     if args.max_segments is not None:
         budget = CampaignBudget(max_segments=args.max_segments)
+    memo = None
+    if args.memo or args.memo_dir:
+        from repro.perf.memo import build_memo
+
+        memo = build_memo(args.memo_dir, verify_fraction=args.memo_verify)
     report = run_chaos_campaign(
         args.seed,
         num_segments=args.segments,
@@ -631,9 +660,16 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         budget=budget,
         workers=args.workers,
         warm_start=args.warm_start,
+        memo=memo,
     )
     status = _print_campaign_report(report, args.json)
     if not args.json:
+        if memo is not None:
+            print(
+                f"memo: {memo.hits} hits, {memo.misses} misses, "
+                f"{memo.stores} stores, {memo.bypasses} bypasses, "
+                f"{memo.verified} verified"
+            )
         print()
         print(obs.get_registry().format_table())
     return status
@@ -712,12 +748,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     policy = AdmissionPolicy(
         max_active=args.max_active, tenant_cap=args.tenant_cap
     )
+    memo = None
+    if args.memo_dir:
+        from repro.perf.memo import build_memo
+
+        memo = build_memo(args.memo_dir, verify_fraction=args.memo_verify)
     service = CampaignService(
         workers=args.workers,
         policy=policy,
         mode=args.mode,
         max_requeues=args.max_requeues,
         segment_timeout_s=args.segment_timeout,
+        memo=memo,
     )
 
     def ready(port: int) -> None:
@@ -788,6 +830,49 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             f"{segments['remaining']} remaining"
         )
     return 1 if report_dict["segments"]["failed"] else 0
+
+
+def _cmd_memo_stats(args: argparse.Namespace) -> int:
+    """Report the on-disk memo store's entry/byte accounting."""
+    import json
+
+    from repro.perf.memo import DiskMemoStore
+
+    store = DiskMemoStore(args.dir)
+    info = store.stats()
+    info["recovered_partials"] = store.recovered_partials
+    if args.json:
+        print(json.dumps(
+            {"directory": str(store.directory), **info}, indent=2, sort_keys=True
+        ))
+    else:
+        print(f"memo store {store.directory}:")
+        print(f"  entries            {info['entries']}")
+        print(f"  total bytes        {info['total_bytes']}")
+        print(f"  partials recovered {info['recovered_partials']}")
+    return 0
+
+
+def _cmd_memo_gc(args: argparse.Namespace) -> int:
+    """Prune the on-disk memo store down to a byte budget (oldest first)."""
+    import json
+
+    from repro.perf.memo import DiskMemoStore
+
+    store = DiskMemoStore(args.dir)
+    result = store.gc(args.max_bytes)
+    if args.json:
+        print(json.dumps(
+            {"directory": str(store.directory), **result}, indent=2, sort_keys=True
+        ))
+    else:
+        print(
+            f"memo gc {store.directory}: removed {result['removed']} "
+            f"entr{'y' if result['removed'] == 1 else 'ies'} "
+            f"({result['freed_bytes']} bytes); {result['entries']} remain "
+            f"({result['total_bytes']} bytes <= {args.max_bytes})"
+        )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -967,6 +1052,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "and attach copy-on-write per segment (identical results, less "
         "per-segment setup)",
     )
+    chaos.add_argument(
+        "--memo", action="store_true",
+        help="memoize segment results in-process (content-addressed cache; "
+        "identical segments replay byte-identically)",
+    )
+    chaos.add_argument(
+        "--memo-dir", default=None, metavar="PATH",
+        help="back the memo with an on-disk store at PATH (implies --memo; "
+        "shared across runs and workers)",
+    )
+    chaos.add_argument(
+        "--memo-verify", type=float, default=0.0, metavar="FRACTION",
+        help="recompute this fraction of cache hits and fail on divergence "
+        "(default: %(default)s)",
+    )
     chaos.add_argument("--json", action="store_true", help="emit the report as JSON")
     chaos.set_defaults(func=_cmd_chaos)
     bench = subparsers.add_parser(
@@ -1017,6 +1117,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="fault spec, e.g. worker-crash:p=1,max=2 (repeatable)")
     serve.add_argument("--seed", type=_seed, default=0,
                        help="seed for the injected fault schedules")
+    serve.add_argument("--memo-dir", default=None, metavar="PATH",
+                       help="share a content-addressed segment-result cache "
+                       "across tenants, backed on disk at PATH")
+    serve.add_argument("--memo-verify", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="recompute this fraction of cache hits and fail "
+                       "on divergence (default: %(default)s)")
     serve.set_defaults(func=_cmd_serve)
     submit = subparsers.add_parser(
         "submit", help="submit one campaign to a running service"
@@ -1047,6 +1154,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     submit.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
     submit.set_defaults(func=_cmd_submit)
+    memo = subparsers.add_parser(
+        "memo", help="inspect or prune the on-disk segment-result cache"
+    )
+    memo_sub = memo.add_subparsers(dest="memo_command", required=True)
+    memo_stats = memo_sub.add_parser(
+        "stats", help="entry and byte accounting for a memo directory"
+    )
+    memo_stats.add_argument("--dir", required=True, metavar="PATH",
+                            help="memo store directory (as given to --memo-dir)")
+    memo_stats.add_argument("--json", action="store_true",
+                            help="emit the accounting as JSON")
+    memo_stats.set_defaults(func=_cmd_memo_stats)
+    memo_gc = memo_sub.add_parser(
+        "gc", help="prune oldest entries until the store fits a byte budget"
+    )
+    memo_gc.add_argument("--dir", required=True, metavar="PATH",
+                         help="memo store directory (as given to --memo-dir)")
+    memo_gc.add_argument("--max-bytes", type=int, required=True,
+                         help="target on-disk size after pruning")
+    memo_gc.add_argument("--json", action="store_true",
+                         help="emit the gc summary as JSON")
+    memo_gc.set_defaults(func=_cmd_memo_gc)
 
     try:
         args = parser.parse_args(argv)

@@ -165,6 +165,23 @@ class SnapshotCorruptError(ServiceError):
         self.key = key
 
 
+class MemoIntegrityError(ReproError):
+    """A memoized segment result diverged from its recomputation.
+
+    Raised by the ``--memo-verify`` sampling mode in
+    :mod:`repro.perf.memo`: a cache hit whose stored bytes do not equal
+    the freshly recomputed canonical serialization is a broken
+    byte-identity contract — either the store was corrupted or a key
+    component (config, seed, fault schedule, code version) failed to
+    capture something the segment result depends on. ``key`` carries the
+    hex digest of the offending :class:`~repro.perf.memo.SegmentKey`.
+    """
+
+    def __init__(self, message: str, key: str = ""):
+        super().__init__(message)
+        self.key = key
+
+
 class SanitizerError(ReproError):
     """A runtime sanitizer detected a violated simulator invariant.
 

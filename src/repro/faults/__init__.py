@@ -92,6 +92,11 @@ class FaultPlane:
 
     def __init__(self, seed: SeedLike = None):
         self._rng = make_rng(seed)
+        #: The integer seed this plane's schedules derive from, when one
+        #: was given; ``None`` for generator/implicit seeding, in which
+        #: case :meth:`schedule_token` reports the schedule as
+        #: non-reproducible (the segment memo then bypasses the cache).
+        self.seed_token: Optional[int] = seed if isinstance(seed, int) else None
         self._injectors: List[FaultInjector] = []
         self._by_event: Dict[str, List[FaultInjector]] = {}
         self._armed = False
@@ -172,6 +177,28 @@ class FaultPlane:
         finally:
             self._in_dispatch = False
         return suppress
+
+    def schedule_token(self) -> Optional[Dict[str, object]]:
+        """JSON-able identity of this plane's injected-fault schedule.
+
+        The token pins everything a replay needs: the installing seed
+        plus every spec's full field set, in registration order (child
+        rng streams split per spec name, so order + names + seed fix the
+        schedules exactly). Returns ``None`` when the plane carries
+        injectors but no recorded integer seed — such a schedule cannot
+        be reproduced, so content-addressed caches must treat it as
+        uncacheable rather than key on a lie.
+        """
+        from dataclasses import asdict
+
+        if not self._injectors:
+            return {"seed": self.seed_token, "specs": []}
+        if self.seed_token is None:
+            return None
+        return {
+            "seed": self.seed_token,
+            "specs": [asdict(injector.spec) for injector in self._injectors],
+        }
 
     # -- reporting ---------------------------------------------------------
     @property

@@ -23,11 +23,14 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Optional, Tuple, Type, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Type, Union
 
 from repro import obs
 from repro.errors import ConfigurationError, TransientFaultError
 from repro.rng import DEFAULT_SEED, derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.perf.memo.runtime import SegmentMemo
 
 CHECKPOINT_VERSION = 1
 
@@ -241,6 +244,16 @@ class CampaignRunner:
     sleep_fn / time_source:
         Injectable for tests and simulated time; ``sleep_fn=None`` (the
         default) accounts backoff without real sleeping.
+    memo:
+        Optional :class:`~repro.perf.memo.runtime.SegmentMemo`. When
+        set, each segment is first looked up by its content address
+        (campaign identity + derived seed + ambient fault schedule); a
+        hit merges the cached outcome — record and exported obs state —
+        byte-identically to recomputation, a miss computes the segment
+        under an isolated registry (exactly the parallel engine's
+        protocol) and publishes it. The key content-addresses the
+        campaign *config*, so the config must capture everything
+        ``segment_fn``'s behaviour depends on.
     """
 
     def __init__(
@@ -257,6 +270,7 @@ class CampaignRunner:
         retryable: Tuple[Type[BaseException], ...] = (TransientFaultError,),
         sleep_fn: Optional[Callable[[float], None]] = None,
         time_source: Optional[Callable[[], float]] = None,
+        memo: Optional["SegmentMemo"] = None,
     ):
         if num_segments < 1:
             raise ConfigurationError(f"num_segments {num_segments} must be >= 1")
@@ -276,6 +290,7 @@ class CampaignRunner:
         self._retryable = retryable
         self._sleep_fn = sleep_fn
         self._time_source = time_source or time.monotonic
+        self._memo = memo
 
     @property
     def checkpoint_path(self) -> Optional[Path]:
@@ -296,7 +311,10 @@ class CampaignRunner:
                 continue
             if self._budget_exceeded(processed, started_at):
                 break
-            record, ok = self._run_segment(index)
+            if self._memo is None:
+                record, ok = self._run_segment(index)
+            else:
+                record, ok = self._run_segment_memoized(index, self._memo)
             if ok:
                 completed[index] = record
                 obs.inc("campaign.segments", campaign=self._name, status="completed")
@@ -353,6 +371,48 @@ class CampaignRunner:
                     self._sleep_fn(delay)
                 continue
             return {"attempts": attempt + 1, "result": result}, True
+
+    # -- memoization -------------------------------------------------------
+    def _isolated_outcome(self, index: int) -> Dict[str, Any]:
+        """Run one segment under an isolated registry; full outcome dict.
+
+        Exactly the parallel engine's worker protocol
+        (:func:`repro.perf.parallel.run_segment_task`): retries and any
+        segment-internal metrics land in a fresh registry whose exported
+        state ships alongside the record, so merging it back — now or
+        from a cache hit later — reproduces a direct run's registry.
+        """
+        previous = obs.get_registry()
+        registry = obs.set_registry(obs.Registry())
+        try:
+            record, ok = self._run_segment(index)
+        finally:
+            obs.set_registry(previous)
+        return {
+            "index": index,
+            "ok": ok,
+            "record": record,
+            "obs_state": registry.export_state(),
+        }
+
+    def _run_segment_memoized(
+        self, index: int, memo: "SegmentMemo"
+    ) -> Tuple[Dict[str, Any], bool]:
+        key = memo.campaign_key(
+            name=self._name,
+            config=self._config,
+            seed=self._seed,
+            index=index,
+            max_retries=self._max_retries,
+            retryable=self._retryable,
+        )
+        outcome = memo.run(
+            key,
+            campaign=self._name,
+            compute=lambda: self._isolated_outcome(index),
+        )
+        obs.get_registry().merge_state(outcome["obs_state"])
+        return outcome["record"], outcome["ok"]
 
     # -- checkpointing -----------------------------------------------------
     def _write_checkpoint(

@@ -26,7 +26,7 @@ downgrades, so ``CampaignReport.fault_totals`` can aggregate them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 from repro import faults, sanitize
 from repro.analysis.montecarlo import simulate_exploitable_ptes
@@ -41,6 +41,9 @@ from repro.kernel.degrade import ExhaustionPolicy
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.rng import derive_seed
 from repro.units import GIB, MIB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.perf.memo.runtime import SegmentMemo
 
 #: Segment rotation; ``index % 3`` picks the kind.
 SEGMENT_KINDS = ("probabilistic", "algorithm1", "montecarlo")
@@ -270,6 +273,7 @@ def run_chaos_campaign(
     workers: int = 1,
     resume: bool = False,
     warm_start: bool = False,
+    memo: Optional["SegmentMemo"] = None,
 ):
     """Run the standard chaos rotation, serially or across processes.
 
@@ -284,6 +288,13 @@ def run_chaos_campaign(
     copy-on-write instead of re-booting. The snapshot names travel in the
     segment kwargs only — never in ``config`` — so checkpoint files stay
     byte-identical to cold runs.
+
+    ``memo`` threads a segment-result cache through either engine. The
+    chaos segments are cacheable even though they inject faults: each
+    installs its *own* plane seeded ``derive_seed(segment_seed,
+    "faults")`` and always uninstalls it, so the whole fault schedule —
+    down to the per-fault firing counts in the cached record — is a pure
+    function of the segment seed already in the key.
     """
     policy_value = ExhaustionPolicy.coerce(policy).value
     snapshots = []
@@ -309,6 +320,7 @@ def run_chaos_campaign(
                 checkpoint_path=checkpoint_path,
                 budget=budget,
                 snapshot_names=snapshot_names,
+                memo=memo,
             )
             return runner.run(resume=resume)
         from repro.perf.parallel import run_campaign_parallel
@@ -330,6 +342,7 @@ def run_chaos_campaign(
             checkpoint_path=checkpoint_path,
             budget=budget,
             resume=resume,
+            memo=memo,
         )
     finally:
         for snap in snapshots:
@@ -347,6 +360,7 @@ def build_chaos_runner(
     sleep_fn: Optional[Any] = None,
     time_source: Optional[Any] = None,
     snapshot_names: Optional[Dict[str, str]] = None,
+    memo: Optional["SegmentMemo"] = None,
 ) -> CampaignRunner:
     """A :class:`CampaignRunner` over the standard chaos rotation."""
     policy_value = ExhaustionPolicy.coerce(policy).value
@@ -373,4 +387,5 @@ def build_chaos_runner(
         retryable=(TransientFaultError, OutOfMemoryError),
         sleep_fn=sleep_fn,
         time_source=time_source,
+        memo=memo,
     )

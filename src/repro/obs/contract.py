@@ -84,6 +84,12 @@ METRICS: Dict[str, str] = {
     # Campaign runner
     "campaign.segments": "counter",
     "campaign.retries": "counter",
+    # Segment memoization (content-addressed result cache)
+    "memo.hits": "counter",
+    "memo.misses": "counter",
+    "memo.stores": "counter",
+    "memo.bytes": "gauge",
+    "memo.verify.recomputed": "counter",
     # Campaign service (admission control + worker supervision)
     "service.admitted": "counter",
     "service.rejected": "counter",

@@ -29,6 +29,18 @@ speedups are apples-to-apples on the *same machine in the same run*:
     Serial probabilistic-attack trials via the campaign fan-out target
     (throughput signal for Monte-Carlo scaling; deterministic, so its
     ops/s is comparable across commits on the same hardware).
+``campaign_memo_warm``
+    The same campaign run twice through a shared
+    :class:`~repro.perf.memo.SegmentMemo`: cold (all misses, populates
+    the cache) then warm (all hits). Byte-identical reports are
+    asserted and the warm/cold speedup is *gated* at
+    :data:`MEMO_SPEEDUP_FLOOR` — a cache that stops paying for itself
+    fails the bench outright.
+``service_multi_tenant_memo``
+    N tenants submit the same campaign through one
+    :class:`~repro.service.server.CampaignService` sharing a segment
+    memo. All N reports must be byte-identical and the hit rate is
+    gated at (N-1)/N — only the first tenant may compute.
 ``walk_batch``
     TLB-on translation sweeps through :meth:`~repro.kernel.mmu.Mmu.
     translate_many` vs the same-seed scalar ``slow_reference`` loop,
@@ -43,14 +55,17 @@ speedups are apples-to-apples on the *same machine in the same run*:
     copy-on-write to a :class:`~repro.perf.snapshot.SimulatorSnapshot`.
 
 ``run_bench_suite`` returns a JSON-ready report; ``write_bench_report``
-persists it (``BENCH_hotpath.json``), and ``check_baseline`` compares
-ops/s against a committed baseline with a regression factor — CI fails
-when hammer-heavy regresses more than 2x.
+persists it (``BENCH_hotpath.json``) atomically via a temp file +
+``os.replace`` so a crashed bench never leaves a truncated report, and
+``check_baseline`` compares ops/s against a committed baseline with a
+regression factor — CI fails when hammer-heavy regresses more than 2x.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -419,6 +434,134 @@ def bench_campaign(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+#: Minimum warm-over-cold speedup the memoized campaign bench tolerates.
+#: A warm pass replays serialized outcomes instead of booting kernels and
+#: spraying pages, so the measured ratio is far higher; 5x is the
+#: acceptance floor from the memoization contract.
+MEMO_SPEEDUP_FLOOR = 5.0
+
+
+def bench_campaign_memo_warm(quick: bool = False) -> Dict[str, Any]:
+    """Cold-vs-warm campaign passes through a shared segment memo (gated).
+
+    Both passes run the identical ``run_probabilistic_trials`` campaign
+    against one :class:`~repro.perf.memo.SegmentMemo`; the reports must
+    compare equal (the byte-identity contract) and the warm pass must be
+    at least :data:`MEMO_SPEEDUP_FLOOR` times faster. ``ops_per_s`` is
+    the warm (cache-hit) throughput.
+    """
+    from repro.perf.memo import SegmentMemo
+
+    trials = 2 if quick else 4
+    memo = SegmentMemo()
+
+    def one_pass() -> tuple:
+        start = time.perf_counter()
+        report = run_probabilistic_trials(
+            trials,
+            seed=99,
+            workers=1,
+            spray_mappings=8,
+            max_rounds=1,
+            memo=memo,
+        )
+        return time.perf_counter() - start, report
+
+    cold_elapsed, cold = one_pass()
+    warm_elapsed, warm = one_pass()
+    if cold.to_dict() != warm.to_dict():
+        raise ReproError(
+            "campaign_memo_warm mismatch: warm (memoized) report diverges "
+            "from the cold run — the byte-identity contract is broken"
+        )
+    if memo.hits < trials:
+        raise ReproError(
+            f"campaign_memo_warm: warm pass scored {memo.hits} hits for "
+            f"{trials} segments — the cache is not being consulted"
+        )
+    speedup = cold_elapsed / warm_elapsed if warm_elapsed else 0.0
+    if speedup < MEMO_SPEEDUP_FLOOR:
+        raise ReproError(
+            f"campaign_memo_warm: warm speedup {speedup:.2f}x is below the "
+            f"{MEMO_SPEEDUP_FLOOR:g}x floor vs the cold run"
+        )
+    return {
+        "ops": trials,
+        "elapsed_s": warm_elapsed,
+        "ops_per_s": trials / warm_elapsed if warm_elapsed else 0.0,
+        "reference_elapsed_s": cold_elapsed,
+        "speedup": speedup,
+        "hits": memo.hits,
+        "misses": memo.misses,
+        "stores": memo.stores,
+    }
+
+
+def bench_service_multi_tenant_memo(quick: bool = False) -> Dict[str, Any]:
+    """N tenants, one shared memo, one service: hit rate gated at (N-1)/N.
+
+    Every tenant submits the same (name, target, segments, seed)
+    campaign, so only the first submission may compute — the remaining
+    N-1 must replay cached outcomes. All N reports are asserted equal;
+    a hit rate below (N-1)/N fails the bench.
+    """
+    import asyncio
+
+    from repro.perf.memo import SegmentMemo
+    from repro.service.protocol import CampaignRequest
+    from repro.service.server import CampaignService
+
+    tenants = 4 if quick else 8
+    segments = 3
+    memo = SegmentMemo()
+
+    async def _run() -> tuple:
+        service = CampaignService(workers=1, memo=memo)
+        service.start()
+        start = time.perf_counter()
+        reports = []
+        for index in range(tenants):
+            request = CampaignRequest(
+                name="memo-bench",
+                target="repro.perf.parallel:montecarlo_trial",
+                num_segments=segments,
+                seed=1234,
+                tenant=f"team-{index}",
+            )
+            reports.append(await service.submit(request))
+        elapsed = time.perf_counter() - start
+        await service.drain()
+        return elapsed, reports
+
+    elapsed, reports = asyncio.run(_run())
+    first = reports[0].to_dict()
+    for report in reports[1:]:
+        if report.to_dict() != first:
+            raise ReproError(
+                "service_multi_tenant_memo mismatch: a memoized tenant "
+                "report diverges from the first tenant's computed report"
+            )
+    total = memo.hits + memo.misses
+    # Integer cross-multiplication: hits/total >= (tenants-1)/tenants
+    # without float rounding at the exact boundary.
+    if total == 0 or memo.hits * tenants < (tenants - 1) * total:
+        raise ReproError(
+            f"service_multi_tenant_memo: hit rate {memo.hits}/{total} is "
+            f"below the ({tenants - 1}/{tenants}) floor — tenants beyond "
+            "the first are recomputing"
+        )
+    ops = tenants * segments
+    return {
+        "ops": ops,
+        "elapsed_s": elapsed,
+        "ops_per_s": ops / elapsed if elapsed else 0.0,
+        "hit_rate": memo.hits / total,
+        "hits": memo.hits,
+        "misses": memo.misses,
+        "tenants": tenants,
+    }
+
+
 def bench_payload_compiled(quick: bool = False) -> Dict[str, Any]:
     """Compiled payload execution vs the slow_reference interpreter.
 
@@ -485,6 +628,10 @@ def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
             "spray_batch": bench_spray_batch(quick=quick),
             "snapshot_warm_start": bench_snapshot_warm_start(quick=quick),
             "campaign": bench_campaign(quick=quick),
+            "campaign_memo_warm": bench_campaign_memo_warm(quick=quick),
+            "service_multi_tenant_memo": bench_service_multi_tenant_memo(
+                quick=quick
+            ),
             "payload_compiled": bench_payload_compiled(quick=quick),
         }
     finally:
@@ -493,10 +640,28 @@ def run_bench_suite(quick: bool = False) -> Dict[str, Any]:
 
 
 def write_bench_report(report: Dict[str, Any], path: Union[str, Path]) -> None:
-    """Persist a bench report as stable-ordered JSON."""
-    Path(path).write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    """Persist a bench report as stable-ordered JSON, atomically.
+
+    The report is written to a temp file in the destination directory
+    and moved into place with ``os.replace``, so readers never observe
+    a truncated ``BENCH_hotpath.json`` — an interrupted bench leaves
+    either the previous report or the new one, nothing in between.
+    """
+    destination = Path(path)
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    fd, tmp_path = tempfile.mkstemp(
+        dir=str(destination.parent) or ".", suffix=".tmp"
     )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, destination)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
 
 
 def load_baseline(path: Union[str, Path]) -> Dict[str, Any]:

@@ -35,9 +35,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from functools import partial
 from importlib import import_module
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Type, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Type, Union
 
 from repro import obs
 from repro.attacks.timing import AttackTimingModel
@@ -52,6 +53,10 @@ from repro.faults.campaign import (
 from repro.kernel.kernel import Kernel, KernelConfig
 from repro.rng import DEFAULT_SEED, derive_seed
 from repro.units import GIB, MIB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.perf.memo.key import SegmentKey
+    from repro.perf.memo.runtime import SegmentMemo
 
 __all__ = [
     "default_workers",
@@ -122,7 +127,37 @@ def run_segment_task(payload: Dict[str, Any]) -> Dict[str, Any]:
     process boundary, be re-enqueued after a worker death, and always
     reproduce the same outcome (the seed contract depends only on
     ``(seed, index, attempt)``, never on which worker ran it).
+
+    A ``payload["memo"]`` dict (``{"dir", "verify", "fault_digest"}``,
+    attached by the parent only for pooled runs with a disk-backed
+    memo) makes the worker consult and populate the shared on-disk
+    store around the computation: a segment re-enqueued after a worker
+    crash finds the bytes its first incarnation published. The
+    rebuilt memo pins the parent's fault-schedule decision via
+    ``fault_digest`` instead of probing the worker's own (empty) plane;
+    ``memo.*`` metrics counted here land in the worker's transient
+    default registry — never in the isolated registry whose exported
+    state gets cached — and are intentionally discarded with it.
     """
+    memo_info = payload.get("memo")
+    if memo_info:
+        from repro.perf.memo.runtime import build_memo
+
+        memo = build_memo(
+            memo_info["dir"],
+            verify_fraction=memo_info.get("verify", 0.0),
+            fault_digest=memo_info.get("fault_digest", ""),
+        )
+        return memo.run(
+            memo.payload_key(payload),
+            campaign=payload["name"],
+            compute=partial(_segment_outcome, payload),
+        )
+    return _segment_outcome(payload)
+
+
+def _segment_outcome(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The uncached segment computation behind :func:`run_segment_task`."""
     target = resolve_qualified(payload["target"])
     retryable: Tuple[Type[BaseException], ...] = tuple(
         resolve_qualified(reference) for reference in payload["retryable"]
@@ -258,6 +293,7 @@ def run_campaign_parallel(
     checkpoint_path: Optional[Union[str, Path]] = None,
     budget: Optional[CampaignBudget] = None,
     resume: bool = False,
+    memo: Optional["SegmentMemo"] = None,
 ) -> CampaignReport:
     """Run a campaign's segments across worker processes; merge serially.
 
@@ -266,6 +302,14 @@ def run_campaign_parallel(
     string). Segment budgets apply to this call like the serial runner's;
     wall-clock budgets are rejected — they depend on execution order,
     which parallel fan-out does not preserve.
+
+    With a ``memo``, the parent consults the cache before fanning out
+    (hits skip dispatch entirely) and publishes fresh outcomes after the
+    merge-ordering sort; pooled workers additionally consult/populate a
+    shared disk tier directly so crash re-enqueues hit work a dead
+    worker already published. Exactly-once recording is preserved: the
+    store is append-only and keyed by content, so duplicate publication
+    of the same outcome is an idempotent no-op.
     """
     if num_segments < 1:
         raise ConfigurationError(f"num_segments {num_segments} must be >= 1")
@@ -315,6 +359,26 @@ def run_campaign_parallel(
     ]
 
     outcomes: Dict[int, Dict[str, Any]] = {}
+    memo_keys: Dict[int, "SegmentKey"] = {}
+    if memo is not None and payloads:
+        fault_digest = memo.fault_digest()
+        uncached: List[Dict[str, Any]] = []
+        for payload in payloads:
+            key = memo.payload_key(payload)
+            if key is None:
+                memo.note_bypass(name)
+                uncached.append(payload)
+                continue
+            cached = memo.lookup(
+                key, campaign=name, recompute=partial(_segment_outcome, payload)
+            )
+            if cached is not None:
+                outcomes[cached["index"]] = cached
+            else:
+                memo_keys[payload["index"]] = key
+                uncached.append(payload)
+        payloads = uncached
+
     worker_count = default_workers() if workers is None else int(workers)
     if payloads:
         if worker_count <= 1:
@@ -322,9 +386,31 @@ def run_campaign_parallel(
                 outcome = run_segment_task(payload)
                 outcomes[outcome["index"]] = outcome
         else:
+            if memo is not None and memo.disk_directory is not None:
+                # Pooled workers consult/populate the shared disk tier
+                # themselves; inline runs skip this (the parent already
+                # consulted above, and worker-side counting would land
+                # in the parent registry twice).
+                for payload in payloads:
+                    if payload["index"] in memo_keys:
+                        payload["memo"] = {
+                            "dir": memo.disk_directory,
+                            "verify": memo.verify_fraction,
+                            "fault_digest": memo_keys[
+                                payload["index"]
+                            ].fault_digest,
+                        }
             outcomes = _run_payloads_pooled(
                 payloads, worker_count, campaign=name
             )
+
+    if memo is not None:
+        for index, key in sorted(memo_keys.items()):
+            if index in outcomes:
+                # The result-cache publisher, not a per-address VM store.
+                outcomes[index] = memo.store(  # repro-lint: ignore[RL008]
+                    key, outcomes[index], campaign=name
+                )
 
     registry = obs.get_registry()
     for index in sorted(outcomes):
@@ -518,6 +604,7 @@ def run_probabilistic_trials(
     budget: Optional[CampaignBudget] = None,
     resume: bool = False,
     warm_start: bool = False,
+    memo: Optional["SegmentMemo"] = None,
     **trial_kwargs: Any,
 ) -> CampaignReport:
     """Run ``trials`` independent probabilistic-attack trials.
@@ -532,6 +619,10 @@ def run_probabilistic_trials(
     copy-on-write instead of replaying setup. The snapshot name travels
     in the segment kwargs only — never in ``config`` — so checkpoint
     files stay byte-identical to cold runs.
+
+    ``memo`` threads a :class:`~repro.perf.memo.runtime.SegmentMemo`
+    through whichever engine runs: a repeated identical run replays from
+    the cache instead of recomputing, byte-identically.
     """
     config = {"trials": int(trials), **{k: trial_kwargs[k] for k in sorted(trial_kwargs)}}
     snapshot = None
@@ -560,6 +651,7 @@ def run_probabilistic_trials(
                 config=config,
                 budget=budget,
                 checkpoint_path=checkpoint_path,
+                memo=memo,
             )
             return runner.run(resume=resume)
         return run_campaign_parallel(
@@ -573,6 +665,7 @@ def run_probabilistic_trials(
             checkpoint_path=checkpoint_path,
             budget=budget,
             resume=resume,
+            memo=memo,
         )
     finally:
         if snapshot is not None:

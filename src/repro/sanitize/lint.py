@@ -62,6 +62,16 @@ RL012    multi-GB sparsity: modules under ``dram/`` must not allocate numpy
          each frontier level decodes as one vectorized
          :func:`~repro.kernel.pagetable.decode_entries` batch (the
          sanctioned ``slow_reference`` walk carries per-line suppressions)
+RL013    memoization-key determinism: modules under ``perf/memo`` must not
+         read ambient entropy, clocks, or process identity into key material
+         — no ``secrets`` / ``uuid`` imports, no ``os.urandom`` /
+         ``time.time`` / ``time.time_ns`` / ``os.getpid`` / ``os.getppid`` /
+         ``datetime.now`` / ``datetime.utcnow`` calls — and every value
+         passed to a ``SegmentKey(...)`` call site must be a plain name /
+         attribute or a direct ``digest_of`` / ``derive_seed`` call, so a
+         cache key can only be assembled from content digests and derived
+         seeds (a literal smuggled into a key field would silently fork the
+         cache namespace)
 =======  =====================================================================
 
 A finding can be suppressed per line with ``# repro-lint: ignore`` (all
@@ -91,6 +101,7 @@ RULES: Dict[str, str] = {
     "RL010": "attacks/ must validate PayloadPrograms (validate_program/helpers)",
     "RL011": "service/ must spawn tasks via spawn_supervised, not create_task",
     "RL012": "no total_rows-sized numpy allocations in dram/; no per-entry PTE decode loops in kernel/mmu.py",
+    "RL013": "perf/memo must build SegmentKeys from digests/derived seeds only (no ambient entropy/clock/pid)",
 }
 
 #: Module imports RL006 forbids inside :mod:`repro.faults`.
@@ -116,6 +127,23 @@ _RL012_NP_ALLOCATORS = ("zeros", "ones", "full", "empty", "arange")
 
 #: Call names RL010 accepts as validating wrappers.
 _RL010_VALIDATORS = ("validate_program",)
+
+#: Module imports RL013 forbids inside :mod:`repro.perf.memo`.
+_RL013_FORBIDDEN_IMPORTS = ("secrets", "uuid")
+
+#: Dotted ambient-state reads RL013 forbids inside :mod:`repro.perf.memo`.
+_RL013_FORBIDDEN_CALLS = (
+    "os.urandom",
+    "time.time",
+    "time.time_ns",
+    "os.getpid",
+    "os.getppid",
+    "datetime.now",
+    "datetime.utcnow",
+)
+
+#: The only call expressions RL013 accepts as SegmentKey field values.
+_RL013_KEY_BUILDERS = ("digest_of", "derive_seed")
 
 _IGNORE_MARKER = "# repro-lint: ignore"
 
@@ -182,6 +210,7 @@ class _FileLinter(ast.NodeVisitor):
         check_supervised_tasks: bool = False,
         check_sparse_dram: bool = False,
         check_frontier_decode: bool = False,
+        check_memo_keys: bool = False,
     ):
         self.path = path
         self.allowed_raises = allowed_raises
@@ -194,6 +223,7 @@ class _FileLinter(ast.NodeVisitor):
         self.check_supervised_tasks = check_supervised_tasks
         self.check_sparse_dram = check_sparse_dram
         self.check_frontier_decode = check_frontier_decode
+        self.check_memo_keys = check_memo_keys
         self.findings: List[LintFinding] = []
         #: ``*Attack`` classes defined in this file (collected for RL004).
         self.attack_classes: List[Tuple[str, int]] = []
@@ -231,6 +261,16 @@ class _FileLinter(ast.NodeVisitor):
                         f"import of {alias.name!r} in repro.faults; fault "
                         "schedules must derive from explicit seeds only",
                     )
+        if self.check_memo_keys:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _RL013_FORBIDDEN_IMPORTS:
+                    self._add(
+                        "RL013",
+                        node,
+                        f"import of {alias.name!r} in repro.perf.memo; cache "
+                        "keys must derive from content digests only",
+                    )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -258,6 +298,15 @@ class _FileLinter(ast.NodeVisitor):
                     node,
                     f"import from {node.module!r} in repro.faults; fault "
                     "schedules must derive from explicit seeds only",
+                )
+        if self.check_memo_keys:
+            root = (node.module or "").split(".")[0]
+            if root in _RL013_FORBIDDEN_IMPORTS:
+                self._add(
+                    "RL013",
+                    node,
+                    f"import from {node.module!r} in repro.perf.memo; cache "
+                    "keys must derive from content digests only",
                 )
         self.generic_visit(node)
 
@@ -359,6 +408,8 @@ class _FileLinter(ast.NodeVisitor):
             self._check_rl012_allocation(node, func)
         if self.check_frontier_decode and self._loop_depth > 0:
             self._check_rl012_decode(node, func)
+        if self.check_memo_keys:
+            self._check_rl013_call(node, func)
         if (
             isinstance(func, ast.Attribute)
             and isinstance(func.value, ast.Name)
@@ -551,6 +602,58 @@ class _FileLinter(ast.NodeVisitor):
                 "(the scalar reference walk carries per-line suppressions)",
             )
 
+    def _check_rl013_call(self, node: ast.Call, func: ast.expr) -> None:
+        """RL013: ambient state and non-digest key material in perf/memo.
+
+        Two checks. First, dotted reads of entropy/clock/pid
+        (``os.urandom``, ``time.time``, ``datetime.now``, ...) are
+        forbidden anywhere in a memo module — a key or store decision
+        influenced by any of them could never replay. Second, every
+        value at a ``SegmentKey(...)`` call site must be a plain name /
+        attribute (a local already produced by the digest pipeline) or a
+        direct ``digest_of`` / ``derive_seed`` call; literals or inline
+        arithmetic smuggled into a key field would fork the cache
+        namespace invisibly.
+        """
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            dotted = f"{func.value.id}.{func.attr}"
+            if dotted in _RL013_FORBIDDEN_CALLS:
+                self._add(
+                    "RL013",
+                    node,
+                    f"call to {dotted} in repro.perf.memo; ambient "
+                    "entropy/clock/pid must never reach cache-key material",
+                )
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name != "SegmentKey":
+            return
+        for value in list(node.args) + [kw.value for kw in node.keywords]:
+            if isinstance(value, (ast.Name, ast.Attribute)):
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Name, ast.Attribute))
+                and (
+                    value.func.id
+                    if isinstance(value.func, ast.Name)
+                    else value.func.attr
+                )
+                in _RL013_KEY_BUILDERS
+            ):
+                continue
+            self._add(
+                "RL013",
+                node,
+                "SegmentKey field built from an inline expression; key "
+                "material must be a named digest or a direct "
+                "digest_of/derive_seed call",
+            )
+            return
+
     def _check_rl006_call(self, node: ast.Call, func: ast.expr) -> None:
         """RL006 call checks: ambient entropy/clock and implicit seeds."""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
@@ -613,9 +716,10 @@ def lint_source(
     directories — the batched-VM consumers), RL009/RL010 activation
     (modules under ``attacks`` — the payload-compiled, payload-validated
     consumers), RL011 activation (modules under ``service`` — the
-    supervised-task consumers), and RL012 activation (modules under
+    supervised-task consumers), RL012 activation (modules under
     ``dram`` for the dense-allocation check, ``mmu.py`` for the
-    per-entry-decode check).
+    per-entry-decode check), and RL013 activation (modules under a
+    ``memo`` package directory — the deterministic-key consumers).
     """
     if allowed_raises is None:
         allowed_raises = taxonomy_names()
@@ -629,6 +733,7 @@ def lint_source(
     check_supervised_tasks = "service" in parts
     check_sparse_dram = "dram" in parts
     check_frontier_decode = Path(path).name == "mmu.py"
+    check_memo_keys = "memo" in parts
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(
         path, allowed_raises, check_rng,
@@ -640,6 +745,7 @@ def lint_source(
         check_supervised_tasks=check_supervised_tasks,
         check_sparse_dram=check_sparse_dram,
         check_frontier_decode=check_frontier_decode,
+        check_memo_keys=check_memo_keys,
     )
     linter.visit(tree)
     findings = _filter_ignores(linter.findings, _ignores_by_line(source))

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro import faults, obs
 from repro.errors import AdmissionError, ReproError, ServiceError
@@ -48,6 +48,9 @@ from repro.service.snapshot_library import (
 )
 from repro.service.supervisor import SegmentJob, WorkerPool, spawn_supervised
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.perf.memo.runtime import SegmentMemo
+
 __all__ = ["CampaignService", "serve", "run_overload_demo"]
 
 #: Retryable taxonomy shipped to segment tasks — same default as the
@@ -70,11 +73,18 @@ class CampaignService:
         snapshot_capacity: int = 4,
         quarantine_threshold: int = 2,
         time_source: Callable[[], float] = time.monotonic,
+        memo: Optional["SegmentMemo"] = None,
     ):
         self.library = SnapshotLibrary(
             capacity=snapshot_capacity, quarantine_threshold=quarantine_threshold
         )
         self.admission = AdmissionController(policy, time_source=time_source)
+        # The memo sits next to the SnapshotLibrary as cross-tenant
+        # shared state: identical (config, payload, seed, fault
+        # schedule) segments from different tenants replay one cached
+        # outcome. The pool consults it strictly after the shed window
+        # closes, so admission-shed jobs can never populate or poison it.
+        self.memo = memo
         self.pool = WorkerPool(
             workers,
             mode=mode,
@@ -83,6 +93,7 @@ class CampaignService:
             segment_timeout_s=segment_timeout_s,
             time_source=time_source,
             library=self.library,
+            memo=memo,
         )
         self.backoff_base_s = backoff_base_s
         self._drained = asyncio.Event()
@@ -231,6 +242,18 @@ class CampaignService:
                 "keys": list(self.library.keys),
                 "quarantined": sorted(self.library.quarantined),
             },
+            "memo": (
+                None
+                if self.memo is None
+                else {
+                    "hits": self.memo.hits,
+                    "misses": self.memo.misses,
+                    "stores": self.memo.stores,
+                    "bypasses": self.memo.bypasses,
+                    "verified": self.memo.verified,
+                    "disk_dir": self.memo.disk_directory,
+                }
+            ),
         }
 
 

@@ -40,7 +40,8 @@ import asyncio
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Coroutine, Dict, List, Optional, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Coroutine, Dict, List, Optional, Tuple
 
 from repro import faults, obs
 from repro.errors import (
@@ -54,6 +55,9 @@ from repro.perf.parallel import crashed_segment_outcome, run_segment_task
 from repro.service.admission import AdmissionTicket
 from repro.service.protocol import CampaignRequest
 from repro.service.snapshot_library import SnapshotLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.perf.memo.runtime import SegmentMemo
 
 __all__ = ["SegmentJob", "WorkerPool", "spawn_supervised"]
 
@@ -168,6 +172,7 @@ class WorkerPool:
         segment_timeout_s: Optional[float] = None,
         time_source: Callable[[], float] = time.monotonic,
         library: Optional[SnapshotLibrary] = None,
+        memo: Optional["SegmentMemo"] = None,
     ):
         if size < 1:
             raise ConfigurationError(f"pool size {size} must be >= 1")
@@ -183,6 +188,12 @@ class WorkerPool:
         self.segment_timeout_s = segment_timeout_s
         self._clock = time_source
         self.library = library
+        #: Shared cross-tenant segment-result cache. Consulted only
+        #: after a job's shed window has closed (``job.started`` is
+        #: bumped first) and after the fault plane saw the dispatch, so
+        #: shed jobs never touch the cache and the injected crash
+        #: schedule is byte-identical with and without memoization.
+        self.memo = memo
         self._queue: "asyncio.Queue[Tuple[SegmentJob, Dict[str, Any]]]" = (
             asyncio.Queue()
         )
@@ -312,7 +323,24 @@ class WorkerPool:
                 campaign=job.request.name,
                 worker=worker_id,
             )
-            outcome = await self._execute(payload)
+            outcome = None
+            memo_key = None
+            if self.memo is not None:
+                memo_key = self.memo.payload_key(payload)
+                if memo_key is None:
+                    self.memo.note_bypass(job.request.name)
+                else:
+                    outcome = self.memo.lookup(
+                        memo_key,
+                        campaign=job.request.name,
+                        recompute=partial(run_segment_task, payload),
+                    )
+            if outcome is None:
+                outcome = await self._execute(payload)
+                if memo_key is not None and self.memo is not None:
+                    outcome = self.memo.store(
+                        memo_key, outcome, campaign=job.request.name
+                    )
         except WorkerCrashError as exc:  # WorkerHangError included
             self._requeue_lost(job, payload, exc)
             raise

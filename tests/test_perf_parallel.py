@@ -348,7 +348,8 @@ class TestBenchSuite:
         assert set(report["results"]) == {
             "hammer_heavy", "walk_heavy", "walk_frontier", "walk_batch",
             "live_boot_multigb", "spray_batch", "snapshot_warm_start",
-            "campaign", "payload_compiled",
+            "campaign", "campaign_memo_warm", "service_multi_tenant_memo",
+            "payload_compiled",
         }
         passing = {
             case: {"ops_per_s": result["ops_per_s"] / 2}

@@ -509,6 +509,65 @@ class TestRL012FrontierDecode:
         assert self._rules_at(src, path="src/repro/kernel/pagetable.py") == []
 
 
+class TestRL013MemoKeyDeterminism:
+    MEMO_PATH = "src/repro/perf/memo/key.py"
+
+    def _rules_at(self, source, path=MEMO_PATH):
+        findings, _ = lint_source(textwrap.dedent(source), path=path)
+        return [f.rule for f in findings]
+
+    def test_secrets_import_flagged(self):
+        assert self._rules_at("import secrets\n") == ["RL013"]
+
+    def test_uuid_import_flagged(self):
+        assert self._rules_at("from uuid import uuid4\n") == ["RL013"]
+
+    def test_ambient_clock_calls_flagged(self):
+        for call in (
+            "os.urandom(8)",
+            "time.time()",
+            "time.time_ns()",
+            "os.getpid()",
+            "datetime.now()",
+            "datetime.utcnow()",
+        ):
+            assert self._rules_at(f"x = {call}\n") == ["RL013"], call
+
+    def test_monotonic_clock_is_clean(self):
+        # Budget measurement, never key material — mirrors the RL006 carve-out.
+        assert self._rules_at("elapsed = time.monotonic()\n") == []
+
+    def test_literal_key_field_flagged(self):
+        src = 'key = SegmentKey(config_digest="abc")\n'
+        assert self._rules_at(src) == ["RL013"]
+
+    def test_inline_expression_key_field_flagged(self):
+        src = "key = SegmentKey(seed=seed + 1)\n"
+        assert self._rules_at(src) == ["RL013"]
+
+    def test_named_digests_and_derive_seed_are_clean(self):
+        src = """\
+        key = SegmentKey(
+            config_digest=config_digest,
+            snapshot_digest=self.snapshot_digest,
+            payload_digest=digest_of(token),
+            seed=derive_seed(seed, index, attempt),
+            attempt=attempt,
+            fault_digest=fault_digest,
+        )
+        """
+        assert self._rules_at(src) == []
+
+    def test_rule_only_active_under_memo(self):
+        src = 'key = SegmentKey(config_digest="abc")\nimport secrets\n'
+        assert self._rules_at(src, path="src/repro/perf/parallel.py") == []
+        assert self._rules_at(src, path="tests/test_perf_memo.py") == []
+
+    def test_suppression_marker_honoured(self):
+        src = "import secrets  # repro-lint: ignore[RL013]\n"
+        assert self._rules_at(src) == []
+
+
 class TestHarness:
     def test_finding_format(self):
         finding = LintFinding(rule="RL002", path="src/x.py", line=7, message="bad")
@@ -517,7 +576,7 @@ class TestHarness:
     def test_all_rules_documented(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
-            "RL008", "RL009", "RL010", "RL011", "RL012",
+            "RL008", "RL009", "RL010", "RL011", "RL012", "RL013",
         }
 
     def test_syntax_error_propagates(self):
